@@ -1,0 +1,343 @@
+//! Framed slotted ALOHA with the Q-algorithm.
+//!
+//! A Gen2 inventory round opens with a Query carrying the slot-count
+//! exponent `Q`; every participating tag draws a slot in `[0, 2^Q)`. The
+//! reader then steps through the frame with QueryRep commands. Each slot
+//! ends in one of three ways — empty, a clean singulation, or a collision —
+//! and each outcome costs a different amount of air time (see
+//! [`crate::timing`]). Between rounds the reader adapts `Q` with the
+//! standard floating-point Q-algorithm (add `C` on a collision, subtract
+//! `C` on an empty slot) so the frame size tracks the population.
+//!
+//! The STPP-relevant output is the *sequence and timing of successful
+//! singulations*: with a larger population each individual tag is read less
+//! often, which is the under-sampling effect in Table 1 of the paper.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::epc::Epc;
+use crate::tag::{InventoriedFlag, TagInventoryState, TagState};
+use crate::timing::LinkTiming;
+
+/// What happened in one ALOHA slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SlotOutcome {
+    /// No tag replied.
+    Empty,
+    /// Exactly one tag replied and was acknowledged; its EPC was read.
+    Singulated(Epc),
+    /// Two or more tags replied; none could be decoded.
+    Collision {
+        /// How many tags collided.
+        count: usize,
+    },
+}
+
+/// Configuration of the ALOHA inventory process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlohaConfig {
+    /// Initial slot-count exponent Q.
+    pub initial_q: u8,
+    /// Smallest Q the adaptation may reach.
+    pub min_q: u8,
+    /// Largest Q the adaptation may reach.
+    pub max_q: u8,
+    /// The Q-algorithm step constant C (typically 0.1–0.5).
+    pub c: f64,
+    /// Link timing used to convert slots into seconds.
+    pub timing: LinkTiming,
+}
+
+impl AlohaConfig {
+    /// Defaults matching a COTS reader: Q starts at 4, C = 0.3,
+    /// dense-reader link timing.
+    pub fn typical() -> Self {
+        AlohaConfig {
+            initial_q: 4,
+            min_q: 0,
+            max_q: 15,
+            c: 0.3,
+            timing: LinkTiming::impinj_dense_reader(),
+        }
+    }
+}
+
+impl Default for AlohaConfig {
+    fn default() -> Self {
+        AlohaConfig::typical()
+    }
+}
+
+/// Statistics of one inventory round.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Number of slots in the frame.
+    pub slots: usize,
+    /// Number of successful singulations.
+    pub singulated: usize,
+    /// Number of collision slots.
+    pub collisions: usize,
+    /// Number of empty slots.
+    pub empties: usize,
+    /// Total air time of the round, seconds.
+    pub duration_s: f64,
+    /// The Q used for this round.
+    pub q: u8,
+}
+
+/// The reader-side ALOHA engine. It owns the floating-point Q state and
+/// steps tag state machines through rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlohaSimulator {
+    config: AlohaConfig,
+    q_fp: f64,
+}
+
+impl AlohaSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: AlohaConfig) -> Self {
+        AlohaSimulator { q_fp: config.initial_q as f64, config }
+    }
+
+    /// The Q that will be used for the next round.
+    pub fn current_q(&self) -> u8 {
+        (self.q_fp.round() as i64).clamp(self.config.min_q as i64, self.config.max_q as i64) as u8
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AlohaConfig {
+        &self.config
+    }
+
+    /// Runs one complete inventory round over `tags`, which must be the
+    /// state machines of the tags currently powered inside the reading
+    /// zone. Returns the per-slot outcomes, each with the time offset (in
+    /// seconds from the start of the round) at which the slot's tag reply
+    /// was received, plus round statistics.
+    ///
+    /// Tags singulated in this round have their inventoried flag toggled;
+    /// the caller decides when to decay flags (session 0 decays between
+    /// rounds, which [`crate::inventory::InventoryProcess`] does).
+    pub fn run_round<R: Rng + ?Sized>(
+        &mut self,
+        tags: &mut [TagInventoryState],
+        rng: &mut R,
+    ) -> (Vec<(f64, SlotOutcome)>, RoundStats) {
+        let q = self.current_q();
+        let timing = self.config.timing;
+        let slots = 1usize << q;
+        let mut outcomes = Vec::with_capacity(slots);
+        let mut stats = RoundStats { slots, q, ..RoundStats::default() };
+
+        // Query opens the round and assigns slot counters.
+        let mut t = timing.query_duration();
+        for tag in tags.iter_mut() {
+            tag.on_query(q, InventoriedFlag::A, rng);
+        }
+
+        for slot in 0..slots {
+            let replying: Vec<usize> = tags
+                .iter()
+                .enumerate()
+                .filter(|(_, tag)| tag.state == TagState::Reply)
+                .map(|(i, _)| i)
+                .collect();
+            let (outcome, slot_duration) = match replying.len() {
+                0 => {
+                    stats.empties += 1;
+                    (SlotOutcome::Empty, timing.empty_slot_duration())
+                }
+                1 => {
+                    let idx = replying[0];
+                    let rn16 = tags[idx].rn16;
+                    let acked = tags[idx].on_ack(rn16);
+                    debug_assert!(acked, "a lone replying tag always accepts its own RN16");
+                    stats.singulated += 1;
+                    (
+                        SlotOutcome::Singulated(tags[idx].epc),
+                        timing.singulation_slot_duration(),
+                    )
+                }
+                n => {
+                    stats.collisions += 1;
+                    (SlotOutcome::Collision { count: n }, timing.collision_slot_duration())
+                }
+            };
+
+            // Q-algorithm adaptation (applied to the floating-point Q).
+            match &outcome {
+                SlotOutcome::Empty => {
+                    self.q_fp = (self.q_fp - self.config.c).max(self.config.min_q as f64)
+                }
+                SlotOutcome::Collision { .. } => {
+                    self.q_fp = (self.q_fp + self.config.c).min(self.config.max_q as f64)
+                }
+                SlotOutcome::Singulated(_) => {}
+            }
+
+            // The reply (and hence the phase measurement) happens roughly in
+            // the middle of the slot.
+            outcomes.push((t + slot_duration * 0.5, outcome));
+            t += slot_duration;
+
+            // QueryRep moves remaining tags forward, except after the final
+            // slot (the next Query will reset everyone anyway).
+            if slot + 1 < slots {
+                for tag in tags.iter_mut() {
+                    tag.on_query_rep(rng);
+                }
+            }
+        }
+
+        stats.duration_s = t;
+        (outcomes, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn population(n: usize) -> Vec<TagInventoryState> {
+        (0..n as u64).map(|i| TagInventoryState::new(Epc::from_serial(i))).collect()
+    }
+
+    fn run_rounds_until_all_read(n: usize, seed: u64) -> (usize, usize) {
+        // Returns (rounds, total singulations needed) to read all n tags once.
+        let mut sim = AlohaSimulator::new(AlohaConfig::typical());
+        let mut tags = population(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut read: std::collections::HashSet<Epc> = std::collections::HashSet::new();
+        let mut rounds = 0;
+        let mut singulations = 0;
+        while read.len() < n && rounds < 100 {
+            for t in tags.iter_mut() {
+                t.reset_round();
+                t.decay_session0_flag();
+            }
+            let (outcomes, stats) = sim.run_round(&mut tags, &mut rng);
+            singulations += stats.singulated;
+            for (_, o) in outcomes {
+                if let SlotOutcome::Singulated(epc) = o {
+                    read.insert(epc);
+                }
+            }
+            rounds += 1;
+        }
+        assert_eq!(read.len(), n, "all tags must eventually be read");
+        (rounds, singulations)
+    }
+
+    #[test]
+    fn single_tag_is_always_read_quickly() {
+        let (rounds, _) = run_rounds_until_all_read(1, 1);
+        assert!(rounds <= 3, "one tag should be read almost immediately, took {rounds} rounds");
+    }
+
+    #[test]
+    fn all_tags_eventually_read_for_various_populations() {
+        for &n in &[2, 5, 10, 30] {
+            run_rounds_until_all_read(n, 42 + n as u64);
+        }
+    }
+
+    #[test]
+    fn round_stats_are_consistent() {
+        let mut sim = AlohaSimulator::new(AlohaConfig::typical());
+        let mut tags = population(12);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (outcomes, stats) = sim.run_round(&mut tags, &mut rng);
+        assert_eq!(outcomes.len(), stats.slots);
+        assert_eq!(stats.singulated + stats.collisions + stats.empties, stats.slots);
+        assert!(stats.duration_s > 0.0);
+        // Slot timestamps are increasing.
+        for w in outcomes.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn q_adapts_upwards_under_heavy_collision() {
+        let mut config = AlohaConfig::typical();
+        config.initial_q = 1; // Far too small for 30 tags.
+        let mut sim = AlohaSimulator::new(config);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let q_before = sim.current_q();
+        for _ in 0..5 {
+            let mut tags = population(30);
+            sim.run_round(&mut tags, &mut rng);
+        }
+        assert!(sim.current_q() > q_before, "Q should grow under collisions");
+    }
+
+    #[test]
+    fn q_adapts_downwards_when_frame_is_too_large() {
+        let mut config = AlohaConfig::typical();
+        config.initial_q = 8; // 256 slots for 2 tags.
+        let mut sim = AlohaSimulator::new(config);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let q_before = sim.current_q();
+        for _ in 0..3 {
+            let mut tags = population(2);
+            sim.run_round(&mut tags, &mut rng);
+        }
+        assert!(sim.current_q() < q_before, "Q should shrink when most slots are empty");
+    }
+
+    #[test]
+    fn q_respects_bounds() {
+        let config = AlohaConfig { initial_q: 2, min_q: 2, max_q: 3, c: 1.0, ..AlohaConfig::typical() };
+        let mut sim = AlohaSimulator::new(config);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for n in [0usize, 50, 0, 50] {
+            let mut tags = population(n);
+            sim.run_round(&mut tags, &mut rng);
+            assert!(sim.current_q() >= 2 && sim.current_q() <= 3);
+        }
+    }
+
+    #[test]
+    fn per_tag_read_rate_drops_with_population() {
+        // The under-sampling effect behind Table 1: total singulation
+        // throughput is roughly constant, so per-tag reads fall as the
+        // population grows.
+        let rate = |n: usize| {
+            let mut sim = AlohaSimulator::new(AlohaConfig::typical());
+            let mut tags = population(n);
+            let mut rng = ChaCha8Rng::seed_from_u64(123);
+            let mut singulated = 0usize;
+            let mut elapsed = 0.0;
+            for _ in 0..30 {
+                for t in tags.iter_mut() {
+                    t.reset_round();
+                    t.decay_session0_flag();
+                }
+                let (_, stats) = sim.run_round(&mut tags, &mut rng);
+                singulated += stats.singulated;
+                elapsed += stats.duration_s;
+            }
+            singulated as f64 / elapsed / n as f64
+        };
+        let per_tag_5 = rate(5);
+        let per_tag_30 = rate(30);
+        assert!(
+            per_tag_5 > 2.0 * per_tag_30,
+            "per-tag read rate should drop with population: {per_tag_5} vs {per_tag_30}"
+        );
+    }
+
+    #[test]
+    fn empty_population_round_is_all_empty_slots() {
+        let mut sim = AlohaSimulator::new(AlohaConfig::typical());
+        let mut tags = population(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let (outcomes, stats) = sim.run_round(&mut tags, &mut rng);
+        assert_eq!(stats.singulated, 0);
+        assert_eq!(stats.collisions, 0);
+        assert_eq!(stats.empties, stats.slots);
+        assert!(outcomes.iter().all(|(_, o)| *o == SlotOutcome::Empty));
+    }
+}

@@ -1,0 +1,122 @@
+//! The two CRCs mandated by the C1G2 specification.
+//!
+//! * **CRC-5** protects the Query command (polynomial `x⁵ + x³ + 1`,
+//!   preset `0b01001`).
+//! * **CRC-16** (CCITT, polynomial `0x1021`, preset `0xFFFF`, final
+//!   inversion) protects tag EPC backscatter and most reader commands. The
+//!   spec's validity check is that recomputing the CRC over data plus the
+//!   transmitted CRC yields the residue `0x1D0F`.
+
+/// Computes the Gen2 CRC-5 over `bits` (most-significant bit first).
+///
+/// The polynomial is `x⁵ + x³ + 1` (0b101001) with preset `0b01001`.
+pub fn crc5(bits: &[bool]) -> u8 {
+    let mut reg: u8 = 0b01001;
+    for &bit in bits {
+        let msb = (reg >> 4) & 1 == 1;
+        let input = bit ^ msb;
+        reg = (reg << 1) & 0x1F;
+        if input {
+            // XOR the polynomial taps (x³ and x⁰).
+            reg ^= 0b01001;
+        }
+    }
+    reg & 0x1F
+}
+
+/// Computes the Gen2 CRC-16 (CCITT) over `data` bytes.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut reg: u16 = 0xFFFF;
+    for &byte in data {
+        reg ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if reg & 0x8000 != 0 {
+                reg = (reg << 1) ^ 0x1021;
+            } else {
+                reg <<= 1;
+            }
+        }
+    }
+    !reg
+}
+
+/// Verifies a Gen2 CRC-16: recomputing over the data followed by the
+/// transmitted CRC (big-endian) must give the fixed residue.
+pub fn crc16_verify(data: &[u8], transmitted_crc: u16) -> bool {
+    let mut framed = data.to_vec();
+    framed.push((transmitted_crc >> 8) as u8);
+    framed.push((transmitted_crc & 0xFF) as u8);
+    // After appending the (already inverted) CRC, the register value before
+    // the final inversion is the spec's residue 0x1D0F, so the function
+    // output is !0x1D0F == 0xE2F0.
+    crc16(&framed) == 0xE2F0
+}
+
+/// Helper: unpacks the low `n` bits of `value` into a most-significant-bit
+/// first boolean vector (as used by [`crc5`]).
+pub fn bits_msb_first(value: u32, n: usize) -> Vec<bool> {
+    (0..n).rev().map(|i| (value >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // "123456789" is the classic CRC check string; CRC-16/CCITT-FALSE of
+        // it is 0x29B1, and the Gen2 CRC is its bitwise complement.
+        let crc = crc16(b"123456789");
+        assert_eq!(crc, !0x29B1);
+    }
+
+    #[test]
+    fn crc16_verify_roundtrip() {
+        let data = [0x30u8, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA];
+        let crc = crc16(&data);
+        assert!(crc16_verify(&data, crc));
+        assert!(!crc16_verify(&data, crc ^ 0x0001));
+        assert!(!crc16_verify(&data[1..], crc));
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_errors() {
+        let data = [0xDEu8, 0xAD, 0xBE, 0xEF];
+        let crc = crc16(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data;
+                corrupted[byte] ^= 1 << bit;
+                assert!(!crc16_verify(&corrupted, crc), "bit flip {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn crc5_is_five_bits_and_deterministic() {
+        let bits = bits_msb_first(0b1000_1101_0101_0110, 16);
+        let a = crc5(&bits);
+        let b = crc5(&bits);
+        assert_eq!(a, b);
+        assert!(a < 32);
+    }
+
+    #[test]
+    fn crc5_changes_with_input() {
+        let a = crc5(&bits_msb_first(0b1010_1010_1010_1010, 16));
+        let b = crc5(&bits_msb_first(0b1010_1010_1010_1011, 16));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crc5_empty_input_is_preset() {
+        assert_eq!(crc5(&[]), 0b01001);
+    }
+
+    #[test]
+    fn bits_msb_first_layout() {
+        assert_eq!(bits_msb_first(0b101, 3), vec![true, false, true]);
+        assert_eq!(bits_msb_first(0b1, 4), vec![false, false, false, true]);
+        assert!(bits_msb_first(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! The continuous inventory process.
+//!
+//! A reader running STPP keeps inventorying the population for the whole
+//! sweep (tens of seconds). [`InventoryProcess`] strings ALOHA rounds
+//! together on a continuous timeline and exposes the only thing the layers
+//! above need: *"between `t` and `t + dt`, which tags were successfully
+//! singulated, and exactly when?"* Per-tag protocol state (sessions, flags)
+//! persists across rounds, and session-0 semantics make every tag
+//! re-readable every round — the behaviour a localization reader configures.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::aloha::{AlohaConfig, AlohaSimulator, RoundStats, SlotOutcome};
+use crate::epc::Epc;
+use crate::tag::TagInventoryState;
+
+/// Configuration of the continuous inventory process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InventoryConfig {
+    /// ALOHA / link-timing configuration.
+    pub aloha: AlohaConfig,
+    /// Idle gap the reader inserts between rounds (regulatory dwell /
+    /// processing time), seconds.
+    pub inter_round_gap_s: f64,
+}
+
+impl InventoryConfig {
+    /// Defaults matching a COTS reader in continuous-inventory mode.
+    pub fn typical() -> Self {
+        InventoryConfig { aloha: AlohaConfig::typical(), inter_round_gap_s: 2e-3 }
+    }
+}
+
+impl Default for InventoryConfig {
+    fn default() -> Self {
+        InventoryConfig::typical()
+    }
+}
+
+/// One successful singulation on the continuous timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InventoryEvent {
+    /// Absolute time of the tag's EPC backscatter, seconds.
+    pub time_s: f64,
+    /// Which tag was read.
+    pub epc: Epc,
+}
+
+/// The continuous inventory engine.
+#[derive(Debug, Clone)]
+pub struct InventoryProcess {
+    config: InventoryConfig,
+    simulator: AlohaSimulator,
+    /// Persistent per-tag protocol state, keyed by EPC.
+    states: HashMap<Epc, TagInventoryState>,
+    rng: ChaCha8Rng,
+    now_s: f64,
+    rounds_run: usize,
+}
+
+impl InventoryProcess {
+    /// Creates a process starting at time zero.
+    pub fn new(config: InventoryConfig, seed: u64) -> Self {
+        InventoryProcess {
+            simulator: AlohaSimulator::new(config.aloha),
+            config,
+            states: HashMap::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            now_s: 0.0,
+            rounds_run: 0,
+        }
+    }
+
+    /// The current simulation time (end of the last round).
+    pub fn now(&self) -> f64 {
+        self.now_s
+    }
+
+    /// How many rounds have been executed.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Runs a single inventory round over the tags currently in the
+    /// reading zone and advances the clock. Returns the singulation events
+    /// with absolute timestamps, plus the raw round statistics.
+    pub fn run_round(&mut self, in_zone: &[Epc]) -> (Vec<InventoryEvent>, RoundStats) {
+        // Materialise (or fetch) the state machines of the tags in the zone.
+        let mut tags: Vec<TagInventoryState> = in_zone
+            .iter()
+            .map(|epc| {
+                self.states.get(epc).cloned().unwrap_or_else(|| TagInventoryState::new(*epc))
+            })
+            .collect();
+
+        // Session-0 behaviour: flags decay between rounds so every tag in
+        // the zone participates in every round.
+        for t in tags.iter_mut() {
+            t.reset_round();
+            t.decay_session0_flag();
+        }
+
+        let (outcomes, stats) = self.simulator.run_round(&mut tags, &mut self.rng);
+
+        let round_start = self.now_s;
+        let mut events = Vec::with_capacity(stats.singulated);
+        for (offset, outcome) in outcomes {
+            if let SlotOutcome::Singulated(epc) = outcome {
+                events.push(InventoryEvent { time_s: round_start + offset, epc });
+            }
+        }
+
+        // Persist tag state and advance time.
+        for t in tags {
+            self.states.insert(t.epc, t);
+        }
+        self.now_s += stats.duration_s + self.config.inter_round_gap_s;
+        self.rounds_run += 1;
+        (events, stats)
+    }
+
+    /// Runs rounds until the clock passes `until_s`, calling `in_zone` at
+    /// the start of each round to obtain the population currently readable
+    /// (it changes as the antenna or the tags move). Returns all
+    /// singulation events in time order.
+    pub fn run_until<F>(&mut self, until_s: f64, mut in_zone: F) -> Vec<InventoryEvent>
+    where
+        F: FnMut(f64) -> Vec<Epc>,
+    {
+        let mut events = Vec::new();
+        while self.now_s < until_s {
+            let zone = in_zone(self.now_s);
+            let (mut round_events, stats) = self.run_round(&zone);
+            events.append(&mut round_events);
+            // Safety valve: an empty zone with Q = 0 still advances time, but
+            // guard against a zero-duration pathological configuration.
+            if stats.duration_s <= 0.0 && self.config.inter_round_gap_s <= 0.0 {
+                break;
+            }
+        }
+        events
+    }
+
+    /// Aggregate per-tag read counts from an event stream.
+    pub fn read_counts(events: &[InventoryEvent]) -> HashMap<Epc, usize> {
+        let mut counts = HashMap::new();
+        for e in events {
+            *counts.entry(e.epc).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Draws a fresh RNG stream for auxiliary randomness derived from this
+    /// process's seed (keeps experiment code free of ad-hoc seeding).
+    pub fn fork_rng(&mut self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epcs(n: usize) -> Vec<Epc> {
+        (0..n as u64).map(Epc::from_serial).collect()
+    }
+
+    #[test]
+    fn clock_advances_every_round() {
+        let mut p = InventoryProcess::new(InventoryConfig::typical(), 1);
+        let before = p.now();
+        p.run_round(&epcs(5));
+        assert!(p.now() > before);
+        assert_eq!(p.rounds_run(), 1);
+    }
+
+    #[test]
+    fn events_are_timestamped_within_the_round() {
+        let mut p = InventoryProcess::new(InventoryConfig::typical(), 2);
+        let start = p.now();
+        let (events, stats) = p.run_round(&epcs(8));
+        let end = p.now();
+        assert!(stats.singulated > 0);
+        for e in &events {
+            assert!(e.time_s >= start && e.time_s <= end);
+        }
+        // Events are in increasing time order.
+        for w in events.windows(2) {
+            assert!(w[0].time_s < w[1].time_s);
+        }
+    }
+
+    #[test]
+    fn run_until_reads_every_tag_repeatedly() {
+        let mut p = InventoryProcess::new(InventoryConfig::typical(), 3);
+        let population = epcs(10);
+        let events = p.run_until(2.0, |_| population.clone());
+        let counts = InventoryProcess::read_counts(&events);
+        assert_eq!(counts.len(), 10, "every tag should be read at least once in 2 s");
+        for (epc, count) in counts {
+            assert!(count >= 3, "tag {epc} read only {count} times in 2 s");
+        }
+    }
+
+    #[test]
+    fn per_tag_rate_decreases_with_population_size() {
+        let per_tag_rate = |n: usize| {
+            let mut p = InventoryProcess::new(InventoryConfig::typical(), 99);
+            let population = epcs(n);
+            let events = p.run_until(3.0, |_| population.clone());
+            events.len() as f64 / 3.0 / n as f64
+        };
+        let r5 = per_tag_rate(5);
+        let r30 = per_tag_rate(30);
+        assert!(r5 > 1.5 * r30, "expected under-sampling with 30 tags: {r5} vs {r30}");
+    }
+
+    #[test]
+    fn zone_changes_are_respected() {
+        // Tags "enter" the zone half way through; they must not be read
+        // before that.
+        let mut p = InventoryProcess::new(InventoryConfig::typical(), 4);
+        let group_a = epcs(3);
+        let group_b: Vec<Epc> = (100..103u64).map(Epc::from_serial).collect();
+        let events = p.run_until(2.0, |now| {
+            if now < 1.0 {
+                group_a.clone()
+            } else {
+                group_b.clone()
+            }
+        });
+        for e in &events {
+            if e.time_s < 1.0 {
+                assert!(group_a.contains(&e.epc));
+            } else if e.time_s > 1.1 {
+                // Allow the boundary round to span the switch.
+                assert!(group_b.contains(&e.epc) || e.time_s < 1.1);
+            }
+        }
+        let counts = InventoryProcess::read_counts(&events);
+        for epc in &group_b {
+            assert!(counts.contains_key(epc), "late tags must still be read");
+        }
+    }
+
+    #[test]
+    fn empty_zone_still_advances_time() {
+        let mut p = InventoryProcess::new(InventoryConfig::typical(), 5);
+        let events = p.run_until(0.5, |_| Vec::new());
+        assert!(events.is_empty());
+        assert!(p.now() >= 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut p = InventoryProcess::new(InventoryConfig::typical(), seed);
+            p.run_until(1.0, |_| epcs(6))
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_counts_aggregation() {
+        let e1 = InventoryEvent { time_s: 0.1, epc: Epc::from_serial(1) };
+        let e2 = InventoryEvent { time_s: 0.2, epc: Epc::from_serial(1) };
+        let e3 = InventoryEvent { time_s: 0.3, epc: Epc::from_serial(2) };
+        let counts = InventoryProcess::read_counts(&[e1, e2, e3]);
+        assert_eq!(counts[&Epc::from_serial(1)], 2);
+        assert_eq!(counts[&Epc::from_serial(2)], 1);
+    }
+}

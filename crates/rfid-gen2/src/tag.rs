@@ -1,0 +1,268 @@
+//! The tag-side inventory state machine.
+//!
+//! A Gen2 tag participating in inventory moves through a small state
+//! machine: it starts **Ready**, loads a random slot counter on Query and
+//! enters **Arbitrate**, counts down on QueryRep, backscatters an RN16 and
+//! enters **Reply** when its counter hits zero, and moves to
+//! **Acknowledged** once the reader ACKs with the right RN16 — at which
+//! point it backscatters PC + EPC + CRC and flips its inventoried flag for
+//! the session so it stays quiet until the next target change.
+//!
+//! The simulation keeps per-tag state so that the ALOHA process, session
+//! semantics (A/B flag toggling) and re-inventory cadence behave like real
+//! hardware, which is what determines how often each tag's phase gets
+//! sampled.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::epc::Epc;
+
+/// Gen2 sessions: four independent inventoried flags per tag, letting
+/// several readers inventory the same population independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Session {
+    /// Session 0: the flag decays to A almost immediately without power —
+    /// the usual choice when one wants every round to re-read every tag
+    /// (what the STPP reader wants).
+    S0,
+    /// Session 1: flag persists 0.5–5 s.
+    S1,
+    /// Session 2: flag persists > 2 s while powered.
+    S2,
+    /// Session 3: like S2.
+    S3,
+}
+
+/// The inventoried flag of a tag within one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InventoriedFlag {
+    /// Target A (not yet inventoried in the current pass).
+    A,
+    /// Target B (already inventoried).
+    B,
+}
+
+impl InventoriedFlag {
+    /// The opposite flag.
+    pub fn toggled(self) -> Self {
+        match self {
+            InventoriedFlag::A => InventoriedFlag::B,
+            InventoriedFlag::B => InventoriedFlag::A,
+        }
+    }
+}
+
+/// Protocol states of a tag during an inventory round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagState {
+    /// Powered but not participating in a round.
+    Ready,
+    /// Holding a non-zero slot counter, waiting for it to reach zero.
+    Arbitrate,
+    /// Slot counter hit zero; RN16 backscattered, awaiting ACK.
+    Reply,
+    /// ACKed; EPC backscattered.
+    Acknowledged,
+}
+
+/// The full per-tag inventory state tracked by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagInventoryState {
+    /// The tag's EPC.
+    pub epc: Epc,
+    /// Current protocol state.
+    pub state: TagState,
+    /// Current slot counter (valid in `Arbitrate`).
+    pub slot_counter: u16,
+    /// Inventoried flag for the session in use.
+    pub flag: InventoriedFlag,
+    /// Last RN16 the tag generated (valid in `Reply`/`Acknowledged`).
+    pub rn16: u16,
+}
+
+impl TagInventoryState {
+    /// A freshly powered tag.
+    pub fn new(epc: Epc) -> Self {
+        TagInventoryState {
+            epc,
+            state: TagState::Ready,
+            slot_counter: 0,
+            flag: InventoriedFlag::A,
+            rn16: 0,
+        }
+    }
+
+    /// Handles a Query targeting `target` with slot-count exponent `q`:
+    /// tags whose flag matches the target draw a slot counter uniformly in
+    /// `[0, 2^q)` and enter Arbitrate (or Reply if they drew zero); tags
+    /// whose flag does not match return to Ready.
+    pub fn on_query<R: Rng + ?Sized>(&mut self, q: u8, target: InventoriedFlag, rng: &mut R) {
+        if self.flag != target {
+            self.state = TagState::Ready;
+            return;
+        }
+        let slots = 1u32 << q.min(15);
+        self.slot_counter = rng.gen_range(0..slots) as u16;
+        if self.slot_counter == 0 {
+            self.rn16 = rng.gen();
+            self.state = TagState::Reply;
+        } else {
+            self.state = TagState::Arbitrate;
+        }
+    }
+
+    /// Handles a QueryRep: arbitrating tags decrement their slot counter
+    /// and reply when it reaches zero. Tags left in `Reply`/`Acknowledged`
+    /// without an ACK return to Arbitrate with a fresh maximal counter in
+    /// real hardware; for simulation simplicity they return to Ready (they
+    /// will participate again in the next round).
+    pub fn on_query_rep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        match self.state {
+            TagState::Arbitrate => {
+                self.slot_counter = self.slot_counter.saturating_sub(1);
+                if self.slot_counter == 0 {
+                    self.rn16 = rng.gen();
+                    self.state = TagState::Reply;
+                }
+            }
+            TagState::Reply => {
+                // Not ACKed (collision or miss): drop out of this round.
+                self.state = TagState::Ready;
+            }
+            TagState::Acknowledged | TagState::Ready => {}
+        }
+    }
+
+    /// Handles an ACK carrying `rn16`: a replying tag whose RN16 matches
+    /// backscatters its EPC, toggles its inventoried flag and is
+    /// acknowledged. Returns `true` if this tag accepted the ACK.
+    pub fn on_ack(&mut self, rn16: u16) -> bool {
+        if self.state == TagState::Reply && self.rn16 == rn16 {
+            self.state = TagState::Acknowledged;
+            self.flag = self.flag.toggled();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Called at the start of a new inventory pass when the reader flips
+    /// its target (or for session 0, whenever power is cycled between
+    /// rounds): resets the protocol state.
+    pub fn reset_round(&mut self) {
+        self.state = TagState::Ready;
+        self.slot_counter = 0;
+    }
+
+    /// Session-0 behaviour between rounds: the inventoried flag decays back
+    /// to A as soon as the carrier drops.
+    pub fn decay_session0_flag(&mut self) {
+        self.flag = InventoriedFlag::A;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tag(serial: u64) -> TagInventoryState {
+        TagInventoryState::new(Epc::from_serial(serial))
+    }
+
+    #[test]
+    fn query_assigns_slot_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for q in 0..10u8 {
+            let mut t = tag(1);
+            t.on_query(q, InventoriedFlag::A, &mut rng);
+            assert!((t.slot_counter as u32) < (1u32 << q));
+            match t.state {
+                TagState::Reply => assert_eq!(t.slot_counter, 0),
+                TagState::Arbitrate => assert!(t.slot_counter > 0),
+                other => panic!("unexpected state {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn query_ignores_wrong_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut t = tag(1);
+        t.flag = InventoriedFlag::B;
+        t.on_query(4, InventoriedFlag::A, &mut rng);
+        assert_eq!(t.state, TagState::Ready);
+    }
+
+    #[test]
+    fn query_rep_counts_down_to_reply() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut t = tag(1);
+        t.state = TagState::Arbitrate;
+        t.slot_counter = 3;
+        t.on_query_rep(&mut rng);
+        assert_eq!(t.state, TagState::Arbitrate);
+        assert_eq!(t.slot_counter, 2);
+        t.on_query_rep(&mut rng);
+        t.on_query_rep(&mut rng);
+        assert_eq!(t.state, TagState::Reply);
+    }
+
+    #[test]
+    fn ack_with_matching_rn16_acknowledges_and_toggles_flag() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut t = tag(1);
+        t.on_query(0, InventoriedFlag::A, &mut rng);
+        assert_eq!(t.state, TagState::Reply);
+        let rn = t.rn16;
+        assert!(t.on_ack(rn));
+        assert_eq!(t.state, TagState::Acknowledged);
+        assert_eq!(t.flag, InventoriedFlag::B);
+    }
+
+    #[test]
+    fn ack_with_wrong_rn16_is_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut t = tag(1);
+        t.on_query(0, InventoriedFlag::A, &mut rng);
+        let rn = t.rn16;
+        assert!(!t.on_ack(rn.wrapping_add(1)));
+        assert_eq!(t.state, TagState::Reply);
+        assert_eq!(t.flag, InventoriedFlag::A);
+    }
+
+    #[test]
+    fn unacked_reply_drops_out_on_next_query_rep() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut t = tag(1);
+        t.state = TagState::Reply;
+        t.on_query_rep(&mut rng);
+        assert_eq!(t.state, TagState::Ready);
+    }
+
+    #[test]
+    fn session0_flag_decays_to_a() {
+        let mut t = tag(1);
+        t.flag = InventoriedFlag::B;
+        t.decay_session0_flag();
+        assert_eq!(t.flag, InventoriedFlag::A);
+    }
+
+    #[test]
+    fn flag_toggling_is_involutive() {
+        assert_eq!(InventoriedFlag::A.toggled().toggled(), InventoriedFlag::A);
+        assert_eq!(InventoriedFlag::B.toggled(), InventoriedFlag::A);
+    }
+
+    #[test]
+    fn reset_round_returns_to_ready() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut t = tag(1);
+        t.on_query(4, InventoriedFlag::A, &mut rng);
+        t.reset_round();
+        assert_eq!(t.state, TagState::Ready);
+        assert_eq!(t.slot_counter, 0);
+    }
+}

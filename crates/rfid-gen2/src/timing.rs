@@ -1,0 +1,197 @@
+//! Link timing: how long commands, replies and slots take on the air.
+//!
+//! The read rate a COTS reader achieves — and therefore how densely each
+//! tag's phase profile is sampled — follows directly from the Gen2 link
+//! timing. The reader chooses a Tari (reader data-0 length), a backscatter
+//! link frequency (BLF) and a tag encoding (FM0 or Miller-2/4/8); from
+//! those, the durations of Query/QueryRep/ACK commands, RN16 and EPC
+//! replies and the mandatory turnaround times T1/T2 are fixed by the
+//! specification.
+//!
+//! The numbers below follow the C1G2 v1.0.9 specification closely enough
+//! that the derived read rates (a few hundred reads per second, shared
+//! across the population) match what the ImpinJ R420 in the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Tag-to-reader encodings defined by Gen2. Higher Miller factors are more
+/// robust but slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagEncoding {
+    /// FM0 baseband — 1 symbol per bit.
+    Fm0,
+    /// Miller subcarrier, 2 cycles per symbol.
+    Miller2,
+    /// Miller subcarrier, 4 cycles per symbol.
+    Miller4,
+    /// Miller subcarrier, 8 cycles per symbol.
+    Miller8,
+}
+
+impl TagEncoding {
+    /// Subcarrier cycles per data bit.
+    pub fn cycles_per_bit(&self) -> f64 {
+        match self {
+            TagEncoding::Fm0 => 1.0,
+            TagEncoding::Miller2 => 2.0,
+            TagEncoding::Miller4 => 4.0,
+            TagEncoding::Miller8 => 8.0,
+        }
+    }
+}
+
+/// The reader's link-timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkTiming {
+    /// Reader data-0 symbol length, seconds (6.25, 12.5 or 25 µs).
+    pub tari_s: f64,
+    /// Backscatter link frequency, Hz (typically 40–640 kHz).
+    pub blf_hz: f64,
+    /// Tag encoding.
+    pub encoding: TagEncoding,
+}
+
+impl LinkTiming {
+    /// The "dense reader mode" profile an ImpinJ R420 typically runs:
+    /// Tari 25 µs, BLF 250 kHz, Miller-4.
+    pub fn impinj_dense_reader() -> Self {
+        LinkTiming { tari_s: 25e-6, blf_hz: 250e3, encoding: TagEncoding::Miller4 }
+    }
+
+    /// The fastest standard profile: Tari 6.25 µs, BLF 640 kHz, FM0.
+    pub fn max_throughput() -> Self {
+        LinkTiming { tari_s: 6.25e-6, blf_hz: 640e3, encoding: TagEncoding::Fm0 }
+    }
+
+    /// Average reader-to-tag data rate in bits per second. Data-1 symbols
+    /// are 1.5–2 Tari; we use the midpoint 1.75 and assume balanced data.
+    pub fn reader_bit_rate(&self) -> f64 {
+        let avg_symbol = self.tari_s * (1.0 + 1.75) / 2.0;
+        1.0 / avg_symbol
+    }
+
+    /// Tag-to-reader data rate in bits per second.
+    pub fn tag_bit_rate(&self) -> f64 {
+        self.blf_hz / self.encoding.cycles_per_bit()
+    }
+
+    /// Duration of a reader command of `bits` bits, including the framing
+    /// preamble/frame-sync (~12 Tari).
+    pub fn reader_command_duration(&self, bits: usize) -> f64 {
+        12.0 * self.tari_s + bits as f64 / self.reader_bit_rate()
+    }
+
+    /// Duration of a tag reply of `bits` bits, including the tag preamble
+    /// (~6 + extension symbols, approximated as 10 bits).
+    pub fn tag_reply_duration(&self, bits: usize) -> f64 {
+        (bits as f64 + 10.0) / self.tag_bit_rate()
+    }
+
+    /// T1: reader-command end to tag-reply start (≈ 10 / BLF).
+    pub fn t1(&self) -> f64 {
+        10.0 / self.blf_hz
+    }
+
+    /// T2: tag-reply end to next reader command (≈ 8 / BLF).
+    pub fn t2(&self) -> f64 {
+        8.0 / self.blf_hz
+    }
+
+    /// Duration of an *empty* slot: QueryRep (4 bits) + the T1 + T3 timeout
+    /// in which no reply arrives.
+    pub fn empty_slot_duration(&self) -> f64 {
+        self.reader_command_duration(4) + self.t1() + self.t2()
+    }
+
+    /// Duration of a slot containing a collision: QueryRep + RN16 reply
+    /// that cannot be resolved.
+    pub fn collision_slot_duration(&self) -> f64 {
+        self.reader_command_duration(4) + self.t1() + self.tag_reply_duration(16) + self.t2()
+    }
+
+    /// Duration of a successful singulation slot: QueryRep, RN16, ACK
+    /// (18 bits), then PC + EPC-96 + CRC16 (128 bits).
+    pub fn singulation_slot_duration(&self) -> f64 {
+        self.reader_command_duration(4)
+            + self.t1()
+            + self.tag_reply_duration(16)
+            + self.t2()
+            + self.reader_command_duration(18)
+            + self.t1()
+            + self.tag_reply_duration(128)
+            + self.t2()
+    }
+
+    /// Duration of the Query command that opens an inventory round
+    /// (22 bits).
+    pub fn query_duration(&self) -> f64 {
+        self.reader_command_duration(22)
+    }
+
+    /// A rough upper bound on reads per second when a single tag owns the
+    /// whole channel.
+    pub fn max_read_rate(&self) -> f64 {
+        1.0 / self.singulation_slot_duration()
+    }
+}
+
+impl Default for LinkTiming {
+    fn default() -> Self {
+        LinkTiming::impinj_dense_reader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_rates_are_sane() {
+        let t = LinkTiming::impinj_dense_reader();
+        // Miller-4 at 250 kHz = 62.5 kbps tag rate.
+        assert!((t.tag_bit_rate() - 62_500.0).abs() < 1.0);
+        // Tari 25 µs gives a reader rate around 29 kbps.
+        assert!(t.reader_bit_rate() > 20_000.0 && t.reader_bit_rate() < 50_000.0);
+    }
+
+    #[test]
+    fn slot_duration_ordering() {
+        let t = LinkTiming::impinj_dense_reader();
+        assert!(t.empty_slot_duration() < t.collision_slot_duration());
+        assert!(t.collision_slot_duration() < t.singulation_slot_duration());
+    }
+
+    #[test]
+    fn dense_reader_read_rate_matches_cots_hardware() {
+        // An R420 singulates roughly 100-400 tags/s in dense-reader mode.
+        let rate = LinkTiming::impinj_dense_reader().max_read_rate();
+        assert!(rate > 100.0 && rate < 500.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn max_throughput_profile_is_faster() {
+        let dense = LinkTiming::impinj_dense_reader().max_read_rate();
+        let fast = LinkTiming::max_throughput().max_read_rate();
+        assert!(fast > 2.0 * dense, "fast = {fast}, dense = {dense}");
+        assert!(fast < 2000.0, "fast = {fast}");
+    }
+
+    #[test]
+    fn all_durations_positive() {
+        for timing in [LinkTiming::impinj_dense_reader(), LinkTiming::max_throughput()] {
+            assert!(timing.query_duration() > 0.0);
+            assert!(timing.empty_slot_duration() > 0.0);
+            assert!(timing.collision_slot_duration() > 0.0);
+            assert!(timing.singulation_slot_duration() > 0.0);
+            assert!(timing.t1() > 0.0 && timing.t2() > 0.0);
+        }
+    }
+
+    #[test]
+    fn encoding_cycles() {
+        assert_eq!(TagEncoding::Fm0.cycles_per_bit(), 1.0);
+        assert_eq!(TagEncoding::Miller2.cycles_per_bit(), 2.0);
+        assert_eq!(TagEncoding::Miller4.cycles_per_bit(), 4.0);
+        assert_eq!(TagEncoding::Miller8.cycles_per_bit(), 8.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Binary tree-walking identification.
+//!
+//! The C1G2 standard's predecessor protocols (and the paper's Section 2.1)
+//! describe tree walking: the reader queries prefixes of the ID space and
+//! descends into subtrees that contain responding tags until every tag is
+//! isolated. Two properties matter for STPP:
+//!
+//! * the identification **order depends on the IDs stored in the tags**,
+//!   not on their spatial arrangement — which is exactly why identification
+//!   order cannot be used for relative localization (the paper's first
+//!   "initial attempt");
+//! * the number of queries grows with the tag population, giving another
+//!   handle on read-rate effects.
+
+use serde::{Deserialize, Serialize};
+
+use crate::epc::Epc;
+
+/// A deterministic depth-first tree-walking reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TreeWalker {
+    /// Maximum prefix depth to explore (defaults to the EPC length).
+    pub max_depth: usize,
+}
+
+/// The result of a tree-walking identification pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeWalkResult {
+    /// Tags in the order they were identified.
+    pub identified: Vec<Epc>,
+    /// Number of prefix queries issued.
+    pub queries: usize,
+}
+
+impl TreeWalker {
+    /// Creates a walker with the default maximum depth (96 bits).
+    pub fn new() -> Self {
+        TreeWalker { max_depth: Epc::BITS }
+    }
+
+    /// Identifies every tag in `tags` by walking the binary prefix tree.
+    /// Returns the identification order and the number of queries issued.
+    pub fn identify_all(&self, tags: &[Epc]) -> TreeWalkResult {
+        let mut result = TreeWalkResult { identified: Vec::new(), queries: 0 };
+        // The walk starts at the empty prefix.
+        self.walk(tags, &mut Vec::new(), &mut result);
+        result
+    }
+
+    fn walk(&self, tags: &[Epc], prefix: &mut Vec<bool>, result: &mut TreeWalkResult) {
+        result.queries += 1;
+        let matching: Vec<&Epc> =
+            tags.iter().filter(|epc| Self::matches_prefix(epc, prefix)).collect();
+        match matching.len() {
+            0 => {}
+            1 => result.identified.push(*matching[0]),
+            _ => {
+                if prefix.len() >= self.max_depth.min(Epc::BITS) {
+                    // Identical IDs up to max depth: identify them in ID
+                    // order to keep the walk deterministic.
+                    let mut rest: Vec<Epc> = matching.into_iter().copied().collect();
+                    rest.sort();
+                    result.identified.extend(rest);
+                    return;
+                }
+                prefix.push(false);
+                self.walk(tags, prefix, result);
+                prefix.pop();
+                prefix.push(true);
+                self.walk(tags, prefix, result);
+                prefix.pop();
+            }
+        }
+    }
+
+    fn matches_prefix(epc: &Epc, prefix: &[bool]) -> bool {
+        prefix.iter().enumerate().all(|(i, &b)| epc.bit(i) == Some(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifies_every_tag_exactly_once() {
+        let tags: Vec<Epc> = (0..25u64).map(Epc::from_serial).collect();
+        let result = TreeWalker::new().identify_all(&tags);
+        assert_eq!(result.identified.len(), tags.len());
+        let mut sorted = result.identified.clone();
+        sorted.sort();
+        let mut expected = tags.clone();
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn identification_order_follows_ids_not_insertion_order() {
+        // Build tags whose insertion order differs from ID order; the walk
+        // (a DFS over bit prefixes) identifies them in ID order.
+        let tags = vec![Epc::from_serial(9), Epc::from_serial(3), Epc::from_serial(7)];
+        let result = TreeWalker::new().identify_all(&tags);
+        let serials: Vec<u64> = result.identified.iter().map(|e| e.serial()).collect();
+        assert_eq!(serials, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn query_count_grows_with_population() {
+        let small: Vec<Epc> = (0..4u64).map(Epc::from_serial).collect();
+        let large: Vec<Epc> = (0..64u64).map(Epc::from_serial).collect();
+        let q_small = TreeWalker::new().identify_all(&small).queries;
+        let q_large = TreeWalker::new().identify_all(&large).queries;
+        assert!(q_large > q_small);
+    }
+
+    #[test]
+    fn empty_population() {
+        let result = TreeWalker::new().identify_all(&[]);
+        assert!(result.identified.is_empty());
+        assert_eq!(result.queries, 1);
+    }
+
+    #[test]
+    fn single_tag_takes_one_query() {
+        let result = TreeWalker::new().identify_all(&[Epc::from_serial(5)]);
+        assert_eq!(result.queries, 1);
+        assert_eq!(result.identified.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_handled_at_max_depth() {
+        let dup = Epc::from_serial(1);
+        let walker = TreeWalker { max_depth: 8 };
+        let result = walker.identify_all(&[dup, dup]);
+        assert_eq!(result.identified.len(), 2);
+    }
+}

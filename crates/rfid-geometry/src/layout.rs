@@ -1,0 +1,297 @@
+//! Tag layouts: where the tags are, and what their true ordering is.
+//!
+//! The evaluation of the STPP paper always starts from a known layout —
+//! tags in a row on a white board, books on a shelf, bags on a belt — and
+//! measures *ordering accuracy* against the true order. [`TagLayout`]
+//! couples tag positions with identifiers so the ground-truth order along
+//! either axis can always be recovered exactly.
+
+use crate::point::{Aabb, Point3};
+use serde::{Deserialize, Serialize};
+
+/// One tag placed in the scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagPlacement {
+    /// Caller-chosen identifier (e.g. an index into an EPC table).
+    pub id: u64,
+    /// The tag's position. For planar scenarios `z` is usually 0.
+    pub position: Point3,
+}
+
+impl TagPlacement {
+    /// Creates a placement.
+    pub fn new(id: u64, position: Point3) -> Self {
+        TagPlacement { id, position }
+    }
+}
+
+/// A set of placed tags with ground-truth ordering queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TagLayout {
+    tags: Vec<TagPlacement>,
+}
+
+impl TagLayout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        TagLayout { tags: Vec::new() }
+    }
+
+    /// Creates a layout from existing placements.
+    pub fn from_placements(tags: Vec<TagPlacement>) -> Self {
+        TagLayout { tags }
+    }
+
+    /// Adds a tag; returns `self` for chaining.
+    pub fn with_tag(mut self, id: u64, position: Point3) -> Self {
+        self.push(id, position);
+        self
+    }
+
+    /// Adds a tag.
+    pub fn push(&mut self, id: u64, position: Point3) {
+        self.tags.push(TagPlacement::new(id, position));
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the layout contains no tags.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// All placements in insertion order.
+    pub fn placements(&self) -> &[TagPlacement] {
+        &self.tags
+    }
+
+    /// Iterator over `(id, position)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Point3)> + '_ {
+        self.tags.iter().map(|t| (t.id, t.position))
+    }
+
+    /// The position of a given tag id, if present.
+    pub fn position_of(&self, id: u64) -> Option<Point3> {
+        self.tags.iter().find(|t| t.id == id).map(|t| t.position)
+    }
+
+    /// Bounding box of all tags, or `None` for an empty layout.
+    pub fn bounds(&self) -> Option<Aabb> {
+        let pts: Vec<Point3> = self.tags.iter().map(|t| t.position).collect();
+        Aabb::bounding(&pts)
+    }
+
+    /// Tag ids sorted by ascending X coordinate (the paper's "order along
+    /// the X dimension"). Ties keep insertion order (stable sort).
+    pub fn order_along_x(&self) -> Vec<u64> {
+        self.order_by(|p| p.x)
+    }
+
+    /// Tag ids sorted by ascending Y coordinate.
+    pub fn order_along_y(&self) -> Vec<u64> {
+        self.order_by(|p| p.y)
+    }
+
+    /// Tag ids sorted by an arbitrary coordinate projection.
+    pub fn order_by<F: Fn(Point3) -> f64>(&self, key: F) -> Vec<u64> {
+        let mut indexed: Vec<(u64, f64)> =
+            self.tags.iter().map(|t| (t.id, key(t.position))).collect();
+        indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("tag coordinates must not be NaN"));
+        indexed.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// The rank (0-based) of every tag along X, keyed by tag id order of
+    /// `placements()`. Useful when computing ordering accuracy.
+    pub fn ranks_along_x(&self) -> Vec<(u64, usize)> {
+        let order = self.order_along_x();
+        self.tags
+            .iter()
+            .map(|t| {
+                let rank = order
+                    .iter()
+                    .position(|&id| id == t.id)
+                    .expect("every placed tag appears in its own ordering");
+                (t.id, rank)
+            })
+            .collect()
+    }
+}
+
+/// A single row of tags along the X axis with configurable spacing —
+/// the white-board micro-benchmark layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowLayout {
+    /// X coordinate of the first tag (metres).
+    pub start_x: f64,
+    /// Y coordinate shared by all tags in the row (metres).
+    pub y: f64,
+    /// Z coordinate shared by all tags (metres).
+    pub z: f64,
+    /// Gap between consecutive tags (metres).
+    pub spacing: f64,
+    /// Number of tags.
+    pub count: usize,
+    /// Id assigned to the first tag; subsequent tags get consecutive ids.
+    pub first_id: u64,
+}
+
+impl RowLayout {
+    /// Creates a row of `count` tags spaced `spacing` metres apart starting
+    /// at `start_x` on row `y`.
+    pub fn new(start_x: f64, y: f64, spacing: f64, count: usize) -> Self {
+        RowLayout { start_x, y, z: 0.0, spacing, count, first_id: 0 }
+    }
+
+    /// Sets the id of the first tag.
+    pub fn with_first_id(mut self, id: u64) -> Self {
+        self.first_id = id;
+        self
+    }
+
+    /// Sets the z coordinate of the row.
+    pub fn with_z(mut self, z: f64) -> Self {
+        self.z = z;
+        self
+    }
+
+    /// Materialises the row into a [`TagLayout`].
+    pub fn build(&self) -> TagLayout {
+        let mut layout = TagLayout::new();
+        for i in 0..self.count {
+            layout.push(
+                self.first_id + i as u64,
+                Point3::new(self.start_x + self.spacing * i as f64, self.y, self.z),
+            );
+        }
+        layout
+    }
+}
+
+/// A regular grid of tags — the layout in Figure 1 of the paper (two rows
+/// of three tags) generalises to this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridLayout {
+    /// X coordinate of the first column (metres).
+    pub origin_x: f64,
+    /// Y coordinate of the first row (metres).
+    pub origin_y: f64,
+    /// Z coordinate shared by all tags (metres).
+    pub z: f64,
+    /// Gap between columns (metres).
+    pub dx: f64,
+    /// Gap between rows (metres).
+    pub dy: f64,
+    /// Number of columns (along X).
+    pub columns: usize,
+    /// Number of rows (along Y).
+    pub rows: usize,
+    /// Id assigned to the first tag (row-major numbering).
+    pub first_id: u64,
+}
+
+impl GridLayout {
+    /// Creates a `columns x rows` grid with spacings `dx`/`dy` and origin
+    /// `(origin_x, origin_y)`.
+    pub fn new(origin_x: f64, origin_y: f64, dx: f64, dy: f64, columns: usize, rows: usize) -> Self {
+        GridLayout { origin_x, origin_y, z: 0.0, dx, dy, columns, rows, first_id: 0 }
+    }
+
+    /// Sets the id of the first tag.
+    pub fn with_first_id(mut self, id: u64) -> Self {
+        self.first_id = id;
+        self
+    }
+
+    /// Sets the z coordinate of the grid plane.
+    pub fn with_z(mut self, z: f64) -> Self {
+        self.z = z;
+        self
+    }
+
+    /// Materialises the grid into a [`TagLayout`] (row-major ids).
+    pub fn build(&self) -> TagLayout {
+        let mut layout = TagLayout::new();
+        let mut id = self.first_id;
+        for r in 0..self.rows {
+            for c in 0..self.columns {
+                layout.push(
+                    id,
+                    Point3::new(
+                        self.origin_x + self.dx * c as f64,
+                        self.origin_y + self.dy * r as f64,
+                        self.z,
+                    ),
+                );
+                id += 1;
+            }
+        }
+        layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_layout_positions_and_order() {
+        let layout = RowLayout::new(0.1, 0.5, 0.05, 4).with_first_id(10).build();
+        assert_eq!(layout.len(), 4);
+        assert_eq!(layout.order_along_x(), vec![10, 11, 12, 13]);
+        assert_eq!(layout.position_of(12).unwrap(), Point3::new(0.2, 0.5, 0.0));
+        assert!(layout.position_of(99).is_none());
+    }
+
+    #[test]
+    fn grid_layout_row_major_ids() {
+        let layout = GridLayout::new(0.0, 0.0, 0.1, 0.2, 3, 2).build();
+        assert_eq!(layout.len(), 6);
+        // Row-major: ids 0..=2 are the first row (y = 0), ids 3..=5 are y = 0.2.
+        assert_eq!(layout.position_of(0).unwrap(), Point3::new(0.0, 0.0, 0.0));
+        assert_eq!(layout.position_of(5).unwrap(), Point3::new(0.2, 0.2, 0.0));
+        // Order along Y groups the first row before the second.
+        let y_order = layout.order_along_y();
+        assert_eq!(&y_order[0..3], &[0, 1, 2]);
+        assert_eq!(&y_order[3..6], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn order_along_axes_with_manual_layout() {
+        let layout = TagLayout::new()
+            .with_tag(1, Point3::new(0.3, 0.1, 0.0))
+            .with_tag(2, Point3::new(0.1, 0.3, 0.0))
+            .with_tag(3, Point3::new(0.2, 0.2, 0.0));
+        assert_eq!(layout.order_along_x(), vec![2, 3, 1]);
+        assert_eq!(layout.order_along_y(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn ranks_match_order() {
+        let layout = TagLayout::new()
+            .with_tag(7, Point3::new(0.5, 0.0, 0.0))
+            .with_tag(8, Point3::new(0.1, 0.0, 0.0))
+            .with_tag(9, Point3::new(0.3, 0.0, 0.0));
+        let ranks = layout.ranks_along_x();
+        assert_eq!(ranks, vec![(7, 2), (8, 0), (9, 1)]);
+    }
+
+    #[test]
+    fn bounds_cover_all_tags() {
+        let layout = GridLayout::new(-0.1, 0.2, 0.1, 0.1, 2, 2).build();
+        let b = layout.bounds().unwrap();
+        assert!(b.min.distance(Point3::new(-0.1, 0.2, 0.0)) < 1e-12);
+        assert!(b.max.distance(Point3::new(0.0, 0.3, 0.0)) < 1e-12);
+        assert!(TagLayout::new().bounds().is_none());
+    }
+
+    #[test]
+    fn empty_layout_properties() {
+        let layout = TagLayout::new();
+        assert!(layout.is_empty());
+        assert_eq!(layout.len(), 0);
+        assert!(layout.order_along_x().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # rfid-geometry
+//!
+//! Geometry primitives, trajectories and motion models used by the RFID
+//! localization simulation stack.
+//!
+//! The STPP paper (NSDI'15) reasons about tags laid out on a plane (the
+//! X/Y dimensions of a bookshelf or a conveyor belt) and a reader antenna
+//! that moves along a straight line parallel to the X axis. This crate
+//! provides:
+//!
+//! * [`Point3`] / [`Vec3`] — double-precision 3-D points and vectors with
+//!   the handful of operations the channel model needs (distance, dot
+//!   products, normalisation).
+//! * [`Trajectory`] — the trait describing "where is this thing at time
+//!   `t`", with implementations for stationary objects, constant-velocity
+//!   straight-line motion, piecewise-linear paths, and arc-length
+//!   parameterised motion driven by a [`SpeedProfile`] (used to model a
+//!   hand-pushed cart whose speed fluctuates).
+//! * [`TagLayout`] helpers — regular grids and row layouts with exact
+//!   ground-truth ordering along each axis.
+//!
+//! Everything is deterministic; stochastic speed profiles are *generated*
+//! elsewhere (in `rfid-reader::motion`) and consumed here as plain data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod point;
+pub mod speed;
+pub mod trajectory;
+
+pub use layout::{GridLayout, RowLayout, TagLayout, TagPlacement};
+pub use point::{Aabb, Point3, Vec3};
+pub use speed::SpeedProfile;
+pub use trajectory::{
+    ConveyorTrajectory, LinearTrajectory, PiecewiseLinearTrajectory, SpeedProfileTrajectory,
+    StationaryTrajectory, Trajectory,
+};
+
+/// Convenience alias used across the workspace: time in seconds.
+pub type Seconds = f64;
+
+/// Convenience alias used across the workspace: distance in metres.
+pub type Metres = f64;

@@ -1,0 +1,351 @@
+//! 3-D points, vectors and axis-aligned boxes.
+//!
+//! The simulation only needs a small, predictable subset of linear algebra,
+//! so rather than pulling in a full matrix library we implement exactly the
+//! operations used by the channel model and the trajectory code. All values
+//! are `f64` metres.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A displacement / direction in 3-D space, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component (metres). In STPP scenarios this is the direction the
+    /// antenna moves along ("along the shelf").
+    pub x: f64,
+    /// Y component (metres). In STPP scenarios this is the in-plane
+    /// direction orthogonal to the movement ("depth into the shelf" /
+    /// across the conveyor belt).
+    pub y: f64,
+    /// Z component (metres). Height above the tag plane.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along X.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along Y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along Z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root when comparing).
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns a unit-length copy, or `None` if the vector is (numerically)
+    /// zero and has no direction.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A position in 3-D space, in metres.
+///
+/// Points and vectors are kept as separate types so that the type system
+/// catches the classic "added two positions" mistake; `Point3 - Point3`
+/// yields a [`Vec3`] and `Point3 + Vec3` yields a `Point3`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// X coordinate (metres).
+    pub x: f64,
+    /// Y coordinate (metres).
+    pub y: f64,
+    /// Z coordinate (metres).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// The origin.
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Creates a point on the z = 0 plane.
+    pub const fn on_plane(x: f64, y: f64) -> Self {
+        Point3 { x, y, z: 0.0 }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    pub fn distance_squared(self, other: Point3) -> f64 {
+        (self - other).norm_squared()
+    }
+
+    /// Converts to the displacement from the origin.
+    pub fn to_vec(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(self, other: Point3, t: f64) -> Point3 {
+        self + (other - self) * t
+    }
+}
+
+impl From<Vec3> for Point3 {
+    fn from(v: Vec3) -> Point3 {
+        Point3::new(v.x, v.y, v.z)
+    }
+}
+
+impl Add<Vec3> for Point3 {
+    type Output = Point3;
+    fn add(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign<Vec3> for Point3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Vec3> for Point3 {
+    type Output = Point3;
+    fn sub(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Point3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+/// An axis-aligned bounding box, used to describe tag regions
+/// (`(x1, y1) .. (x2, y2)` in the paper's Figure 1) and antenna reading
+/// zones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point3,
+    /// Maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Builds a box from two arbitrary corners (they are sorted per axis).
+    pub fn from_corners(a: Point3, b: Point3) -> Self {
+        Aabb {
+            min: Point3::new(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z)),
+            max: Point3::new(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z)),
+        }
+    }
+
+    /// Whether `p` lies inside (or on the boundary of) the box.
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand_to(&mut self, p: Point3) {
+        self.min = Point3::new(self.min.x.min(p.x), self.min.y.min(p.y), self.min.z.min(p.z));
+        self.max = Point3::new(self.max.x.max(p.x), self.max.y.max(p.y), self.max.z.max(p.z));
+    }
+
+    /// The box centre.
+    pub fn center(&self) -> Point3 {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// Extent along each axis.
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// The smallest box containing every point in `points`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn bounding(points: &[Point3]) -> Option<Aabb> {
+        let (&first, rest) = points.split_first()?;
+        let mut aabb = Aabb { min: first, max: first };
+        for &p in rest {
+            aabb.expand_to(p);
+        }
+        Some(aabb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert!(approx(Vec3::X.dot(Vec3::Y), 0.0));
+        assert!(approx(Vec3::new(1.0, 2.0, 3.0).dot(Vec3::new(4.0, 5.0, 6.0)), 32.0));
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::X), -Vec3::Z);
+    }
+
+    #[test]
+    fn norm_and_normalized() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!(approx(v.norm(), 5.0));
+        assert!(approx(v.norm_squared(), 25.0));
+        let n = v.normalized().unwrap();
+        assert!(approx(n.norm(), 1.0));
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn point_vector_distinction() {
+        let p = Point3::new(1.0, 1.0, 1.0);
+        let q = Point3::new(4.0, 5.0, 1.0);
+        let d = q - p;
+        assert_eq!(d, Vec3::new(3.0, 4.0, 0.0));
+        assert!(approx(p.distance(q), 5.0));
+        assert_eq!(p + d, q);
+        assert_eq!(q - d, p);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let p = Point3::new(0.0, 0.0, 0.0);
+        let q = Point3::new(2.0, 4.0, 6.0);
+        assert_eq!(p.lerp(q, 0.0), p);
+        assert_eq!(p.lerp(q, 1.0), q);
+        assert_eq!(p.lerp(q, 0.5), Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn aabb_contains_and_expand() {
+        let mut b = Aabb::from_corners(Point3::new(1.0, 1.0, 0.0), Point3::new(0.0, 0.0, 0.0));
+        assert!(b.contains(Point3::new(0.5, 0.5, 0.0)));
+        assert!(!b.contains(Point3::new(1.5, 0.5, 0.0)));
+        b.expand_to(Point3::new(2.0, -1.0, 0.0));
+        assert!(b.contains(Point3::new(1.5, 0.0, 0.0)));
+        assert_eq!(b.min, Point3::new(0.0, -1.0, 0.0));
+        assert_eq!(b.max, Point3::new(2.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn aabb_bounding_of_points() {
+        assert!(Aabb::bounding(&[]).is_none());
+        let pts = [
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(2.0, -1.0, 0.5),
+            Point3::new(1.0, 0.0, -0.5),
+        ];
+        let b = Aabb::bounding(&pts).unwrap();
+        assert_eq!(b.min, Point3::new(0.0, -1.0, -0.5));
+        assert_eq!(b.max, Point3::new(2.0, 1.0, 0.5));
+        assert_eq!(b.center(), Point3::new(1.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,209 @@
+//! Speed profiles: piecewise-constant speed as a function of time.
+//!
+//! A hand-pushed cart or a hand-held reader does not move at a constant
+//! speed; the STPP paper stresses that measured phase profiles are
+//! stretched when the movement slows down and compressed when it speeds up,
+//! which is why Dynamic Time Warping is needed. A [`SpeedProfile`] captures
+//! such a movement as a sequence of `(duration, speed)` segments and can
+//! answer "how far along the path am I at time `t`?" in O(log n).
+
+use crate::{Metres, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Piecewise-constant speed over time, together with the cumulative
+/// distance covered at each segment boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedProfile {
+    /// Segment boundaries: `times[i]` is the start time of segment `i`.
+    /// `times[0]` is always `0.0`.
+    times: Vec<Seconds>,
+    /// Speed (m/s) in effect during segment `i` (between `times[i]` and
+    /// `times[i + 1]`, or forever for the last segment).
+    speeds: Vec<f64>,
+    /// Distance covered (m) at the start of segment `i`.
+    cumulative: Vec<Metres>,
+}
+
+impl SpeedProfile {
+    /// A profile with a single constant speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not finite or is negative (a speed profile
+    /// describes forward motion along the path; direction is a property of
+    /// the trajectory, not the profile).
+    pub fn constant(speed: f64) -> Self {
+        assert!(speed.is_finite() && speed >= 0.0, "speed must be finite and non-negative");
+        SpeedProfile { times: vec![0.0], speeds: vec![speed], cumulative: vec![0.0] }
+    }
+
+    /// Builds a profile from `(duration_seconds, speed_m_per_s)` segments.
+    /// The final segment's speed is extended indefinitely past the last
+    /// boundary.
+    ///
+    /// Returns `None` if `segments` is empty, or contains a non-finite or
+    /// negative duration/speed.
+    pub fn from_segments(segments: &[(Seconds, f64)]) -> Option<Self> {
+        if segments.is_empty() {
+            return None;
+        }
+        let mut times = Vec::with_capacity(segments.len());
+        let mut speeds = Vec::with_capacity(segments.len());
+        let mut cumulative = Vec::with_capacity(segments.len());
+        let mut t = 0.0;
+        let mut d = 0.0;
+        for &(duration, speed) in segments {
+            if !duration.is_finite() || duration < 0.0 || !speed.is_finite() || speed < 0.0 {
+                return None;
+            }
+            times.push(t);
+            speeds.push(speed);
+            cumulative.push(d);
+            t += duration;
+            d += duration * speed;
+        }
+        Some(SpeedProfile { times, speeds, cumulative })
+    }
+
+    /// The speed in effect at time `t` (clamped: `t < 0` maps to the first
+    /// segment).
+    pub fn speed_at(&self, t: Seconds) -> f64 {
+        self.speeds[self.segment_index(t)]
+    }
+
+    /// Distance covered along the path after `t` seconds.
+    pub fn distance_at(&self, t: Seconds) -> Metres {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let i = self.segment_index(t);
+        self.cumulative[i] + (t - self.times[i]) * self.speeds[i]
+    }
+
+    /// The time at which the cumulative distance first reaches `d`, or
+    /// `None` if the profile never covers that distance (e.g. it ends with
+    /// speed 0 before reaching it — impossible here since the last segment
+    /// extends forever, so `None` only when the last speed is 0).
+    pub fn time_to_distance(&self, d: Metres) -> Option<Seconds> {
+        if d <= 0.0 {
+            return Some(0.0);
+        }
+        // Find the earliest segment whose end distance reaches `d`. The
+        // cumulative distance is monotone non-decreasing and piecewise
+        // linear, so inside that segment the crossing time is exact.
+        let last = self.speeds.len() - 1;
+        for i in 0..last {
+            if self.cumulative[i + 1] >= d {
+                // speeds[i] > 0 here: if it were 0 the end distance would
+                // equal the start distance, which is < d because `i` is the
+                // earliest segment reaching d.
+                return Some(self.times[i] + (d - self.cumulative[i]) / self.speeds[i]);
+            }
+        }
+        if self.speeds[last] > 0.0 {
+            Some(self.times[last] + (d - self.cumulative[last]) / self.speeds[last])
+        } else {
+            None
+        }
+    }
+
+    /// Mean speed over `[0, t]`.
+    pub fn mean_speed(&self, t: Seconds) -> f64 {
+        if t <= 0.0 {
+            self.speeds[0]
+        } else {
+            self.distance_at(t) / t
+        }
+    }
+
+    /// The number of piecewise-constant segments.
+    pub fn segment_count(&self) -> usize {
+        self.speeds.len()
+    }
+
+    fn segment_index(&self, t: Seconds) -> usize {
+        match self.times.binary_search_by(|x| x.partial_cmp(&t).unwrap()) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn constant_profile() {
+        let p = SpeedProfile::constant(0.1);
+        assert!(approx(p.speed_at(0.0), 0.1));
+        assert!(approx(p.speed_at(100.0), 0.1));
+        assert!(approx(p.distance_at(10.0), 1.0));
+        assert!(approx(p.time_to_distance(2.0).unwrap(), 20.0));
+        assert_eq!(p.segment_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn constant_rejects_negative() {
+        let _ = SpeedProfile::constant(-1.0);
+    }
+
+    #[test]
+    fn segmented_profile_distance() {
+        // 2 s at 0.1 m/s, 3 s at 0.3 m/s, then 0.2 m/s forever.
+        let p = SpeedProfile::from_segments(&[(2.0, 0.1), (3.0, 0.3), (1.0, 0.2)]).unwrap();
+        assert!(approx(p.distance_at(0.0), 0.0));
+        assert!(approx(p.distance_at(2.0), 0.2));
+        assert!(approx(p.distance_at(5.0), 0.2 + 0.9));
+        assert!(approx(p.distance_at(10.0), 0.2 + 0.9 + 5.0 * 0.2));
+        assert!(approx(p.speed_at(1.0), 0.1));
+        assert!(approx(p.speed_at(2.5), 0.3));
+        assert!(approx(p.speed_at(7.0), 0.2));
+    }
+
+    #[test]
+    fn segmented_profile_inverse() {
+        let p = SpeedProfile::from_segments(&[(2.0, 0.1), (3.0, 0.3), (1.0, 0.2)]).unwrap();
+        for &d in &[0.0, 0.1, 0.2, 0.5, 1.1, 2.0] {
+            let t = p.time_to_distance(d).unwrap();
+            assert!(approx(p.distance_at(t), d), "d={d} t={t}");
+        }
+    }
+
+    #[test]
+    fn inverse_with_pause() {
+        // Pause (speed 0) in the middle: time_to_distance must skip past it.
+        let p = SpeedProfile::from_segments(&[(1.0, 0.2), (2.0, 0.0), (1.0, 0.2)]).unwrap();
+        assert!(approx(p.time_to_distance(0.2).unwrap(), 1.0));
+        // Distance 0.3 is only reached after the pause ends at t=3 plus 0.5 s.
+        assert!(approx(p.time_to_distance(0.3).unwrap(), 3.5));
+    }
+
+    #[test]
+    fn inverse_unreachable_distance() {
+        let p = SpeedProfile::from_segments(&[(1.0, 0.2), (1.0, 0.0)]).unwrap();
+        assert!(p.time_to_distance(0.5).is_none());
+        assert!(approx(p.time_to_distance(0.2).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_segments() {
+        assert!(SpeedProfile::from_segments(&[]).is_none());
+        assert!(SpeedProfile::from_segments(&[(1.0, -0.1)]).is_none());
+        assert!(SpeedProfile::from_segments(&[(-1.0, 0.1)]).is_none());
+        assert!(SpeedProfile::from_segments(&[(f64::NAN, 0.1)]).is_none());
+    }
+
+    #[test]
+    fn mean_speed() {
+        let p = SpeedProfile::from_segments(&[(1.0, 0.1), (1.0, 0.3)]).unwrap();
+        assert!(approx(p.mean_speed(2.0), 0.2));
+        assert!(approx(p.mean_speed(0.0), 0.1));
+    }
+}

@@ -1,0 +1,379 @@
+//! Trajectories: positions as a function of time.
+//!
+//! Both experimental cases of the STPP paper are expressed as trajectories:
+//!
+//! * **Antenna-moving case** — the tags are stationary
+//!   ([`StationaryTrajectory`]) and the antenna follows a straight line,
+//!   either at constant speed ([`LinearTrajectory`]) or with the speed
+//!   fluctuations of manual pushing ([`SpeedProfileTrajectory`]).
+//! * **Tag-moving case** — the antenna is stationary and every tag rides a
+//!   conveyor belt ([`ConveyorTrajectory`]), i.e. a linear trajectory with a
+//!   per-tag starting offset.
+
+use crate::point::{Point3, Vec3};
+use crate::speed::SpeedProfile;
+use crate::{Metres, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Something that has a position at every instant in time.
+pub trait Trajectory {
+    /// Position at time `t` (seconds since the start of the experiment).
+    fn position_at(&self, t: Seconds) -> Point3;
+
+    /// Instantaneous velocity at time `t`, estimated by central differences
+    /// unless the implementation can do better analytically.
+    fn velocity_at(&self, t: Seconds) -> Vec3 {
+        let h = 1e-4;
+        (self.position_at(t + h) - self.position_at(t - h)) / (2.0 * h)
+    }
+}
+
+/// An object that never moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StationaryTrajectory {
+    /// The fixed position.
+    pub position: Point3,
+}
+
+impl StationaryTrajectory {
+    /// Creates a stationary trajectory at `position`.
+    pub fn new(position: Point3) -> Self {
+        StationaryTrajectory { position }
+    }
+}
+
+impl Trajectory for StationaryTrajectory {
+    fn position_at(&self, _t: Seconds) -> Point3 {
+        self.position
+    }
+
+    fn velocity_at(&self, _t: Seconds) -> Vec3 {
+        Vec3::ZERO
+    }
+}
+
+/// Straight-line motion at constant speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearTrajectory {
+    /// Position at `t = 0`.
+    pub start: Point3,
+    /// Velocity vector (m/s); the direction and speed of motion.
+    pub velocity: Vec3,
+}
+
+impl LinearTrajectory {
+    /// Creates a linear trajectory from a start point and velocity.
+    pub fn new(start: Point3, velocity: Vec3) -> Self {
+        LinearTrajectory { start, velocity }
+    }
+
+    /// Creates a trajectory moving from `start` towards `end` at `speed`
+    /// m/s. Returns `None` if the points coincide (no direction) or the
+    /// speed is non-positive/non-finite.
+    pub fn between(start: Point3, end: Point3, speed: f64) -> Option<Self> {
+        if !(speed.is_finite() && speed > 0.0) {
+            return None;
+        }
+        let dir = (end - start).normalized()?;
+        Some(LinearTrajectory { start, velocity: dir * speed })
+    }
+
+    /// The time at which the trajectory reaches `end` when built with
+    /// [`LinearTrajectory::between`]; more generally, the time to cover a
+    /// straight-line distance `d`.
+    pub fn time_to_cover(&self, d: Metres) -> Option<Seconds> {
+        let speed = self.velocity.norm();
+        if speed <= 0.0 {
+            None
+        } else {
+            Some(d / speed)
+        }
+    }
+}
+
+impl Trajectory for LinearTrajectory {
+    fn position_at(&self, t: Seconds) -> Point3 {
+        self.start + self.velocity * t
+    }
+
+    fn velocity_at(&self, _t: Seconds) -> Vec3 {
+        self.velocity
+    }
+}
+
+/// Straight-line motion whose progress along the line is governed by a
+/// [`SpeedProfile`] — the model for a hand-held reader or a manually pushed
+/// cart, whose speed fluctuates and which may pause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedProfileTrajectory {
+    /// Position at `t = 0`.
+    pub start: Point3,
+    /// Unit direction of motion.
+    pub direction: Vec3,
+    /// Progress along the path over time.
+    pub profile: SpeedProfile,
+}
+
+impl SpeedProfileTrajectory {
+    /// Creates a trajectory along `direction` (normalised internally) with
+    /// the given speed profile. Returns `None` if the direction is zero.
+    pub fn new(start: Point3, direction: Vec3, profile: SpeedProfile) -> Option<Self> {
+        Some(SpeedProfileTrajectory { start, direction: direction.normalized()?, profile })
+    }
+}
+
+impl Trajectory for SpeedProfileTrajectory {
+    fn position_at(&self, t: Seconds) -> Point3 {
+        self.start + self.direction * self.profile.distance_at(t)
+    }
+
+    fn velocity_at(&self, t: Seconds) -> Vec3 {
+        self.direction * self.profile.speed_at(t)
+    }
+}
+
+/// A piecewise-linear path visited at constant speed — used to model an
+/// antenna carried along a shelf with several straight passes, or
+/// future irregular motions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinearTrajectory {
+    waypoints: Vec<Point3>,
+    /// Cumulative arc length at each waypoint.
+    arclen: Vec<Metres>,
+    speed: f64,
+}
+
+impl PiecewiseLinearTrajectory {
+    /// Creates a path through `waypoints` traversed at constant `speed`.
+    ///
+    /// Returns `None` if fewer than two waypoints are given or the speed is
+    /// non-positive/non-finite.
+    pub fn new(waypoints: Vec<Point3>, speed: f64) -> Option<Self> {
+        if waypoints.len() < 2 || !(speed.is_finite() && speed > 0.0) {
+            return None;
+        }
+        let mut arclen = Vec::with_capacity(waypoints.len());
+        let mut acc = 0.0;
+        arclen.push(0.0);
+        for w in waypoints.windows(2) {
+            acc += w[0].distance(w[1]);
+            arclen.push(acc);
+        }
+        Some(PiecewiseLinearTrajectory { waypoints, arclen, speed })
+    }
+
+    /// Total path length in metres.
+    pub fn total_length(&self) -> Metres {
+        *self.arclen.last().expect("at least two waypoints")
+    }
+
+    /// Time needed to traverse the whole path.
+    pub fn total_duration(&self) -> Seconds {
+        self.total_length() / self.speed
+    }
+}
+
+impl Trajectory for PiecewiseLinearTrajectory {
+    fn position_at(&self, t: Seconds) -> Point3 {
+        let d = (t.max(0.0) * self.speed).min(self.total_length());
+        // Find the segment containing arc length d.
+        let i = match self.arclen.binary_search_by(|x| x.partial_cmp(&d).unwrap()) {
+            Ok(i) => i.min(self.waypoints.len() - 2),
+            Err(0) => 0,
+            Err(i) => (i - 1).min(self.waypoints.len() - 2),
+        };
+        let seg_len = self.arclen[i + 1] - self.arclen[i];
+        if seg_len <= 0.0 {
+            return self.waypoints[i];
+        }
+        let frac = (d - self.arclen[i]) / seg_len;
+        self.waypoints[i].lerp(self.waypoints[i + 1], frac)
+    }
+}
+
+/// Constant-velocity conveyor-belt motion with a per-object starting offset
+/// along the belt. Objects placed further back (larger `offset`) pass the
+/// antenna later.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConveyorTrajectory {
+    /// Position of the belt origin at `t = 0`.
+    pub belt_origin: Point3,
+    /// Belt direction and speed (m/s).
+    pub belt_velocity: Vec3,
+    /// This object's offset *behind* the belt origin (metres along the
+    /// direction of travel); the object starts at
+    /// `belt_origin - direction * offset`.
+    pub offset: Metres,
+    /// Lateral placement of the object across the belt (metres,
+    /// perpendicular to travel, in the tag plane).
+    pub lateral: Metres,
+}
+
+impl ConveyorTrajectory {
+    /// Creates a conveyor trajectory. `belt_velocity` must be non-zero for
+    /// the lateral axis to be well defined; returns `None` otherwise.
+    pub fn new(
+        belt_origin: Point3,
+        belt_velocity: Vec3,
+        offset: Metres,
+        lateral: Metres,
+    ) -> Option<Self> {
+        belt_velocity.normalized()?;
+        Some(ConveyorTrajectory { belt_origin, belt_velocity, offset, lateral })
+    }
+
+    fn lateral_axis(&self) -> Vec3 {
+        // A horizontal axis perpendicular to the belt direction. The belt is
+        // assumed to run in the X/Y plane; its in-plane perpendicular is
+        // obtained by crossing with Z.
+        let dir = self
+            .belt_velocity
+            .normalized()
+            .expect("belt velocity validated as non-zero at construction");
+        Vec3::Z.cross(dir).normalized().unwrap_or(Vec3::Y)
+    }
+}
+
+impl Trajectory for ConveyorTrajectory {
+    fn position_at(&self, t: Seconds) -> Point3 {
+        let dir = self
+            .belt_velocity
+            .normalized()
+            .expect("belt velocity validated as non-zero at construction");
+        self.belt_origin + self.belt_velocity * t - dir * self.offset
+            + self.lateral_axis() * self.lateral
+    }
+
+    fn velocity_at(&self, _t: Seconds) -> Vec3 {
+        self.belt_velocity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_pt(a: Point3, b: Point3) -> bool {
+        a.distance(b) < 1e-9
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let t = StationaryTrajectory::new(p);
+        assert_eq!(t.position_at(0.0), p);
+        assert_eq!(t.position_at(1e6), p);
+        assert_eq!(t.velocity_at(5.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn linear_constant_speed() {
+        let t = LinearTrajectory::between(
+            Point3::ORIGIN,
+            Point3::new(3.0, 0.0, 0.0),
+            0.1,
+        )
+        .unwrap();
+        assert!(approx_pt(t.position_at(0.0), Point3::ORIGIN));
+        assert!(approx_pt(t.position_at(10.0), Point3::new(1.0, 0.0, 0.0)));
+        assert!((t.time_to_cover(3.0).unwrap() - 30.0).abs() < 1e-12);
+        assert!((t.velocity_at(5.0).norm() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_between_rejects_degenerate() {
+        assert!(LinearTrajectory::between(Point3::ORIGIN, Point3::ORIGIN, 0.1).is_none());
+        assert!(
+            LinearTrajectory::between(Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0), 0.0).is_none()
+        );
+        assert!(
+            LinearTrajectory::between(Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0), f64::NAN)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn speed_profile_trajectory_pauses() {
+        let profile = SpeedProfile::from_segments(&[(1.0, 0.1), (1.0, 0.0), (1.0, 0.2)]).unwrap();
+        let t =
+            SpeedProfileTrajectory::new(Point3::ORIGIN, Vec3::new(2.0, 0.0, 0.0), profile).unwrap();
+        assert!(approx_pt(t.position_at(1.0), Point3::new(0.1, 0.0, 0.0)));
+        // During the pause the position does not change.
+        assert!(approx_pt(t.position_at(2.0), Point3::new(0.1, 0.0, 0.0)));
+        assert!(approx_pt(t.position_at(3.0), Point3::new(0.3, 0.0, 0.0)));
+        assert!((t.velocity_at(1.5).norm() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_profile_trajectory_requires_direction() {
+        let profile = SpeedProfile::constant(0.1);
+        assert!(SpeedProfileTrajectory::new(Point3::ORIGIN, Vec3::ZERO, profile).is_none());
+    }
+
+    #[test]
+    fn piecewise_linear_visits_waypoints() {
+        let path = PiecewiseLinearTrajectory::new(
+            vec![
+                Point3::ORIGIN,
+                Point3::new(1.0, 0.0, 0.0),
+                Point3::new(1.0, 1.0, 0.0),
+            ],
+            0.5,
+        )
+        .unwrap();
+        assert!((path.total_length() - 2.0).abs() < 1e-12);
+        assert!((path.total_duration() - 4.0).abs() < 1e-12);
+        assert!(approx_pt(path.position_at(0.0), Point3::ORIGIN));
+        assert!(approx_pt(path.position_at(2.0), Point3::new(1.0, 0.0, 0.0)));
+        assert!(approx_pt(path.position_at(3.0), Point3::new(1.0, 0.5, 0.0)));
+        // Past the end the position clamps to the final waypoint.
+        assert!(approx_pt(path.position_at(100.0), Point3::new(1.0, 1.0, 0.0)));
+    }
+
+    #[test]
+    fn piecewise_linear_rejects_degenerate() {
+        assert!(PiecewiseLinearTrajectory::new(vec![Point3::ORIGIN], 1.0).is_none());
+        assert!(
+            PiecewiseLinearTrajectory::new(vec![Point3::ORIGIN, Point3::ORIGIN], 0.0).is_none()
+        );
+    }
+
+    #[test]
+    fn conveyor_offset_and_lateral() {
+        // Belt moving along +X at 0.3 m/s.
+        let c = ConveyorTrajectory::new(
+            Point3::ORIGIN,
+            Vec3::new(0.3, 0.0, 0.0),
+            0.6,
+            0.2,
+        )
+        .unwrap();
+        let p0 = c.position_at(0.0);
+        // Starts 0.6 m behind the origin, offset 0.2 m laterally.
+        assert!((p0.x - (-0.6)).abs() < 1e-12);
+        assert!((p0.y.abs() - 0.2).abs() < 1e-12);
+        // After 2 s it has advanced 0.6 m: x = 0.
+        let p2 = c.position_at(2.0);
+        assert!(p2.x.abs() < 1e-12);
+        assert_eq!(c.velocity_at(1.0), Vec3::new(0.3, 0.0, 0.0));
+    }
+
+    #[test]
+    fn conveyor_rejects_zero_velocity() {
+        assert!(ConveyorTrajectory::new(Point3::ORIGIN, Vec3::ZERO, 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn default_velocity_estimate_matches_analytic() {
+        let t = LinearTrajectory::new(Point3::ORIGIN, Vec3::new(0.2, -0.1, 0.0));
+        // Use the default central-difference implementation through the trait object.
+        struct Wrapper<'a>(&'a LinearTrajectory);
+        impl Trajectory for Wrapper<'_> {
+            fn position_at(&self, t: Seconds) -> Point3 {
+                self.0.position_at(t)
+            }
+        }
+        let est = Wrapper(&t).velocity_at(3.0);
+        assert!((est - t.velocity).norm() < 1e-6);
+    }
+}

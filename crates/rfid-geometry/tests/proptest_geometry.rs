@@ -1,0 +1,111 @@
+//! Property-based tests for the geometry primitives.
+
+use proptest::prelude::*;
+use rfid_geometry::{
+    LinearTrajectory, Point3, RowLayout, SpeedProfile, SpeedProfileTrajectory, Trajectory, Vec3,
+};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1.0e3..1.0e3
+}
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (finite_coord(), finite_coord(), finite_coord()).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_vec() -> impl Strategy<Value = Vec3> {
+    (finite_coord(), finite_coord(), finite_coord()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric_and_nonnegative(a in arb_point(), b in arb_point()) {
+        let d1 = a.distance(b);
+        let d2 = b.distance(a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let direct = a.distance(c);
+        let via = a.distance(b) + b.distance(c);
+        prop_assert!(direct <= via + 1e-6);
+    }
+
+    #[test]
+    fn point_vector_roundtrip(p in arb_point(), v in arb_vec()) {
+        let q = p + v;
+        let back = q - v;
+        prop_assert!(p.distance(back) < 1e-6);
+        let diff = q - p;
+        prop_assert!((diff - v).norm() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_has_unit_length(v in arb_vec()) {
+        prop_assume!(v.norm() > 1e-6);
+        let n = v.normalized().unwrap();
+        prop_assert!((n.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trajectory_distance_grows_linearly(
+        start in arb_point(),
+        speed in 0.01f64..5.0,
+        t in 0.0f64..100.0,
+    ) {
+        let end = start + Vec3::new(1.0, 0.0, 0.0);
+        let traj = LinearTrajectory::between(start, end, speed).unwrap();
+        let p = traj.position_at(t);
+        prop_assert!((start.distance(p) - speed * t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_profile_distance_is_monotone(
+        segs in proptest::collection::vec((0.01f64..5.0, 0.0f64..2.0), 1..10),
+        t1 in 0.0f64..20.0,
+        t2 in 0.0f64..20.0,
+    ) {
+        let profile = SpeedProfile::from_segments(&segs).unwrap();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(profile.distance_at(lo) <= profile.distance_at(hi) + 1e-12);
+    }
+
+    #[test]
+    fn speed_profile_inverse_consistency(
+        segs in proptest::collection::vec((0.01f64..5.0, 0.01f64..2.0), 1..10),
+        d_frac in 0.0f64..1.0,
+    ) {
+        let profile = SpeedProfile::from_segments(&segs).unwrap();
+        // Pick a distance that is certainly reachable (strictly positive speeds).
+        let total_span: f64 = segs.iter().map(|(dur, sp)| dur * sp).sum();
+        let d = total_span * d_frac;
+        let t = profile.time_to_distance(d).unwrap();
+        prop_assert!((profile.distance_at(t) - d).abs() < 1e-7);
+    }
+
+    #[test]
+    fn speed_profile_trajectory_never_moves_backwards(
+        segs in proptest::collection::vec((0.01f64..3.0, 0.0f64..1.0), 1..8),
+        t1 in 0.0f64..10.0,
+        t2 in 0.0f64..10.0,
+    ) {
+        let profile = SpeedProfile::from_segments(&segs).unwrap();
+        let traj = SpeedProfileTrajectory::new(
+            Point3::ORIGIN,
+            Vec3::new(1.0, 0.0, 0.0),
+            profile,
+        ).unwrap();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(traj.position_at(lo).x <= traj.position_at(hi).x + 1e-12);
+    }
+
+    #[test]
+    fn row_layout_order_is_identity(count in 1usize..50, spacing in 0.001f64..0.5) {
+        let layout = RowLayout::new(0.0, 0.0, spacing, count).build();
+        let order = layout.order_along_x();
+        let expected: Vec<u64> = (0..count as u64).collect();
+        prop_assert_eq!(order, expected);
+    }
+}

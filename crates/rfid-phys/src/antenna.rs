@@ -1,0 +1,197 @@
+//! Directional reader antenna model.
+//!
+//! STPP uses a directional patch antenna (ImpinJ Threshold IPJ-A0311 or
+//! Alien ALR-8696-C). The relevant behaviour for the simulation is:
+//!
+//! * a boresight gain (dBi) and a beamwidth — tags far off boresight get
+//!   less power and may fall out of the reading zone;
+//! * a *reading zone*: the region in which a passive tag harvests enough
+//!   power to respond at all. Table 1 of the paper varies "tag population
+//!   size within a reading zone", so the zone boundary matters.
+//!
+//! The gain pattern is the standard cosine-power (cos^n) model fitted to a
+//! given half-power beamwidth, which is a good approximation for patch
+//! antennas and keeps the model analytic.
+
+use rfid_geometry::{Point3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// An analytic antenna gain pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AntennaPattern {
+    /// Ideal isotropic radiator (0 dBi in every direction). Useful for
+    /// analytic reference profiles.
+    Isotropic,
+    /// Cosine-power pattern: `G(θ) = G0 · cos^n(θ)` for `θ < 90°`, zero
+    /// behind the antenna plane. `n` is derived from the half-power
+    /// beamwidth.
+    CosinePower {
+        /// Boresight gain in dBi.
+        boresight_gain_dbi: f64,
+        /// Half-power (−3 dB) beamwidth in degrees.
+        beamwidth_deg: f64,
+    },
+}
+
+impl AntennaPattern {
+    /// Gain (linear, not dB) at an angle `theta_rad` off boresight.
+    pub fn gain_linear(&self, theta_rad: f64) -> f64 {
+        match *self {
+            AntennaPattern::Isotropic => 1.0,
+            AntennaPattern::CosinePower { boresight_gain_dbi, beamwidth_deg } => {
+                let theta = theta_rad.abs();
+                if theta >= std::f64::consts::FRAC_PI_2 {
+                    return 0.0;
+                }
+                // cos^n(θ_hp/2) = 0.5  =>  n = ln 0.5 / ln cos(θ_hp/2)
+                let half = (beamwidth_deg.to_radians() / 2.0).max(1e-6);
+                let n = 0.5f64.ln() / half.cos().ln();
+                let g0 = 10f64.powf(boresight_gain_dbi / 10.0);
+                g0 * theta.cos().powf(n)
+            }
+        }
+    }
+
+    /// Gain in dBi at an angle off boresight. Returns `-inf` dB behind the
+    /// antenna for directional patterns.
+    pub fn gain_dbi(&self, theta_rad: f64) -> f64 {
+        10.0 * self.gain_linear(theta_rad).log10()
+    }
+}
+
+/// A reader antenna: a pattern plus an orientation (boresight direction).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReaderAntenna {
+    /// The gain pattern.
+    pub pattern: AntennaPattern,
+    /// Unit boresight direction — the direction the antenna faces. For the
+    /// bookshelf scenario the antenna faces the tag plane.
+    pub boresight: Vec3,
+    /// Transmit power at the antenna port, dBm. Regulatory limit for UHF
+    /// RFID readers is typically 30 dBm (1 W) plus antenna gain.
+    pub tx_power_dbm: f64,
+}
+
+impl ReaderAntenna {
+    /// A typical COTS reader setup: 30 dBm transmit power, 6 dBi patch
+    /// antenna with 70° beamwidth, facing `boresight`.
+    pub fn typical(boresight: Vec3) -> Self {
+        ReaderAntenna {
+            pattern: AntennaPattern::CosinePower { boresight_gain_dbi: 6.0, beamwidth_deg: 70.0 },
+            boresight: boresight.normalized().unwrap_or(Vec3::Y),
+            tx_power_dbm: 30.0,
+        }
+    }
+
+    /// A narrow-beam localization setup (e.g. an ImpinJ Threshold panel held
+    /// close to a shelf): 30 dBm transmit power, 7 dBi gain, 40° beamwidth.
+    /// The tight beam keeps the reading zone to roughly ±0.5 m along the
+    /// shelf, which is what limits the paper's measured profiles to about
+    /// four phase periods.
+    pub fn narrow_beam(boresight: Vec3) -> Self {
+        ReaderAntenna {
+            pattern: AntennaPattern::CosinePower { boresight_gain_dbi: 7.0, beamwidth_deg: 40.0 },
+            boresight: boresight.normalized().unwrap_or(Vec3::Y),
+            tx_power_dbm: 30.0,
+        }
+    }
+
+    /// An isotropic antenna (used for analytic reference calculations).
+    pub fn isotropic(tx_power_dbm: f64) -> Self {
+        ReaderAntenna { pattern: AntennaPattern::Isotropic, boresight: Vec3::Y, tx_power_dbm }
+    }
+
+    /// The angle (radians) between the boresight and the direction from the
+    /// antenna position to the target point.
+    pub fn off_boresight_angle(&self, antenna_pos: Point3, target: Point3) -> f64 {
+        let to_target = match (target - antenna_pos).normalized() {
+            Some(v) => v,
+            // Target exactly at the antenna: treat as boresight.
+            None => return 0.0,
+        };
+        let boresight = self.boresight.normalized().unwrap_or(Vec3::Y);
+        boresight.dot(to_target).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Antenna gain (linear) towards `target` from `antenna_pos`.
+    pub fn gain_towards(&self, antenna_pos: Point3, target: Point3) -> f64 {
+        self.pattern.gain_linear(self.off_boresight_angle(antenna_pos, target))
+    }
+
+    /// Antenna gain (dBi) towards `target` from `antenna_pos`.
+    pub fn gain_towards_dbi(&self, antenna_pos: Point3, target: Point3) -> f64 {
+        10.0 * self.gain_towards(antenna_pos, target).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn isotropic_gain_is_flat() {
+        let p = AntennaPattern::Isotropic;
+        assert_eq!(p.gain_linear(0.0), 1.0);
+        assert_eq!(p.gain_linear(1.0), 1.0);
+        assert!((p.gain_dbi(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_power_boresight_and_halfpower() {
+        let p = AntennaPattern::CosinePower { boresight_gain_dbi: 6.0, beamwidth_deg: 70.0 };
+        let g0 = p.gain_linear(0.0);
+        assert!((10.0 * g0.log10() - 6.0).abs() < 1e-9);
+        // At half the beamwidth off boresight the gain is 3 dB (a factor of
+        // two) down.
+        let g_half = p.gain_linear(35f64.to_radians());
+        assert!((g0 / g_half - 2.0).abs() < 1e-9);
+        // Behind the antenna there is no radiation.
+        assert_eq!(p.gain_linear(FRAC_PI_2), 0.0);
+        assert_eq!(p.gain_linear(2.0), 0.0);
+    }
+
+    #[test]
+    fn gain_decreases_off_boresight() {
+        let p = AntennaPattern::CosinePower { boresight_gain_dbi: 6.0, beamwidth_deg: 70.0 };
+        let mut last = f64::INFINITY;
+        for deg in [0.0, 10.0, 20.0, 40.0, 60.0, 80.0] {
+            let g = p.gain_linear((deg as f64).to_radians());
+            assert!(g <= last + 1e-12, "gain must be monotone non-increasing off boresight");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn reader_antenna_off_boresight_angle() {
+        // Antenna at origin facing +Y; a target straight ahead is at angle 0,
+        // a target along +X is at 90°.
+        let ant = ReaderAntenna::typical(Vec3::Y);
+        let pos = Point3::ORIGIN;
+        assert!(ant.off_boresight_angle(pos, Point3::new(0.0, 1.0, 0.0)) < 1e-9);
+        let ninety = ant.off_boresight_angle(pos, Point3::new(1.0, 0.0, 0.0));
+        assert!((ninety - FRAC_PI_2).abs() < 1e-9);
+        // Degenerate case: target at the antenna.
+        assert_eq!(ant.off_boresight_angle(pos, pos), 0.0);
+    }
+
+    #[test]
+    fn gain_towards_respects_pattern() {
+        let ant = ReaderAntenna::typical(Vec3::Y);
+        let pos = Point3::ORIGIN;
+        let ahead = ant.gain_towards(pos, Point3::new(0.0, 0.5, 0.0));
+        let oblique = ant.gain_towards(pos, Point3::new(0.4, 0.5, 0.0));
+        assert!(ahead > oblique);
+        // dBi version is consistent.
+        assert!((ant.gain_towards_dbi(pos, Point3::new(0.0, 0.5, 0.0)) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_antenna_normalizes_boresight() {
+        let ant = ReaderAntenna::typical(Vec3::new(0.0, 3.0, 0.0));
+        assert!((ant.boresight.norm() - 1.0).abs() < 1e-12);
+        // Zero boresight falls back to +Y instead of panicking.
+        let fallback = ReaderAntenna::typical(Vec3::ZERO);
+        assert_eq!(fallback.boresight, Vec3::Y);
+    }
+}

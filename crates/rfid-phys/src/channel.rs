@@ -1,0 +1,308 @@
+//! The end-to-end backscatter channel: what one interrogation returns.
+//!
+//! [`BackscatterChannel`] ties together the antenna pattern, the link
+//! budget, the multipath environment, the phase model and the noise model.
+//! Given the reader antenna position, the tag position and a channel index
+//! it answers the only question the upper layers ask: *"if the reader
+//! interrogates this tag right now, what does it report?"* — either a
+//! [`Measurement`] (phase + RSSI) or `None` when the read fails.
+
+use rand::Rng;
+use rfid_geometry::Point3;
+use serde::{Deserialize, Serialize};
+
+use crate::antenna::ReaderAntenna;
+use crate::constants::ChannelPlan;
+use crate::multipath::MultipathEnvironment;
+use crate::noise::NoiseModel;
+use crate::pathloss::LinkBudget;
+use crate::phase::{wrap_phase, DeviceOffsets};
+
+/// What the reader reports for one successful interrogation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// RF phase in `[0, 2π)` radians.
+    pub phase_rad: f64,
+    /// Received signal strength in dBm.
+    pub rssi_dbm: f64,
+    /// The true reader–tag distance (metres) at measurement time. Not
+    /// available to real systems; carried along for ground-truth analysis.
+    pub true_distance_m: f64,
+}
+
+/// Static configuration of the channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// The reader antenna (pattern, orientation, transmit power).
+    pub antenna: ReaderAntenna,
+    /// Link budget (path loss, gains, sensitivities).
+    pub link: LinkBudget,
+    /// The multipath environment.
+    pub multipath: MultipathEnvironment,
+    /// Measurement noise and read-miss model.
+    pub noise: NoiseModel,
+    /// The channel plan the reader hops over.
+    pub plan: ChannelPlan,
+    /// Per-reader hardware phase offsets (`θ_Tx + θ_Rx`); the per-tag
+    /// component is passed per call because tags differ.
+    pub reader_offsets: DeviceOffsets,
+}
+
+impl ChannelConfig {
+    /// A free-space, noiseless channel — produces the analytic profiles of
+    /// Figures 3 and 4.
+    pub fn ideal(antenna: ReaderAntenna) -> Self {
+        ChannelConfig {
+            antenna,
+            link: LinkBudget::typical(),
+            multipath: MultipathEnvironment::free_space(),
+            noise: NoiseModel::noiseless(),
+            plan: ChannelPlan::china_920(),
+            reader_offsets: DeviceOffsets::IDEAL,
+        }
+    }
+
+    /// A realistic indoor channel with multipath and noise — produces the
+    /// measured-looking profiles of Figures 5 and 6.
+    pub fn realistic(antenna: ReaderAntenna, scene_extent_x: f64) -> Self {
+        ChannelConfig {
+            antenna,
+            link: LinkBudget::typical(),
+            multipath: MultipathEnvironment::indoor_shelf(scene_extent_x),
+            noise: NoiseModel::realistic(),
+            plan: ChannelPlan::china_920(),
+            reader_offsets: DeviceOffsets::new(0.4, 0.7, 0.0),
+        }
+    }
+}
+
+/// The simulated backscatter channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackscatterChannel {
+    config: ChannelConfig,
+}
+
+impl BackscatterChannel {
+    /// Creates a channel from its configuration.
+    pub fn new(config: ChannelConfig) -> Self {
+        BackscatterChannel { config }
+    }
+
+    /// Read-only access to the configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// Whether a tag at `tag_pos` is inside the reading zone of the antenna
+    /// at `antenna_pos` on channel `channel_idx` (forward-link powered and
+    /// reverse-link decodable). Returns `false` for an invalid channel
+    /// index.
+    pub fn in_reading_zone(&self, antenna_pos: Point3, tag_pos: Point3, channel_idx: usize) -> bool {
+        let Some(freq) = self.config.plan.frequency(channel_idx) else {
+            return false;
+        };
+        let gain_dbi = self.config.antenna.gain_towards_dbi(antenna_pos, tag_pos);
+        if gain_dbi.is_infinite() {
+            // Tag is behind a directional antenna.
+            return false;
+        }
+        let d = antenna_pos.distance(tag_pos);
+        let eirp = self.config.antenna.tx_power_dbm + gain_dbi;
+        self.config.link.tag_powered(eirp, d, freq)
+            && self.config.link.reader_can_decode(
+                self.config.antenna.tx_power_dbm,
+                gain_dbi,
+                d,
+                freq,
+            )
+    }
+
+    /// The noiseless (but multipath-affected) measurement, or `None` if the
+    /// tag is outside the reading zone or the channel index is invalid.
+    pub fn clean_measurement(
+        &self,
+        antenna_pos: Point3,
+        tag_pos: Point3,
+        channel_idx: usize,
+        tag_offset_rad: f64,
+    ) -> Option<Measurement> {
+        let freq = self.config.plan.frequency(channel_idx)?;
+        if !self.in_reading_zone(antenna_pos, tag_pos, channel_idx) {
+            return None;
+        }
+        let d = antenna_pos.distance(tag_pos);
+        let gain_dbi = self.config.antenna.gain_towards_dbi(antenna_pos, tag_pos);
+
+        // Phase: the argument of the round-trip multipath response plus the
+        // hardware offsets (Equation 1 generalised to multipath).
+        let h = self.config.multipath.round_trip_response(antenna_pos, tag_pos, freq);
+        let mu = self.config.reader_offsets.mu() + tag_offset_rad;
+        let phase = wrap_phase(-h.arg() + mu);
+
+        // RSSI: link budget for the direct path plus the multipath fade.
+        let fade_db = self.config.multipath.round_trip_fade_db(antenna_pos, tag_pos, freq);
+        let rssi = self.config.link.reader_received_power_dbm(
+            self.config.antenna.tx_power_dbm,
+            gain_dbi,
+            d,
+            freq,
+        ) + fade_db;
+
+        Some(Measurement { phase_rad: phase, rssi_dbm: rssi, true_distance_m: d })
+    }
+
+    /// One full interrogation attempt: reading-zone check, multipath,
+    /// noise, and a possible read miss.
+    pub fn interrogate<R: Rng + ?Sized>(
+        &self,
+        antenna_pos: Point3,
+        tag_pos: Point3,
+        channel_idx: usize,
+        tag_offset_rad: f64,
+        rng: &mut R,
+    ) -> Option<Measurement> {
+        let freq = self.config.plan.frequency(channel_idx)?;
+        let clean = self.clean_measurement(antenna_pos, tag_pos, channel_idx, tag_offset_rad)?;
+        let fade_db = self.config.multipath.round_trip_fade_db(antenna_pos, tag_pos, freq);
+        if self.config.noise.sample_miss(fade_db, rng) {
+            return None;
+        }
+        Some(Measurement {
+            phase_rad: self.config.noise.corrupt_phase(clean.phase_rad, rng),
+            rssi_dbm: self.config.noise.corrupt_rssi(clean.rssi_dbm, rng),
+            true_distance_m: clean.true_distance_m,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{phase_distance, PhaseModel, TWO_PI};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rfid_geometry::Vec3;
+
+    fn ideal_channel() -> BackscatterChannel {
+        BackscatterChannel::new(ChannelConfig::ideal(ReaderAntenna::isotropic(30.0)))
+    }
+
+    #[test]
+    fn clean_phase_matches_equation_one() {
+        let ch = ideal_channel();
+        let chan_idx = ch.config().plan.paper_default_channel();
+        let freq = ch.config().plan.frequency(chan_idx).unwrap();
+        let model = PhaseModel::ideal(freq);
+        let reader = Point3::new(0.0, 0.0, 0.0);
+        let tag = Point3::new(0.7, 0.3, 0.0);
+        let m = ch.clean_measurement(reader, tag, chan_idx, 0.0).unwrap();
+        let expected = model.phase_at_distance(reader.distance(tag));
+        assert!(phase_distance(m.phase_rad, expected) < 1e-9);
+        assert!((m.true_distance_m - reader.distance(tag)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tag_offset_shifts_phase() {
+        let ch = ideal_channel();
+        let idx = 0;
+        let reader = Point3::ORIGIN;
+        let tag = Point3::new(0.5, 0.5, 0.0);
+        let base = ch.clean_measurement(reader, tag, idx, 0.0).unwrap().phase_rad;
+        let shifted = ch.clean_measurement(reader, tag, idx, 1.0).unwrap().phase_rad;
+        assert!(phase_distance(wrap_phase(base + 1.0), shifted) < 1e-9);
+    }
+
+    #[test]
+    fn invalid_channel_index_returns_none() {
+        let ch = ideal_channel();
+        assert!(ch
+            .clean_measurement(Point3::ORIGIN, Point3::new(0.3, 0.3, 0.0), 999, 0.0)
+            .is_none());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(ch
+            .interrogate(Point3::ORIGIN, Point3::new(0.3, 0.3, 0.0), 999, 0.0, &mut rng)
+            .is_none());
+        assert!(!ch.in_reading_zone(Point3::ORIGIN, Point3::new(0.3, 0.3, 0.0), 999));
+    }
+
+    #[test]
+    fn far_tag_is_outside_reading_zone() {
+        let ch = ideal_channel();
+        assert!(ch.in_reading_zone(Point3::ORIGIN, Point3::new(0.0, 2.0, 0.0), 0));
+        assert!(!ch.in_reading_zone(Point3::ORIGIN, Point3::new(0.0, 200.0, 0.0), 0));
+        assert!(ch
+            .clean_measurement(Point3::ORIGIN, Point3::new(0.0, 200.0, 0.0), 0, 0.0)
+            .is_none());
+    }
+
+    #[test]
+    fn directional_antenna_cannot_read_behind_itself() {
+        let antenna = ReaderAntenna::typical(Vec3::Y);
+        let ch = BackscatterChannel::new(ChannelConfig::ideal(antenna));
+        // Tag behind the antenna (negative Y).
+        assert!(!ch.in_reading_zone(Point3::ORIGIN, Point3::new(0.0, -0.5, 0.0), 0));
+        // Tag in front is fine.
+        assert!(ch.in_reading_zone(Point3::ORIGIN, Point3::new(0.0, 0.5, 0.0), 0));
+    }
+
+    #[test]
+    fn rssi_falls_with_distance_in_free_space() {
+        let ch = ideal_channel();
+        let near = ch
+            .clean_measurement(Point3::ORIGIN, Point3::new(0.0, 0.3, 0.0), 0, 0.0)
+            .unwrap()
+            .rssi_dbm;
+        let far = ch
+            .clean_measurement(Point3::ORIGIN, Point3::new(0.0, 1.2, 0.0), 0, 0.0)
+            .unwrap()
+            .rssi_dbm;
+        assert!(near > far);
+    }
+
+    #[test]
+    fn noiseless_interrogation_equals_clean_measurement() {
+        let ch = ideal_channel();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let reader = Point3::ORIGIN;
+        let tag = Point3::new(0.4, 0.4, 0.0);
+        let clean = ch.clean_measurement(reader, tag, 0, 0.0).unwrap();
+        let meas = ch.interrogate(reader, tag, 0, 0.0, &mut rng).unwrap();
+        assert_eq!(clean, meas);
+    }
+
+    #[test]
+    fn realistic_channel_produces_misses_and_noise() {
+        let antenna = ReaderAntenna::isotropic(30.0);
+        let ch = BackscatterChannel::new(ChannelConfig::realistic(antenna, 3.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let reader = Point3::new(1.0, 0.3, 0.0);
+        let tag = Point3::new(1.5, 0.0, 0.0);
+        let mut successes = 0;
+        let mut phases = Vec::new();
+        for _ in 0..500 {
+            if let Some(m) = ch.interrogate(reader, tag, 5, 0.0, &mut rng) {
+                successes += 1;
+                phases.push(m.phase_rad);
+                assert!((0.0..TWO_PI).contains(&m.phase_rad));
+            }
+        }
+        assert!(successes > 250, "most reads should succeed, got {successes}");
+        assert!(successes < 500, "some reads should be missed");
+        // The phase jitters: not all measurements are identical.
+        let first = phases[0];
+        assert!(phases.iter().any(|&p| phase_distance(p, first) > 1e-3));
+    }
+
+    #[test]
+    fn reader_offsets_are_applied() {
+        let mut cfg = ChannelConfig::ideal(ReaderAntenna::isotropic(30.0));
+        cfg.reader_offsets = DeviceOffsets::new(0.5, 0.25, 0.0);
+        let ch = BackscatterChannel::new(cfg);
+        let ideal = ideal_channel();
+        let reader = Point3::ORIGIN;
+        let tag = Point3::new(0.6, 0.2, 0.0);
+        let a = ideal.clean_measurement(reader, tag, 0, 0.0).unwrap().phase_rad;
+        let b = ch.clean_measurement(reader, tag, 0, 0.0).unwrap().phase_rad;
+        assert!(phase_distance(wrap_phase(a + 0.75), b) < 1e-9);
+    }
+}

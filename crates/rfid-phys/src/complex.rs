@@ -1,0 +1,161 @@
+//! A minimal complex-number type for baseband channel arithmetic.
+//!
+//! Only the operations the channel model needs are implemented (addition,
+//! multiplication, magnitude, argument, construction from polar form), so
+//! we avoid pulling in a numerics dependency.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form, `re + j·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number from polar form: `magnitude · e^{j·phase}`.
+    pub fn from_polar(magnitude: f64, phase: f64) -> Self {
+        Complex { re: magnitude * phase.cos(), im: magnitude * phase.sin() }
+    }
+
+    /// `e^{j·phase}` — a unit phasor.
+    pub fn unit_phasor(phase: f64) -> Self {
+        Complex::from_polar(1.0, phase)
+    }
+
+    /// Magnitude (absolute value).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude (power).
+    pub fn norm_squared(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Multiplication by a real scalar.
+    pub fn scale(self, k: f64) -> Complex {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let c = Complex::from_polar(2.0, FRAC_PI_2);
+        assert!(approx(c.re, 0.0));
+        assert!(approx(c.im, 2.0));
+        assert!(approx(c.abs(), 2.0));
+        assert!(approx(c.arg(), FRAC_PI_2));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 0.25);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a + b, Complex::new(0.5, 2.25));
+        assert_eq!(a - b, Complex::new(1.5, 1.75));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn multiplication_adds_phases() {
+        let a = Complex::unit_phasor(0.3);
+        let b = Complex::unit_phasor(0.4);
+        let prod = a * b;
+        assert!(approx(prod.arg(), 0.7));
+        assert!(approx(prod.abs(), 1.0));
+    }
+
+    #[test]
+    fn conjugate_negates_phase() {
+        let c = Complex::from_polar(1.5, 1.0);
+        assert!(approx(c.conj().arg(), -1.0));
+        assert!(approx((c * c.conj()).re, c.norm_squared()));
+        assert!(approx((c * c.conj()).im, 0.0));
+    }
+
+    #[test]
+    fn unit_phasor_wraps_naturally() {
+        // arg is in (-π, π]: a phasor at 3π/2 reports -π/2.
+        let c = Complex::unit_phasor(1.5 * PI);
+        assert!(approx(c.arg(), -FRAC_PI_2));
+    }
+
+    #[test]
+    fn scale_by_real() {
+        let c = Complex::new(1.0, -2.0).scale(3.0);
+        assert_eq!(c, Complex::new(3.0, -6.0));
+    }
+}

@@ -1,0 +1,46 @@
+//! # rfid-phys
+//!
+//! A physical-layer model of a UHF passive-RFID backscatter link, built to
+//! reproduce the measurement stream that a COTS reader (such as the ImpinJ
+//! R420 used in the STPP paper) reports for every tag interrogation:
+//!
+//! * an **RF phase value** in `[0, 2π)` following the paper's Equation 1,
+//!   `θ = (2π·2l/λ + μ) mod 2π`, where `μ = θ_Tx + θ_Rx + θ_TAG` collects
+//!   the phase rotations of the reader transmit chain, the reader receive
+//!   chain and the tag reflection characteristic;
+//! * an **RSSI** value in dBm derived from a backscatter link budget
+//!   (forward path loss, tag modulation loss, reverse path loss, antenna
+//!   gains);
+//! * the possibility that an interrogation simply **fails** (the tag is
+//!   outside the reading zone, is in a deep multipath fade, or the slot is
+//!   lost), producing the gaps and fragmentary profiles the paper observes.
+//!
+//! The model deliberately includes the non-idealities that motivate STPP's
+//! design: multipath self-interference (a small number of specular
+//! reflectors whose contributions distort phase and make peak-RSSI ordering
+//! unreliable, cf. Figure 2 of the paper), wrapped Gaussian phase noise and
+//! RSSI noise, and distance/fade dependent read misses.
+//!
+//! The crate is deterministic given a seed; all randomness flows through
+//! caller-provided RNGs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antenna;
+pub mod channel;
+pub mod complex;
+pub mod constants;
+pub mod multipath;
+pub mod noise;
+pub mod pathloss;
+pub mod phase;
+
+pub use antenna::{AntennaPattern, ReaderAntenna};
+pub use channel::{BackscatterChannel, ChannelConfig, Measurement};
+pub use complex::Complex;
+pub use constants::{ChannelPlan, SPEED_OF_LIGHT};
+pub use multipath::{MultipathEnvironment, Reflector};
+pub use noise::NoiseModel;
+pub use pathloss::{LinkBudget, PathLossModel};
+pub use phase::{wrap_phase, DeviceOffsets, PhaseModel, TWO_PI};

@@ -1,0 +1,231 @@
+//! Multipath: specular reflectors and the combined channel response.
+//!
+//! The paper repeatedly attributes the failures of naive schemes to
+//! "multi-path self-interference": the backscatter signal reaches the
+//! reader both directly and via reflections off shelves, walls, the floor
+//! and neighbouring objects. The superposition distorts both RSSI (peaks
+//! appear before the reader is actually above the tag — Figure 2) and phase
+//! (missing/odd values inside the V-zone — Figure 6a).
+//!
+//! We model the environment as a small set of point [`Reflector`]s. For a
+//! reader at `R`, a tag at `T` and a reflector at `P`, the reflected path
+//! length is `|R−P| + |P−T|`; its amplitude is attenuated by the total path
+//! length and the reflector's reflection coefficient. The one-way channel is
+//! the phasor sum of the direct path and all reflected paths; the
+//! backscatter (round-trip) channel for a monostatic reader is the square
+//! of the one-way channel.
+
+use crate::complex::Complex;
+use crate::constants::wavelength;
+use rfid_geometry::Point3;
+use serde::{Deserialize, Serialize};
+
+/// A specular point reflector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reflector {
+    /// Where the reflector is.
+    pub position: Point3,
+    /// Amplitude reflection coefficient in `[0, 1]` — how much of the
+    /// incident field the reflector redirects towards the receiver.
+    pub coefficient: f64,
+}
+
+impl Reflector {
+    /// Creates a reflector; the coefficient is clamped into `[0, 1]`.
+    pub fn new(position: Point3, coefficient: f64) -> Self {
+        Reflector { position, coefficient: coefficient.clamp(0.0, 1.0) }
+    }
+}
+
+/// The set of reflectors making up the propagation environment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MultipathEnvironment {
+    reflectors: Vec<Reflector>,
+}
+
+impl MultipathEnvironment {
+    /// Free-space: no reflectors at all.
+    pub fn free_space() -> Self {
+        MultipathEnvironment { reflectors: Vec::new() }
+    }
+
+    /// An environment with the given reflectors.
+    pub fn with_reflectors(reflectors: Vec<Reflector>) -> Self {
+        MultipathEnvironment { reflectors }
+    }
+
+    /// A typical indoor environment for the bookshelf scenario: a floor
+    /// reflection below the tag plane and a metal shelf frame behind it.
+    /// `shelf_extent_x` is the length of the shelf so the reflectors sit
+    /// near its middle.
+    pub fn indoor_shelf(shelf_extent_x: f64) -> Self {
+        MultipathEnvironment {
+            reflectors: vec![
+                // Floor below the scene.
+                Reflector::new(Point3::new(shelf_extent_x * 0.5, -0.3, -1.0), 0.35),
+                // Metal frame behind the tag plane.
+                Reflector::new(Point3::new(shelf_extent_x * 0.25, 0.6, 0.2), 0.25),
+                // A second frame element, asymmetric on purpose so RSSI peaks
+                // shift away from the perpendicular point.
+                Reflector::new(Point3::new(shelf_extent_x * 0.8, 0.9, -0.1), 0.2),
+            ],
+        }
+    }
+
+    /// The reflectors in the environment.
+    pub fn reflectors(&self) -> &[Reflector] {
+        &self.reflectors
+    }
+
+    /// Adds a reflector.
+    pub fn push(&mut self, reflector: Reflector) {
+        self.reflectors.push(reflector);
+    }
+
+    /// Number of propagation paths (direct + reflections).
+    pub fn path_count(&self) -> usize {
+        1 + self.reflectors.len()
+    }
+
+    /// The one-way complex channel response between `a` and `b` at
+    /// `frequency_hz`, with free-space amplitude normalised so the direct
+    /// path at 1 m has unit amplitude. Phase convention: a path of length
+    /// `d` contributes `e^{-j 2π d / λ}` (longer path → more negative
+    /// phase).
+    pub fn one_way_response(&self, a: Point3, b: Point3, frequency_hz: f64) -> Complex {
+        let lambda = wavelength(frequency_hz);
+        let k = std::f64::consts::TAU / lambda;
+        let direct_len = a.distance(b).max(0.01);
+        let mut h = Complex::from_polar(1.0 / direct_len, -k * direct_len);
+        for r in &self.reflectors {
+            let path_len = (a.distance(r.position) + r.position.distance(b)).max(0.01);
+            h += Complex::from_polar(r.coefficient / path_len, -k * path_len);
+        }
+        h
+    }
+
+    /// The round-trip (backscatter) channel response for a monostatic
+    /// reader: the square of the one-way response.
+    pub fn round_trip_response(&self, reader: Point3, tag: Point3, frequency_hz: f64) -> Complex {
+        let h = self.one_way_response(reader, tag, frequency_hz);
+        h * h
+    }
+
+    /// The round-trip excess power (dB) relative to the free-space direct
+    /// path alone: positive in constructive fading, strongly negative in a
+    /// deep fade. Used by the noise model to decide read misses.
+    pub fn round_trip_fade_db(&self, reader: Point3, tag: Point3, frequency_hz: f64) -> f64 {
+        let with_mp = self.round_trip_response(reader, tag, frequency_hz).abs();
+        let free = MultipathEnvironment::free_space()
+            .round_trip_response(reader, tag, frequency_hz)
+            .abs();
+        if free <= 0.0 || with_mp <= 0.0 {
+            return -100.0;
+        }
+        20.0 * (with_mp / free).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{phase_distance, wrap_phase};
+
+    const F: f64 = 920.625e6;
+
+    #[test]
+    fn free_space_phase_matches_analytic_model() {
+        let env = MultipathEnvironment::free_space();
+        let reader = Point3::new(0.0, 0.0, 0.0);
+        let tag = Point3::new(0.4, 0.3, 0.0);
+        let d = reader.distance(tag);
+        let lambda = wavelength(F);
+        let h = env.round_trip_response(reader, tag, F);
+        // The reported phase θ = −arg(h) should equal 2π·2d/λ mod 2π.
+        let expected = wrap_phase(std::f64::consts::TAU * 2.0 * d / lambda);
+        let measured = wrap_phase(-h.arg());
+        assert!(phase_distance(expected, measured) < 1e-9);
+    }
+
+    #[test]
+    fn free_space_amplitude_follows_inverse_square_round_trip() {
+        let env = MultipathEnvironment::free_space();
+        let reader = Point3::ORIGIN;
+        let near = env.round_trip_response(reader, Point3::new(0.0, 1.0, 0.0), F).abs();
+        let far = env.round_trip_response(reader, Point3::new(0.0, 2.0, 0.0), F).abs();
+        // Round-trip amplitude goes as 1/d², so doubling d divides by 4.
+        assert!((near / far - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reflector_changes_phase_and_amplitude() {
+        let free = MultipathEnvironment::free_space();
+        let env = MultipathEnvironment::with_reflectors(vec![Reflector::new(
+            Point3::new(0.5, 1.5, 0.0),
+            0.5,
+        )]);
+        let reader = Point3::new(0.0, 0.0, 0.0);
+        let tag = Point3::new(1.0, 0.5, 0.0);
+        let h_free = free.round_trip_response(reader, tag, F);
+        let h_mp = env.round_trip_response(reader, tag, F);
+        assert!((h_free.abs() - h_mp.abs()).abs() > 1e-9);
+        assert!(phase_distance(wrap_phase(-h_free.arg()), wrap_phase(-h_mp.arg())) > 1e-6);
+    }
+
+    #[test]
+    fn weak_reflector_perturbs_less_than_strong_one() {
+        let reader = Point3::ORIGIN;
+        let tag = Point3::new(0.8, 0.4, 0.0);
+        let free_phase = wrap_phase(
+            -MultipathEnvironment::free_space().round_trip_response(reader, tag, F).arg(),
+        );
+        let make = |c: f64| {
+            MultipathEnvironment::with_reflectors(vec![Reflector::new(
+                Point3::new(0.3, 2.0, 0.0),
+                c,
+            )])
+        };
+        let weak = wrap_phase(-make(0.05).round_trip_response(reader, tag, F).arg());
+        let strong = wrap_phase(-make(0.6).round_trip_response(reader, tag, F).arg());
+        assert!(phase_distance(free_phase, weak) < phase_distance(free_phase, strong));
+    }
+
+    #[test]
+    fn fade_is_zero_db_without_reflectors() {
+        let env = MultipathEnvironment::free_space();
+        let fade = env.round_trip_fade_db(Point3::ORIGIN, Point3::new(0.3, 0.4, 0.0), F);
+        assert!(fade.abs() < 1e-9);
+    }
+
+    #[test]
+    fn fade_varies_along_a_sweep_with_reflectors() {
+        // With reflectors, moving the reader produces both constructive and
+        // destructive interference over a couple of metres.
+        let env = MultipathEnvironment::indoor_shelf(3.0);
+        let tag = Point3::new(1.5, 0.0, 0.0);
+        let mut min_fade = f64::INFINITY;
+        let mut max_fade = f64::NEG_INFINITY;
+        for i in 0..300 {
+            let x = 3.0 * i as f64 / 300.0;
+            let fade = env.round_trip_fade_db(Point3::new(x, 0.3, 0.0), tag, F);
+            min_fade = min_fade.min(fade);
+            max_fade = max_fade.max(fade);
+        }
+        assert!(max_fade > 0.5, "expected constructive fading, max = {max_fade}");
+        assert!(min_fade < -2.0, "expected destructive fading, min = {min_fade}");
+    }
+
+    #[test]
+    fn reflection_coefficient_is_clamped() {
+        let r = Reflector::new(Point3::ORIGIN, 7.0);
+        assert_eq!(r.coefficient, 1.0);
+        let r = Reflector::new(Point3::ORIGIN, -1.0);
+        assert_eq!(r.coefficient, 0.0);
+    }
+
+    #[test]
+    fn path_count_counts_direct_path() {
+        assert_eq!(MultipathEnvironment::free_space().path_count(), 1);
+        assert_eq!(MultipathEnvironment::indoor_shelf(3.0).path_count(), 4);
+    }
+}

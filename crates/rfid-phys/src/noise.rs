@@ -1,0 +1,205 @@
+//! Measurement noise and read-miss models.
+//!
+//! Three stochastic effects are layered on top of the deterministic
+//! channel:
+//!
+//! * **Phase noise** — the phase reported by a COTS reader jitters by a few
+//!   degrees (the ImpinJ R420 datasheet quotes ~0.1 rad); modelled as
+//!   wrapped Gaussian noise.
+//! * **RSSI noise** — reported RSSI is quantised and jitters by ~1 dB.
+//! * **Read misses** — an interrogation can fail outright: the paper's
+//!   measured profiles are "fragmentary" outside the V-zone and even have
+//!   missing values inside it. Misses become more likely in deep multipath
+//!   fades and at the edge of the reading zone.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::phase::wrap_phase;
+
+/// Parameters of the measurement noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Standard deviation of the additive phase noise, radians.
+    pub phase_std_rad: f64,
+    /// Standard deviation of the additive RSSI noise, dB.
+    pub rssi_std_db: f64,
+    /// Probability that any single interrogation fails for reasons
+    /// unrelated to the channel (collisions resolved at the MAC layer are
+    /// modelled separately in `rfid-gen2`).
+    pub base_miss_probability: f64,
+    /// Additional miss probability per dB of multipath fade below
+    /// `fade_threshold_db`. Deep fades make reads very unreliable.
+    pub miss_per_db_fade: f64,
+    /// Fade depth (dB, negative) below which fade-induced misses start.
+    pub fade_threshold_db: f64,
+}
+
+impl NoiseModel {
+    /// Values calibrated to produce profiles that look like the paper's
+    /// measured profiles (Figures 5–6): ~0.1 rad phase jitter, ~1 dB RSSI
+    /// jitter, a few percent baseline miss rate and heavy misses in fades.
+    pub fn realistic() -> Self {
+        NoiseModel {
+            phase_std_rad: 0.1,
+            rssi_std_db: 1.0,
+            base_miss_probability: 0.05,
+            miss_per_db_fade: 0.06,
+            fade_threshold_db: -3.0,
+        }
+    }
+
+    /// No noise at all — used for analytic reference profiles.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            phase_std_rad: 0.0,
+            rssi_std_db: 0.0,
+            base_miss_probability: 0.0,
+            miss_per_db_fade: 0.0,
+            fade_threshold_db: -1000.0,
+        }
+    }
+
+    /// Applies phase noise to a clean phase value, returning a value in
+    /// `[0, 2π)`.
+    pub fn corrupt_phase<R: Rng + ?Sized>(&self, clean_phase: f64, rng: &mut R) -> f64 {
+        if self.phase_std_rad <= 0.0 {
+            return wrap_phase(clean_phase);
+        }
+        wrap_phase(clean_phase + gaussian(rng) * self.phase_std_rad)
+    }
+
+    /// Applies RSSI noise to a clean RSSI (dBm).
+    pub fn corrupt_rssi<R: Rng + ?Sized>(&self, clean_rssi_dbm: f64, rng: &mut R) -> f64 {
+        if self.rssi_std_db <= 0.0 {
+            return clean_rssi_dbm;
+        }
+        clean_rssi_dbm + gaussian(rng) * self.rssi_std_db
+    }
+
+    /// The probability that a read is missed given the current multipath
+    /// fade depth (dB; 0 = free space, negative = fade).
+    pub fn miss_probability(&self, fade_db: f64) -> f64 {
+        let mut p = self.base_miss_probability;
+        if fade_db < self.fade_threshold_db {
+            p += (self.fade_threshold_db - fade_db) * self.miss_per_db_fade;
+        }
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Samples whether the read is missed.
+    pub fn sample_miss<R: Rng + ?Sized>(&self, fade_db: f64, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.miss_probability(fade_db)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::realistic()
+    }
+}
+
+/// A standard normal sample via Box–Muller (keeps us off rand_distr).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{phase_distance, TWO_PI};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn noiseless_model_is_identity() {
+        let m = NoiseModel::noiseless();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(m.corrupt_phase(1.234, &mut rng), 1.234);
+        assert_eq!(m.corrupt_rssi(-55.0, &mut rng), -55.0);
+        assert_eq!(m.miss_probability(-40.0), 0.0);
+        assert!(!m.sample_miss(-40.0, &mut rng));
+    }
+
+    #[test]
+    fn phase_noise_stays_in_range_and_is_small() {
+        let m = NoiseModel::realistic();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let noisy = m.corrupt_phase(3.0, &mut rng);
+            assert!((0.0..TWO_PI).contains(&noisy));
+            assert!(phase_distance(noisy, 3.0) < 1.0, "noise should be well under a radian");
+        }
+    }
+
+    #[test]
+    fn phase_noise_statistics_match_configuration() {
+        let m = NoiseModel { phase_std_rad: 0.2, ..NoiseModel::realistic() };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        let clean = 2.0;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let d = m.corrupt_phase(clean, &mut rng) - clean;
+            sum += d;
+            sum_sq += d * d;
+        }
+        let mean = sum / n as f64;
+        let std = (sum_sq / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((std - 0.2).abs() < 0.02, "std = {std}");
+    }
+
+    #[test]
+    fn rssi_noise_statistics_match_configuration() {
+        let m = NoiseModel { rssi_std_db: 1.5, ..NoiseModel::realistic() };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let d = m.corrupt_rssi(-50.0, &mut rng) + 50.0;
+            sum += d;
+            sum_sq += d * d;
+        }
+        let mean = sum / n as f64;
+        let std = (sum_sq / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.05);
+        assert!((std - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn miss_probability_increases_in_fades() {
+        let m = NoiseModel::realistic();
+        let p_clear = m.miss_probability(0.0);
+        let p_mild = m.miss_probability(-5.0);
+        let p_deep = m.miss_probability(-20.0);
+        assert!(p_clear < p_mild);
+        assert!(p_mild < p_deep);
+        assert!(p_deep <= 1.0);
+        assert_eq!(m.miss_probability(-1000.0), 1.0);
+    }
+
+    #[test]
+    fn sample_miss_rate_tracks_probability() {
+        let m = NoiseModel::realistic();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let misses = (0..n).filter(|_| m.sample_miss(0.0, &mut rng)).count();
+        let rate = misses as f64 / n as f64;
+        assert!((rate - m.base_miss_probability).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = NoiseModel::realistic();
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(m.corrupt_phase(1.0, &mut a), m.corrupt_phase(1.0, &mut b));
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Path loss and the backscatter link budget.
+//!
+//! Passive UHF RFID is a two-way link: the reader powers the tag on the
+//! *forward* path and receives the tag's modulated reflection on the
+//! *reverse* path. Two quantities matter for the simulation:
+//!
+//! * **Tag power-up** — the tag only responds when the power it harvests on
+//!   the forward path exceeds its sensitivity (≈ −18 dBm for the tag models
+//!   in the paper). This defines the reading zone.
+//! * **Reader RSSI** — the received backscatter power, which falls with the
+//!   fourth power of distance in free space (`1/d²` each way). This is what
+//!   the reader reports as RSSI and what the G-RSSI baseline orders tags by.
+//!
+//! The free-space Friis model is the default; a two-ray ground/shelf
+//! reflection variant is available for environments with a strong nearby
+//! reflector (it produces the characteristic RSSI ripple of Figure 2).
+
+use crate::constants::wavelength;
+use serde::{Deserialize, Serialize};
+
+/// Decibel helpers.
+pub mod db {
+    /// Converts a linear power ratio to decibels.
+    pub fn from_linear(ratio: f64) -> f64 {
+        10.0 * ratio.log10()
+    }
+
+    /// Converts decibels to a linear power ratio.
+    pub fn to_linear(db: f64) -> f64 {
+        10f64.powf(db / 10.0)
+    }
+
+    /// Converts milliwatts to dBm.
+    pub fn dbm_from_mw(mw: f64) -> f64 {
+        10.0 * mw.log10()
+    }
+
+    /// Converts dBm to milliwatts.
+    pub fn mw_from_dbm(dbm: f64) -> f64 {
+        10f64.powf(dbm / 10.0)
+    }
+}
+
+/// One-way path loss models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLossModel {
+    /// Free-space (Friis) propagation.
+    FreeSpace,
+    /// Log-distance model with a configurable exponent (2.0 = free space,
+    /// 2.5–3.5 typical indoors) referenced to 1 m free-space loss.
+    LogDistance {
+        /// Path loss exponent.
+        exponent: f64,
+    },
+}
+
+impl PathLossModel {
+    /// One-way path loss in dB over `distance_m` at `frequency_hz`.
+    ///
+    /// Distances below 1 cm are clamped to 1 cm: the far-field formulas are
+    /// meaningless at the antenna surface and the clamp keeps the value
+    /// finite.
+    pub fn path_loss_db(&self, distance_m: f64, frequency_hz: f64) -> f64 {
+        let d = distance_m.max(0.01);
+        let lambda = wavelength(frequency_hz);
+        let friis_1m = db::from_linear((4.0 * std::f64::consts::PI / lambda).powi(2));
+        match *self {
+            PathLossModel::FreeSpace => {
+                friis_1m + 20.0 * d.log10()
+            }
+            PathLossModel::LogDistance { exponent } => {
+                friis_1m + 10.0 * exponent * d.log10()
+            }
+        }
+    }
+}
+
+/// The full backscatter link budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// One-way propagation model.
+    pub path_loss: PathLossModel,
+    /// Tag antenna gain, dBi (dipole-like tags ≈ 2 dBi).
+    pub tag_gain_dbi: f64,
+    /// Aggregate backscatter loss, dB: modulation loss plus polarisation
+    /// mismatch and on-object detuning. Calibrated so reported RSSI matches
+    /// the −45…−75 dBm range seen in the paper's Figure 2 at sub-metre to
+    /// metre distances.
+    pub modulation_loss_db: f64,
+    /// Minimum power the tag must harvest to operate, dBm (tag sensitivity,
+    /// ≈ −18 dBm for modern tags).
+    pub tag_sensitivity_dbm: f64,
+    /// Minimum backscatter power the reader can decode, dBm (reader
+    /// sensitivity, ≈ −84 dBm for the ImpinJ R420).
+    pub reader_sensitivity_dbm: f64,
+}
+
+impl LinkBudget {
+    /// Typical values for a COTS reader and modern passive tags.
+    pub fn typical() -> Self {
+        LinkBudget {
+            path_loss: PathLossModel::FreeSpace,
+            tag_gain_dbi: 2.0,
+            modulation_loss_db: 30.0,
+            tag_sensitivity_dbm: -18.0,
+            reader_sensitivity_dbm: -84.0,
+        }
+    }
+
+    /// Power delivered to the tag (dBm) given the reader EIRP towards the
+    /// tag (`tx_power_dbm + reader antenna gain towards the tag`, in dBm).
+    pub fn tag_received_power_dbm(
+        &self,
+        eirp_towards_tag_dbm: f64,
+        distance_m: f64,
+        frequency_hz: f64,
+    ) -> f64 {
+        eirp_towards_tag_dbm - self.path_loss.path_loss_db(distance_m, frequency_hz)
+            + self.tag_gain_dbi
+    }
+
+    /// Whether the tag powers up at this distance.
+    pub fn tag_powered(&self, eirp_towards_tag_dbm: f64, distance_m: f64, frequency_hz: f64) -> bool {
+        self.tag_received_power_dbm(eirp_towards_tag_dbm, distance_m, frequency_hz)
+            >= self.tag_sensitivity_dbm
+    }
+
+    /// Backscatter power received by the reader (dBm): forward loss, tag
+    /// gain twice (receive + re-radiate), modulation loss, reverse loss,
+    /// reader antenna gain towards the tag.
+    pub fn reader_received_power_dbm(
+        &self,
+        tx_power_dbm: f64,
+        reader_gain_towards_tag_dbi: f64,
+        distance_m: f64,
+        frequency_hz: f64,
+    ) -> f64 {
+        let one_way = self.path_loss.path_loss_db(distance_m, frequency_hz);
+        tx_power_dbm + reader_gain_towards_tag_dbi + self.tag_gain_dbi - one_way
+            - self.modulation_loss_db
+            + self.tag_gain_dbi
+            - one_way
+            + reader_gain_towards_tag_dbi
+    }
+
+    /// Whether the reader can decode the backscatter at this distance.
+    pub fn reader_can_decode(
+        &self,
+        tx_power_dbm: f64,
+        reader_gain_towards_tag_dbi: f64,
+        distance_m: f64,
+        frequency_hz: f64,
+    ) -> bool {
+        self.reader_received_power_dbm(
+            tx_power_dbm,
+            reader_gain_towards_tag_dbi,
+            distance_m,
+            frequency_hz,
+        ) >= self.reader_sensitivity_dbm
+    }
+
+    /// The maximum forward-link range (metres): the largest distance at
+    /// which the tag still powers up, found by bisection. This is what
+    /// bounds a COTS reader's reading zone (the forward link, not the
+    /// reverse link, is the limiting factor for passive tags).
+    pub fn max_forward_range_m(&self, eirp_dbm: f64, frequency_hz: f64) -> f64 {
+        let mut lo = 0.01;
+        let mut hi = 100.0;
+        if self.tag_powered(eirp_dbm, hi, frequency_hz) {
+            return hi;
+        }
+        if !self.tag_powered(eirp_dbm, lo, frequency_hz) {
+            return 0.0;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.tag_powered(eirp_dbm, mid, frequency_hz) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        LinkBudget::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: f64 = 920.625e6;
+
+    #[test]
+    fn db_conversions_roundtrip() {
+        assert!((db::to_linear(db::from_linear(42.0)) - 42.0).abs() < 1e-9);
+        assert!((db::mw_from_dbm(db::dbm_from_mw(3.5)) - 3.5).abs() < 1e-9);
+        assert!((db::from_linear(1.0)).abs() < 1e-12);
+        assert!((db::dbm_from_mw(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_space_loss_at_one_metre_is_about_31_db() {
+        // At 920 MHz the 1 m free-space loss is ≈ 31.7 dB.
+        let loss = PathLossModel::FreeSpace.path_loss_db(1.0, F);
+        assert!((loss - 31.7).abs() < 0.5, "loss = {loss}");
+    }
+
+    #[test]
+    fn free_space_loss_doubling_distance_adds_6_db() {
+        let l1 = PathLossModel::FreeSpace.path_loss_db(1.0, F);
+        let l2 = PathLossModel::FreeSpace.path_loss_db(2.0, F);
+        assert!((l2 - l1 - 6.02).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_distance_exponent_controls_slope() {
+        let m = PathLossModel::LogDistance { exponent: 3.0 };
+        let l1 = m.path_loss_db(1.0, F);
+        let l10 = m.path_loss_db(10.0, F);
+        assert!((l10 - l1 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_distances_are_clamped() {
+        let m = PathLossModel::FreeSpace;
+        assert_eq!(m.path_loss_db(0.0, F), m.path_loss_db(0.01, F));
+        assert!(m.path_loss_db(0.0, F).is_finite());
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let lb = LinkBudget::typical();
+        let p_near = lb.reader_received_power_dbm(30.0, 6.0, 0.3, F);
+        let p_far = lb.reader_received_power_dbm(30.0, 6.0, 1.0, F);
+        assert!(p_near > p_far);
+        // Round trip: doubling distance costs ~12 dB.
+        let p1 = lb.reader_received_power_dbm(30.0, 6.0, 1.0, F);
+        let p2 = lb.reader_received_power_dbm(30.0, 6.0, 2.0, F);
+        assert!((p1 - p2 - 12.04).abs() < 0.1);
+    }
+
+    #[test]
+    fn typical_rssi_magnitude_is_plausible() {
+        // Between 0.5 m and 2 m a COTS setup reports RSSI roughly in the
+        // -75..-30 dBm range (compare Figure 2 of the paper).
+        let lb = LinkBudget::typical();
+        let rssi_near = lb.reader_received_power_dbm(30.0, 6.0, 0.5, F);
+        let rssi_far = lb.reader_received_power_dbm(30.0, 6.0, 2.0, F);
+        assert!(rssi_near < -30.0 && rssi_near > -50.0, "rssi_near = {rssi_near}");
+        assert!(rssi_far < -50.0 && rssi_far > -75.0, "rssi_far = {rssi_far}");
+    }
+
+    #[test]
+    fn forward_link_limits_range() {
+        let lb = LinkBudget::typical();
+        let range = lb.max_forward_range_m(36.0, F);
+        // A 36 dBm EIRP with -18 dBm tag sensitivity gives a reading zone of
+        // a few metres — the right order of magnitude for UHF RFID.
+        assert!(range > 2.0 && range < 30.0, "range = {range}");
+        // Within the range the tag powers up; beyond it, it does not.
+        assert!(lb.tag_powered(36.0, range * 0.9, F));
+        assert!(!lb.tag_powered(36.0, range * 1.1, F));
+    }
+
+    #[test]
+    fn reader_decodes_within_typical_distances() {
+        let lb = LinkBudget::typical();
+        assert!(lb.reader_can_decode(30.0, 6.0, 1.0, F));
+        assert!(lb.reader_can_decode(30.0, 6.0, 3.0, F));
+    }
+
+    #[test]
+    fn max_range_degenerate_cases() {
+        let mut lb = LinkBudget::typical();
+        // An absurdly deaf tag never powers up.
+        lb.tag_sensitivity_dbm = 100.0;
+        assert_eq!(lb.max_forward_range_m(36.0, F), 0.0);
+        // An absurdly sensitive tag is capped at the 100 m search limit.
+        lb.tag_sensitivity_dbm = -500.0;
+        assert_eq!(lb.max_forward_range_m(36.0, F), 100.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The RF phase model of Equation 1 in the STPP paper.
+//!
+//! For a reader–tag distance `l` and carrier wavelength `λ`, the phase the
+//! reader reports is
+//!
+//! ```text
+//! θ = (2π · 2l/λ + μ) mod 2π          with   μ = θ_Tx + θ_Rx + θ_TAG
+//! ```
+//!
+//! where `θ_Tx`, `θ_Rx` and `θ_TAG` are constant phase rotations introduced
+//! by the reader transmit circuit, the reader receive circuit and the tag's
+//! reflection characteristic. The signal travels the round trip (`2l`),
+//! which is why the distance enters doubled.
+//!
+//! This module also provides the phase-wrapping helpers used throughout the
+//! stack (wrapping to `[0, 2π)`, signed differences, circular distance).
+
+use crate::constants::wavelength;
+use serde::{Deserialize, Serialize};
+
+/// 2π, the period of a phase measurement.
+pub const TWO_PI: f64 = std::f64::consts::TAU;
+
+/// Wraps an angle (radians) into `[0, 2π)`.
+pub fn wrap_phase(theta: f64) -> f64 {
+    let wrapped = theta.rem_euclid(TWO_PI);
+    // rem_euclid can return exactly TWO_PI for inputs like -1e-17 due to
+    // rounding; fold that case back to 0 so the invariant holds.
+    if wrapped >= TWO_PI {
+        0.0
+    } else {
+        wrapped
+    }
+}
+
+/// The smallest signed rotation taking `from` to `to`, in `(-π, π]`.
+pub fn signed_phase_difference(from: f64, to: f64) -> f64 {
+    let d = wrap_phase(to - from);
+    if d > std::f64::consts::PI {
+        d - TWO_PI
+    } else {
+        d
+    }
+}
+
+/// Circular distance between two phases, in `[0, π]`.
+pub fn phase_distance(a: f64, b: f64) -> f64 {
+    signed_phase_difference(a, b).abs()
+}
+
+/// Constant phase rotations contributed by the hardware: `μ` in Equation 1.
+///
+/// Different tag models and different readers have different offsets; the
+/// paper's "device diversity" hardware list (ImpinJ R420 / Alien antennas,
+/// four tag models) corresponds to different [`DeviceOffsets`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceOffsets {
+    /// Phase rotation of the reader transmit circuit, radians.
+    pub theta_tx: f64,
+    /// Phase rotation of the reader receive circuit, radians.
+    pub theta_rx: f64,
+    /// Phase rotation of the tag reflection characteristic, radians.
+    pub theta_tag: f64,
+}
+
+impl DeviceOffsets {
+    /// No hardware offsets — useful for analytic reference profiles.
+    pub const IDEAL: DeviceOffsets = DeviceOffsets { theta_tx: 0.0, theta_rx: 0.0, theta_tag: 0.0 };
+
+    /// Creates offsets from the three components.
+    pub const fn new(theta_tx: f64, theta_rx: f64, theta_tag: f64) -> Self {
+        DeviceOffsets { theta_tx, theta_rx, theta_tag }
+    }
+
+    /// The aggregate offset `μ = θ_Tx + θ_Rx + θ_TAG`.
+    pub fn mu(&self) -> f64 {
+        self.theta_tx + self.theta_rx + self.theta_tag
+    }
+}
+
+impl Default for DeviceOffsets {
+    fn default() -> Self {
+        DeviceOffsets::IDEAL
+    }
+}
+
+/// The deterministic part of the phase measurement: Equation 1 without
+/// noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseModel {
+    /// Carrier frequency in Hz.
+    pub frequency_hz: f64,
+    /// Hardware phase offsets.
+    pub offsets: DeviceOffsets,
+}
+
+impl PhaseModel {
+    /// Creates a phase model at `frequency_hz` with the given offsets.
+    pub fn new(frequency_hz: f64, offsets: DeviceOffsets) -> Self {
+        PhaseModel { frequency_hz, offsets }
+    }
+
+    /// An ideal model (no hardware offsets) at `frequency_hz`.
+    pub fn ideal(frequency_hz: f64) -> Self {
+        PhaseModel { frequency_hz, offsets: DeviceOffsets::IDEAL }
+    }
+
+    /// Carrier wavelength, metres.
+    pub fn wavelength(&self) -> f64 {
+        wavelength(self.frequency_hz)
+    }
+
+    /// The phase (radians, in `[0, 2π)`) reported for a reader–tag distance
+    /// of `distance_m` metres: Equation 1.
+    pub fn phase_at_distance(&self, distance_m: f64) -> f64 {
+        let lambda = self.wavelength();
+        wrap_phase(TWO_PI * 2.0 * distance_m / lambda + self.offsets.mu())
+    }
+
+    /// The *unwrapped* phase (radians, no modulo) at `distance_m`. The
+    /// difference of two unwrapped phases directly encodes the difference
+    /// in round-trip path length.
+    pub fn unwrapped_phase_at_distance(&self, distance_m: f64) -> f64 {
+        TWO_PI * 2.0 * distance_m / self.wavelength() + self.offsets.mu()
+    }
+
+    /// The rate of phase change (rad/s) for a tag whose distance to the
+    /// reader changes at `radial_velocity` m/s. This is the quantity the
+    /// paper's Y-axis ordering exploits: tags farther from the antenna
+    /// trajectory have lower radial velocity and hence a lower phase
+    /// changing rate (a "shallower V-zone").
+    pub fn phase_rate(&self, radial_velocity: f64) -> f64 {
+        TWO_PI * 2.0 * radial_velocity / self.wavelength()
+    }
+
+    /// Distance change corresponding to one full phase period (λ/2).
+    pub fn distance_per_period(&self) -> f64 {
+        self.wavelength() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const F: f64 = 920.625e6;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn wrap_phase_into_range() {
+        assert!(approx(wrap_phase(0.0), 0.0));
+        assert!(approx(wrap_phase(TWO_PI), 0.0));
+        assert!(approx(wrap_phase(-0.1), TWO_PI - 0.1));
+        assert!(approx(wrap_phase(3.0 * PI), PI));
+        for theta in [-100.0, -1.0, 0.0, 0.5, 7.0, 1234.5] {
+            let w = wrap_phase(theta);
+            assert!((0.0..TWO_PI).contains(&w), "{theta} wrapped to {w}");
+        }
+    }
+
+    #[test]
+    fn signed_difference_takes_short_way() {
+        assert!(approx(signed_phase_difference(0.1, 0.3), 0.2));
+        assert!(approx(signed_phase_difference(0.3, 0.1), -0.2));
+        // Across the wrap point the short way is small.
+        assert!(approx(signed_phase_difference(TWO_PI - 0.1, 0.1), 0.2));
+        assert!(approx(signed_phase_difference(0.1, TWO_PI - 0.1), -0.2));
+        // Opposite phases are exactly π apart.
+        assert!(approx(signed_phase_difference(0.0, PI), PI));
+    }
+
+    #[test]
+    fn phase_distance_is_symmetric_and_bounded() {
+        for (a, b) in [(0.0, 1.0), (0.5, 6.0), (3.0, 3.2), (0.0, PI)] {
+            let d1 = phase_distance(a, b);
+            let d2 = phase_distance(b, a);
+            assert!(approx(d1, d2));
+            assert!((0.0..=PI + 1e-12).contains(&d1));
+        }
+    }
+
+    #[test]
+    fn phase_at_zero_distance_is_mu() {
+        let offsets = DeviceOffsets::new(0.3, 0.4, 0.5);
+        let model = PhaseModel::new(F, offsets);
+        assert!(approx(model.phase_at_distance(0.0), wrap_phase(1.2)));
+        assert!(approx(offsets.mu(), 1.2));
+    }
+
+    #[test]
+    fn phase_repeats_every_half_wavelength() {
+        let model = PhaseModel::ideal(F);
+        let lambda = model.wavelength();
+        let d = 1.234;
+        let p1 = model.phase_at_distance(d);
+        let p2 = model.phase_at_distance(d + lambda / 2.0);
+        assert!(phase_distance(p1, p2) < 1e-9);
+        assert!(approx(model.distance_per_period(), lambda / 2.0));
+    }
+
+    #[test]
+    fn phase_decreases_then_increases_through_perpendicular_point() {
+        // Reproduce the core observation of the paper: as the reader moves
+        // along X past a tag, the (unwrapped) distance first decreases then
+        // increases, and so does the phase.
+        let model = PhaseModel::ideal(F);
+        let tag_x = 1.0;
+        let height = 0.3;
+        let dist = |x: f64| ((x - tag_x).powi(2) + height * height).sqrt();
+        let before = model.unwrapped_phase_at_distance(dist(0.5));
+        let at = model.unwrapped_phase_at_distance(dist(1.0));
+        let after = model.unwrapped_phase_at_distance(dist(1.5));
+        assert!(at < before);
+        assert!(at < after);
+    }
+
+    #[test]
+    fn unwrapped_phase_is_linear_in_distance() {
+        let model = PhaseModel::ideal(F);
+        let lambda = model.wavelength();
+        let p0 = model.unwrapped_phase_at_distance(1.0);
+        let p1 = model.unwrapped_phase_at_distance(1.0 + lambda);
+        // One wavelength of extra distance = two full turns (round trip).
+        assert!(approx(p1 - p0, 2.0 * TWO_PI));
+    }
+
+    #[test]
+    fn phase_rate_scales_with_radial_velocity() {
+        let model = PhaseModel::ideal(F);
+        let r1 = model.phase_rate(0.1);
+        let r2 = model.phase_rate(0.2);
+        assert!(approx(r2, 2.0 * r1));
+        assert!(r1 > 0.0);
+    }
+
+    #[test]
+    fn device_offsets_shift_phase_but_not_shape() {
+        let ideal = PhaseModel::ideal(F);
+        let offset = PhaseModel::new(F, DeviceOffsets::new(0.5, 0.6, 0.7));
+        let d1 = 0.8;
+        let d2 = 0.9;
+        // The *difference* between two distances is unchanged by μ.
+        let ideal_diff = ideal.unwrapped_phase_at_distance(d2) - ideal.unwrapped_phase_at_distance(d1);
+        let offset_diff =
+            offset.unwrapped_phase_at_distance(d2) - offset.unwrapped_phase_at_distance(d1);
+        assert!(approx(ideal_diff, offset_diff));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the physical-layer models.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_geometry::{Point3, Vec3};
+use rfid_phys::{
+    phase::{phase_distance, signed_phase_difference, wrap_phase, TWO_PI},
+    BackscatterChannel, ChannelConfig, MultipathEnvironment, NoiseModel, PathLossModel,
+    PhaseModel, ReaderAntenna, Reflector,
+};
+
+proptest! {
+    #[test]
+    fn wrapped_phase_always_in_range(theta in -1e6f64..1e6) {
+        let w = wrap_phase(theta);
+        prop_assert!((0.0..TWO_PI).contains(&w), "wrapped {theta} to {w}");
+    }
+
+    #[test]
+    fn wrapping_preserves_value_modulo_two_pi(theta in -1e3f64..1e3) {
+        let w = wrap_phase(theta);
+        let k = ((theta - w) / TWO_PI).round();
+        prop_assert!((theta - w - k * TWO_PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_difference_is_antisymmetric(a in 0.0f64..TWO_PI, b in 0.0f64..TWO_PI) {
+        let d1 = signed_phase_difference(a, b);
+        let d2 = signed_phase_difference(b, a);
+        // Antisymmetric except at exactly π where both directions are valid.
+        if d1.abs() < std::f64::consts::PI - 1e-9 {
+            prop_assert!((d1 + d2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase_model_output_in_range(d in 0.0f64..50.0, f in 860e6f64..960e6) {
+        let model = PhaseModel::ideal(f);
+        let p = model.phase_at_distance(d);
+        prop_assert!((0.0..TWO_PI).contains(&p));
+    }
+
+    #[test]
+    fn phase_periodicity_half_wavelength(d in 0.1f64..10.0, f in 860e6f64..960e6, k in 1u32..10) {
+        let model = PhaseModel::ideal(f);
+        let lambda = model.wavelength();
+        let p1 = model.phase_at_distance(d);
+        let p2 = model.phase_at_distance(d + k as f64 * lambda / 2.0);
+        prop_assert!(phase_distance(p1, p2) < 1e-6);
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance(
+        d1 in 0.05f64..30.0,
+        d2 in 0.05f64..30.0,
+        exponent in 1.5f64..4.0,
+    ) {
+        prop_assume!(d1 < d2);
+        for model in [PathLossModel::FreeSpace, PathLossModel::LogDistance { exponent }] {
+            prop_assert!(model.path_loss_db(d1, 920e6) <= model.path_loss_db(d2, 920e6) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn multipath_reduces_to_free_space_with_zero_coefficient(
+        rx in 0.0f64..3.0, ry in 0.2f64..2.0,
+        tx in 0.0f64..3.0,
+        px in -1.0f64..4.0, py in 0.5f64..3.0,
+    ) {
+        let reader = Point3::new(rx, ry, 0.0);
+        let tag = Point3::new(tx, 0.0, 0.0);
+        let free = MultipathEnvironment::free_space().round_trip_response(reader, tag, 920e6);
+        let env = MultipathEnvironment::with_reflectors(vec![
+            Reflector::new(Point3::new(px, py, 0.0), 0.0),
+        ]);
+        let with = env.round_trip_response(reader, tag, 920e6);
+        prop_assert!((free.re - with.re).abs() < 1e-12);
+        prop_assert!((free.im - with.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interrogation_phase_always_valid(
+        seed in 0u64..1000,
+        rx in 0.0f64..3.0,
+        tx in 0.0f64..3.0,
+    ) {
+        let antenna = ReaderAntenna::isotropic(30.0);
+        let ch = BackscatterChannel::new(ChannelConfig::realistic(antenna, 3.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let reader = Point3::new(rx, 0.3, 0.0);
+        let tag = Point3::new(tx, 0.0, 0.0);
+        for _ in 0..10 {
+            if let Some(m) = ch.interrogate(reader, tag, 5, 0.0, &mut rng) {
+                prop_assert!((0.0..TWO_PI).contains(&m.phase_rad));
+                prop_assert!(m.rssi_dbm.is_finite());
+                prop_assert!(m.true_distance_m >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn miss_probability_monotone_in_fade(fade1 in -60.0f64..0.0, fade2 in -60.0f64..0.0) {
+        prop_assume!(fade1 < fade2);
+        let noise = NoiseModel::realistic();
+        prop_assert!(noise.miss_probability(fade1) >= noise.miss_probability(fade2) - 1e-12);
+    }
+
+    #[test]
+    fn antenna_gain_bounded_by_boresight(angle in 0.0f64..std::f64::consts::PI) {
+        let ant = ReaderAntenna::typical(Vec3::Y);
+        let g = ant.pattern.gain_linear(angle);
+        let g0 = ant.pattern.gain_linear(0.0);
+        prop_assert!(g <= g0 + 1e-12);
+        prop_assert!(g >= 0.0);
+    }
+}

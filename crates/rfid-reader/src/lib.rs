@@ -1,0 +1,36 @@
+//! # rfid-reader
+//!
+//! The simulated COTS reader: the facade the STPP algorithms see.
+//!
+//! A real deployment connects a PC to an ImpinJ R420 over Ethernet and
+//! receives, for every successful tag interrogation, a report containing
+//! the EPC, a timestamp, the RF phase and the RSSI. This crate produces the
+//! same stream from simulation:
+//!
+//! * [`report`] — the [`TagReadReport`](report::TagReadReport) record and
+//!   stream helpers (group by tag, time ordering),
+//! * [`motion`] — stochastic manual-motion models that generate the speed
+//!   profiles of a hand-pushed cart (the source of the profile
+//!   stretching/compression STPP must tolerate),
+//! * [`scenario`] — complete experiment descriptions (tag layout + motion
+//!   case + channel) with builders for the paper's setups: the white-board
+//!   micro-benchmarks, the library bookshelf and the airport conveyor,
+//! * [`simulation`] — the engine that combines the Gen2 inventory process
+//!   with the backscatter channel and the motion models to produce a
+//!   [`SweepRecording`](simulation::SweepRecording).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod motion;
+pub mod report;
+pub mod scenario;
+pub mod simulation;
+
+pub use motion::ManualMotionModel;
+pub use report::{ReportStream, TagReadReport};
+pub use scenario::{
+    AntennaMotion, AntennaSweepParams, ConveyorParams, MotionCase, Scenario, ScenarioBuilder,
+    SimTag, TagTrack,
+};
+pub use simulation::{ReaderSimulation, SweepRecording};

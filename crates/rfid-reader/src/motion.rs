@@ -1,0 +1,176 @@
+//! Manual-motion models: the speed fluctuations of a human operator.
+//!
+//! In the antenna-moving case the reader is "attached to a shopping cart"
+//! or "fixed on a wheeled chair which is pushed manually". The resulting
+//! speed is anything but constant: it drifts around the nominal value,
+//! occasionally pauses, and those fluctuations stretch and compress the
+//! measured phase profiles — the very reason STPP matches profiles with
+//! Dynamic Time Warping instead of plain subsequence search.
+//!
+//! [`ManualMotionModel`] generates piecewise-constant [`SpeedProfile`]s
+//! with configurable jitter and pause behaviour, deterministically from a
+//! seed.
+
+use rand::Rng;
+use rfid_geometry::SpeedProfile;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic model of hand-pushed motion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManualMotionModel {
+    /// Nominal (average) speed, m/s. The paper uses 0.1 m/s for the
+    /// white-board experiments and ~0.3 m/s for the bookshelf sweep.
+    pub nominal_speed: f64,
+    /// Relative speed jitter: each segment's speed is drawn uniformly from
+    /// `nominal · [1 − jitter, 1 + jitter]`.
+    pub speed_jitter: f64,
+    /// Duration of each constant-speed segment, seconds.
+    pub segment_duration_s: f64,
+    /// Probability that any given segment is a complete pause (the operator
+    /// hesitates).
+    pub pause_probability: f64,
+}
+
+impl ManualMotionModel {
+    /// A gentle hand-pushed cart: ±30 % speed jitter, 0.5 s segments, 3 %
+    /// pause probability.
+    pub fn cart(nominal_speed: f64) -> Self {
+        ManualMotionModel {
+            nominal_speed,
+            speed_jitter: 0.3,
+            segment_duration_s: 0.5,
+            pause_probability: 0.03,
+        }
+    }
+
+    /// A perfectly steady machine (conveyor belt): no jitter, no pauses.
+    pub fn steady(speed: f64) -> Self {
+        ManualMotionModel {
+            nominal_speed: speed,
+            speed_jitter: 0.0,
+            segment_duration_s: 1.0,
+            pause_probability: 0.0,
+        }
+    }
+
+    /// Generates a speed profile covering at least `duration_s` seconds.
+    ///
+    /// Returns a constant profile at the nominal speed if the parameters
+    /// are degenerate (non-positive duration or segment length).
+    pub fn generate<R: Rng + ?Sized>(&self, duration_s: f64, rng: &mut R) -> SpeedProfile {
+        if duration_s <= 0.0 || self.segment_duration_s <= 0.0 || self.nominal_speed < 0.0 {
+            return SpeedProfile::constant(self.nominal_speed.max(0.0));
+        }
+        let segments = (duration_s / self.segment_duration_s).ceil() as usize + 1;
+        let mut parts = Vec::with_capacity(segments);
+        for _ in 0..segments {
+            let speed = if self.pause_probability > 0.0 && rng.gen::<f64>() < self.pause_probability
+            {
+                0.0
+            } else {
+                let jitter = if self.speed_jitter > 0.0 {
+                    1.0 + rng.gen_range(-self.speed_jitter..self.speed_jitter)
+                } else {
+                    1.0
+                };
+                (self.nominal_speed * jitter).max(0.0)
+            };
+            parts.push((self.segment_duration_s, speed));
+        }
+        SpeedProfile::from_segments(&parts)
+            .unwrap_or_else(|| SpeedProfile::constant(self.nominal_speed))
+    }
+
+    /// The expected time to cover `distance_m` at the nominal speed —
+    /// useful for sizing sweep durations before generating the profile.
+    pub fn nominal_time_for(&self, distance_m: f64) -> f64 {
+        if self.nominal_speed <= 0.0 {
+            f64::INFINITY
+        } else {
+            distance_m / self.nominal_speed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn steady_model_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let profile = ManualMotionModel::steady(0.3).generate(10.0, &mut rng);
+        for t in [0.0, 1.0, 5.0, 9.9] {
+            assert!((profile.speed_at(t) - 0.3).abs() < 1e-12);
+        }
+        assert!((profile.distance_at(10.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cart_model_speed_stays_within_jitter_bounds() {
+        let model = ManualMotionModel::cart(0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let profile = model.generate(30.0, &mut rng);
+        for i in 0..300 {
+            let t = 30.0 * i as f64 / 300.0;
+            let v = profile.speed_at(t);
+            assert!(
+                v == 0.0 || (v >= 0.1 * 0.7 - 1e-9 && v <= 0.1 * 1.3 + 1e-9),
+                "speed {v} outside jitter bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn cart_model_average_speed_is_close_to_nominal() {
+        let model = ManualMotionModel::cart(0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let profile = model.generate(120.0, &mut rng);
+        let mean = profile.mean_speed(120.0);
+        assert!((mean - 0.1).abs() < 0.02, "mean speed = {mean}");
+    }
+
+    #[test]
+    fn pauses_occur_with_high_pause_probability() {
+        let model = ManualMotionModel {
+            nominal_speed: 0.2,
+            speed_jitter: 0.1,
+            segment_duration_s: 0.5,
+            pause_probability: 0.5,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let profile = model.generate(30.0, &mut rng);
+        let paused = (0..300)
+            .map(|i| profile.speed_at(30.0 * i as f64 / 300.0))
+            .filter(|&v| v == 0.0)
+            .count();
+        assert!(paused > 50, "expected many paused samples, got {paused}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = ManualMotionModel::cart(0.1);
+        let a = model.generate(20.0, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = model.generate(20.0, &mut ChaCha8Rng::seed_from_u64(9));
+        let c = model.generate(20.0, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_parameters_fall_back_to_constant() {
+        let model = ManualMotionModel::cart(0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let profile = model.generate(-1.0, &mut rng);
+        assert!((profile.speed_at(3.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_time_calculation() {
+        let model = ManualMotionModel::cart(0.1);
+        assert!((model.nominal_time_for(3.0) - 30.0).abs() < 1e-12);
+        assert!(ManualMotionModel::steady(0.0).nominal_time_for(1.0).is_infinite());
+    }
+}

@@ -1,0 +1,191 @@
+//! Tag read reports — the reader's output stream.
+
+use rfid_gen2::Epc;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One successful tag interrogation, exactly the fields a COTS reader
+/// reports to the host application (plus simulation-only ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TagReadReport {
+    /// The tag's EPC.
+    pub epc: Epc,
+    /// Time of the read, seconds since the start of the sweep.
+    pub time_s: f64,
+    /// RF phase in `[0, 2π)` radians.
+    pub phase_rad: f64,
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+    /// Channel index the read happened on.
+    pub channel_idx: usize,
+    /// Ground truth only available in simulation: the reader–tag distance
+    /// at read time (metres). Never used by the localization algorithms.
+    pub true_distance_m: f64,
+}
+
+/// A time-ordered collection of reports with per-tag access.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportStream {
+    reports: Vec<TagReadReport>,
+}
+
+impl ReportStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        ReportStream { reports: Vec::new() }
+    }
+
+    /// Creates a stream from reports, sorting them by time.
+    pub fn from_reports(mut reports: Vec<TagReadReport>) -> Self {
+        reports.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("report times are finite"));
+        ReportStream { reports }
+    }
+
+    /// Appends a report, keeping time order (the common case is appending
+    /// in order, which is O(1)).
+    pub fn push(&mut self, report: TagReadReport) {
+        if let Some(last) = self.reports.last() {
+            if report.time_s < last.time_s {
+                // Insert at the right place to preserve ordering.
+                let idx = self
+                    .reports
+                    .partition_point(|r| r.time_s <= report.time_s);
+                self.reports.insert(idx, report);
+                return;
+            }
+        }
+        self.reports.push(report);
+    }
+
+    /// All reports in time order.
+    pub fn reports(&self) -> &[TagReadReport] {
+        &self.reports
+    }
+
+    /// Number of reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// The set of distinct tags seen, in EPC order.
+    pub fn tags(&self) -> Vec<Epc> {
+        let mut set: Vec<Epc> = self.by_tag().into_keys().collect();
+        set.sort();
+        set
+    }
+
+    /// Reports grouped per tag (each group stays time ordered).
+    pub fn by_tag(&self) -> BTreeMap<Epc, Vec<TagReadReport>> {
+        let mut map: BTreeMap<Epc, Vec<TagReadReport>> = BTreeMap::new();
+        for r in &self.reports {
+            map.entry(r.epc).or_default().push(*r);
+        }
+        map
+    }
+
+    /// Reports for one tag, in time order.
+    pub fn for_tag(&self, epc: Epc) -> Vec<TagReadReport> {
+        self.reports.iter().copied().filter(|r| r.epc == epc).collect()
+    }
+
+    /// Number of reads per tag.
+    pub fn read_counts(&self) -> BTreeMap<Epc, usize> {
+        let mut map = BTreeMap::new();
+        for r in &self.reports {
+            *map.entry(r.epc).or_insert(0usize) += 1;
+        }
+        map
+    }
+
+    /// The duration spanned by the stream (first to last report), seconds.
+    pub fn span_s(&self) -> f64 {
+        match (self.reports.first(), self.reports.last()) {
+            (Some(first), Some(last)) => last.time_s - first.time_s,
+            _ => 0.0,
+        }
+    }
+}
+
+impl FromIterator<TagReadReport> for ReportStream {
+    fn from_iter<I: IntoIterator<Item = TagReadReport>>(iter: I) -> Self {
+        ReportStream::from_reports(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(serial: u64, time: f64) -> TagReadReport {
+        TagReadReport {
+            epc: Epc::from_serial(serial),
+            time_s: time,
+            phase_rad: 1.0,
+            rssi_dbm: -50.0,
+            channel_idx: 5,
+            true_distance_m: 0.5,
+        }
+    }
+
+    #[test]
+    fn from_reports_sorts_by_time() {
+        let s = ReportStream::from_reports(vec![report(1, 2.0), report(2, 1.0), report(1, 3.0)]);
+        let times: Vec<f64> = s.reports().iter().map(|r| r.time_s).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn push_maintains_order_even_out_of_order() {
+        let mut s = ReportStream::new();
+        s.push(report(1, 1.0));
+        s.push(report(1, 3.0));
+        s.push(report(2, 2.0));
+        let times: Vec<f64> = s.reports().iter().map(|r| r.time_s).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn group_by_tag_preserves_time_order() {
+        let s = ReportStream::from_reports(vec![
+            report(1, 1.0),
+            report(2, 1.5),
+            report(1, 2.0),
+            report(2, 2.5),
+        ]);
+        let by_tag = s.by_tag();
+        assert_eq!(by_tag.len(), 2);
+        let t1: Vec<f64> = by_tag[&Epc::from_serial(1)].iter().map(|r| r.time_s).collect();
+        assert_eq!(t1, vec![1.0, 2.0]);
+        assert_eq!(s.for_tag(Epc::from_serial(2)).len(), 2);
+        assert!(s.for_tag(Epc::from_serial(3)).is_empty());
+    }
+
+    #[test]
+    fn read_counts_and_tags() {
+        let s = ReportStream::from_reports(vec![report(5, 0.0), report(5, 0.1), report(9, 0.2)]);
+        let counts = s.read_counts();
+        assert_eq!(counts[&Epc::from_serial(5)], 2);
+        assert_eq!(counts[&Epc::from_serial(9)], 1);
+        assert_eq!(s.tags(), vec![Epc::from_serial(5), Epc::from_serial(9)]);
+    }
+
+    #[test]
+    fn span_of_empty_and_nonempty_streams() {
+        assert_eq!(ReportStream::new().span_s(), 0.0);
+        let s = ReportStream::from_reports(vec![report(1, 1.0), report(1, 4.5)]);
+        assert!((s.span_s() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: ReportStream = vec![report(1, 2.0), report(2, 1.0)].into_iter().collect();
+        assert_eq!(s.reports()[0].epc, Epc::from_serial(2));
+    }
+}

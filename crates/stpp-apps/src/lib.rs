@@ -1,0 +1,22 @@
+//! # stpp-apps
+//!
+//! The two real-world case studies of the STPP paper, rebuilt on the
+//! simulation stack:
+//!
+//! * [`library`] — locating misplaced books on a shelf: a bookshelf
+//!   generator (books of random 3–8 cm thickness on multiple shelf levels),
+//!   a misplacement injector, and a detector that compares the STPP
+//!   ordering against the catalogue order to flag out-of-sequence books
+//!   (Section 5.1, Figure 21, Table 2).
+//! * [`airport`] — baggage handling on a conveyor: per-traffic-period bag
+//!   flows, batch ordering of bags as they pass the portal antenna, and
+//!   ordering-latency measurement (Section 5.2, Table 3, Figure 23).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airport;
+pub mod library;
+
+pub use airport::{BaggageBatch, BaggageSimulation, TrafficPeriod};
+pub use library::{Bookshelf, BookshelfParams, MisplacementOutcome, MisplacedBookExperiment};

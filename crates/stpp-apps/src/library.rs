@@ -1,0 +1,360 @@
+//! Misplaced-book locating in a library (Section 5.1 of the paper).
+//!
+//! Books sit on a shelf in strict catalogue order. Each book carries one
+//! tag on its spine; book thicknesses vary between 3 and 8 cm, so adjacent
+//! tags can be as close as 3 cm (the paper observes that the wrongly
+//! ordered books are exactly the thin ones). A librarian sweeps a
+//! cart-mounted antenna across the shelf; STPP recovers the physical order
+//! of the tags; books whose physical order disagrees with the catalogue
+//! order are flagged as misplaced.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_geometry::{Point3, TagLayout};
+use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder, SweepRecording};
+use serde::{Deserialize, Serialize};
+use stpp_core::{RelativeLocalizer, StppConfig};
+
+/// Parameters of the bookshelf generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BookshelfParams {
+    /// Number of books per shelf level.
+    pub books_per_level: usize,
+    /// Number of shelf levels (the paper uses 3).
+    pub levels: usize,
+    /// Minimum book thickness, metres (3 cm in the paper).
+    pub min_thickness_m: f64,
+    /// Maximum book thickness, metres (8 cm in the paper).
+    pub max_thickness_m: f64,
+    /// Depth offset between consecutive shelf levels, metres. Levels map to
+    /// the Y axis (distance from the antenna trajectory), so this must stay
+    /// small enough that the whole shelf fits inside one λ/2 phase period.
+    pub level_depth_m: f64,
+}
+
+impl Default for BookshelfParams {
+    fn default() -> Self {
+        BookshelfParams {
+            books_per_level: 30,
+            levels: 3,
+            min_thickness_m: 0.03,
+            max_thickness_m: 0.08,
+            level_depth_m: 0.04,
+        }
+    }
+}
+
+/// A generated bookshelf: the catalogue order and the tag layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bookshelf {
+    /// Parameters used to generate the shelf.
+    pub params: BookshelfParams,
+    /// Book ids in catalogue order, per level (level 0 first).
+    pub catalogue: Vec<Vec<u64>>,
+    /// Book thickness per id, metres.
+    pub thickness: Vec<(u64, f64)>,
+    /// Tag layout (spine positions). Ids match the catalogue.
+    pub layout: TagLayout,
+}
+
+impl Bookshelf {
+    /// Generates a shelf with random book thicknesses.
+    pub fn generate(params: BookshelfParams, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layout = TagLayout::new();
+        let mut catalogue = Vec::new();
+        let mut thickness = Vec::new();
+        let mut id = 0u64;
+        for level in 0..params.levels {
+            let mut level_ids = Vec::new();
+            let mut x = 0.0;
+            for _ in 0..params.books_per_level {
+                let t = rng.gen_range(params.min_thickness_m..=params.max_thickness_m);
+                // The tag sits on the spine, at the centre of the book.
+                layout.push(id, Point3::new(x + t / 2.0, params.level_depth_m * level as f64, 0.0));
+                thickness.push((id, t));
+                level_ids.push(id);
+                x += t;
+                id += 1;
+            }
+            catalogue.push(level_ids);
+        }
+        Bookshelf { params, catalogue, thickness, layout }
+    }
+
+    /// Total number of books.
+    pub fn book_count(&self) -> usize {
+        self.thickness.len()
+    }
+
+    /// The catalogue order of a given level.
+    pub fn catalogue_level(&self, level: usize) -> Option<&[u64]> {
+        self.catalogue.get(level).map(|v| v.as_slice())
+    }
+
+    /// Moves `book` to just after position `new_index` within its level,
+    /// recomputing the physical X positions of the whole level (books slide
+    /// together like real books do). Returns `false` if the book id is
+    /// unknown.
+    pub fn misplace_book(&mut self, book: u64, new_index: usize) -> bool {
+        let Some(level_idx) = self.catalogue.iter().position(|l| l.contains(&book)) else {
+            return false;
+        };
+        // Physical order on the shelf is whatever order the books currently
+        // sit in; we track it via the layout X coordinates.
+        let level_ids = &self.catalogue[level_idx];
+        let mut physical: Vec<u64> = level_ids.clone();
+        physical.sort_by(|a, b| {
+            let ax = self.layout.position_of(*a).expect("book in layout").x;
+            let bx = self.layout.position_of(*b).expect("book in layout").x;
+            ax.partial_cmp(&bx).expect("finite positions")
+        });
+        let current = physical.iter().position(|&b| b == book).expect("book on its level");
+        physical.remove(current);
+        let target = new_index.min(physical.len());
+        physical.insert(target, book);
+
+        // Re-pack the level from x = 0 using each book's thickness.
+        let mut placements: Vec<(u64, Point3)> = Vec::new();
+        let y = self.params.level_depth_m * level_idx as f64;
+        let mut x = 0.0;
+        for &b in &physical {
+            let t = self.thickness.iter().find(|(id, _)| *id == b).expect("thickness known").1;
+            placements.push((b, Point3::new(x + t / 2.0, y, 0.0)));
+            x += t;
+        }
+        // Rebuild the layout with the updated level.
+        let mut new_layout = TagLayout::new();
+        for (id, pos) in self.layout.iter() {
+            if let Some((_, new_pos)) = placements.iter().find(|(b, _)| *b == id) {
+                new_layout.push(id, *new_pos);
+            } else {
+                new_layout.push(id, pos);
+            }
+        }
+        self.layout = new_layout;
+        true
+    }
+
+    /// The physical (ground-truth) order of books on a level, by X.
+    pub fn physical_order(&self, level: usize) -> Vec<u64> {
+        let Some(level_ids) = self.catalogue.get(level) else {
+            return Vec::new();
+        };
+        let mut ids = level_ids.clone();
+        ids.sort_by(|a, b| {
+            let ax = self.layout.position_of(*a).expect("book in layout").x;
+            let bx = self.layout.position_of(*b).expect("book in layout").x;
+            ax.partial_cmp(&bx).expect("finite positions")
+        });
+        ids
+    }
+}
+
+/// The outcome of one misplaced-book detection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisplacementOutcome {
+    /// Books that were actually misplaced.
+    pub misplaced_truth: Vec<u64>,
+    /// Books the detector flagged as misplaced.
+    pub flagged: Vec<u64>,
+    /// STPP's ordering accuracy on this sweep (Equation 2, X axis, per
+    /// level, averaged).
+    pub ordering_accuracy: f64,
+}
+
+impl MisplacementOutcome {
+    /// Whether every truly misplaced book was flagged (the paper's
+    /// detection-success criterion for Table 2).
+    pub fn detected_all(&self) -> bool {
+        self.misplaced_truth.iter().all(|b| self.flagged.contains(b))
+    }
+}
+
+/// The misplaced-book experiment: sweep a shelf, order the tags with STPP,
+/// and flag books that are out of catalogue sequence.
+#[derive(Debug, Clone)]
+pub struct MisplacedBookExperiment {
+    /// STPP configuration used for the sweeps.
+    pub stpp: StppConfig,
+    /// Sweep parameters (cart speed ≈ 0.3 m/s in the paper's library).
+    pub sweep: AntennaSweepParams,
+}
+
+impl Default for MisplacedBookExperiment {
+    fn default() -> Self {
+        MisplacedBookExperiment {
+            stpp: StppConfig::default(),
+            sweep: AntennaSweepParams::default(),
+        }
+    }
+}
+
+impl MisplacedBookExperiment {
+    /// Runs one sweep over the shelf and returns the recording.
+    pub fn sweep_shelf(&self, shelf: &Bookshelf, seed: u64) -> Option<SweepRecording> {
+        let scenario = ScenarioBuilder::new(seed)
+            .with_name("library bookshelf sweep")
+            .antenna_sweep(&shelf.layout, self.sweep)?;
+        Some(ReaderSimulation::new(scenario, seed).run())
+    }
+
+    /// Flags books whose detected order disagrees with the catalogue order.
+    ///
+    /// The detected X order is compared per level against the catalogue;
+    /// books outside the longest common subsequence of the two orders are
+    /// the minimal set of books that must have moved, which is exactly what
+    /// a librarian wants flagged.
+    pub fn detect(&self, shelf: &Bookshelf, recording: &SweepRecording) -> MisplacementOutcome {
+        let result = RelativeLocalizer::new(self.stpp).localize_recording(recording);
+        let order_x = result.as_ref().map(|r| r.order_x.clone()).unwrap_or_default();
+
+        let mut flagged = Vec::new();
+        let mut accuracy_sum = 0.0;
+        let mut levels = 0usize;
+        for level in 0..shelf.params.levels {
+            let catalogue = shelf.catalogue_level(level).unwrap_or(&[]);
+            // The detected order restricted to this level's books.
+            let detected: Vec<u64> =
+                order_x.iter().copied().filter(|id| catalogue.contains(id)).collect();
+            let lcs = longest_common_subsequence(&detected, catalogue);
+            for id in &detected {
+                if !lcs.contains(id) {
+                    flagged.push(*id);
+                }
+            }
+            // Books never detected at all are also flagged (they could not
+            // be confirmed to be in place).
+            for id in catalogue {
+                if !detected.contains(id) {
+                    flagged.push(*id);
+                }
+            }
+            accuracy_sum +=
+                stpp_core::ordering_accuracy(&detected, &shelf.physical_order(level));
+            levels += 1;
+        }
+
+        // Ground truth: books whose physical order differs from catalogue.
+        let mut misplaced_truth = Vec::new();
+        for level in 0..shelf.params.levels {
+            let catalogue = shelf.catalogue_level(level).unwrap_or(&[]);
+            let physical = shelf.physical_order(level);
+            let lcs = longest_common_subsequence(&physical, catalogue);
+            for id in &physical {
+                if !lcs.contains(id) {
+                    misplaced_truth.push(*id);
+                }
+            }
+        }
+
+        MisplacementOutcome {
+            misplaced_truth,
+            flagged,
+            ordering_accuracy: accuracy_sum / levels.max(1) as f64,
+        }
+    }
+}
+
+/// Longest common subsequence of two id sequences (classic O(n·m) DP).
+pub fn longest_common_subsequence(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![0usize; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[idx(i, j)] = if a[i - 1] == b[j - 1] {
+                dp[idx(i - 1, j - 1)] + 1
+            } else {
+                dp[idx(i - 1, j)].max(dp[idx(i, j - 1)])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        if a[i - 1] == b[j - 1] {
+            out.push(a[i - 1]);
+            i -= 1;
+            j -= 1;
+        } else if dp[idx(i - 1, j)] >= dp[idx(i, j - 1)] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_shelf(seed: u64) -> Bookshelf {
+        Bookshelf::generate(
+            BookshelfParams { books_per_level: 8, levels: 2, ..BookshelfParams::default() },
+            seed,
+        )
+    }
+
+    #[test]
+    fn generated_shelf_has_expected_structure() {
+        let shelf = small_shelf(1);
+        assert_eq!(shelf.book_count(), 16);
+        assert_eq!(shelf.catalogue.len(), 2);
+        for level in 0..2 {
+            // Catalogue order equals physical order before any misplacement.
+            assert_eq!(shelf.physical_order(level), shelf.catalogue[level]);
+        }
+        for (_, t) in &shelf.thickness {
+            assert!((0.03..=0.08).contains(t));
+        }
+    }
+
+    #[test]
+    fn misplacing_a_book_changes_physical_but_not_catalogue_order() {
+        let mut shelf = small_shelf(2);
+        let book = shelf.catalogue[0][1];
+        assert!(shelf.misplace_book(book, 6));
+        assert_ne!(shelf.physical_order(0), shelf.catalogue[0]);
+        // The catalogue itself is untouched.
+        assert_eq!(shelf.catalogue[0].len(), 8);
+        // Unknown books are rejected.
+        assert!(!shelf.misplace_book(9999, 0));
+    }
+
+    #[test]
+    fn lcs_identifies_moved_elements() {
+        let catalogue = vec![1, 2, 3, 4, 5];
+        let physical = vec![1, 3, 4, 2, 5]; // book 2 moved back
+        let lcs = longest_common_subsequence(&physical, &catalogue);
+        assert!(!lcs.contains(&2) || lcs.len() == 4);
+        assert_eq!(lcs.len(), 4);
+        // Identical sequences give the full sequence.
+        assert_eq!(longest_common_subsequence(&catalogue, &catalogue), catalogue);
+        assert!(longest_common_subsequence(&[], &catalogue).is_empty());
+    }
+
+    #[test]
+    fn end_to_end_detection_flags_the_misplaced_book() {
+        let mut shelf = Bookshelf::generate(
+            BookshelfParams { books_per_level: 10, levels: 1, ..BookshelfParams::default() },
+            3,
+        );
+        let moved = shelf.catalogue[0][2];
+        assert!(shelf.misplace_book(moved, 8));
+        let experiment = MisplacedBookExperiment::default();
+        let recording = experiment.sweep_shelf(&shelf, 3).expect("sweep");
+        let outcome = experiment.detect(&shelf, &recording);
+        assert!(outcome.misplaced_truth.contains(&moved));
+        assert!(
+            outcome.flagged.contains(&moved),
+            "moved book {moved} not flagged; flagged = {:?}, accuracy = {}",
+            outcome.flagged,
+            outcome.ordering_accuracy
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! BackPos: phase-based absolute positioning.
+//!
+//! BackPos (Liu et al., INFOCOM'14) positions a tag from the RF phase
+//! differences observed at multiple antennas (hyperbolic positioning). With
+//! the paper's single moving antenna, the equivalent information is the
+//! phase observed at many *antenna positions along the trajectory*; the tag
+//! position is recovered by searching a candidate grid for the point whose
+//! predicted phases best explain the measurements (the same synthetic-
+//! aperture idea the paper attributes to Tagoram/PinIt). Tags are then
+//! ordered by their estimated coordinates — making BackPos the strongest
+//! baseline, as in the paper's Figure 17.
+
+use serde::{Deserialize, Serialize};
+
+use crate::common::{order_by_key, reports_by_id, OrderingScheme, SchemeResult};
+use rfid_phys::phase::{phase_distance, wrap_phase, TWO_PI};
+use rfid_reader::{SweepRecording, TagReadReport};
+
+/// The BackPos baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackPos {
+    /// Grid resolution (metres) of the position search.
+    pub grid_step_m: f64,
+    /// Maximum number of phase measurements used per tag (evenly
+    /// subsampled) to bound the search cost.
+    pub max_measurements: usize,
+    /// Extra margin (metres) added around the antenna trajectory when
+    /// building the candidate region in X.
+    pub margin_m: f64,
+    /// Candidate Y range searched on each side of the trajectory, metres.
+    pub y_range_m: f64,
+}
+
+impl Default for BackPos {
+    fn default() -> Self {
+        BackPos { grid_step_m: 0.02, max_measurements: 60, margin_m: 0.3, y_range_m: 1.0 }
+    }
+}
+
+impl BackPos {
+    /// Estimates one tag's position in the X/Y plane of the antenna
+    /// trajectory (Y measured as distance from the trajectory line).
+    fn estimate_position(
+        &self,
+        recording: &SweepRecording,
+        reports: &[TagReadReport],
+        wavelength: f64,
+    ) -> Option<(f64, f64)> {
+        if reports.len() < 4 {
+            return None;
+        }
+        // Evenly subsample the reports.
+        let step = (reports.len() / self.max_measurements.max(1)).max(1);
+        let samples: Vec<&TagReadReport> = reports.iter().step_by(step).collect();
+        // Antenna positions at the sampled times.
+        let antenna: Vec<(f64, f64, f64)> = samples
+            .iter()
+            .map(|r| {
+                let p = recording.scenario.antenna_motion.position_at(r.time_s);
+                (p.x, p.y, p.z)
+            })
+            .collect();
+        let min_x = antenna.iter().map(|p| p.0).fold(f64::INFINITY, f64::min) - self.margin_m;
+        let max_x = antenna.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max) + self.margin_m;
+        let base_y = antenna.first()?.1;
+        let base_z = antenna.first()?.2;
+
+        // The unknown constant phase offset μ is eliminated by comparing
+        // phase *differences* relative to the first measurement.
+        let mut best: Option<(f64, (f64, f64))> = None;
+        let steps_x = ((max_x - min_x) / self.grid_step_m).ceil() as usize + 1;
+        let steps_y = (self.y_range_m / self.grid_step_m).ceil() as usize + 1;
+        for ix in 0..steps_x {
+            let x = min_x + ix as f64 * self.grid_step_m;
+            for iy in 0..steps_y {
+                let y = base_y + iy as f64 * self.grid_step_m;
+                let mut cost = 0.0;
+                let mut first_diff: Option<f64> = None;
+                for (r, a) in samples.iter().zip(antenna.iter()) {
+                    let d = ((x - a.0).powi(2) + (y - a.1).powi(2) + base_z.powi(2)).sqrt();
+                    let predicted = wrap_phase(TWO_PI * 2.0 * d / wavelength);
+                    let diff = wrap_phase(r.phase_rad - predicted);
+                    match first_diff {
+                        None => first_diff = Some(diff),
+                        Some(reference) => cost += phase_distance(diff, reference),
+                    }
+                }
+                if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                    best = Some((cost, (x, y)));
+                }
+            }
+        }
+        best.map(|(_, pos)| pos)
+    }
+}
+
+impl OrderingScheme for BackPos {
+    fn name(&self) -> &'static str {
+        "BackPos"
+    }
+
+    fn order(&self, recording: &SweepRecording) -> SchemeResult {
+        let wavelength = recording
+            .scenario
+            .channel
+            .plan
+            .wavelength(recording.scenario.channel_index)
+            .unwrap_or(0.326);
+        let mut x_keys = Vec::new();
+        let mut y_keys = Vec::new();
+        let mut unplaced = Vec::new();
+        for (id, reports) in reports_by_id(recording) {
+            match self.estimate_position(recording, &reports, wavelength) {
+                Some((x, y)) => {
+                    x_keys.push((id, x));
+                    y_keys.push((id, y));
+                }
+                None => unplaced.push(id),
+            }
+        }
+        SchemeResult {
+            order_x: order_by_key(x_keys),
+            order_y: Some(order_by_key(y_keys)),
+            unplaced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::RowLayout;
+    use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+    use stpp_core::ordering_accuracy;
+
+    #[test]
+    fn backpos_orders_well_spaced_tags_along_x() {
+        let layout = RowLayout::new(0.0, 0.0, 0.15, 4).build();
+        let scenario = ScenarioBuilder::new(51)
+            .antenna_sweep(&layout, AntennaSweepParams::default())
+            .unwrap();
+        let truth_x = scenario.truth_order_x();
+        let recording = ReaderSimulation::new(scenario, 51).run();
+        let result = BackPos::default().order(&recording);
+        assert_eq!(result.order_x.len(), 4, "unplaced {:?}", result.unplaced);
+        let acc = ordering_accuracy(&result.order_x, &truth_x);
+        assert!(acc >= 0.5, "BackPos X accuracy {acc}: {:?}", result.order_x);
+    }
+
+    #[test]
+    fn backpos_needs_enough_measurements() {
+        let scheme = BackPos::default();
+        let layout = RowLayout::new(0.0, 0.0, 0.2, 1).build();
+        let scenario = ScenarioBuilder::new(52)
+            .antenna_sweep(&layout, AntennaSweepParams::default())
+            .unwrap();
+        let recording = ReaderSimulation::new(scenario, 52).run();
+        let wavelength = 0.326;
+        let reports = reports_by_id(&recording).remove(&0).unwrap();
+        assert!(scheme.estimate_position(&recording, &reports[..2], wavelength).is_none());
+        assert!(scheme.estimate_position(&recording, &reports, wavelength).is_some());
+    }
+}

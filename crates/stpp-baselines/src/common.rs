@@ -1,0 +1,197 @@
+//! The shared scheme interface and report-stream helpers.
+
+use std::collections::BTreeMap;
+
+use rfid_reader::{SweepRecording, TagReadReport};
+use serde::{Deserialize, Serialize};
+
+/// Tags with ids at or above this value are *reference tags*: anchors at
+/// known positions deployed for schemes that need them (LANDMARC). They are
+/// excluded from every scheme's output ordering and from accuracy scoring.
+pub const REFERENCE_ID_BASE: u64 = 1_000_000;
+
+/// The output of one ordering scheme on one sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeResult {
+    /// Detected order along the X axis (movement direction).
+    pub order_x: Vec<u64>,
+    /// Detected order along the Y axis, if the scheme can produce one.
+    pub order_y: Option<Vec<u64>>,
+    /// Tags the scheme could not place (missing from both orders).
+    pub unplaced: Vec<u64>,
+}
+
+/// A relative-ordering scheme operating on a sweep recording.
+pub trait OrderingScheme {
+    /// Short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes the tag ordering for a recording.
+    fn order(&self, recording: &SweepRecording) -> SchemeResult;
+}
+
+/// Per-tag report groups keyed by ground-truth id, excluding reference
+/// tags.
+pub fn reports_by_id(recording: &SweepRecording) -> BTreeMap<u64, Vec<TagReadReport>> {
+    let epc_to_id = recording.epc_to_id();
+    let mut map: BTreeMap<u64, Vec<TagReadReport>> = BTreeMap::new();
+    for (epc, reports) in recording.stream.by_tag() {
+        if let Some(&id) = epc_to_id.get(&epc) {
+            if id < REFERENCE_ID_BASE {
+                map.insert(id, reports);
+            }
+        }
+    }
+    map
+}
+
+/// Per-reference-tag report groups keyed by ground-truth id.
+pub fn reference_reports_by_id(recording: &SweepRecording) -> BTreeMap<u64, Vec<TagReadReport>> {
+    let epc_to_id = recording.epc_to_id();
+    let mut map: BTreeMap<u64, Vec<TagReadReport>> = BTreeMap::new();
+    for (epc, reports) in recording.stream.by_tag() {
+        if let Some(&id) = epc_to_id.get(&epc) {
+            if id >= REFERENCE_ID_BASE {
+                map.insert(id, reports);
+            }
+        }
+    }
+    map
+}
+
+/// A smoothed RSSI series: `(time, rssi)` after a centred moving average of
+/// `window` samples.
+pub fn smoothed_rssi(reports: &[TagReadReport], window: usize) -> Vec<(f64, f64)> {
+    let window = window.max(1);
+    let half = window / 2;
+    (0..reports.len())
+        .map(|i| {
+            let start = i.saturating_sub(half);
+            let end = (i + half + 1).min(reports.len());
+            let mean =
+                reports[start..end].iter().map(|r| r.rssi_dbm).sum::<f64>() / (end - start) as f64;
+            (reports[i].time_s, mean)
+        })
+        .collect()
+}
+
+/// The time at which the smoothed RSSI peaks, and the peak value. Returns
+/// `None` for an empty report list.
+pub fn peak_rssi(reports: &[TagReadReport], window: usize) -> Option<(f64, f64)> {
+    let smoothed = smoothed_rssi(reports, window);
+    smoothed
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite RSSI"))
+}
+
+/// Sorts `(id, key)` pairs by the key and returns the ids.
+pub fn order_by_key(mut pairs: Vec<(u64, f64)>) -> Vec<u64> {
+    pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ordering keys"));
+    pairs.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Bins the sweep into `bins` equal time slices and returns, for the given
+/// reports, the mean RSSI in each bin (`None` where the tag was not read).
+/// Used as the LANDMARC fingerprint for a moving antenna.
+pub fn rssi_fingerprint(
+    reports: &[TagReadReport],
+    sweep_duration: f64,
+    bins: usize,
+) -> Vec<Option<f64>> {
+    let bins = bins.max(1);
+    let mut sums = vec![0.0f64; bins];
+    let mut counts = vec![0usize; bins];
+    for r in reports {
+        let idx = ((r.time_s / sweep_duration.max(1e-9)) * bins as f64) as usize;
+        let idx = idx.min(bins - 1);
+        sums[idx] += r.rssi_dbm;
+        counts[idx] += 1;
+    }
+    (0..bins)
+        .map(|i| if counts[i] > 0 { Some(sums[i] / counts[i] as f64) } else { None })
+        .collect()
+}
+
+/// Euclidean distance between two fingerprints over the bins where both
+/// have data; bins observed by only one tag contribute a fixed penalty.
+/// Returns `f64::INFINITY` when the fingerprints share no bins.
+pub fn fingerprint_distance(a: &[Option<f64>], b: &[Option<f64>], missing_penalty_db: f64) -> f64 {
+    let mut sum = 0.0;
+    let mut common = 0usize;
+    for (x, y) in a.iter().zip(b.iter()) {
+        match (x, y) {
+            (Some(x), Some(y)) => {
+                sum += (x - y) * (x - y);
+                common += 1;
+            }
+            (Some(_), None) | (None, Some(_)) => sum += missing_penalty_db * missing_penalty_db,
+            (None, None) => {}
+        }
+    }
+    if common == 0 {
+        f64::INFINITY
+    } else {
+        sum.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc;
+
+    fn report(time: f64, rssi: f64) -> TagReadReport {
+        TagReadReport {
+            epc: Epc::from_serial(1),
+            time_s: time,
+            phase_rad: 1.0,
+            rssi_dbm: rssi,
+            channel_idx: 5,
+            true_distance_m: 1.0,
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_single_sample_spikes() {
+        let reports: Vec<TagReadReport> = (0..20)
+            .map(|i| report(i as f64, if i == 10 { -30.0 } else { -60.0 }))
+            .collect();
+        let raw_peak = peak_rssi(&reports, 1).unwrap();
+        let smooth_peak = peak_rssi(&reports, 5).unwrap();
+        assert_eq!(raw_peak.1, -30.0);
+        assert!(smooth_peak.1 < -50.0, "smoothing should dilute the spike");
+    }
+
+    #[test]
+    fn peak_rssi_finds_the_true_maximum_region() {
+        let reports: Vec<TagReadReport> = (0..100)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                report(t, -60.0 + 20.0 * (-((t - 5.0) / 2.0).powi(2)).exp())
+            })
+            .collect();
+        let (t_peak, _) = peak_rssi(&reports, 5).unwrap();
+        assert!((t_peak - 5.0).abs() < 0.5);
+        assert!(peak_rssi(&[], 5).is_none());
+    }
+
+    #[test]
+    fn order_by_key_sorts_ascending() {
+        assert_eq!(order_by_key(vec![(1, 3.0), (2, 1.0), (3, 2.0)]), vec![2, 3, 1]);
+        assert!(order_by_key(vec![]).is_empty());
+    }
+
+    #[test]
+    fn fingerprints_bin_and_compare() {
+        let reports: Vec<TagReadReport> = (0..50).map(|i| report(i as f64 * 0.2, -50.0)).collect();
+        let fp = rssi_fingerprint(&reports, 10.0, 5);
+        assert_eq!(fp.len(), 5);
+        assert!(fp.iter().all(|b| b.is_some()));
+        let fp2: Vec<Option<f64>> = fp.iter().map(|b| b.map(|v| v - 3.0)).collect();
+        let d = fingerprint_distance(&fp, &fp2, 10.0);
+        assert!((d - (9.0f64 * 5.0).sqrt()).abs() < 1e-9);
+        // Disjoint fingerprints are infinitely far apart.
+        let empty = vec![None; 5];
+        assert!(fingerprint_distance(&fp, &empty, 10.0).is_infinite());
+    }
+}

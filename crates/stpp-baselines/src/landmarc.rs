@@ -1,0 +1,152 @@
+//! LANDMARC: k-nearest-neighbour positioning with reference tags.
+//!
+//! LANDMARC (Ni et al.) estimates a tag's absolute position as the weighted
+//! centroid of the k reference tags whose RSSI fingerprints are most
+//! similar to the target's. The original system uses several fixed readers;
+//! with the paper's single moving antenna the natural adaptation is to use
+//! the *time-binned RSSI vector along the sweep* as the fingerprint (each
+//! time bin plays the role of one reader position).
+//!
+//! Reference tags are ordinary tags in the scenario whose ids are at or
+//! above [`REFERENCE_ID_BASE`](crate::common::REFERENCE_ID_BASE); their
+//! true positions are taken from the scenario, exactly as a real LANDMARC
+//! deployment surveys its anchors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::common::{
+    fingerprint_distance, order_by_key, reference_reports_by_id, reports_by_id, rssi_fingerprint,
+    OrderingScheme, SchemeResult,
+};
+use rfid_reader::SweepRecording;
+
+/// The LANDMARC baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Landmarc {
+    /// Number of nearest reference tags used in the weighted centroid.
+    pub k: usize,
+    /// Number of time bins in the RSSI fingerprint.
+    pub fingerprint_bins: usize,
+    /// Penalty (dB) for fingerprint bins observed for only one of the two
+    /// tags being compared.
+    pub missing_penalty_db: f64,
+}
+
+impl Default for Landmarc {
+    fn default() -> Self {
+        Landmarc { k: 4, fingerprint_bins: 24, missing_penalty_db: 6.0 }
+    }
+}
+
+impl OrderingScheme for Landmarc {
+    fn name(&self) -> &'static str {
+        "LANDMARC"
+    }
+
+    fn order(&self, recording: &SweepRecording) -> SchemeResult {
+        let duration = recording.scenario.duration_s;
+        let references = reference_reports_by_id(recording);
+        // Precompute reference fingerprints and positions.
+        let ref_data: Vec<(Vec<Option<f64>>, (f64, f64))> = references
+            .iter()
+            .filter_map(|(id, reports)| {
+                let tag = recording.scenario.tag_by_id(*id)?;
+                let pos = tag.track.position_at(0.0);
+                Some((rssi_fingerprint(reports, duration, self.fingerprint_bins), (pos.x, pos.y)))
+            })
+            .collect();
+
+        let mut x_keys = Vec::new();
+        let mut y_keys = Vec::new();
+        let mut unplaced = Vec::new();
+        for (id, reports) in reports_by_id(recording) {
+            if ref_data.is_empty() || reports.is_empty() {
+                unplaced.push(id);
+                continue;
+            }
+            let fp = rssi_fingerprint(&reports, duration, self.fingerprint_bins);
+            let mut neighbours: Vec<(f64, (f64, f64))> = ref_data
+                .iter()
+                .map(|(ref_fp, pos)| {
+                    (fingerprint_distance(&fp, ref_fp, self.missing_penalty_db), *pos)
+                })
+                .filter(|(d, _)| d.is_finite())
+                .collect();
+            if neighbours.is_empty() {
+                unplaced.push(id);
+                continue;
+            }
+            neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            neighbours.truncate(self.k.max(1));
+            // Weighted centroid with 1/d² weights (LANDMARC's weighting).
+            let mut wx = 0.0;
+            let mut wy = 0.0;
+            let mut wsum = 0.0;
+            for (d, (x, y)) in &neighbours {
+                let w = 1.0 / (d * d).max(1e-6);
+                wx += w * x;
+                wy += w * y;
+                wsum += w;
+            }
+            x_keys.push((id, wx / wsum));
+            y_keys.push((id, wy / wsum));
+        }
+        SchemeResult {
+            order_x: order_by_key(x_keys),
+            order_y: Some(order_by_key(y_keys)),
+            unplaced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::REFERENCE_ID_BASE;
+    use rfid_geometry::{Point3, TagLayout};
+    use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+
+    /// A row of target tags plus a co-located row of reference tags.
+    fn layout_with_references(count: usize, spacing: f64) -> TagLayout {
+        let mut layout = TagLayout::new();
+        for i in 0..count {
+            layout.push(i as u64, Point3::new(spacing * i as f64, 0.0, 0.0));
+        }
+        // Reference tags interleaved between the targets, slightly offset.
+        for i in 0..count {
+            layout.push(
+                REFERENCE_ID_BASE + i as u64,
+                Point3::new(spacing * i as f64 + spacing / 2.0, 0.02, 0.0),
+            );
+        }
+        layout
+    }
+
+    #[test]
+    fn landmarc_places_every_target_tag() {
+        let layout = layout_with_references(4, 0.15);
+        let scenario = ScenarioBuilder::new(41)
+            .antenna_sweep(&layout, AntennaSweepParams::default())
+            .unwrap();
+        let recording = ReaderSimulation::new(scenario, 41).run();
+        let result = Landmarc::default().order(&recording);
+        assert_eq!(result.order_x.len(), 4, "unplaced: {:?}", result.unplaced);
+        // Only target ids appear in the ordering.
+        assert!(result.order_x.iter().all(|id| *id < REFERENCE_ID_BASE));
+        assert!(result.order_y.is_some());
+    }
+
+    #[test]
+    fn landmarc_without_references_places_nothing() {
+        let layout = TagLayout::new()
+            .with_tag(0, Point3::new(0.0, 0.0, 0.0))
+            .with_tag(1, Point3::new(0.2, 0.0, 0.0));
+        let scenario = ScenarioBuilder::new(42)
+            .antenna_sweep(&layout, AntennaSweepParams::default())
+            .unwrap();
+        let recording = ReaderSimulation::new(scenario, 42).run();
+        let result = Landmarc::default().order(&recording);
+        assert!(result.order_x.is_empty());
+        assert_eq!(result.unplaced.len(), 2);
+    }
+}

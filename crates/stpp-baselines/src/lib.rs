@@ -1,0 +1,41 @@
+//! # stpp-baselines
+//!
+//! The comparison schemes the STPP paper evaluates against (Section 4.4),
+//! re-implemented on top of the same simulated reader report stream:
+//!
+//! * [`GRssi`] — order tags by the time of their peak RSSI (the
+//!   "straightforward scheme" the paper shows fails under multipath).
+//! * [`OTrack`] — order tags by combining RSSI dynamics with the tag read
+//!   rate (after Shangguan et al., INFOCOM'13).
+//! * [`Landmarc`] — k-nearest-neighbour positioning against reference tags
+//!   at known positions (Ni et al.), adapted to a moving antenna by using
+//!   time-binned RSSI vectors as the fingerprint.
+//! * [`BackPos`] — phase-based absolute positioning (Liu et al.,
+//!   INFOCOM'14): the tag position is estimated by a grid search that best
+//!   explains the phase measurements collected along the antenna
+//!   trajectory, then tags are ordered by their estimated coordinates.
+//! * [`StppScheme`] — the STPP pipeline wrapped in the same
+//!   [`OrderingScheme`] interface so all five schemes can be swept by one
+//!   harness.
+//!
+//! All schemes consume a [`rfid_reader::SweepRecording`] and produce a
+//! detected order along X (and, where the scheme supports it, along Y), so
+//! the experiment harness can score them with the same ordering-accuracy
+//! metric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backpos;
+pub mod common;
+pub mod grssi;
+pub mod landmarc;
+pub mod otrack;
+pub mod stpp_scheme;
+
+pub use backpos::BackPos;
+pub use common::{OrderingScheme, SchemeResult, REFERENCE_ID_BASE};
+pub use grssi::GRssi;
+pub use landmarc::Landmarc;
+pub use otrack::OTrack;
+pub use stpp_scheme::StppScheme;

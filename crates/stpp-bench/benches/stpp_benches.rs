@@ -1,0 +1,117 @@
+//! Criterion benchmarks for the STPP reproduction.
+//!
+//! Groups:
+//! * `dtw`        — full vs segmented DTW for several window sizes `w`
+//!                  (paper Section 3.1.2 / Figure 12 latency side).
+//! * `vzone`      — V-zone detection per tag profile.
+//! * `ordering`   — pivot vs pairwise Y ordering (Section 3.2.2).
+//! * `pipeline`   — end-to-end localization for growing populations
+//!                  (context for Figure 23 / Table 1).
+//! * `simulation` — sweep simulation cost (the substrate itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use stpp_bench::benchmark_recording;
+use stpp_core::{
+    dtw_full, dtw_segmented_with_penalty, ordering::OrderingEngine,
+    ordering::YOrderingStrategy, PhaseProfile, ReferenceProfile, ReferenceProfileParams,
+    RelativeLocalizer, SegmentedProfile, StppInput, TagObservations, VZoneDetector,
+};
+
+fn measured_profile() -> PhaseProfile {
+    let recording = benchmark_recording(1, 0.1, 7);
+    TagObservations::from_recording(&recording)
+        .into_iter()
+        .next()
+        .expect("one tag observed")
+        .profile
+}
+
+fn reference_profile(interval: f64) -> ReferenceProfile {
+    ReferenceProfile::generate(
+        ReferenceProfileParams::new(0.1, 0.35, 0.3256).with_sample_interval(interval),
+    )
+    .expect("valid reference parameters")
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let measured = measured_profile();
+    let reference = reference_profile(measured.median_sample_interval().unwrap_or(0.02));
+    let mut group = c.benchmark_group("dtw");
+
+    group.bench_function("full", |b| {
+        let r = reference.profile.phases();
+        let m = measured.phases();
+        b.iter(|| black_box(dtw_full(&r, &m)))
+    });
+    for w in [3usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("segmented", w), &w, |b, &w| {
+            let rs = SegmentedProfile::build(&reference.profile, w);
+            let ms = SegmentedProfile::build(&measured, w);
+            b.iter(|| black_box(dtw_segmented_with_penalty(&rs, &ms, true, 0.5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vzone_detection(c: &mut Criterion) {
+    let measured = measured_profile();
+    let detector = VZoneDetector::new(ReferenceProfileParams::new(0.1, 0.35, 0.3256));
+    c.bench_function("vzone/detect_one_profile", |b| {
+        b.iter(|| black_box(detector.detect(&measured)))
+    });
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    // Build summaries once from a real recording, then benchmark only the
+    // ordering stage with both strategies.
+    let recording = benchmark_recording(10, 0.08, 11);
+    let input = StppInput::from_recording(&recording).expect("valid input");
+    let result = RelativeLocalizer::with_defaults().localize(&input).expect("localize");
+    let summaries = result.summaries;
+    let mut group = c.benchmark_group("ordering");
+    for (name, strategy) in
+        [("pivot", YOrderingStrategy::Pivot), ("pairwise", YOrderingStrategy::Pairwise)]
+    {
+        group.bench_function(name, |b| {
+            let engine = OrderingEngine { y_segments: 8, strategy };
+            b.iter(|| black_box(engine.order_y(&summaries)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for tags in [5usize, 15, 30] {
+        let recording = benchmark_recording(tags, 0.06, 21);
+        group.bench_with_input(BenchmarkId::new("localize", tags), &tags, |b, _| {
+            let localizer = RelativeLocalizer::with_defaults();
+            b.iter(|| black_box(localizer.localize_recording(&recording)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for tags in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("sweep", tags), &tags, |b, &tags| {
+            b.iter(|| black_box(benchmark_recording(tags, 0.06, 31)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dtw,
+    bench_vzone_detection,
+    bench_ordering,
+    bench_pipeline,
+    bench_simulation
+);
+criterion_main!(benches);

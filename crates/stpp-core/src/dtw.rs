@@ -1,0 +1,391 @@
+//! Dynamic Time Warping.
+//!
+//! DTW aligns a reference phase profile with a measured one even when the
+//! measured profile has been stretched or compressed by uneven reader
+//! movement. Three variants are provided:
+//!
+//! * [`dtw_full`] — the classic `O(M·N)` alignment over raw sample values,
+//! * [`dtw_subsequence`] — open-begin / open-end alignment that locates the
+//!   (short) reference *inside* a longer measured profile, which is exactly
+//!   the paper's "find where the V-zone appears in the measured phase
+//!   profile" problem,
+//! * [`dtw_segmented`] — the paper's optimisation: alignment over the
+//!   coarse segment representations, with the segment-range distance and
+//!   the `min(s^T_P, s^T_Q)` time weighting from Section 3.1.2, reducing
+//!   the complexity to `O(M·N / w²)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::segment::SegmentedProfile;
+
+/// The result of a DTW alignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtwResult {
+    /// Total cost of the optimal warping path.
+    pub cost: f64,
+    /// The warping path as `(reference_index, measured_index)` pairs in
+    /// non-decreasing order of both indices.
+    pub path: Vec<(usize, usize)>,
+}
+
+impl DtwResult {
+    /// The measured indices matched to a given reference index.
+    pub fn matched_indices(&self, reference_idx: usize) -> Vec<usize> {
+        self.path.iter().filter(|(r, _)| *r == reference_idx).map(|(_, m)| *m).collect()
+    }
+
+    /// The range of measured indices matched to a reference index range
+    /// `[start, end)`, or `None` if nothing matched.
+    pub fn matched_range(&self, start: usize, end: usize) -> Option<std::ops::Range<usize>> {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for &(r, m) in &self.path {
+            if r >= start && r < end {
+                lo = lo.min(m);
+                hi = hi.max(m + 1);
+            }
+        }
+        if lo == usize::MAX {
+            None
+        } else {
+            Some(lo..hi)
+        }
+    }
+}
+
+/// Generic DTW over index spaces `0..n` (reference) and `0..m` (measured).
+///
+/// `cost(i, j)` is the local matching cost. With `subsequence = true` the
+/// alignment may start and end anywhere along the measured axis.
+/// `penalty_up(i)` is an extra cost for consuming reference element `i`
+/// without advancing the measured index (an "insertion"); `penalty_left(j)`
+/// is the analogue for consuming measured element `j` without advancing the
+/// reference. Non-zero penalties discourage pathological paths that
+/// collapse one sequence onto a sliver of the other.
+fn dtw_generic<F, PU, PL>(
+    n: usize,
+    m: usize,
+    cost: F,
+    penalty_up: PU,
+    penalty_left: PL,
+    subsequence: bool,
+) -> Option<DtwResult>
+where
+    F: Fn(usize, usize) -> f64,
+    PU: Fn(usize) -> f64,
+    PL: Fn(usize) -> f64,
+{
+    if n == 0 || m == 0 {
+        return None;
+    }
+    // Accumulated-cost matrix, row-major (reference index is the row).
+    let mut acc = vec![f64::INFINITY; n * m];
+    let idx = |i: usize, j: usize| i * m + j;
+
+    for j in 0..m {
+        let c = cost(0, j);
+        acc[idx(0, j)] = if subsequence {
+            c
+        } else if j == 0 {
+            c
+        } else {
+            c + acc[idx(0, j - 1)] + penalty_left(j)
+        };
+    }
+    for i in 1..n {
+        acc[idx(i, 0)] = cost(i, 0) + acc[idx(i - 1, 0)] + penalty_up(i);
+        for j in 1..m {
+            let best_prev = (acc[idx(i - 1, j)] + penalty_up(i))
+                .min(acc[idx(i, j - 1)] + penalty_left(j))
+                .min(acc[idx(i - 1, j - 1)]);
+            acc[idx(i, j)] = cost(i, j) + best_prev;
+        }
+    }
+
+    // Endpoint: anywhere on the last reference row for subsequence
+    // alignment, the corner otherwise.
+    let end_j = if subsequence {
+        (0..m)
+            .min_by(|&a, &b| {
+                acc[idx(n - 1, a)].partial_cmp(&acc[idx(n - 1, b)]).expect("finite costs")
+            })
+            .unwrap_or(m - 1)
+    } else {
+        m - 1
+    };
+    let total_cost = acc[idx(n - 1, end_j)];
+    if !total_cost.is_finite() {
+        return None;
+    }
+
+    // Trace the path back, re-applying the same move penalties.
+    let mut path = Vec::new();
+    let mut i = n - 1;
+    let mut j = end_j;
+    path.push((i, j));
+    while i > 0 || (j > 0 && !(subsequence && i == 0)) {
+        if i == 0 {
+            j -= 1;
+        } else if j == 0 {
+            i -= 1;
+        } else {
+            let diag = acc[idx(i - 1, j - 1)];
+            let up = acc[idx(i - 1, j)] + penalty_up(i);
+            let left = acc[idx(i, j - 1)] + penalty_left(j);
+            if diag <= up && diag <= left {
+                i -= 1;
+                j -= 1;
+            } else if up <= left {
+                i -= 1;
+            } else {
+                j -= 1;
+            }
+        }
+        path.push((i, j));
+    }
+    path.reverse();
+    Some(DtwResult { cost: total_cost, path })
+}
+
+/// Classic full-sequence DTW over raw values with absolute-difference local
+/// cost. Returns `None` if either sequence is empty.
+pub fn dtw_full(reference: &[f64], measured: &[f64]) -> Option<DtwResult> {
+    dtw_generic(
+        reference.len(),
+        measured.len(),
+        |i, j| (reference[i] - measured[j]).abs(),
+        |_| 0.0,
+        |_| 0.0,
+        false,
+    )
+}
+
+/// Subsequence DTW: aligns the whole `reference` against the best-matching
+/// contiguous (warped) part of `measured`. Returns `None` if either
+/// sequence is empty.
+pub fn dtw_subsequence(reference: &[f64], measured: &[f64]) -> Option<DtwResult> {
+    dtw_generic(
+        reference.len(),
+        measured.len(),
+        |i, j| (reference[i] - measured[j]).abs(),
+        |_| 0.0,
+        |_| 0.0,
+        true,
+    )
+}
+
+/// The paper's segmented DTW: aligns two coarse segment representations
+/// using the segment range distance weighted by the shorter of the two
+/// segments' time intervals. With `subsequence = true` (the V-zone
+/// detection use case) the reference may match anywhere inside the
+/// measured representation. Path indices refer to *segments*.
+pub fn dtw_segmented(
+    reference: &SegmentedProfile,
+    measured: &SegmentedProfile,
+    subsequence: bool,
+) -> Option<DtwResult> {
+    dtw_segmented_with_penalty(reference, measured, subsequence, 0.0)
+}
+
+/// [`dtw_segmented`] with a non-negative *gap penalty* (radians per second
+/// of warped time). Each warping step that consumes one representation
+/// without advancing the other is charged `penalty · segment duration`.
+/// This keeps the optimal path from collapsing the whole reference onto a
+/// single wide-range measured segment — a failure mode that otherwise
+/// appears when a deep multipath fade produces one segment whose phase
+/// range overlaps everything.
+pub fn dtw_segmented_with_penalty(
+    reference: &SegmentedProfile,
+    measured: &SegmentedProfile,
+    subsequence: bool,
+    gap_penalty_per_second: f64,
+) -> Option<DtwResult> {
+    let rs = reference.segments();
+    let ms = measured.segments();
+    let penalty = gap_penalty_per_second.max(0.0);
+    dtw_generic(
+        rs.len(),
+        ms.len(),
+        |i, j| {
+            let a = &rs[i];
+            let b = &ms[j];
+            a.time_interval().min(b.time_interval()).max(1e-3) * a.range_distance(b)
+        },
+        |i| penalty * rs[i].time_interval().max(1e-3),
+        |j| penalty * ms[j].time_interval().max(1e-3),
+        subsequence,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PhaseProfile;
+
+    fn assert_monotone(path: &[(usize, usize)]) {
+        for w in path.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+            let step = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
+            assert!(step >= 1 && step <= 2, "invalid step {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn identical_sequences_align_diagonally_with_zero_cost() {
+        let s = vec![0.0, 1.0, 2.0, 3.0, 2.0, 1.0];
+        let r = dtw_full(&s, &s).unwrap();
+        assert!(r.cost.abs() < 1e-12);
+        assert_eq!(r.path.len(), s.len());
+        for (k, &(i, j)) in r.path.iter().enumerate() {
+            assert_eq!(i, k);
+            assert_eq!(j, k);
+        }
+    }
+
+    #[test]
+    fn time_stretched_sequence_still_matches_with_low_cost() {
+        // The measured profile is the reference with every sample doubled
+        // (movement at half speed). DTW absorbs the stretch at zero cost.
+        let reference = vec![0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0];
+        let measured: Vec<f64> = reference.iter().flat_map(|&v| [v, v]).collect();
+        let r = dtw_full(&reference, &measured).unwrap();
+        assert!(r.cost.abs() < 1e-12);
+        assert_monotone(&r.path);
+    }
+
+    #[test]
+    fn path_endpoints_cover_both_sequences_in_full_mode() {
+        let a = vec![0.0, 0.5, 1.0, 0.5];
+        let b = vec![0.0, 1.0, 0.0];
+        let r = dtw_full(&a, &b).unwrap();
+        assert_eq!(*r.path.first().unwrap(), (0, 0));
+        assert_eq!(*r.path.last().unwrap(), (a.len() - 1, b.len() - 1));
+        assert_monotone(&r.path);
+    }
+
+    #[test]
+    fn empty_inputs_give_none() {
+        assert!(dtw_full(&[], &[1.0]).is_none());
+        assert!(dtw_full(&[1.0], &[]).is_none());
+        assert!(dtw_subsequence(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn subsequence_finds_embedded_pattern() {
+        // A V-shaped pattern embedded in the middle of a longer noisy-ish
+        // sequence; subsequence DTW must locate it.
+        let pattern = vec![3.0, 2.0, 1.0, 0.5, 1.0, 2.0, 3.0];
+        let mut haystack = vec![5.0; 20];
+        let offset = 8;
+        for (k, &v) in pattern.iter().enumerate() {
+            haystack[offset + k] = v;
+        }
+        let r = dtw_subsequence(&pattern, &haystack).unwrap();
+        assert!(r.cost < 1e-9);
+        let matched = r.matched_range(0, pattern.len()).unwrap();
+        assert_eq!(matched, offset..offset + pattern.len());
+        assert_monotone(&r.path);
+    }
+
+    #[test]
+    fn subsequence_tolerates_stretch_of_the_embedded_pattern() {
+        let pattern = vec![3.0, 2.0, 1.0, 0.5, 1.0, 2.0, 3.0];
+        let mut haystack = vec![6.0; 10];
+        // Embed a stretched copy (each value twice).
+        for &v in &pattern {
+            haystack.push(v);
+            haystack.push(v);
+        }
+        haystack.extend(std::iter::repeat(6.0).take(10));
+        let r = dtw_subsequence(&pattern, &haystack).unwrap();
+        assert!(r.cost < 1e-9);
+        let matched = r.matched_range(0, pattern.len()).unwrap();
+        assert!(matched.start >= 10 && matched.end <= 10 + 2 * pattern.len());
+    }
+
+    #[test]
+    fn matched_indices_and_range_queries() {
+        let r = DtwResult { cost: 0.0, path: vec![(0, 0), (1, 1), (1, 2), (2, 3)] };
+        assert_eq!(r.matched_indices(1), vec![1, 2]);
+        assert_eq!(r.matched_range(1, 2), Some(1..3));
+        assert_eq!(r.matched_range(0, 3), Some(0..4));
+        assert_eq!(r.matched_range(5, 6), None);
+    }
+
+    #[test]
+    fn segmented_dtw_aligns_same_profile_with_zero_cost() {
+        let pairs: Vec<(f64, f64)> =
+            (0..60).map(|i| (i as f64 * 0.05, 3.0 + (i as f64 * 0.1).sin())).collect();
+        let p = PhaseProfile::from_pairs(&pairs);
+        let sp = SegmentedProfile::build(&p, 5);
+        let r = dtw_segmented(&sp, &sp, false).unwrap();
+        assert!(r.cost.abs() < 1e-12);
+        assert_monotone(&r.path);
+    }
+
+    #[test]
+    fn segmented_dtw_is_cheaper_than_full_but_consistent() {
+        // Build a slow V and a fast V; both DTW variants should align the
+        // minima to each other.
+        let make = |n: usize, dt: f64| {
+            let pairs: Vec<(f64, f64)> = (0..n)
+                .map(|i| {
+                    let t = i as f64 * dt;
+                    let centre = n as f64 * dt / 2.0;
+                    (t, 0.5 + (t - centre).abs())
+                })
+                .collect();
+            PhaseProfile::from_pairs(&pairs)
+        };
+        let reference = make(60, 0.05);
+        let measured = make(90, 0.05); // slower sweep: wider V
+        let r_full = dtw_full(&reference.phases(), &measured.phases()).unwrap();
+        let sr = SegmentedProfile::build(&reference, 5);
+        let sm = SegmentedProfile::build(&measured, 5);
+        let r_seg = dtw_segmented(&sr, &sm, false).unwrap();
+        assert!(sr.len() < reference.len());
+        assert!(r_seg.path.len() < r_full.path.len());
+        // The reference nadir (segment) maps near the measured nadir.
+        let ref_nadir_seg = sr
+            .segments()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.min_phase.partial_cmp(&b.1.min_phase).unwrap())
+            .unwrap()
+            .0;
+        let matched = r_seg.matched_range(ref_nadir_seg, ref_nadir_seg + 1).unwrap();
+        let measured_centre_seg = sm.len() / 2;
+        assert!(
+            (matched.start as i64 - measured_centre_seg as i64).abs() <= 2,
+            "nadir segment should map near the centre: {matched:?} vs {measured_centre_seg}"
+        );
+    }
+
+    #[test]
+    fn segmented_subsequence_locates_vzone_region() {
+        // Reference: one clean V. Measured: flat, V, flat.
+        let v_pairs: Vec<(f64, f64)> =
+            (0..40).map(|i| (i as f64 * 0.05, 0.5 + (i as f64 * 0.05 - 1.0).abs())).collect();
+        let reference = PhaseProfile::from_pairs(&v_pairs);
+        let mut measured_pairs = Vec::new();
+        for i in 0..30 {
+            measured_pairs.push((i as f64 * 0.05, 4.0));
+        }
+        for i in 0..40 {
+            measured_pairs.push((1.5 + i as f64 * 0.05, 0.5 + (i as f64 * 0.05 - 1.0).abs()));
+        }
+        for i in 0..30 {
+            measured_pairs.push((3.5 + i as f64 * 0.05, 4.0));
+        }
+        let measured = PhaseProfile::from_pairs(&measured_pairs);
+        let sr = SegmentedProfile::build(&reference, 5);
+        let sm = SegmentedProfile::build(&measured, 5);
+        let r = dtw_segmented(&sr, &sm, true).unwrap();
+        let matched_segs = r.matched_range(0, sr.len()).unwrap();
+        let sample_range = sm.sample_range(matched_segs);
+        // The matched sample range must be (mostly) inside the embedded V.
+        assert!(sample_range.start >= 25, "start = {}", sample_range.start);
+        assert!(sample_range.end <= 76, "end = {}", sample_range.end);
+    }
+}

@@ -1,0 +1,183 @@
+//! Ordering-quality metrics.
+//!
+//! The paper's headline metric is **ordering accuracy** (Equation 2): the
+//! fraction of tags whose detected rank equals their true rank. Kendall's τ
+//! is provided as a complementary, finer-grained measure of how close two
+//! orderings are (the paper's accuracy metric drops sharply when a single
+//! tag is shifted, τ degrades gracefully).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A detailed ordering-accuracy result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrderingScore {
+    /// Number of tags placed at exactly their true rank.
+    pub correct: usize,
+    /// Total number of tags in the ground truth.
+    pub total: usize,
+}
+
+impl OrderingScore {
+    /// The accuracy as a fraction in `[0, 1]` (1.0 for an empty truth).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Ordering accuracy per Equation 2 of the paper.
+///
+/// A tag is ordered correctly iff its rank in `detected` equals its rank in
+/// `truth`. Tags present in the truth but missing from the detection count
+/// as incorrect; extra tags in the detection are ignored.
+pub fn ordering_accuracy_detailed(detected: &[u64], truth: &[u64]) -> OrderingScore {
+    let detected_rank: HashMap<u64, usize> =
+        detected.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let correct = truth
+        .iter()
+        .enumerate()
+        .filter(|(true_rank, id)| detected_rank.get(id) == Some(true_rank))
+        .count();
+    OrderingScore { correct, total: truth.len() }
+}
+
+/// Ordering accuracy as a plain fraction.
+pub fn ordering_accuracy(detected: &[u64], truth: &[u64]) -> f64 {
+    ordering_accuracy_detailed(detected, truth).accuracy()
+}
+
+/// Kendall's τ-b rank correlation between the detected and true orderings,
+/// computed over the tags present in both. Returns 1.0 for fewer than two
+/// common tags (there is nothing to misorder).
+pub fn kendall_tau(detected: &[u64], truth: &[u64]) -> f64 {
+    let detected_rank: HashMap<u64, usize> =
+        detected.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    // The common tags, in true order, mapped to their detected ranks.
+    let ranks: Vec<usize> =
+        truth.iter().filter_map(|id| detected_rank.get(id).copied()).collect();
+    let n = ranks.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            match ranks[i].cmp(&ranks[j]) {
+                std::cmp::Ordering::Less => concordant += 1,
+                std::cmp::Ordering::Greater => discordant += 1,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// The mean absolute rank displacement of the detected ordering: how many
+/// positions away from its true rank the average tag lands. Missing tags
+/// are charged the worst-case displacement (`truth.len() - 1`).
+pub fn mean_rank_displacement(detected: &[u64], truth: &[u64]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let detected_rank: HashMap<u64, usize> =
+        detected.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let worst = truth.len().saturating_sub(1);
+    let total: usize = truth
+        .iter()
+        .enumerate()
+        .map(|(true_rank, id)| match detected_rank.get(id) {
+            Some(&r) => r.abs_diff(true_rank),
+            None => worst,
+        })
+        .sum();
+    total as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ordering_scores_one() {
+        let order = vec![1, 2, 3, 4, 5];
+        assert_eq!(ordering_accuracy(&order, &order), 1.0);
+        assert_eq!(kendall_tau(&order, &order), 1.0);
+        assert_eq!(mean_rank_displacement(&order, &order), 0.0);
+        let score = ordering_accuracy_detailed(&order, &order);
+        assert_eq!(score.correct, 5);
+        assert_eq!(score.total, 5);
+    }
+
+    #[test]
+    fn paper_example_swap_gives_sixty_percent() {
+        // The paper's worked example: truth 1-2-3-4-5, detection 1-2-4-3-5
+        // → tags 3 and 4 are wrong → accuracy 3/5 = 60 %.
+        let truth = vec![1, 2, 3, 4, 5];
+        let detected = vec![1, 2, 4, 3, 5];
+        assert!((ordering_accuracy(&detected, &truth) - 0.6).abs() < 1e-12);
+        // Kendall τ only loses one discordant pair out of 10.
+        assert!((kendall_tau(&detected, &truth) - 0.8).abs() < 1e-12);
+        assert!((mean_rank_displacement(&detected, &truth) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ordering_scores_poorly() {
+        let truth = vec![1, 2, 3, 4];
+        let detected = vec![4, 3, 2, 1];
+        assert_eq!(ordering_accuracy(&detected, &truth), 0.0);
+        assert_eq!(kendall_tau(&detected, &truth), -1.0);
+    }
+
+    #[test]
+    fn reversed_odd_length_keeps_middle_correct() {
+        let truth = vec![1, 2, 3, 4, 5];
+        let detected = vec![5, 4, 3, 2, 1];
+        assert!((ordering_accuracy(&detected, &truth) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_tags_count_as_incorrect() {
+        let truth = vec![1, 2, 3, 4];
+        let detected = vec![1, 2];
+        assert!((ordering_accuracy(&detected, &truth) - 0.5).abs() < 1e-12);
+        // Missing tags are charged the worst displacement.
+        assert!(mean_rank_displacement(&detected, &truth) > 1.0);
+    }
+
+    #[test]
+    fn extra_detected_tags_are_ignored() {
+        let truth = vec![1, 2, 3];
+        let detected = vec![1, 2, 3, 99];
+        assert_eq!(ordering_accuracy(&detected, &truth), 1.0);
+    }
+
+    #[test]
+    fn empty_truth_is_trivially_perfect() {
+        assert_eq!(ordering_accuracy(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+        assert_eq!(mean_rank_displacement(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_with_few_common_tags() {
+        let truth = vec![1, 2, 3];
+        let detected = vec![2];
+        assert_eq!(kendall_tau(&detected, &truth), 1.0);
+    }
+
+    #[test]
+    fn accuracy_is_order_sensitive_not_set_sensitive() {
+        let truth = vec![1, 2, 3, 4, 5, 6];
+        // All tags present but rotated by one: nothing is at its true rank.
+        let detected = vec![6, 1, 2, 3, 4, 5];
+        assert_eq!(ordering_accuracy(&detected, &truth), 0.0);
+        // Kendall τ stays high because relative order is mostly preserved.
+        assert!(kendall_tau(&detected, &truth) > 0.3);
+    }
+}

@@ -1,0 +1,264 @@
+//! Tag ordering along the X and Y axes.
+//!
+//! * **X axis** (the movement direction): tags are ordered by the time
+//!   their V-zone reaches its bottom — the order in which the reader passes
+//!   perpendicular over them.
+//! * **Y axis** (orthogonal, in-plane): tags farther from the reader
+//!   trajectory have lower radial velocity, hence a lower phase changing
+//!   rate and a shallower V-zone. The paper compares the coarse
+//!   representations `S(P)` of the V-zone profiles with the metric
+//!   `O(P, Q) = Σᵢ (s_{P,i} − s_{Q,i}) / s_{P,i}` to decide which of two
+//!   tags is farther, and `G(P, Q) = Σᵢ |s_{P,i} − s_{Q,i}|` as a proxy for
+//!   their physical spacing; a pivot tag reduces the `M(M−1)/2` pairwise
+//!   comparisons to `M − 1`.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the ordering stage needs to know about one tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagVZoneSummary {
+    /// Ground-truth tag id (used only as a label).
+    pub id: u64,
+    /// Time of the V-zone bottom (perpendicular point), seconds.
+    pub nadir_time_s: f64,
+    /// Phase at the V-zone bottom, radians.
+    pub nadir_phase: f64,
+    /// Coarse representation `S(P)`: equal-count segment means of the
+    /// V-zone profile.
+    pub coarse: Vec<f64>,
+    /// Duration of the detected V-zone, seconds.
+    pub vzone_duration_s: f64,
+}
+
+/// The paper's `O(P, Q)` metric over two coarse representations.
+///
+/// Positive values mean `P`'s segment means are larger, i.e. `P` has the
+/// lower phase changing rate and is **farther** from the reader trajectory
+/// than `Q`. Only the overlapping prefix of the two representations is
+/// compared; segments whose `P` value is (numerically) zero are skipped.
+pub fn order_metric(p: &[f64], q: &[f64]) -> f64 {
+    p.iter()
+        .zip(q.iter())
+        .filter(|(sp, _)| sp.abs() > 1e-9)
+        .map(|(sp, sq)| (sp - sq) / sp)
+        .sum()
+}
+
+/// The paper's `G(P, Q)` gap metric: the accumulated absolute difference
+/// between the two coarse representations, proportional to the physical
+/// spacing of the two tags along Y.
+pub fn gap_metric(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q.iter()).map(|(sp, sq)| (sp - sq).abs()).sum()
+}
+
+/// How the Y-axis ordering is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum YOrderingStrategy {
+    /// The optimised pivot method: `M − 1` comparisons against a single
+    /// pivot tag, ordering the rest by their signed gap to the pivot.
+    Pivot,
+    /// The unoptimised method: full pairwise comparison sort
+    /// (`M(M−1)/2` comparisons). Kept for the ablation study.
+    Pairwise,
+}
+
+/// The ordering engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrderingEngine {
+    /// Number of segments `k` used in the coarse V-zone representation.
+    pub y_segments: usize,
+    /// Strategy for the Y ordering.
+    pub strategy: YOrderingStrategy,
+}
+
+impl Default for OrderingEngine {
+    fn default() -> Self {
+        OrderingEngine { y_segments: 8, strategy: YOrderingStrategy::Pivot }
+    }
+}
+
+impl OrderingEngine {
+    /// Orders tag ids along the X axis by ascending nadir time.
+    pub fn order_x(&self, summaries: &[TagVZoneSummary]) -> Vec<u64> {
+        let mut indexed: Vec<(u64, f64)> =
+            summaries.iter().map(|s| (s.id, s.nadir_time_s)).collect();
+        indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("nadir times are finite"));
+        indexed.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Orders tag ids along the Y axis, nearest to the reader trajectory
+    /// first (ascending distance, i.e. ascending Y when the antenna travels
+    /// on the low-Y side of the tags, as in the paper's deployments).
+    pub fn order_y(&self, summaries: &[TagVZoneSummary]) -> Vec<u64> {
+        match self.strategy {
+            YOrderingStrategy::Pivot => self.order_y_pivot(summaries),
+            YOrderingStrategy::Pairwise => self.order_y_pairwise(summaries),
+        }
+    }
+
+    fn order_y_pivot(&self, summaries: &[TagVZoneSummary]) -> Vec<u64> {
+        let Some(pivot) = summaries.first() else {
+            return Vec::new();
+        };
+        // Signed offset of each tag relative to the pivot: positive when the
+        // tag is farther from the trajectory than the pivot (O(pivot, tag)
+        // negative means the tag's means are larger than the pivot's).
+        let mut offsets: Vec<(u64, f64)> = summaries
+            .iter()
+            .map(|s| {
+                if s.id == pivot.id {
+                    (s.id, 0.0)
+                } else {
+                    let o = order_metric(&pivot.coarse, &s.coarse);
+                    let g = gap_metric(&pivot.coarse, &s.coarse);
+                    (s.id, -o.signum() * g)
+                }
+            })
+            .collect();
+        offsets.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite offsets"));
+        offsets.into_iter().map(|(id, _)| id).collect()
+    }
+
+    fn order_y_pairwise(&self, summaries: &[TagVZoneSummary]) -> Vec<u64> {
+        let mut order: Vec<&TagVZoneSummary> = summaries.iter().collect();
+        order.sort_by(|p, q| {
+            // P comes before Q (closer to the trajectory) when P's means are
+            // smaller, i.e. O(P, Q) < 0.
+            order_metric(&p.coarse, &q.coarse)
+                .partial_cmp(&0.0)
+                .expect("finite order metric")
+        });
+        order.into_iter().map(|s| s.id).collect()
+    }
+
+    /// Number of coarse-representation comparisons the configured strategy
+    /// needs for `m` tags — the quantity the paper's latency optimisation
+    /// reduces.
+    pub fn comparison_count(&self, m: usize) -> usize {
+        match self.strategy {
+            YOrderingStrategy::Pivot => m.saturating_sub(1),
+            YOrderingStrategy::Pairwise => m * m.saturating_sub(1) / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(id: u64, nadir_time: f64, level: f64) -> TagVZoneSummary {
+        // A synthetic V-zone coarse representation: a parabola-ish shape
+        // whose overall level encodes the distance from the trajectory.
+        let coarse: Vec<f64> =
+            (0..8).map(|i| level + 0.3 * (i as f64 - 3.5).abs()).collect();
+        TagVZoneSummary {
+            id,
+            nadir_time_s: nadir_time,
+            nadir_phase: level,
+            coarse,
+            vzone_duration_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn order_metric_sign_reflects_which_profile_is_larger() {
+        let far = summary(1, 0.0, 3.0).coarse; // larger means → farther
+        let near = summary(2, 0.0, 1.0).coarse;
+        assert!(order_metric(&far, &near) > 0.0);
+        assert!(order_metric(&near, &far) < 0.0);
+        assert_eq!(order_metric(&near, &near), 0.0);
+    }
+
+    #[test]
+    fn gap_metric_scales_with_separation() {
+        let a = summary(1, 0.0, 1.0).coarse;
+        let b = summary(2, 0.0, 1.5).coarse;
+        let c = summary(3, 0.0, 3.0).coarse;
+        assert!(gap_metric(&a, &c) > gap_metric(&a, &b));
+        assert_eq!(gap_metric(&a, &a), 0.0);
+        // Symmetric.
+        assert!((gap_metric(&a, &c) - gap_metric(&c, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_metric_skips_zero_segments() {
+        let p = vec![0.0, 2.0];
+        let q = vec![5.0, 1.0];
+        // The first segment (p = 0) is skipped, so only (2-1)/2 remains.
+        assert!((order_metric(&p, &q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_ordering_sorts_by_nadir_time() {
+        let summaries =
+            vec![summary(10, 5.0, 1.0), summary(11, 2.0, 1.0), summary(12, 8.0, 1.0)];
+        let engine = OrderingEngine::default();
+        assert_eq!(engine.order_x(&summaries), vec![11, 10, 12]);
+        assert!(engine.order_x(&[]).is_empty());
+    }
+
+    #[test]
+    fn y_ordering_pivot_sorts_near_to_far() {
+        // Levels encode distance from the trajectory: 1.0 (near) to 2.5 (far).
+        let summaries = vec![
+            summary(1, 0.0, 2.5),
+            summary(2, 0.0, 1.0),
+            summary(3, 0.0, 1.8),
+            summary(4, 0.0, 2.1),
+        ];
+        let engine = OrderingEngine { strategy: YOrderingStrategy::Pivot, y_segments: 8 };
+        assert_eq!(engine.order_y(&summaries), vec![2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn y_ordering_pairwise_matches_pivot_on_clean_data() {
+        let summaries = vec![
+            summary(1, 0.0, 2.5),
+            summary(2, 0.0, 1.0),
+            summary(3, 0.0, 1.8),
+            summary(4, 0.0, 2.1),
+            summary(5, 0.0, 1.4),
+        ];
+        let pivot = OrderingEngine { strategy: YOrderingStrategy::Pivot, y_segments: 8 };
+        let pairwise = OrderingEngine { strategy: YOrderingStrategy::Pairwise, y_segments: 8 };
+        assert_eq!(pivot.order_y(&summaries), pairwise.order_y(&summaries));
+    }
+
+    #[test]
+    fn pivot_choice_does_not_change_the_order() {
+        // Rotate the summary list so a different tag is the pivot each time;
+        // the resulting order must be identical.
+        let base = vec![
+            summary(1, 0.0, 2.5),
+            summary(2, 0.0, 1.0),
+            summary(3, 0.0, 1.8),
+            summary(4, 0.0, 2.1),
+        ];
+        let engine = OrderingEngine::default();
+        let expected = engine.order_y(&base);
+        for rotation in 1..base.len() {
+            let mut rotated = base.clone();
+            rotated.rotate_left(rotation);
+            assert_eq!(engine.order_y(&rotated), expected, "rotation {rotation}");
+        }
+    }
+
+    #[test]
+    fn comparison_count_matches_strategy() {
+        let pivot = OrderingEngine { strategy: YOrderingStrategy::Pivot, y_segments: 8 };
+        let pairwise = OrderingEngine { strategy: YOrderingStrategy::Pairwise, y_segments: 8 };
+        assert_eq!(pivot.comparison_count(10), 9);
+        assert_eq!(pairwise.comparison_count(10), 45);
+        assert_eq!(pivot.comparison_count(0), 0);
+        assert_eq!(pairwise.comparison_count(1), 0);
+    }
+
+    #[test]
+    fn single_tag_and_empty_inputs() {
+        let engine = OrderingEngine::default();
+        assert!(engine.order_y(&[]).is_empty());
+        let one = vec![summary(7, 1.0, 1.0)];
+        assert_eq!(engine.order_y(&one), vec![7]);
+        assert_eq!(engine.order_x(&one), vec![7]);
+    }
+}

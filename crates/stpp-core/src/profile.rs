@@ -1,0 +1,257 @@
+//! Phase profiles: per-tag time series of wrapped phase values.
+//!
+//! A phase profile is what the paper calls "a sequence of RF phase values
+//! [obtained] from the tag's responses over time". Samples arrive
+//! irregularly (the MAC layer decides when a tag is read), values live in
+//! `[0, 2π)`, and stretches of the profile may be missing entirely.
+
+use rfid_gen2::Epc;
+use rfid_phys::{wrap_phase, TWO_PI};
+use rfid_reader::{SweepRecording, TagReadReport};
+use serde::{Deserialize, Serialize};
+
+/// One phase sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSample {
+    /// Time of the read, seconds.
+    pub time_s: f64,
+    /// Wrapped phase, `[0, 2π)` radians.
+    pub phase_rad: f64,
+}
+
+/// A tag's phase profile: time-ordered samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    samples: Vec<PhaseSample>,
+}
+
+impl PhaseProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        PhaseProfile { samples: Vec::new() }
+    }
+
+    /// Builds a profile from `(time_s, phase_rad)` pairs. Samples are
+    /// sorted by time and phases wrapped into `[0, 2π)`; non-finite entries
+    /// are dropped.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let mut samples: Vec<PhaseSample> = pairs
+            .iter()
+            .filter(|(t, p)| t.is_finite() && p.is_finite())
+            .map(|&(t, p)| PhaseSample { time_s: t, phase_rad: wrap_phase(p) })
+            .collect();
+        samples.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
+        PhaseProfile { samples }
+    }
+
+    /// Builds a profile from reader reports (they need not be pre-sorted).
+    pub fn from_reports(reports: &[TagReadReport]) -> Self {
+        Self::from_pairs(&reports.iter().map(|r| (r.time_s, r.phase_rad)).collect::<Vec<_>>())
+    }
+
+    /// The samples, in time order.
+    pub fn samples(&self) -> &[PhaseSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the profile has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The phase values only, in time order.
+    pub fn phases(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.phase_rad).collect()
+    }
+
+    /// The sample times only, in time order.
+    pub fn times(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.time_s).collect()
+    }
+
+    /// Time of the first sample, or `None` for an empty profile.
+    pub fn start_time(&self) -> Option<f64> {
+        self.samples.first().map(|s| s.time_s)
+    }
+
+    /// Time of the last sample, or `None` for an empty profile.
+    pub fn end_time(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.time_s)
+    }
+
+    /// Time spanned by the profile, seconds (0 for fewer than 2 samples).
+    pub fn duration(&self) -> f64 {
+        match (self.start_time(), self.end_time()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Median interval between consecutive samples, or `None` with fewer
+    /// than two samples. Used to choose the reference profile's sampling
+    /// interval.
+    pub fn median_sample_interval(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let mut gaps: Vec<f64> =
+            self.samples.windows(2).map(|w| w[1].time_s - w[0].time_s).collect();
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+        Some(gaps[gaps.len() / 2])
+    }
+
+    /// A sub-profile containing the samples with indices in `range`.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> PhaseProfile {
+        let end = range.end.min(self.samples.len());
+        let start = range.start.min(end);
+        PhaseProfile { samples: self.samples[start..end].to_vec() }
+    }
+
+    /// The index of the sample with the smallest phase value, or `None` for
+    /// an empty profile.
+    pub fn argmin_phase(&self) -> Option<usize> {
+        self.samples
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.phase_rad.partial_cmp(&b.1.phase_rad).expect("finite phases"))
+            .map(|(i, _)| i)
+    }
+
+    /// Unwraps the profile: returns phase values with the `2π` jumps
+    /// removed, so consecutive values differ by the smallest rotation. The
+    /// first sample keeps its wrapped value.
+    pub fn unwrapped_phases(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.samples.len());
+        let mut offset = 0.0;
+        let mut prev: Option<f64> = None;
+        for s in &self.samples {
+            if let Some(p) = prev {
+                let raw = s.phase_rad + offset;
+                let mut diff = raw - p;
+                while diff > std::f64::consts::PI {
+                    offset -= TWO_PI;
+                    diff -= TWO_PI;
+                }
+                while diff < -std::f64::consts::PI {
+                    offset += TWO_PI;
+                    diff += TWO_PI;
+                }
+            }
+            let value = s.phase_rad + offset;
+            out.push(value);
+            prev = Some(value);
+        }
+        out
+    }
+}
+
+/// The phase observations of one tag, labelled with its ground-truth id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagObservations {
+    /// Ground-truth tag id (the layout id).
+    pub id: u64,
+    /// The tag's EPC.
+    pub epc: Epc,
+    /// The tag's phase profile.
+    pub profile: PhaseProfile,
+}
+
+impl TagObservations {
+    /// Extracts per-tag observations from a sweep recording, dropping tags
+    /// that were never read.
+    pub fn from_recording(recording: &SweepRecording) -> Vec<TagObservations> {
+        let epc_to_id = recording.epc_to_id();
+        recording
+            .stream
+            .by_tag()
+            .into_iter()
+            .filter_map(|(epc, reports)| {
+                let id = *epc_to_id.get(&epc)?;
+                Some(TagObservations { id, epc, profile: PhaseProfile::from_reports(&reports) })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_wraps_and_filters() {
+        let p = PhaseProfile::from_pairs(&[
+            (2.0, 7.0),           // wraps to 7 - 2π
+            (1.0, -0.5),          // wraps to 2π - 0.5
+            (f64::NAN, 1.0),      // dropped
+            (3.0, f64::INFINITY), // dropped
+        ]);
+        assert_eq!(p.len(), 2);
+        assert!((p.samples()[0].time_s - 1.0).abs() < 1e-12);
+        assert!((p.samples()[0].phase_rad - (TWO_PI - 0.5)).abs() < 1e-12);
+        assert!((p.samples()[1].phase_rad - (7.0 - TWO_PI)).abs() < 1e-12);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn times_phases_and_span() {
+        let p = PhaseProfile::from_pairs(&[(0.0, 1.0), (0.5, 2.0), (1.5, 3.0)]);
+        assert_eq!(p.times(), vec![0.0, 0.5, 1.5]);
+        assert_eq!(p.phases(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.start_time(), Some(0.0));
+        assert_eq!(p.end_time(), Some(1.5));
+        assert!((p.duration() - 1.5).abs() < 1e-12);
+        assert!(PhaseProfile::new().start_time().is_none());
+        assert_eq!(PhaseProfile::new().duration(), 0.0);
+    }
+
+    #[test]
+    fn median_sample_interval() {
+        let p = PhaseProfile::from_pairs(&[(0.0, 1.0), (0.1, 1.0), (0.2, 1.0), (1.0, 1.0)]);
+        assert!((p.median_sample_interval().unwrap() - 0.1).abs() < 1e-12);
+        assert!(PhaseProfile::from_pairs(&[(0.0, 1.0)]).median_sample_interval().is_none());
+    }
+
+    #[test]
+    fn slice_clamps_out_of_range() {
+        let p = PhaseProfile::from_pairs(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(p.slice(1..2).len(), 1);
+        assert_eq!(p.slice(0..100).len(), 3);
+        assert_eq!(p.slice(5..10).len(), 0);
+    }
+
+    #[test]
+    fn argmin_finds_smallest_phase() {
+        let p = PhaseProfile::from_pairs(&[(0.0, 3.0), (1.0, 0.5), (2.0, 4.0)]);
+        assert_eq!(p.argmin_phase(), Some(1));
+        assert_eq!(PhaseProfile::new().argmin_phase(), None);
+    }
+
+    #[test]
+    fn unwrap_removes_jumps() {
+        // A descending sawtooth: phase decreases steadily and wraps 0 → 2π.
+        let mut pairs = Vec::new();
+        let mut phase = 1.0f64;
+        for i in 0..50 {
+            pairs.push((i as f64 * 0.1, wrap_phase(phase)));
+            phase -= 0.4;
+        }
+        let p = PhaseProfile::from_pairs(&pairs);
+        let unwrapped = p.unwrapped_phases();
+        // Unwrapped values decrease monotonically with no 2π jumps.
+        for w in unwrapped.windows(2) {
+            let diff = w[1] - w[0];
+            assert!(diff < 0.0 && diff > -1.0, "unexpected jump {diff}");
+        }
+    }
+
+    #[test]
+    fn unwrap_of_constant_profile_is_constant() {
+        let p = PhaseProfile::from_pairs(&[(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(p.unwrapped_phases(), vec![2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Reference phase profiles.
+//!
+//! "Given a layout of tags and the reader, their relative positions and the
+//! reader moving speed, assuming the speed is steady, we can calculate the
+//! phase profile of each tag, which we call the reference phase profile."
+//!
+//! The reference profile is the analytic phase a tag at perpendicular
+//! distance `d⊥` from the reader trajectory would produce while the reader
+//! moves past it at constant speed `v`:
+//!
+//! ```text
+//! θ(t) = wrap( 2π · 2·√((v·t − x₀)² + d⊥²) / λ )
+//! ```
+//!
+//! The profile is generated symmetric around the perpendicular point and
+//! truncated to a configurable number of phase periods (the paper found
+//! that >97 % of measured profiles contain 4 partial or complete periods
+//! and uses a 4-period reference as the default). The V-zone — the central
+//! period that contains the nadir and does not wrap — is known by
+//! construction, which is what lets DTW alignment transfer it onto a
+//! measured profile.
+
+use rfid_phys::PhaseModel;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::PhaseProfile;
+
+/// Parameters describing the nominal sweep geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceProfileParams {
+    /// Nominal reader (or belt) speed, m/s.
+    pub speed_mps: f64,
+    /// Perpendicular distance from the reader trajectory to the tag,
+    /// metres. In deployment this is the rough reader-to-shelf distance
+    /// (0.3 m in the paper's library setup).
+    pub perpendicular_distance_m: f64,
+    /// Carrier wavelength, metres.
+    pub wavelength_m: f64,
+    /// Sampling interval of the generated profile, seconds.
+    pub sample_interval_s: f64,
+    /// Number of phase periods the profile should contain (V-zone plus
+    /// `periods − 1` flanking periods; the paper defaults to 4).
+    pub periods: usize,
+}
+
+impl ReferenceProfileParams {
+    /// The paper's default: 4 periods, 20 ms sampling.
+    pub fn new(speed_mps: f64, perpendicular_distance_m: f64, wavelength_m: f64) -> Self {
+        ReferenceProfileParams {
+            speed_mps,
+            perpendicular_distance_m,
+            wavelength_m,
+            sample_interval_s: 0.02,
+            periods: 4,
+        }
+    }
+
+    /// Overrides the number of periods.
+    pub fn with_periods(mut self, periods: usize) -> Self {
+        self.periods = periods.max(1);
+        self
+    }
+
+    /// Overrides the sampling interval.
+    pub fn with_sample_interval(mut self, interval_s: f64) -> Self {
+        self.sample_interval_s = interval_s;
+        self
+    }
+
+    fn is_valid(&self) -> bool {
+        self.speed_mps > 0.0
+            && self.speed_mps.is_finite()
+            && self.perpendicular_distance_m > 0.0
+            && self.wavelength_m > 0.0
+            && self.sample_interval_s > 0.0
+            && self.periods >= 1
+    }
+}
+
+/// An analytic reference profile with its V-zone located by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceProfile {
+    /// The profile samples. Time 0 corresponds to the perpendicular point.
+    pub profile: PhaseProfile,
+    /// Index of the first sample inside the V-zone.
+    pub vzone_start: usize,
+    /// Index one past the last sample inside the V-zone.
+    pub vzone_end: usize,
+    /// Index of the nadir sample (minimum distance / phase).
+    pub nadir: usize,
+    /// The parameters the profile was generated from.
+    pub params: ReferenceProfileParams,
+}
+
+impl ReferenceProfile {
+    /// Generates the reference profile. Returns `None` if the parameters
+    /// are degenerate (non-positive speed, distance, wavelength, interval
+    /// or zero periods).
+    pub fn generate(params: ReferenceProfileParams) -> Option<Self> {
+        if !params.is_valid() {
+            return None;
+        }
+        let model = PhaseModel::ideal(rfid_phys::constants::SPEED_OF_LIGHT / params.wavelength_m);
+        let d_perp = params.perpendicular_distance_m;
+        let lambda = params.wavelength_m;
+
+        // One phase period corresponds to a one-way distance increase of λ/2
+        // (the round trip doubles the path). The V-zone ends where the phase
+        // first wraps, i.e. after the distance has grown by
+        //   Δd_wrap = (2π − θ_nadir) · λ / 4π
+        // beyond the perpendicular distance. Each additional period adds a
+        // further λ/2. The profile extends (periods − 1)/2 extra periods on
+        // each side of the V-zone so it contains `periods` periods in total.
+        let theta_nadir = model.phase_at_distance(d_perp);
+        let delta_wrap = (std::f64::consts::TAU - theta_nadir) * lambda
+            / (2.0 * std::f64::consts::TAU);
+        let extra_periods = (params.periods.saturating_sub(1)) as f64 / 2.0;
+        let max_extra = delta_wrap + extra_periods * lambda / 2.0;
+        let x_max = ((d_perp + max_extra).powi(2) - d_perp * d_perp).sqrt();
+        let t_max = x_max / params.speed_mps;
+
+        let mut pairs = Vec::new();
+        let mut t = -t_max;
+        while t <= t_max + 1e-12 {
+            let x = params.speed_mps * t;
+            let dist = (x * x + d_perp * d_perp).sqrt();
+            pairs.push((t, model.phase_at_distance(dist)));
+            t += params.sample_interval_s;
+        }
+        let profile = PhaseProfile::from_pairs(&pairs);
+        if profile.len() < 5 {
+            return None;
+        }
+
+        // Locate the nadir (closest sample to t = 0) and the V-zone (the
+        // samples between the first wrap on either side of the nadir).
+        let times = profile.times();
+        let nadir = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite times"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let safe_wrap = (delta_wrap - 1e-6).max(1e-6);
+        let x_vzone = ((d_perp + safe_wrap).powi(2) - d_perp * d_perp).sqrt();
+        let t_vzone = x_vzone / params.speed_mps;
+        let vzone_start = times.partition_point(|&t| t < -t_vzone);
+        let vzone_end = times.partition_point(|&t| t <= t_vzone);
+
+        Some(ReferenceProfile { profile, vzone_start, vzone_end, nadir, params })
+    }
+
+    /// The duration of the V-zone, seconds.
+    pub fn vzone_duration(&self) -> f64 {
+        let times = self.profile.times();
+        if self.vzone_end > self.vzone_start && self.vzone_end <= times.len() {
+            times[self.vzone_end - 1] - times[self.vzone_start]
+        } else {
+            0.0
+        }
+    }
+
+    /// The phase value at the nadir (the V-zone bottom).
+    pub fn nadir_phase(&self) -> f64 {
+        self.profile.samples()[self.nadir].phase_rad
+    }
+
+    /// The V-zone samples as a sub-profile.
+    pub fn vzone_profile(&self) -> PhaseProfile {
+        self.profile.slice(self.vzone_start..self.vzone_end)
+    }
+
+    /// Applies a constant phase offset (hardware μ) to every sample,
+    /// returning a new profile. Used when matching against hardware whose
+    /// offsets are roughly known, and by the multi-offset search in the
+    /// V-zone detector.
+    pub fn with_phase_offset(&self, offset_rad: f64) -> ReferenceProfile {
+        let pairs: Vec<(f64, f64)> = self
+            .profile
+            .samples()
+            .iter()
+            .map(|s| (s.time_s, s.phase_rad + offset_rad))
+            .collect();
+        ReferenceProfile {
+            profile: PhaseProfile::from_pairs(&pairs),
+            vzone_start: self.vzone_start,
+            vzone_end: self.vzone_end,
+            nadir: self.nadir,
+            params: self.params,
+        }
+    }
+}
+
+/// Checks that phases fall/rise symmetrically: helper shared by tests.
+/// Uses the circular phase distance so a wrap on one side of the nadir a
+/// sample earlier than on the other does not count as asymmetry.
+#[cfg(test)]
+fn is_symmetric_about_nadir(profile: &ReferenceProfile) -> bool {
+    let phases = profile.profile.phases();
+    let n = phases.len();
+    let nadir = profile.nadir;
+    let span = nadir.min(n - 1 - nadir);
+    (1..span).all(|k| {
+        rfid_phys::phase::phase_distance(phases[nadir - k], phases[nadir + k]) < 0.2
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ReferenceProfileParams {
+        // Figure 3 of the paper: v = 0.1 m/s, reader 1 m above the tag
+        // plane at lateral offset 0.5 m → d⊥ = √(1² + 0.5²) ≈ 1.118 m.
+        ReferenceProfileParams::new(0.1, (1.0f64 + 0.25).sqrt(), 0.326)
+    }
+
+    #[test]
+    fn generates_v_shaped_profile() {
+        let r = ReferenceProfile::generate(params()).unwrap();
+        assert!(r.profile.len() > 50);
+        // The nadir phase is the minimum within the V-zone.
+        let vzone = r.vzone_profile();
+        let min_phase =
+            vzone.phases().into_iter().fold(f64::INFINITY, f64::min);
+        assert!((r.nadir_phase() - min_phase).abs() < 0.05);
+        assert!(is_symmetric_about_nadir(&r));
+    }
+
+    #[test]
+    fn vzone_is_centered_and_inside_profile() {
+        let r = ReferenceProfile::generate(params()).unwrap();
+        assert!(r.vzone_start < r.nadir);
+        assert!(r.nadir < r.vzone_end);
+        assert!(r.vzone_end <= r.profile.len());
+        assert!(r.vzone_duration() > 0.0);
+    }
+
+    #[test]
+    fn contains_roughly_the_requested_number_of_periods() {
+        let r = ReferenceProfile::generate(params().with_periods(4)).unwrap();
+        // Count wrap jumps (|Δ| > π between consecutive samples): a k-period
+        // profile has about k−1 wraps on each side of the V-zone boundary...
+        // in total the phase covers ~4 periods so at least 2 wraps and at
+        // most 5.
+        let phases = r.profile.phases();
+        let wraps = phases
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > std::f64::consts::PI)
+            .count();
+        assert!((2..=6).contains(&wraps), "wraps = {wraps}");
+    }
+
+    #[test]
+    fn more_periods_makes_longer_profile() {
+        let short = ReferenceProfile::generate(params().with_periods(2)).unwrap();
+        let long = ReferenceProfile::generate(params().with_periods(6)).unwrap();
+        assert!(long.profile.duration() > short.profile.duration());
+    }
+
+    #[test]
+    fn slower_speed_stretches_profile_in_time() {
+        let fast = ReferenceProfile::generate(ReferenceProfileParams::new(0.3, 0.5, 0.326))
+            .unwrap();
+        let slow = ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.5, 0.326))
+            .unwrap();
+        assert!(slow.profile.duration() > 2.0 * fast.profile.duration());
+        // But the phase ranges are the same.
+        assert!((slow.nadir_phase() - fast.nadir_phase()).abs() < 0.05);
+    }
+
+    #[test]
+    fn larger_perpendicular_distance_gives_shallower_vzone() {
+        // The observation behind Y-axis ordering: a tag farther from the
+        // trajectory has a larger bottom phase and larger V-zone values —
+        // provided the two perpendicular distances fall in the same λ/2
+        // phase period (0.35 m and 0.45 m both lie in the 0.326–0.489 m
+        // window for λ = 0.326 m).
+        let near = ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.35, 0.326))
+            .unwrap();
+        let far = ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.45, 0.326))
+            .unwrap();
+        assert!(far.nadir_phase() > near.nadir_phase());
+        let mean = |p: &ReferenceProfile| {
+            let v = p.vzone_profile().phases();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&far) > mean(&near));
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        assert!(ReferenceProfile::generate(ReferenceProfileParams::new(0.0, 0.3, 0.326)).is_none());
+        assert!(ReferenceProfile::generate(ReferenceProfileParams::new(0.1, -1.0, 0.326)).is_none());
+        assert!(ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.3, 0.0)).is_none());
+        assert!(
+            ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.3, 0.326).with_sample_interval(0.0))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn phase_offset_shifts_every_sample() {
+        let r = ReferenceProfile::generate(params()).unwrap();
+        let shifted = r.with_phase_offset(1.0);
+        assert_eq!(shifted.profile.len(), r.profile.len());
+        assert_eq!(shifted.nadir, r.nadir);
+        let a = r.profile.phases();
+        let b = shifted.profile.phases();
+        for (x, y) in a.iter().zip(b.iter()) {
+            let d = rfid_phys::phase::phase_distance(x + 1.0, *y);
+            assert!(d < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nadir_phase_matches_equation_one_at_perpendicular_distance() {
+        let p = params();
+        let r = ReferenceProfile::generate(p).unwrap();
+        let model =
+            PhaseModel::ideal(rfid_phys::constants::SPEED_OF_LIGHT / p.wavelength_m);
+        let expected = model.phase_at_distance(p.perpendicular_distance_m);
+        assert!((r.nadir_phase() - expected).abs() < 0.1);
+    }
+}

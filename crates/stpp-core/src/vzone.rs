@@ -1,0 +1,665 @@
+//! V-zone detection and quadratic fitting.
+//!
+//! The V-zone is the symmetric, non-wrapping central period of a tag's
+//! phase profile; its bottom occurs exactly when the reader is
+//! perpendicular to the tag. STPP detects it by matching a pre-computed
+//! reference profile against the measured profile with segmented
+//! (subsequence) DTW, then pins the nadir down with a quadratic fit — which
+//! also rides out missing samples and noise-induced wrap-arounds near the
+//! bottom.
+//!
+//! Two detectors are provided:
+//!
+//! * [`VZoneDetector`] — the paper's approach (segmented DTW + quadratic
+//!   fitting). Because the hardware phase offset `μ` of the measured
+//!   profile is unknown, the detector tries a small set of candidate
+//!   offsets applied to the reference and keeps the lowest-cost match.
+//! * [`NaiveUnwrapDetector`] — the "straightforward solution" the paper
+//!   argues against: unwrap the whole profile and take the global minimum.
+//!   Kept as an ablation baseline.
+
+use rfid_phys::{wrap_phase, TWO_PI};
+use serde::{Deserialize, Serialize};
+
+use crate::dtw::dtw_segmented_with_penalty;
+use crate::profile::PhaseProfile;
+use crate::reference::{ReferenceProfile, ReferenceProfileParams};
+use crate::segment::SegmentedProfile;
+
+/// A least-squares quadratic fit `y = a·t² + b·t + c`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuadraticFit {
+    /// Quadratic coefficient.
+    pub a: f64,
+    /// Linear coefficient.
+    pub b: f64,
+    /// Constant coefficient.
+    pub c: f64,
+}
+
+impl QuadraticFit {
+    /// Fits a quadratic to `(t, y)` points by least squares. Returns `None`
+    /// for fewer than three points or a numerically degenerate system.
+    pub fn fit(points: &[(f64, f64)]) -> Option<QuadraticFit> {
+        if points.len() < 3 {
+            return None;
+        }
+        // Centre the time axis for numerical stability.
+        let t0 = points.iter().map(|p| p.0).sum::<f64>() / points.len() as f64;
+        let (mut s0, mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let (mut sy, mut sty, mut st2y) = (0.0, 0.0, 0.0);
+        for &(t, y) in points {
+            let t = t - t0;
+            let t2 = t * t;
+            s0 += 1.0;
+            s1 += t;
+            s2 += t2;
+            s3 += t2 * t;
+            s4 += t2 * t2;
+            sy += y;
+            sty += t * y;
+            st2y += t2 * y;
+        }
+        // Solve the 3x3 normal equations with Cramer's rule:
+        // [s4 s3 s2][a]   [st2y]
+        // [s3 s2 s1][b] = [sty ]
+        // [s2 s1 s0][c]   [sy  ]
+        let det = s4 * (s2 * s0 - s1 * s1) - s3 * (s3 * s0 - s1 * s2) + s2 * (s3 * s1 - s2 * s2);
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let a = (st2y * (s2 * s0 - s1 * s1) - s3 * (sty * s0 - s1 * sy)
+            + s2 * (sty * s1 - s2 * sy))
+            / det;
+        let b = (s4 * (sty * s0 - sy * s1) - st2y * (s3 * s0 - s1 * s2)
+            + s2 * (s3 * sy - sty * s2))
+            / det;
+        let c_centered = (s4 * (s2 * sy - s1 * sty) - s3 * (s3 * sy - s1 * st2y)
+            + st2y * (s3 * s1 - s2 * s2))
+            / det;
+        // Undo the centring: y = a(t - t0)² + b(t - t0) + c_centered.
+        let c = a * t0 * t0 - b * t0 + c_centered;
+        let b_full = b - 2.0 * a * t0;
+        Some(QuadraticFit { a, b: b_full, c })
+    }
+
+    /// Evaluates the fit at `t`.
+    pub fn evaluate(&self, t: f64) -> f64 {
+        self.a * t * t + self.b * t + self.c
+    }
+
+    /// The time of the extremum (`−b / 2a`), or `None` when the fit is
+    /// (numerically) linear.
+    pub fn vertex_time(&self) -> Option<f64> {
+        if self.a.abs() < 1e-12 {
+            None
+        } else {
+            Some(-self.b / (2.0 * self.a))
+        }
+    }
+
+    /// The value at the extremum.
+    pub fn vertex_value(&self) -> Option<f64> {
+        self.vertex_time().map(|t| self.evaluate(t))
+    }
+
+    /// Whether the extremum is a minimum (opens upwards).
+    pub fn is_minimum(&self) -> bool {
+        self.a > 0.0
+    }
+}
+
+/// The V-zone located inside a measured profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VZone {
+    /// Index of the first V-zone sample in the measured profile.
+    pub start_idx: usize,
+    /// Index one past the last V-zone sample.
+    pub end_idx: usize,
+    /// The V-zone samples.
+    pub profile: PhaseProfile,
+}
+
+impl VZone {
+    /// The time span of the V-zone, seconds.
+    pub fn duration(&self) -> f64 {
+        self.profile.duration()
+    }
+}
+
+/// The full result of V-zone detection for one tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VZoneDetection {
+    /// The detected V-zone.
+    pub vzone: VZone,
+    /// The quadratic fitted to the (unwrapped) V-zone samples, if the fit
+    /// succeeded.
+    pub fit: Option<QuadraticFit>,
+    /// Estimated time of the perpendicular point (profile nadir), seconds.
+    pub nadir_time_s: f64,
+    /// Estimated phase at the nadir, wrapped to `[0, 2π)`.
+    pub nadir_phase: f64,
+    /// The DTW matching cost (lower = better match); `None` for the naive
+    /// detector.
+    pub match_cost: Option<f64>,
+}
+
+impl VZoneDetection {
+    /// The coarse representation `S(P)` of the V-zone: `k` equal-count
+    /// segment means over the *unwrapped* V-zone values, each wrapped back
+    /// into `[0, 2π)`. Unwrapping first protects the means against
+    /// noise-induced wrap-around near the nadir. Returns `None` when the
+    /// V-zone has fewer than `k` samples.
+    pub fn coarse_representation(&self, k: usize) -> Option<Vec<f64>> {
+        let n = self.vzone.profile.len();
+        if k == 0 || n < k {
+            return None;
+        }
+        let unwrapped = self.vzone.profile.unwrapped_phases();
+        let mut means = Vec::with_capacity(k);
+        for i in 0..k {
+            let start = i * n / k;
+            let end = (((i + 1) * n / k).max(start + 1)).min(n);
+            let slice = &unwrapped[start..end];
+            let mean = slice.iter().sum::<f64>() / slice.len() as f64;
+            means.push(wrap_phase(mean));
+        }
+        Some(means)
+    }
+}
+
+/// Simple moving average used to smooth unwrapped phases before locating
+/// the minimum.
+fn moving_average(values: &[f64], window: usize) -> Vec<f64> {
+    let window = window.max(1);
+    let half = window / 2;
+    (0..values.len())
+        .map(|i| {
+            let start = i.saturating_sub(half);
+            let end = (i + half + 1).min(values.len());
+            values[start..end].iter().sum::<f64>() / (end - start) as f64
+        })
+        .collect()
+}
+
+/// Refines a coarse V-zone range (from DTW) into a window centred on the
+/// profile nadir: the coarse range is padded, unwrapped and smoothed, the
+/// minimum located, and the window grown symmetrically around it until
+/// either `max_half_duration_s` is reached or the raw phase wraps (which
+/// marks the true V-zone boundary).
+fn refine_vzone(
+    measured: &PhaseProfile,
+    coarse_range: std::ops::Range<usize>,
+    max_half_duration_s: f64,
+    min_samples: usize,
+) -> Option<VZone> {
+    let pad = ((coarse_range.len() as f64) * 0.3).ceil() as usize + 2;
+    let start = coarse_range.start.saturating_sub(pad);
+    let end = (coarse_range.end + pad).min(measured.len());
+    if end <= start {
+        return None;
+    }
+    let slice = measured.slice(start..end);
+    if slice.len() < min_samples.max(3) {
+        return None;
+    }
+    let unwrapped = slice.unwrapped_phases();
+    let smoothed = moving_average(&unwrapped, 5);
+    let min_rel = smoothed
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite phases"))
+        .map(|(i, _)| i)?;
+    let samples = slice.samples();
+    let center_time = samples[min_rel].time_s;
+    let is_wrap = |a: f64, b: f64| (a - b).abs() > std::f64::consts::PI;
+
+    let mut lo = min_rel;
+    while lo > 0 {
+        if center_time - samples[lo - 1].time_s > max_half_duration_s {
+            break;
+        }
+        if is_wrap(samples[lo].phase_rad, samples[lo - 1].phase_rad) {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = min_rel + 1;
+    while hi < samples.len() {
+        if samples[hi].time_s - center_time > max_half_duration_s {
+            break;
+        }
+        if is_wrap(samples[hi].phase_rad, samples[hi - 1].phase_rad) {
+            break;
+        }
+        hi += 1;
+    }
+    let abs_start = start + lo;
+    let abs_end = start + hi;
+    if abs_end - abs_start < 3 {
+        return None;
+    }
+    Some(VZone {
+        start_idx: abs_start,
+        end_idx: abs_end,
+        profile: measured.slice(abs_start..abs_end),
+    })
+}
+
+fn fit_vzone(vzone: &VZone) -> (Option<QuadraticFit>, f64, f64) {
+    // Fit over unwrapped values so a bottom that dips below 0 (and wraps to
+    // ~2π) does not destroy the parabola.
+    let times = vzone.profile.times();
+    let unwrapped = vzone.profile.unwrapped_phases();
+    let points: Vec<(f64, f64)> = times.iter().copied().zip(unwrapped.iter().copied()).collect();
+    let fallback = || {
+        let idx = vzone.profile.argmin_phase().unwrap_or(0);
+        let s = vzone.profile.samples()[idx];
+        (s.time_s, s.phase_rad)
+    };
+    match QuadraticFit::fit(&points) {
+        Some(fit) if fit.is_minimum() => {
+            let t_min = times.first().copied().unwrap_or(0.0);
+            let t_max = times.last().copied().unwrap_or(0.0);
+            match fit.vertex_time() {
+                Some(vt) if vt >= t_min && vt <= t_max => {
+                    let value = fit.vertex_value().unwrap_or_else(|| fit.evaluate(vt));
+                    (Some(fit), vt, wrap_phase(value))
+                }
+                _ => {
+                    let (t, p) = fallback();
+                    (Some(fit), t, p)
+                }
+            }
+        }
+        other => {
+            let (t, p) = fallback();
+            (other, t, p)
+        }
+    }
+}
+
+/// Configuration and state of the paper's DTW-based V-zone detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VZoneDetector {
+    /// Nominal sweep geometry used to generate the reference profile.
+    pub reference_params: ReferenceProfileParams,
+    /// Segmentation window `w` in samples (the paper settles on 5).
+    pub window: usize,
+    /// Number of candidate hardware phase offsets tried when matching the
+    /// reference (the measured profile is shifted by the unknown `μ`).
+    pub offset_candidates: usize,
+    /// Minimum number of samples a profile must have to be processed.
+    pub min_samples: usize,
+    /// Minimum number of samples the detected V-zone must contain.
+    pub min_vzone_samples: usize,
+    /// Gap penalty (rad/s of warped time) applied to the segmented DTW so
+    /// the alignment cannot collapse onto a single wide-range segment.
+    pub gap_penalty_per_second: f64,
+}
+
+impl VZoneDetector {
+    /// Creates a detector with the paper's defaults (`w = 5`, 4-period
+    /// reference, 8 offset candidates).
+    pub fn new(reference_params: ReferenceProfileParams) -> Self {
+        VZoneDetector {
+            reference_params,
+            window: 5,
+            offset_candidates: 8,
+            min_samples: 12,
+            min_vzone_samples: 5,
+            gap_penalty_per_second: 0.5,
+        }
+    }
+
+    /// Overrides the segmentation window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Overrides the number of reference phase offsets tried.
+    pub fn with_offset_candidates(mut self, candidates: usize) -> Self {
+        self.offset_candidates = candidates.max(1);
+        self
+    }
+
+    /// Detects the V-zone in a measured profile. Returns `None` when the
+    /// profile is too short or no acceptable match is found.
+    pub fn detect(&self, measured: &PhaseProfile) -> Option<VZoneDetection> {
+        if measured.len() < self.min_samples {
+            return None;
+        }
+        // Build the reference at (roughly) the measured sampling rate.
+        let interval = measured.median_sample_interval()?.clamp(0.005, 0.2);
+        let params = ReferenceProfileParams {
+            sample_interval_s: interval,
+            ..self.reference_params
+        };
+        let reference = ReferenceProfile::generate(params)?;
+
+        let measured_seg = SegmentedProfile::build(measured, self.window);
+        if measured_seg.is_empty() {
+            return None;
+        }
+
+        // The DTW pattern is the reference V-zone plus a small margin on
+        // each side: the V-zone is the distinctive, wide feature; dragging
+        // several steep flanking periods into the subsequence match only
+        // dilutes it (and the flanks may not even fit inside the reading
+        // zone).
+        let vzone_len = reference.vzone_end.saturating_sub(reference.vzone_start);
+        let margin = (vzone_len / 4).max(2);
+        let pat_start = reference.vzone_start.saturating_sub(margin);
+        let pat_end = (reference.vzone_end + margin).min(reference.profile.len());
+        let vzone_in_pattern =
+            (reference.vzone_start - pat_start)..(reference.vzone_end - pat_start);
+
+        let measured_times = measured.times();
+
+        // Try several constant offsets on the reference to absorb the
+        // unknown hardware μ of the measured profile; keep the best match.
+        let mut best: Option<(f64, std::ops::Range<usize>)> = None;
+        for k in 0..self.offset_candidates {
+            let offset = TWO_PI * k as f64 / self.offset_candidates as f64;
+            let shifted = reference.with_phase_offset(offset);
+            let pattern = shifted.profile.slice(pat_start..pat_end);
+            let pattern_duration = pattern.duration();
+            let ref_seg = SegmentedProfile::build(&pattern, self.window);
+            if ref_seg.is_empty() {
+                continue;
+            }
+            let Some(result) = dtw_segmented_with_penalty(
+                &ref_seg,
+                &measured_seg,
+                true,
+                self.gap_penalty_per_second,
+            ) else {
+                continue;
+            };
+            // Which pattern segments cover the V-zone samples?
+            let seg_range =
+                Self::segments_covering(&ref_seg, vzone_in_pattern.start, vzone_in_pattern.end);
+            let Some(matched_segs) = result.matched_range(seg_range.start, seg_range.end) else {
+                continue;
+            };
+            let sample_range = measured_seg.sample_range(matched_segs);
+            if sample_range.is_empty() {
+                continue;
+            }
+            // Reject degenerate matches where the whole pattern collapses
+            // into a sliver of the measured profile (e.g. onto a pause
+            // plateau): the matched span must retain a reasonable fraction
+            // of the pattern duration.
+            let matched_duration = measured_times[(sample_range.end - 1).min(measured_times.len() - 1)]
+                - measured_times[sample_range.start];
+            if matched_duration < 0.3 * pattern_duration {
+                continue;
+            }
+            let normalised_cost = result.cost / ref_seg.len().max(1) as f64;
+            if best.as_ref().map(|(c, _)| normalised_cost < *c).unwrap_or(true) {
+                best = Some((normalised_cost, sample_range));
+            }
+        }
+
+        let (cost, range) = best?;
+        // Refine the coarse DTW match into a window centred on the nadir.
+        // The cap on the half-width is the time the reader needs to add a
+        // quarter wavelength of one-way path beyond the perpendicular
+        // distance — roughly half of one V-zone regardless of where the
+        // bottom phase sits relative to the wrap point.
+        let d = params.perpendicular_distance_m;
+        let lambda = params.wavelength_m;
+        let half_x = ((d + lambda / 4.0).powi(2) - d * d).sqrt();
+        let max_half_duration = (half_x / params.speed_mps).max(3.0 * interval);
+        let vzone = refine_vzone(measured, range, max_half_duration, self.min_vzone_samples)?;
+        if vzone.profile.len() < self.min_vzone_samples {
+            return None;
+        }
+        let (fit, nadir_time_s, nadir_phase) = fit_vzone(&vzone);
+        Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: Some(cost) })
+    }
+
+    fn segments_covering(
+        seg: &SegmentedProfile,
+        sample_start: usize,
+        sample_end: usize,
+    ) -> std::ops::Range<usize> {
+        let mut first = None;
+        let mut last = 0usize;
+        for (i, s) in seg.segments().iter().enumerate() {
+            if s.end_idx > sample_start && s.start_idx < sample_end {
+                if first.is_none() {
+                    first = Some(i);
+                }
+                last = i + 1;
+            }
+        }
+        match first {
+            Some(f) => f..last,
+            None => 0..0,
+        }
+    }
+}
+
+/// The naive alternative: unwrap the whole profile and take the global
+/// minimum. Vulnerable to the fragmentary, noisy segments outside the
+/// V-zone (the reason the paper uses DTW), but useful as an ablation
+/// baseline and as a fallback when no reference geometry is known.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaiveUnwrapDetector {
+    /// Half-width of the window (in samples) taken around the minimum for
+    /// the quadratic fit.
+    pub half_window: usize,
+    /// Minimum number of samples a profile must have to be processed.
+    pub min_samples: usize,
+}
+
+impl Default for NaiveUnwrapDetector {
+    fn default() -> Self {
+        NaiveUnwrapDetector { half_window: 15, min_samples: 8 }
+    }
+}
+
+impl NaiveUnwrapDetector {
+    /// Detects the nadir by global unwrapping.
+    pub fn detect(&self, measured: &PhaseProfile) -> Option<VZoneDetection> {
+        if measured.len() < self.min_samples {
+            return None;
+        }
+        let unwrapped = measured.unwrapped_phases();
+        let min_idx = unwrapped
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite phases"))
+            .map(|(i, _)| i)?;
+        let start = min_idx.saturating_sub(self.half_window);
+        let end = (min_idx + self.half_window + 1).min(measured.len());
+        let vzone =
+            VZone { start_idx: start, end_idx: end, profile: measured.slice(start..end) };
+        if vzone.profile.len() < 3 {
+            return None;
+        }
+        let (fit, nadir_time_s, nadir_phase) = fit_vzone(&vzone);
+        Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_phys::PhaseModel;
+
+    /// Builds a noise-free measured profile for a tag at `(tag_x, d_perp)`
+    /// swept at `speed` over `span_x` metres.
+    fn synthetic_profile(tag_x: f64, d_perp: f64, speed: f64, span_x: f64, dt: f64) -> PhaseProfile {
+        let model = PhaseModel::ideal(920.625e6);
+        let mut pairs = Vec::new();
+        let mut t = 0.0;
+        while speed * t <= span_x {
+            let x = speed * t;
+            let d = ((x - tag_x).powi(2) + d_perp * d_perp).sqrt();
+            pairs.push((t, model.phase_at_distance(d)));
+            t += dt;
+        }
+        PhaseProfile::from_pairs(&pairs)
+    }
+
+    fn wavelength() -> f64 {
+        PhaseModel::ideal(920.625e6).wavelength()
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_exact_parabola() {
+        let points: Vec<(f64, f64)> =
+            (0..20).map(|i| {
+                let t = i as f64 * 0.1;
+                (t, 2.0 * (t - 0.7) * (t - 0.7) + 0.3)
+            }).collect();
+        let fit = QuadraticFit::fit(&points).unwrap();
+        assert!(fit.is_minimum());
+        assert!((fit.vertex_time().unwrap() - 0.7).abs() < 1e-9);
+        assert!((fit.vertex_value().unwrap() - 0.3).abs() < 1e-9);
+        assert!((fit.evaluate(0.0) - (2.0 * 0.49 + 0.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_fit_rejects_degenerate_input() {
+        assert!(QuadraticFit::fit(&[(0.0, 1.0), (1.0, 2.0)]).is_none());
+        // All points at the same t: singular system.
+        assert!(QuadraticFit::fit(&[(1.0, 1.0), (1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn quadratic_fit_handles_offset_time_axis() {
+        // Large absolute times (seconds into a sweep) must not break the fit.
+        let points: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let t = 1000.0 + i as f64 * 0.05;
+                (t, 0.8 * (t - 1000.9) * (t - 1000.9) + 1.2)
+            })
+            .collect();
+        let fit = QuadraticFit::fit(&points).unwrap();
+        assert!((fit.vertex_time().unwrap() - 1000.9).abs() < 1e-6);
+        assert!((fit.vertex_value().unwrap() - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detector_finds_nadir_of_clean_profile() {
+        // Tag at x = 1.0 m, perpendicular distance 0.3 m, sweep at 0.1 m/s
+        // over 2 m: the nadir is at t = 10 s.
+        let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        let detector = VZoneDetector::new(params);
+        let detection = detector.detect(&profile).expect("V-zone must be found");
+        assert!(
+            (detection.nadir_time_s - 10.0).abs() < 0.6,
+            "nadir at {} expected near 10.0",
+            detection.nadir_time_s
+        );
+        // The V-zone must be a proper sub-range of the profile.
+        assert!(detection.vzone.start_idx > 0);
+        assert!(detection.vzone.end_idx < profile.len());
+        assert!(detection.match_cost.is_some());
+    }
+
+    #[test]
+    fn detector_orders_two_tags_along_x() {
+        let p1 = synthetic_profile(0.8, 0.3, 0.1, 2.0, 0.03);
+        let p2 = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        let detector = VZoneDetector::new(params);
+        let d1 = detector.detect(&p1).unwrap();
+        let d2 = detector.detect(&p2).unwrap();
+        assert!(d1.nadir_time_s < d2.nadir_time_s);
+        // 20 cm at 0.1 m/s = 2 s apart.
+        assert!(((d2.nadir_time_s - d1.nadir_time_s) - 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn detector_separates_tags_along_y_via_nadir_phase() {
+        // Tag farther from the trajectory has a larger minimum distance and
+        // hence a larger bottom phase — as long as both perpendicular
+        // distances fall inside the same λ/2 phase period (here both lie in
+        // the 0.163–0.326 m window for λ ≈ 0.326 m).
+        let near = synthetic_profile(1.0, 0.28, 0.1, 2.0, 0.03);
+        let far = synthetic_profile(1.0, 0.32, 0.1, 2.0, 0.03);
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        let detector = VZoneDetector::new(params);
+        let d_near = detector.detect(&near).unwrap();
+        let d_far = detector.detect(&far).unwrap();
+        assert!(
+            d_far.nadir_phase > d_near.nadir_phase,
+            "far = {}, near = {}",
+            d_far.nadir_phase,
+            d_near.nadir_phase
+        );
+    }
+
+    #[test]
+    fn detector_survives_missing_samples_and_offset() {
+        // Remove a third of the samples and add a constant hardware offset.
+        let clean = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
+        let pairs: Vec<(f64, f64)> = clean
+            .samples()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, s)| (s.time_s, wrap_phase(s.phase_rad + 1.1)))
+            .collect();
+        let degraded = PhaseProfile::from_pairs(&pairs);
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        let detection = VZoneDetector::new(params).detect(&degraded).expect("must still detect");
+        assert!((detection.nadir_time_s - 10.0).abs() < 1.0, "nadir {}", detection.nadir_time_s);
+    }
+
+    #[test]
+    fn detector_rejects_tiny_profiles() {
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        let detector = VZoneDetector::new(params);
+        let tiny = PhaseProfile::from_pairs(&[(0.0, 1.0), (0.1, 1.1), (0.2, 1.2)]);
+        assert!(detector.detect(&tiny).is_none());
+        assert!(detector.detect(&PhaseProfile::new()).is_none());
+    }
+
+    #[test]
+    fn naive_detector_finds_nadir_of_clean_profile() {
+        let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
+        let detection = NaiveUnwrapDetector::default().detect(&profile).unwrap();
+        assert!((detection.nadir_time_s - 10.0).abs() < 0.6);
+        assert!(detection.match_cost.is_none());
+    }
+
+    #[test]
+    fn coarse_representation_has_k_values_in_range() {
+        let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        let detection = VZoneDetector::new(params).detect(&profile).unwrap();
+        let coarse = detection.coarse_representation(6).unwrap();
+        assert_eq!(coarse.len(), 6);
+        for v in &coarse {
+            assert!((0.0..TWO_PI).contains(v));
+        }
+        // Symmetric V-zone: the first and last segment means are the
+        // largest, the central ones the smallest.
+        let mid = coarse[2].min(coarse[3]);
+        assert!(coarse[0] > mid && coarse[5] > mid);
+        // Too many segments for the sample count is rejected.
+        assert!(detection.coarse_representation(10_000).is_none());
+    }
+
+    #[test]
+    fn window_size_affects_detection_but_small_windows_stay_accurate() {
+        let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        for w in [1usize, 3, 5] {
+            let detector = VZoneDetector::new(params).with_window(w);
+            let detection = detector.detect(&profile).expect("detection with small window");
+            assert!(
+                (detection.nadir_time_s - 10.0).abs() < 0.8,
+                "w={w} nadir={}",
+                detection.nadir_time_s
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig02 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig02_rssi_motivation(20150504);
+    print!("{}", report.to_markdown());
+}

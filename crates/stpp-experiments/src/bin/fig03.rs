@@ -1,0 +1,5 @@
+//! Regenerates fig03 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig03_reference_profiles_x();
+    print!("{}", report.to_markdown());
+}

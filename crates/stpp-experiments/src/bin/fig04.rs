@@ -1,0 +1,5 @@
+//! Regenerates fig04 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig04_reference_profiles_y();
+    print!("{}", report.to_markdown());
+}

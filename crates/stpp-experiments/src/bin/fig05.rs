@@ -1,0 +1,5 @@
+//! Regenerates fig05 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig05_measured_profiles_x(20150504);
+    print!("{}", report.to_markdown());
+}

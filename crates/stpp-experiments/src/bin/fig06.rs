@@ -1,0 +1,5 @@
+//! Regenerates fig06 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig06_measured_profiles_y(20150504);
+    print!("{}", report.to_markdown());
+}

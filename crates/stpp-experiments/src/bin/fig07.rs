@@ -1,0 +1,5 @@
+//! Regenerates fig07 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig07_dtw_alignment(20150504);
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig08 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig08_segmentation(20150504);
+    print!("{}", report.to_markdown());
+}

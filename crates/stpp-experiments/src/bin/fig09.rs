@@ -1,0 +1,5 @@
+//! Regenerates fig09 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::profiles::fig09_quadratic_fitting(20150504);
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig12 of the STPP paper.
+use stpp_experiments::TrialConfig;
+
+fn main() {
+    let trials = TrialConfig::default();
+    let report = stpp_experiments::microbench::fig12_window_size(&trials);
+    print!("{}", report.to_markdown());
+}

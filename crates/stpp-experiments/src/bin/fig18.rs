@@ -1,0 +1,8 @@
+//! Regenerates fig18 of the STPP paper.
+use stpp_experiments::TrialConfig;
+
+fn main() {
+    let trials = TrialConfig::default();
+    let report = stpp_experiments::macrobench::fig18_accuracy_vs_distance(&trials);
+    print!("{}", report.to_markdown());
+}

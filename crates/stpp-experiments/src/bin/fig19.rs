@@ -1,0 +1,8 @@
+//! Regenerates fig19 of the STPP paper.
+use stpp_experiments::TrialConfig;
+
+fn main() {
+    let trials = TrialConfig::default();
+    let report = stpp_experiments::macrobench::fig19_accuracy_vs_population(&trials);
+    print!("{}", report.to_markdown());
+}

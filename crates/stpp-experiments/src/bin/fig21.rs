@@ -1,0 +1,5 @@
+//! Regenerates fig21 of the STPP paper.
+fn main() {
+    let report = stpp_experiments::casestudies::fig21_book_layout(20150504);
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig23 of the STPP paper.
+use stpp_experiments::TrialConfig;
+
+fn main() {
+    let trials = TrialConfig::default();
+    let report = stpp_experiments::casestudies::fig23_ordering_latency(&trials);
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,13 @@
+//! Dumps the raw phase/RSSI series behind Figures 2-6 as CSV files under
+//! `results/` so they can be re-plotted.
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results directory");
+    for (name, csv) in stpp_experiments::profiles::raw_profile_series(20150504) {
+        fs::write(out_dir.join(&name), csv).expect("write series CSV");
+        println!("wrote results/{name}");
+    }
+}

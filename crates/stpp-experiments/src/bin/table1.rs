@@ -1,0 +1,8 @@
+//! Regenerates table1 of the STPP paper.
+use stpp_experiments::TrialConfig;
+
+fn main() {
+    let trials = TrialConfig::default();
+    let report = stpp_experiments::microbench::table1_population(&trials);
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates table2 of the STPP paper.
+use stpp_experiments::TrialConfig;
+
+fn main() {
+    let trials = TrialConfig::default();
+    let report = stpp_experiments::casestudies::table2_misplaced_books(&trials);
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates table3 of the STPP paper.
+use stpp_experiments::TrialConfig;
+
+fn main() {
+    let trials = TrialConfig::default();
+    let report = stpp_experiments::casestudies::table3_airport_accuracy(&trials);
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,200 @@
+//! Case studies: the library (Figure 21, Table 2) and the airport
+//! (Table 3, Figure 23).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stpp_apps::{
+    BaggageSimulation, Bookshelf, BookshelfParams, MisplacedBookExperiment, TrafficPeriod,
+};
+use stpp_baselines::{GRssi, OTrack, OrderingScheme, StppScheme};
+
+use crate::common::{pct, score_scheme, ExperimentReport, TrialConfig};
+
+/// Figure 21: the detected layout of a 90-book shelf, reporting per-level
+/// ordering accuracy and which books were ordered incorrectly.
+pub fn fig21_book_layout(seed: u64) -> ExperimentReport {
+    let shelf = Bookshelf::generate(BookshelfParams::default(), seed);
+    let experiment = MisplacedBookExperiment::default();
+    let mut report = ExperimentReport::new(
+        "Figure 21",
+        "Detected book layout (90 books on 3 shelf levels)",
+        vec!["level", "books", "ordering accuracy", "wrongly ordered books"],
+    );
+    if let Some(recording) = experiment.sweep_shelf(&shelf, seed) {
+        let outcome = experiment.detect(&shelf, &recording);
+        // Per-level breakdown.
+        for level in 0..shelf.params.levels {
+            let catalogue = shelf.catalogue_level(level).unwrap_or(&[]);
+            let wrong: Vec<u64> =
+                outcome.flagged.iter().copied().filter(|id| catalogue.contains(id)).collect();
+            report.push_row(vec![
+                format!("{}", level + 1),
+                format!("{}", catalogue.len()),
+                pct(1.0 - wrong.len() as f64 / catalogue.len().max(1) as f64),
+                format!("{wrong:?}"),
+            ]);
+        }
+        report = report.with_notes(format!(
+            "Overall STPP ordering accuracy across the shelf: {} (the paper reports 0.84 on \
+             average over 50 sweeps; wrongly ordered books are the thin, closely spaced ones).",
+            pct(outcome.ordering_accuracy)
+        ));
+    }
+    report
+}
+
+/// Table 2: misplaced-book detection success rate for 1, 2 and 3 misplaced
+/// books.
+pub fn table2_misplaced_books(trials: &TrialConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "Table 2",
+        "Misplaced-book detection success rate",
+        vec!["misplaced books", "trials", "detection success rate"],
+    );
+    let experiment = MisplacedBookExperiment::default();
+    for (idx, misplaced_count) in [1usize, 2, 3].into_iter().enumerate() {
+        let mut successes = 0usize;
+        let mut total = 0usize;
+        for t in 0..trials.trials {
+            let seed = trials.trial_seed(5000 + idx, t);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut shelf = Bookshelf::generate(
+                BookshelfParams { books_per_level: 30, levels: 1, ..BookshelfParams::default() },
+                seed,
+            );
+            // Move `misplaced_count` randomly chosen books 2-10 positions away.
+            for _ in 0..misplaced_count {
+                let level = 0;
+                let ids = shelf.catalogue[level].clone();
+                let book = ids[rng.gen_range(0..ids.len())];
+                let current = ids.iter().position(|&b| b == book).unwrap_or(0);
+                let offset = rng.gen_range(2..=10usize);
+                let target = if rng.gen_bool(0.5) {
+                    current.saturating_sub(offset)
+                } else {
+                    (current + offset).min(ids.len() - 1)
+                };
+                shelf.misplace_book(book, target);
+            }
+            let Some(recording) = experiment.sweep_shelf(&shelf, seed) else { continue };
+            let outcome = experiment.detect(&shelf, &recording);
+            if outcome.detected_all() {
+                successes += 1;
+            }
+            total += 1;
+        }
+        report.push_row(vec![
+            format!("{misplaced_count}"),
+            format!("{total}"),
+            pct(successes as f64 / total.max(1) as f64),
+        ]);
+    }
+    report.with_notes(
+        "The paper reports 97-98 % detection success for 1-3 misplaced books over 100 trials."
+            .to_string(),
+    )
+}
+
+/// Table 3: baggage ordering accuracy per traffic period for STPP, OTrack
+/// and G-RSSI.
+pub fn table3_airport_accuracy(trials: &TrialConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "Table 3",
+        "Baggage ordering accuracy per traffic period",
+        vec!["scheme", "7:00-9:00", "13:00-15:00", "19:00-21:00"],
+    );
+    let sim = BaggageSimulation::default();
+    let schemes: Vec<Box<dyn OrderingScheme>> = vec![
+        Box::new(StppScheme::new()),
+        Box::new(OTrack::default()),
+        Box::new(GRssi::default()),
+    ];
+    for scheme in schemes {
+        let mut row = vec![scheme.name().to_string()];
+        for (idx, period) in TrafficPeriod::all().into_iter().enumerate() {
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for t in 0..trials.trials {
+                let seed = trials.trial_seed(6000 + idx, t);
+                let batch = sim.generate_batch(period, seed);
+                let Some(recording) = sim.run_batch(&batch, seed) else { continue };
+                let result = scheme.order(&recording);
+                let (ax, _) = score_scheme(&recording, &result);
+                correct += (ax * batch.truth_order.len() as f64).round() as usize;
+                total += batch.truth_order.len();
+            }
+            row.push(format!("{}/{} = {}", correct, total, pct(correct as f64 / total.max(1) as f64)));
+        }
+        report.push_row(row);
+    }
+    report.with_notes(
+        "Paper Table 3: STPP 96-97 % in every period; OTrack 88 % at peak and 95 % off-peak; \
+         G-RSSI 51-72 %. The shape to check is STPP's robustness during peak periods where bag \
+         gaps shrink below 20 cm."
+            .to_string(),
+    )
+}
+
+/// Figure 23: CDF of the ordering latency of STPP vs OTrack (100 bags).
+pub fn fig23_ordering_latency(trials: &TrialConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "Figure 23",
+        "Ordering latency (per batch compute time)",
+        vec!["scheme", "p50 (ms)", "p90 (ms)", "max (ms)"],
+    );
+    let sim = BaggageSimulation::default();
+    let batches = (trials.trials * 4).max(8);
+    let schemes: Vec<Box<dyn OrderingScheme>> =
+        vec![Box::new(StppScheme::new()), Box::new(OTrack::default())];
+    for scheme in schemes {
+        let mut latencies = Vec::new();
+        for b in 0..batches {
+            let seed = trials.trial_seed(7000, b);
+            let batch = sim.generate_batch(TrafficPeriod::MorningPeak, seed);
+            let Some(recording) = sim.run_batch(&batch, seed) else { continue };
+            let start = std::time::Instant::now();
+            let _ = scheme.order(&recording);
+            latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let q = |f: f64| latencies[(f * (latencies.len() - 1) as f64).round() as usize];
+        report.push_row(vec![
+            scheme.name().to_string(),
+            format!("{:.1}", q(0.5)),
+            format!("{:.1}", q(0.9)),
+            format!("{:.1}", latencies.last().copied().unwrap_or(0.0)),
+        ]);
+    }
+    report.with_notes(
+        "The paper measures end-to-end ordering latency (mean 1.47 s for STPP, slightly above \
+         OTrack) dominated by data collection on real hardware; here the reported numbers are \
+         the pure computation time per batch, so only the relative ordering (STPP slower than \
+         OTrack, both well under the belt dwell time) is meaningful."
+            .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_cover_one_to_three_books() {
+        let r = table2_misplaced_books(&TrialConfig { trials: 1, seed: 11 });
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], "1");
+        assert_eq!(r.rows[2][0], "3");
+    }
+
+    #[test]
+    fn fig23_reports_two_schemes_with_sorted_quantiles() {
+        let r = fig23_ordering_latency(&TrialConfig { trials: 1, seed: 13 });
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            let p50: f64 = row[1].parse().unwrap();
+            let p90: f64 = row[2].parse().unwrap();
+            assert!(p50 <= p90 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Shared experiment infrastructure: report rendering, layouts, runners.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_geometry::{Point3, TagLayout};
+use rfid_reader::{
+    AntennaSweepParams, ConveyorParams, ReaderSimulation, ScenarioBuilder, SweepRecording,
+};
+use serde::{Deserialize, Serialize};
+use stpp_baselines::{OrderingScheme, SchemeResult};
+use stpp_core::ordering_accuracy;
+
+/// Global knobs shared by the statistical experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialConfig {
+    /// Number of repetitions per configuration point.
+    pub trials: usize,
+    /// Base RNG seed; trial `i` of configuration `c` derives its own seed.
+    pub seed: u64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig { trials: 4, seed: 20150504 }
+    }
+}
+
+impl TrialConfig {
+    /// A derived seed for one (configuration, trial) pair.
+    pub fn trial_seed(&self, config_idx: usize, trial_idx: usize) -> u64 {
+        self.seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((config_idx as u64) << 32)
+            .wrapping_add(trial_idx as u64 + 1)
+    }
+}
+
+/// A rendered experiment result: a titled table plus free-form notes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Identifier matching the paper ("Figure 13", "Table 1", ...).
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form commentary (what to compare against the paper).
+    pub notes: String,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<&str>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Sets the commentary.
+    pub fn with_notes(mut self, notes: impl Into<String>) -> Self {
+        self.notes = notes.into();
+        self
+    }
+
+    /// Renders the report as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            out.push_str(&format!("\n{}\n", self.notes));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds a staggered multi-row layout of `count` tags whose adjacent
+/// spacing along X is `spacing` metres (with small per-tag jitter so no two
+/// tags share a coordinate), wrapping onto a new row every `per_row` tags.
+/// Row depth (`dy`) stays small so the whole layout sits inside one λ/2
+/// phase period.
+pub fn staggered_layout(
+    count: usize,
+    spacing: f64,
+    per_row: usize,
+    dy: f64,
+    seed: u64,
+) -> TagLayout {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut layout = TagLayout::new();
+    let per_row = per_row.max(1);
+    for id in 0..count as u64 {
+        let row = (id as usize) / per_row;
+        let col = (id as usize) % per_row;
+        let jitter_x = rng.gen_range(-spacing * 0.1..spacing * 0.1);
+        let jitter_y = rng.gen_range(0.0..dy * 0.3);
+        layout.push(
+            id,
+            Point3::new(
+                col as f64 * spacing + jitter_x,
+                row as f64 * dy + jitter_y,
+                0.0,
+            ),
+        );
+    }
+    layout
+}
+
+/// A single row of `count` tags with exact spacing (no jitter).
+pub fn row_layout(count: usize, spacing: f64) -> TagLayout {
+    let mut layout = TagLayout::new();
+    for id in 0..count as u64 {
+        layout.push(id, Point3::new(id as f64 * spacing, 0.0, 0.0));
+    }
+    layout
+}
+
+/// Runs an antenna-moving sweep over a layout and returns the recording.
+pub fn run_antenna_sweep(layout: &TagLayout, seed: u64) -> Option<SweepRecording> {
+    let scenario = ScenarioBuilder::new(seed)
+        .with_name("experiment antenna sweep")
+        .antenna_sweep(layout, AntennaSweepParams::default())?;
+    Some(ReaderSimulation::new(scenario, seed).run())
+}
+
+/// Runs a tag-moving (conveyor) sweep over a layout.
+pub fn run_conveyor_sweep(layout: &TagLayout, seed: u64) -> Option<SweepRecording> {
+    let scenario = ScenarioBuilder::new(seed)
+        .with_name("experiment conveyor sweep")
+        .conveyor(layout, ConveyorParams::default())?;
+    Some(ReaderSimulation::new(scenario, seed).run())
+}
+
+/// Scores a scheme's output against a recording's ground truth. Returns
+/// `(accuracy_x, accuracy_y)`; the Y accuracy is `None` when the scheme
+/// does not produce a Y ordering.
+pub fn score_scheme(recording: &SweepRecording, result: &SchemeResult) -> (f64, Option<f64>) {
+    let truth_x: Vec<u64> = recording
+        .truth_order_x()
+        .into_iter()
+        .filter(|id| *id < stpp_baselines::REFERENCE_ID_BASE)
+        .collect();
+    let truth_y: Vec<u64> = recording
+        .truth_order_y()
+        .into_iter()
+        .filter(|id| *id < stpp_baselines::REFERENCE_ID_BASE)
+        .collect();
+    // In the tag-moving case the detected pass order is descending layout X.
+    let detected_x: Vec<u64> = match recording.scenario.case {
+        rfid_reader::MotionCase::AntennaMoving => result.order_x.clone(),
+        rfid_reader::MotionCase::TagMoving => result.order_x.iter().rev().copied().collect(),
+    };
+    let acc_x = ordering_accuracy(&detected_x, &truth_x);
+    let acc_y = result.order_y.as_ref().map(|oy| ordering_accuracy(oy, &truth_y));
+    (acc_x, acc_y)
+}
+
+/// Runs one scheme over `trials` independently generated sweeps of the same
+/// layout-generating closure, returning mean `(accuracy_x, accuracy_y)`.
+pub fn mean_accuracy<S, L>(
+    scheme: &S,
+    trials: &TrialConfig,
+    config_idx: usize,
+    antenna_moving: bool,
+    mut make_layout: L,
+) -> (f64, f64)
+where
+    S: OrderingScheme + ?Sized,
+    L: FnMut(u64) -> TagLayout,
+{
+    let mut sum_x = 0.0;
+    let mut sum_y = 0.0;
+    let mut count_y = 0usize;
+    let mut count = 0usize;
+    for t in 0..trials.trials {
+        let seed = trials.trial_seed(config_idx, t);
+        let layout = make_layout(seed);
+        let recording = if antenna_moving {
+            run_antenna_sweep(&layout, seed)
+        } else {
+            run_conveyor_sweep(&layout, seed)
+        };
+        let Some(recording) = recording else { continue };
+        let result = scheme.order(&recording);
+        let (ax, ay) = score_scheme(&recording, &result);
+        sum_x += ax;
+        if let Some(ay) = ay {
+            sum_y += ay;
+            count_y += 1;
+        }
+        count += 1;
+    }
+    (
+        if count == 0 { 0.0 } else { sum_x / count as f64 },
+        if count_y == 0 { 0.0 } else { sum_y / count_y as f64 },
+    )
+}
+
+/// Formats a fraction as a percentage string with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpp_baselines::GRssi;
+
+    #[test]
+    fn report_rendering_roundtrip() {
+        let mut r = ExperimentReport::new("Table X", "demo", vec!["a", "b"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        let md = r.to_markdown();
+        assert!(md.contains("## Table X — demo"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = r.to_csv();
+        assert!(csv.starts_with("a,b\n1,2"));
+    }
+
+    #[test]
+    fn staggered_layout_has_unique_coordinates() {
+        let layout = staggered_layout(12, 0.05, 5, 0.05, 3);
+        assert_eq!(layout.len(), 12);
+        let xs: Vec<f64> = layout.iter().map(|(_, p)| p.x).collect();
+        for i in 0..xs.len() {
+            for j in i + 1..xs.len() {
+                assert!((xs[i] - xs[j]).abs() > 1e-9 || i / 5 != j / 5);
+            }
+        }
+        // Y span stays within the safe phase period (< 0.14 m).
+        let bounds = layout.bounds().unwrap();
+        assert!(bounds.extent().y < 0.14);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct() {
+        let t = TrialConfig::default();
+        let a = t.trial_seed(0, 0);
+        let b = t.trial_seed(0, 1);
+        let c = t.trial_seed(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_accuracy_runs_a_small_experiment() {
+        let trials = TrialConfig { trials: 1, seed: 5 };
+        let (ax, ay) =
+            mean_accuracy(&GRssi::default(), &trials, 0, true, |_| row_layout(3, 0.15));
+        assert!((0.0..=1.0).contains(&ax));
+        assert!((0.0..=1.0).contains(&ay));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.84), "84.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

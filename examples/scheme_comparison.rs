@@ -1,0 +1,46 @@
+//! Compare STPP against the four baseline schemes on one sweep — a
+//! miniature version of the paper's Figure 17.
+//!
+//! Run with: `cargo run --release --example scheme_comparison`
+
+use stpp::baselines::{BackPos, GRssi, Landmarc, OTrack, OrderingScheme, StppScheme};
+use stpp::core::ordering_accuracy;
+use stpp::experiments::common::staggered_layout;
+use stpp::experiments::macrobench::with_reference_tags;
+use stpp::reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+
+fn main() {
+    // Twelve tags, 6 cm apart, on two shallow rows; a sparse grid of
+    // reference tags is added for LANDMARC.
+    let layout = with_reference_tags(staggered_layout(12, 0.06, 6, 0.05, 5), 0.2);
+    let scenario = ScenarioBuilder::new(5)
+        .with_name("scheme comparison sweep")
+        .antenna_sweep(&layout, AntennaSweepParams::default())
+        .expect("non-empty layout");
+    let truth: Vec<u64> = scenario
+        .truth_order_x()
+        .into_iter()
+        .filter(|id| *id < stpp::baselines::REFERENCE_ID_BASE)
+        .collect();
+    let recording = ReaderSimulation::new(scenario, 5).run();
+
+    let schemes: Vec<Box<dyn OrderingScheme>> = vec![
+        Box::new(GRssi::default()),
+        Box::new(Landmarc::default()),
+        Box::new(OTrack::default()),
+        Box::new(BackPos::default()),
+        Box::new(StppScheme::new()),
+    ];
+    println!("{:<10} {:>10} {:>8}", "scheme", "X accuracy", "placed");
+    for scheme in schemes {
+        let result = scheme.order(&recording);
+        let accuracy = ordering_accuracy(&result.order_x, &truth);
+        println!(
+            "{:<10} {:>9.0}% {:>5}/{}",
+            scheme.name(),
+            accuracy * 100.0,
+            result.order_x.len(),
+            truth.len()
+        );
+    }
+}

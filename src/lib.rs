@@ -1,0 +1,21 @@
+//! # STPP — Spatial-Temporal Phase Profiling
+//!
+//! An umbrella crate re-exporting the full STPP stack: the RF/geometry/Gen2
+//! simulation substrates, the STPP relative-localization algorithms, the
+//! baseline comparison schemes, the case-study applications, and the
+//! experiment harness that regenerates every table and figure of the paper
+//! *Relative Localization of RFID Tags using Spatial-Temporal Phase
+//! Profiling* (NSDI 2015).
+//!
+//! Most users only need [`stpp_core`] (the algorithms) and [`rfid_reader`]
+//! (the simulated COTS reader that produces phase-report streams). See the
+//! `examples/` directory for runnable end-to-end scenarios.
+
+pub use rfid_geometry as geometry;
+pub use rfid_phys as phys;
+pub use rfid_gen2 as gen2;
+pub use rfid_reader as reader;
+pub use stpp_apps as apps;
+pub use stpp_baselines as baselines;
+pub use stpp_core as core;
+pub use stpp_experiments as experiments;

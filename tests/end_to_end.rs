@@ -1,0 +1,147 @@
+//! Workspace-level integration tests: the full stack from channel
+//! simulation through Gen2 inventory to STPP ordering and the baseline
+//! schemes.
+
+use stpp::apps::{BaggageSimulation, Bookshelf, BookshelfParams, MisplacedBookExperiment, TrafficPeriod};
+use stpp::baselines::{BackPos, GRssi, OTrack, OrderingScheme, StppScheme};
+use stpp::core::{kendall_tau, ordering_accuracy, RelativeLocalizer, StppInput};
+use stpp::experiments::common::{row_layout, staggered_layout};
+use stpp::geometry::RowLayout;
+use stpp::reader::{
+    AntennaSweepParams, ConveyorParams, MotionCase, ReaderSimulation, ScenarioBuilder,
+};
+
+#[test]
+fn antenna_sweep_stpp_beats_grssi_on_close_spacing() {
+    // 10 tags only 5 cm apart: the regime where the paper's macro-benchmark
+    // separates STPP from RSSI-based ordering.
+    let layout = staggered_layout(10, 0.05, 5, 0.04, 77);
+    let scenario = ScenarioBuilder::new(77)
+        .antenna_sweep(&layout, AntennaSweepParams::default())
+        .unwrap();
+    let truth = scenario.truth_order_x();
+    let recording = ReaderSimulation::new(scenario, 77).run();
+
+    let stpp_result = StppScheme::new().order(&recording);
+    let grssi_result = GRssi::default().order(&recording);
+    let stpp_acc = ordering_accuracy(&stpp_result.order_x, &truth);
+    let grssi_acc = ordering_accuracy(&grssi_result.order_x, &truth);
+    assert!(
+        stpp_acc >= grssi_acc,
+        "STPP ({stpp_acc}) should not be worse than G-RSSI ({grssi_acc}) at 5 cm spacing"
+    );
+    assert!(stpp_acc >= 0.6, "STPP accuracy {stpp_acc} too low at 5 cm spacing");
+}
+
+#[test]
+fn conveyor_case_orders_bags_in_pass_order() {
+    let layout = row_layout(5, 0.25);
+    let scenario = ScenarioBuilder::new(88)
+        .conveyor(&layout, ConveyorParams::default())
+        .unwrap();
+    assert_eq!(scenario.case, MotionCase::TagMoving);
+    let recording = ReaderSimulation::new(scenario, 88).run();
+    let result = RelativeLocalizer::with_defaults().localize_recording(&recording).unwrap();
+    // Pass order is descending layout X; reversing gives the layout order.
+    let detected: Vec<u64> = result.order_x.iter().rev().copied().collect();
+    let acc = ordering_accuracy(&detected, &recording.truth_order_x());
+    assert!(acc >= 0.8, "conveyor ordering accuracy {acc}: {detected:?}");
+}
+
+#[test]
+fn stpp_input_round_trips_through_serde() {
+    let layout = RowLayout::new(0.0, 0.0, 0.1, 3).build();
+    let scenario = ScenarioBuilder::new(3)
+        .antenna_sweep(&layout, AntennaSweepParams::default())
+        .unwrap();
+    let recording = ReaderSimulation::new(scenario, 3).run();
+    let input = StppInput::from_recording(&recording).unwrap();
+    let json = serde_json::to_string(&recording).expect("recording serializes");
+    let restored: stpp::reader::SweepRecording =
+        serde_json::from_str(&json).expect("recording deserializes");
+    // JSON float formatting may drop the last ulp, so compare structure and
+    // values with a tolerance rather than bit-exact equality.
+    assert_eq!(recording.stream.len(), restored.stream.len());
+    assert_eq!(recording.epc_to_id(), restored.epc_to_id());
+    assert_eq!(recording.truth_order_x(), restored.truth_order_x());
+    for (a, b) in recording.stream.reports().iter().zip(restored.stream.reports()) {
+        assert_eq!(a.epc, b.epc);
+        assert!((a.time_s - b.time_s).abs() < 1e-9);
+        assert!((a.phase_rad - b.phase_rad).abs() < 1e-9);
+        assert!((a.rssi_dbm - b.rssi_dbm).abs() < 1e-9);
+    }
+    // The restored recording still drives the pipeline to the same ordering.
+    let restored_input = StppInput::from_recording(&restored).unwrap();
+    assert_eq!(input.observations.len(), restored_input.observations.len());
+    let a = RelativeLocalizer::with_defaults().localize(&input).unwrap();
+    let b = RelativeLocalizer::with_defaults().localize(&restored_input).unwrap();
+    assert_eq!(a.order_x, b.order_x);
+}
+
+#[test]
+fn all_schemes_produce_valid_orderings_on_the_same_recording() {
+    let layout = staggered_layout(8, 0.08, 4, 0.05, 55);
+    let scenario = ScenarioBuilder::new(55)
+        .antenna_sweep(&layout, AntennaSweepParams::default())
+        .unwrap();
+    let truth = scenario.truth_order_x();
+    let recording = ReaderSimulation::new(scenario, 55).run();
+    let schemes: Vec<Box<dyn OrderingScheme>> = vec![
+        Box::new(GRssi::default()),
+        Box::new(OTrack::default()),
+        Box::new(BackPos::default()),
+        Box::new(StppScheme::new()),
+    ];
+    for scheme in schemes {
+        let result = scheme.order(&recording);
+        // No duplicates, no unknown ids.
+        let mut seen = std::collections::HashSet::new();
+        for id in &result.order_x {
+            assert!(truth.contains(id), "{} produced unknown id {id}", scheme.name());
+            assert!(seen.insert(*id), "{} repeated id {id}", scheme.name());
+        }
+        let tau = kendall_tau(&result.order_x, &truth);
+        assert!((-1.0..=1.0).contains(&tau));
+    }
+}
+
+#[test]
+fn library_misplacement_detection_end_to_end() {
+    let mut shelf = Bookshelf::generate(
+        BookshelfParams { books_per_level: 12, levels: 1, ..BookshelfParams::default() },
+        99,
+    );
+    let moved = shelf.catalogue[0][4];
+    shelf.misplace_book(moved, 10);
+    let experiment = MisplacedBookExperiment::default();
+    let recording = experiment.sweep_shelf(&shelf, 99).unwrap();
+    let outcome = experiment.detect(&shelf, &recording);
+    assert!(outcome.misplaced_truth.contains(&moved));
+    assert!(outcome.ordering_accuracy > 0.5);
+}
+
+#[test]
+fn airport_batches_run_for_every_traffic_period() {
+    let sim = BaggageSimulation { bags_per_batch: 4, ..BaggageSimulation::default() };
+    for period in TrafficPeriod::all() {
+        let results = sim.run_period(period, 1, 500);
+        assert_eq!(results.len(), 1);
+        let (correct, total, accuracy) = BaggageSimulation::aggregate_accuracy(&results);
+        assert_eq!(total, 4);
+        assert!(correct <= total);
+        assert!((0.0..=1.0).contains(&accuracy));
+    }
+}
+
+#[test]
+fn deterministic_end_to_end_given_seed() {
+    let run = |seed: u64| {
+        let layout = row_layout(6, 0.07);
+        let scenario = ScenarioBuilder::new(seed)
+            .antenna_sweep(&layout, AntennaSweepParams::default())
+            .unwrap();
+        let recording = ReaderSimulation::new(scenario, seed).run();
+        RelativeLocalizer::with_defaults().localize_recording(&recording).unwrap().order_x
+    };
+    assert_eq!(run(123), run(123));
+}
