@@ -154,10 +154,7 @@ impl AlohaSimulator {
                     let acked = tags[idx].on_ack(rn16);
                     debug_assert!(acked, "a lone replying tag always accepts its own RN16");
                     stats.singulated += 1;
-                    (
-                        SlotOutcome::Singulated(tags[idx].epc),
-                        timing.singulation_slot_duration(),
-                    )
+                    (SlotOutcome::Singulated(tags[idx].epc), timing.singulation_slot_duration())
                 }
                 n => {
                     stats.collisions += 1;
@@ -289,7 +286,8 @@ mod tests {
 
     #[test]
     fn q_respects_bounds() {
-        let config = AlohaConfig { initial_q: 2, min_q: 2, max_q: 3, c: 1.0, ..AlohaConfig::typical() };
+        let config =
+            AlohaConfig { initial_q: 2, min_q: 2, max_q: 3, c: 1.0, ..AlohaConfig::typical() };
         let mut sim = AlohaSimulator::new(config);
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         for n in [0usize, 50, 0, 50] {

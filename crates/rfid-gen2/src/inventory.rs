@@ -11,8 +11,8 @@
 use std::collections::HashMap;
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::aloha::{AlohaConfig, AlohaSimulator, RoundStats, SlotOutcome};
@@ -227,13 +227,8 @@ mod tests {
         let mut p = InventoryProcess::new(InventoryConfig::typical(), 4);
         let group_a = epcs(3);
         let group_b: Vec<Epc> = (100..103u64).map(Epc::from_serial).collect();
-        let events = p.run_until(2.0, |now| {
-            if now < 1.0 {
-                group_a.clone()
-            } else {
-                group_b.clone()
-            }
-        });
+        let events =
+            p.run_until(2.0, |now| if now < 1.0 { group_a.clone() } else { group_b.clone() });
         for e in &events {
             if e.time_s < 1.0 {
                 assert!(group_a.contains(&e.epc));

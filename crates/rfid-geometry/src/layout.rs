@@ -195,7 +195,14 @@ pub struct GridLayout {
 impl GridLayout {
     /// Creates a `columns x rows` grid with spacings `dx`/`dy` and origin
     /// `(origin_x, origin_y)`.
-    pub fn new(origin_x: f64, origin_y: f64, dx: f64, dy: f64, columns: usize, rows: usize) -> Self {
+    pub fn new(
+        origin_x: f64,
+        origin_y: f64,
+        dx: f64,
+        dy: f64,
+        columns: usize,
+        rows: usize,
+    ) -> Self {
         GridLayout { origin_x, origin_y, z: 0.0, dx, dy, columns, rows, first_id: 0 }
     }
 

@@ -338,11 +338,8 @@ mod tests {
     #[test]
     fn aabb_bounding_of_points() {
         assert!(Aabb::bounding(&[]).is_none());
-        let pts = [
-            Point3::new(0.0, 1.0, 0.0),
-            Point3::new(2.0, -1.0, 0.5),
-            Point3::new(1.0, 0.0, -0.5),
-        ];
+        let pts =
+            [Point3::new(0.0, 1.0, 0.0), Point3::new(2.0, -1.0, 0.5), Point3::new(1.0, 0.0, -0.5)];
         let b = Aabb::bounding(&pts).unwrap();
         assert_eq!(b.min, Point3::new(0.0, -1.0, -0.5));
         assert_eq!(b.max, Point3::new(2.0, 1.0, 0.5));

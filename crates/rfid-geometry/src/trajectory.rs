@@ -268,12 +268,7 @@ mod tests {
 
     #[test]
     fn linear_constant_speed() {
-        let t = LinearTrajectory::between(
-            Point3::ORIGIN,
-            Point3::new(3.0, 0.0, 0.0),
-            0.1,
-        )
-        .unwrap();
+        let t = LinearTrajectory::between(Point3::ORIGIN, Point3::new(3.0, 0.0, 0.0), 0.1).unwrap();
         assert!(approx_pt(t.position_at(0.0), Point3::ORIGIN));
         assert!(approx_pt(t.position_at(10.0), Point3::new(1.0, 0.0, 0.0)));
         assert!((t.time_to_cover(3.0).unwrap() - 30.0).abs() < 1e-12);
@@ -286,10 +281,8 @@ mod tests {
         assert!(
             LinearTrajectory::between(Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0), 0.0).is_none()
         );
-        assert!(
-            LinearTrajectory::between(Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0), f64::NAN)
-                .is_none()
-        );
+        assert!(LinearTrajectory::between(Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0), f64::NAN)
+            .is_none());
     }
 
     #[test]
@@ -313,11 +306,7 @@ mod tests {
     #[test]
     fn piecewise_linear_visits_waypoints() {
         let path = PiecewiseLinearTrajectory::new(
-            vec![
-                Point3::ORIGIN,
-                Point3::new(1.0, 0.0, 0.0),
-                Point3::new(1.0, 1.0, 0.0),
-            ],
+            vec![Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0), Point3::new(1.0, 1.0, 0.0)],
             0.5,
         )
         .unwrap();
@@ -333,21 +322,14 @@ mod tests {
     #[test]
     fn piecewise_linear_rejects_degenerate() {
         assert!(PiecewiseLinearTrajectory::new(vec![Point3::ORIGIN], 1.0).is_none());
-        assert!(
-            PiecewiseLinearTrajectory::new(vec![Point3::ORIGIN, Point3::ORIGIN], 0.0).is_none()
-        );
+        assert!(PiecewiseLinearTrajectory::new(vec![Point3::ORIGIN, Point3::ORIGIN], 0.0).is_none());
     }
 
     #[test]
     fn conveyor_offset_and_lateral() {
         // Belt moving along +X at 0.3 m/s.
-        let c = ConveyorTrajectory::new(
-            Point3::ORIGIN,
-            Vec3::new(0.3, 0.0, 0.0),
-            0.6,
-            0.2,
-        )
-        .unwrap();
+        let c =
+            ConveyorTrajectory::new(Point3::ORIGIN, Vec3::new(0.3, 0.0, 0.0), 0.6, 0.2).unwrap();
         let p0 = c.position_at(0.0);
         // Starts 0.6 m behind the origin, offset 0.2 m laterally.
         assert!((p0.x - (-0.6)).abs() < 1e-12);

@@ -155,8 +155,8 @@ mod tests {
     fn gain_decreases_off_boresight() {
         let p = AntennaPattern::CosinePower { boresight_gain_dbi: 6.0, beamwidth_deg: 70.0 };
         let mut last = f64::INFINITY;
-        for deg in [0.0, 10.0, 20.0, 40.0, 60.0, 80.0] {
-            let g = p.gain_linear((deg as f64).to_radians());
+        for deg in [0.0f64, 10.0, 20.0, 40.0, 60.0, 80.0] {
+            let g = p.gain_linear(deg.to_radians());
             assert!(g <= last + 1e-12, "gain must be monotone non-increasing off boresight");
             last = g;
         }

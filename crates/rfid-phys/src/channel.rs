@@ -97,7 +97,12 @@ impl BackscatterChannel {
     /// at `antenna_pos` on channel `channel_idx` (forward-link powered and
     /// reverse-link decodable). Returns `false` for an invalid channel
     /// index.
-    pub fn in_reading_zone(&self, antenna_pos: Point3, tag_pos: Point3, channel_idx: usize) -> bool {
+    pub fn in_reading_zone(
+        &self,
+        antenna_pos: Point3,
+        tag_pos: Point3,
+        channel_idx: usize,
+    ) -> bool {
         let Some(freq) = self.config.plan.frequency(channel_idx) else {
             return false;
         };

@@ -31,20 +31,12 @@ impl ChannelPlan {
     /// The Chinese UHF band used in the paper: 920.625–924.375 MHz,
     /// 16 channels spaced 250 kHz apart.
     pub fn china_920() -> Self {
-        ChannelPlan {
-            base_frequency_hz: 920.625e6,
-            channel_spacing_hz: 250e3,
-            channel_count: 16,
-        }
+        ChannelPlan { base_frequency_hz: 920.625e6, channel_spacing_hz: 250e3, channel_count: 16 }
     }
 
     /// The FCC US band: 902.75–927.25 MHz, 50 channels spaced 500 kHz.
     pub fn fcc_us() -> Self {
-        ChannelPlan {
-            base_frequency_hz: 902.75e6,
-            channel_spacing_hz: 500e3,
-            channel_count: 50,
-        }
+        ChannelPlan { base_frequency_hz: 902.75e6, channel_spacing_hz: 500e3, channel_count: 50 }
     }
 
     /// A single-channel plan at the given frequency (useful for analytic

@@ -116,9 +116,8 @@ impl MultipathEnvironment {
     /// deep fade. Used by the noise model to decide read misses.
     pub fn round_trip_fade_db(&self, reader: Point3, tag: Point3, frequency_hz: f64) -> f64 {
         let with_mp = self.round_trip_response(reader, tag, frequency_hz).abs();
-        let free = MultipathEnvironment::free_space()
-            .round_trip_response(reader, tag, frequency_hz)
-            .abs();
+        let free =
+            MultipathEnvironment::free_space().round_trip_response(reader, tag, frequency_hz).abs();
         if free <= 0.0 || with_mp <= 0.0 {
             return -100.0;
         }

@@ -65,12 +65,8 @@ impl PathLossModel {
         let lambda = wavelength(frequency_hz);
         let friis_1m = db::from_linear((4.0 * std::f64::consts::PI / lambda).powi(2));
         match *self {
-            PathLossModel::FreeSpace => {
-                friis_1m + 20.0 * d.log10()
-            }
-            PathLossModel::LogDistance { exponent } => {
-                friis_1m + 10.0 * exponent * d.log10()
-            }
+            PathLossModel::FreeSpace => friis_1m + 20.0 * d.log10(),
+            PathLossModel::LogDistance { exponent } => friis_1m + 10.0 * exponent * d.log10(),
         }
     }
 }
@@ -120,7 +116,12 @@ impl LinkBudget {
     }
 
     /// Whether the tag powers up at this distance.
-    pub fn tag_powered(&self, eirp_towards_tag_dbm: f64, distance_m: f64, frequency_hz: f64) -> bool {
+    pub fn tag_powered(
+        &self,
+        eirp_towards_tag_dbm: f64,
+        distance_m: f64,
+        frequency_hz: f64,
+    ) -> bool {
         self.tag_received_power_dbm(eirp_towards_tag_dbm, distance_m, frequency_hz)
             >= self.tag_sensitivity_dbm
     }
@@ -136,7 +137,8 @@ impl LinkBudget {
         frequency_hz: f64,
     ) -> f64 {
         let one_way = self.path_loss.path_loss_db(distance_m, frequency_hz);
-        tx_power_dbm + reader_gain_towards_tag_dbi + self.tag_gain_dbi - one_way
+        tx_power_dbm + reader_gain_towards_tag_dbi + self.tag_gain_dbi
+            - one_way
             - self.modulation_loss_db
             + self.tag_gain_dbi
             - one_way

@@ -244,7 +244,8 @@ mod tests {
         let d1 = 0.8;
         let d2 = 0.9;
         // The *difference* between two distances is unchanged by μ.
-        let ideal_diff = ideal.unwrapped_phase_at_distance(d2) - ideal.unwrapped_phase_at_distance(d1);
+        let ideal_diff =
+            ideal.unwrapped_phase_at_distance(d2) - ideal.unwrapped_phase_at_distance(d1);
         let offset_diff =
             offset.unwrapped_phase_at_distance(d2) - offset.unwrapped_phase_at_distance(d1);
         assert!(approx(ideal_diff, offset_diff));

@@ -6,8 +6,8 @@ use rand_chacha::ChaCha8Rng;
 use rfid_geometry::{Point3, Vec3};
 use rfid_phys::{
     phase::{phase_distance, signed_phase_difference, wrap_phase, TWO_PI},
-    BackscatterChannel, ChannelConfig, MultipathEnvironment, NoiseModel, PathLossModel,
-    PhaseModel, ReaderAntenna, Reflector,
+    BackscatterChannel, ChannelConfig, MultipathEnvironment, NoiseModel, PathLossModel, PhaseModel,
+    ReaderAntenna, Reflector,
 };
 
 proptest! {

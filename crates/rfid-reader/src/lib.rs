@@ -7,7 +7,7 @@
 //! the EPC, a timestamp, the RF phase and the RSSI. This crate produces the
 //! same stream from simulation:
 //!
-//! * [`report`] — the [`TagReadReport`](report::TagReadReport) record and
+//! * [`report`] — the [`report::TagReadReport`] record and
 //!   stream helpers (group by tag, time ordering),
 //! * [`motion`] — stochastic manual-motion models that generate the speed
 //!   profiles of a hand-pushed cart (the source of the profile
@@ -17,7 +17,7 @@
 //!   micro-benchmarks, the library bookshelf and the airport conveyor,
 //! * [`simulation`] — the engine that combines the Gen2 inventory process
 //!   with the backscatter channel and the motion models to produce a
-//!   [`SweepRecording`](simulation::SweepRecording).
+//!   [`simulation::SweepRecording`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

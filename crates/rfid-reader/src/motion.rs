@@ -117,7 +117,7 @@ mod tests {
             let t = 30.0 * i as f64 / 300.0;
             let v = profile.speed_at(t);
             assert!(
-                v == 0.0 || (v >= 0.1 * 0.7 - 1e-9 && v <= 0.1 * 1.3 + 1e-9),
+                v == 0.0 || (0.1 * 0.7 - 1e-9..=0.1 * 1.3 + 1e-9).contains(&v),
                 "speed {v} outside jitter bounds"
             );
         }

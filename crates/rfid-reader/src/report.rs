@@ -47,9 +47,7 @@ impl ReportStream {
         if let Some(last) = self.reports.last() {
             if report.time_s < last.time_s {
                 // Insert at the right place to preserve ordering.
-                let idx = self
-                    .reports
-                    .partition_point(|r| r.time_s <= report.time_s);
+                let idx = self.reports.partition_point(|r| r.time_s <= report.time_s);
                 self.reports.insert(idx, report);
                 return;
             }

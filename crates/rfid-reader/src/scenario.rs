@@ -474,9 +474,8 @@ mod tests {
     #[test]
     fn antenna_sweep_moves_monotonically_forward() {
         let layout = row(3, 0.1);
-        let scenario = ScenarioBuilder::new(2)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(2).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let mut last_x = f64::NEG_INFINITY;
         for i in 0..100 {
             let t = scenario.duration_s * i as f64 / 100.0;
@@ -553,18 +552,16 @@ mod tests {
         let first = offsets[0];
         assert!(offsets.iter().any(|&o| (o - first).abs() > 1e-6));
         // Without jitter every offset is zero.
-        let plain = ScenarioBuilder::new(7)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let plain =
+            ScenarioBuilder::new(7).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         assert!(plain.tags.iter().all(|t| t.phase_offset_rad == 0.0));
     }
 
     #[test]
     fn lookup_by_epc_and_id() {
         let layout = row(3, 0.1);
-        let scenario = ScenarioBuilder::new(8)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(8).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let tag = scenario.tag_by_id(2).unwrap();
         assert_eq!(scenario.tag_by_epc(tag.epc).unwrap().id, 2);
         assert!(scenario.tag_by_id(99).is_none());
@@ -574,12 +571,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let layout = row(5, 0.1);
-        let a = ScenarioBuilder::new(9)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
-        let b = ScenarioBuilder::new(9)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let a =
+            ScenarioBuilder::new(9).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
+        let b =
+            ScenarioBuilder::new(9).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         assert_eq!(a, b);
     }
 }

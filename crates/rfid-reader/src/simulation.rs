@@ -109,13 +109,9 @@ impl ReaderSimulation {
             };
             let antenna = scenario.antenna_motion.position_at(event.time_s);
             let tag_pos = tag.track.position_at(event.time_s);
-            if let Some(m) = channel.interrogate(
-                antenna,
-                tag_pos,
-                channel_index,
-                tag.phase_offset_rad,
-                &mut rng,
-            ) {
+            if let Some(m) =
+                channel.interrogate(antenna, tag_pos, channel_index, tag.phase_offset_rad, &mut rng)
+            {
                 stream.push(TagReadReport {
                     epc: event.epc,
                     time_s: event.time_s,
@@ -191,9 +187,7 @@ mod tests {
         assert!(min_idx < reports.len() * 9 / 10);
         // Distances at the ends are larger than at the minimum.
         assert!(reports[0].true_distance_m > reports[min_idx].true_distance_m + 0.05);
-        assert!(
-            reports.last().unwrap().true_distance_m > reports[min_idx].true_distance_m + 0.05
-        );
+        assert!(reports.last().unwrap().true_distance_m > reports[min_idx].true_distance_m + 0.05);
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod airport;
 pub mod library;
 
 pub use airport::{BaggageBatch, BaggageSimulation, TrafficPeriod};
-pub use library::{Bookshelf, BookshelfParams, MisplacementOutcome, MisplacedBookExperiment};
+pub use library::{Bookshelf, BookshelfParams, MisplacedBookExperiment, MisplacementOutcome};

@@ -174,21 +174,12 @@ impl MisplacementOutcome {
 
 /// The misplaced-book experiment: sweep a shelf, order the tags with STPP,
 /// and flag books that are out of catalogue sequence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MisplacedBookExperiment {
     /// STPP configuration used for the sweeps.
     pub stpp: StppConfig,
     /// Sweep parameters (cart speed ≈ 0.3 m/s in the paper's library).
     pub sweep: AntennaSweepParams,
-}
-
-impl Default for MisplacedBookExperiment {
-    fn default() -> Self {
-        MisplacedBookExperiment {
-            stpp: StppConfig::default(),
-            sweep: AntennaSweepParams::default(),
-        }
-    }
 }
 
 impl MisplacedBookExperiment {
@@ -231,8 +222,7 @@ impl MisplacedBookExperiment {
                     flagged.push(*id);
                 }
             }
-            accuracy_sum +=
-                stpp_core::ordering_accuracy(&detected, &shelf.physical_order(level));
+            accuracy_sum += stpp_core::ordering_accuracy(&detected, &shelf.physical_order(level));
             levels += 1;
         }
 

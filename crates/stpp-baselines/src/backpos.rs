@@ -136,9 +136,8 @@ mod tests {
     #[test]
     fn backpos_orders_well_spaced_tags_along_x() {
         let layout = RowLayout::new(0.0, 0.0, 0.15, 4).build();
-        let scenario = ScenarioBuilder::new(51)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(51).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let truth_x = scenario.truth_order_x();
         let recording = ReaderSimulation::new(scenario, 51).run();
         let result = BackPos::default().order(&recording);
@@ -151,9 +150,8 @@ mod tests {
     fn backpos_needs_enough_measurements() {
         let scheme = BackPos::default();
         let layout = RowLayout::new(0.0, 0.0, 0.2, 1).build();
-        let scenario = ScenarioBuilder::new(52)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(52).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let recording = ReaderSimulation::new(scenario, 52).run();
         let wavelength = 0.326;
         let reports = reports_by_id(&recording).remove(&0).unwrap();

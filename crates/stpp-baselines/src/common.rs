@@ -79,9 +79,7 @@ pub fn smoothed_rssi(reports: &[TagReadReport], window: usize) -> Vec<(f64, f64)
 /// `None` for an empty report list.
 pub fn peak_rssi(reports: &[TagReadReport], window: usize) -> Option<(f64, f64)> {
     let smoothed = smoothed_rssi(reports, window);
-    smoothed
-        .into_iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite RSSI"))
+    smoothed.into_iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite RSSI"))
 }
 
 /// Sorts `(id, key)` pairs by the key and returns the ids.
@@ -107,9 +105,7 @@ pub fn rssi_fingerprint(
         sums[idx] += r.rssi_dbm;
         counts[idx] += 1;
     }
-    (0..bins)
-        .map(|i| if counts[i] > 0 { Some(sums[i] / counts[i] as f64) } else { None })
-        .collect()
+    (0..bins).map(|i| if counts[i] > 0 { Some(sums[i] / counts[i] as f64) } else { None }).collect()
 }
 
 /// Euclidean distance between two fingerprints over the bins where both
@@ -153,9 +149,8 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_single_sample_spikes() {
-        let reports: Vec<TagReadReport> = (0..20)
-            .map(|i| report(i as f64, if i == 10 { -30.0 } else { -60.0 }))
-            .collect();
+        let reports: Vec<TagReadReport> =
+            (0..20).map(|i| report(i as f64, if i == 10 { -30.0 } else { -60.0 })).collect();
         let raw_peak = peak_rssi(&reports, 1).unwrap();
         let smooth_peak = peak_rssi(&reports, 5).unwrap();
         assert_eq!(raw_peak.1, -30.0);

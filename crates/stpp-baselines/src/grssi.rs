@@ -64,9 +64,8 @@ mod tests {
     #[test]
     fn grssi_produces_a_complete_ordering() {
         let layout = RowLayout::new(0.0, 0.0, 0.15, 4).build();
-        let scenario = ScenarioBuilder::new(21)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(21).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let recording = ReaderSimulation::new(scenario, 21).run();
         let result = GRssi::default().order(&recording);
         assert_eq!(result.order_x.len(), 4);

@@ -38,6 +38,10 @@ impl Default for Landmarc {
     }
 }
 
+/// A reference tag's time-binned RSSI fingerprint paired with its surveyed
+/// `(x, y)` position.
+type ReferenceFingerprint = (Vec<Option<f64>>, (f64, f64));
+
 impl OrderingScheme for Landmarc {
     fn name(&self) -> &'static str {
         "LANDMARC"
@@ -47,7 +51,7 @@ impl OrderingScheme for Landmarc {
         let duration = recording.scenario.duration_s;
         let references = reference_reports_by_id(recording);
         // Precompute reference fingerprints and positions.
-        let ref_data: Vec<(Vec<Option<f64>>, (f64, f64))> = references
+        let ref_data: Vec<ReferenceFingerprint> = references
             .iter()
             .filter_map(|(id, reports)| {
                 let tag = recording.scenario.tag_by_id(*id)?;
@@ -125,9 +129,8 @@ mod tests {
     #[test]
     fn landmarc_places_every_target_tag() {
         let layout = layout_with_references(4, 0.15);
-        let scenario = ScenarioBuilder::new(41)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(41).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let recording = ReaderSimulation::new(scenario, 41).run();
         let result = Landmarc::default().order(&recording);
         assert_eq!(result.order_x.len(), 4, "unplaced: {:?}", result.unplaced);
@@ -141,9 +144,8 @@ mod tests {
         let layout = TagLayout::new()
             .with_tag(0, Point3::new(0.0, 0.0, 0.0))
             .with_tag(1, Point3::new(0.2, 0.0, 0.0));
-        let scenario = ScenarioBuilder::new(42)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(42).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let recording = ReaderSimulation::new(scenario, 42).run();
         let result = Landmarc::default().order(&recording);
         assert!(result.order_x.is_empty());

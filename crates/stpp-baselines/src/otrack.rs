@@ -49,13 +49,9 @@ impl OTrack {
         if max == 0 {
             return None;
         }
-        let threshold = (max + 1) / 2;
-        let above: Vec<usize> = counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c >= threshold)
-            .map(|(i, _)| i)
-            .collect();
+        let threshold = max.div_ceil(2);
+        let above: Vec<usize> =
+            counts.iter().enumerate().filter(|(_, &c)| c >= threshold).map(|(i, _)| i).collect();
         let lo = *above.first()?;
         let hi = *above.last()?;
         Some(first + (lo + hi + 1) as f64 / 2.0 * self.rate_bin_s)
@@ -96,9 +92,8 @@ mod tests {
     #[test]
     fn otrack_orders_conveyor_tags() {
         let layout = RowLayout::new(0.0, 0.0, 0.25, 4).build();
-        let scenario = ScenarioBuilder::new(31)
-            .conveyor(&layout, ConveyorParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(31).conveyor(&layout, ConveyorParams::default()).unwrap();
         let recording = ReaderSimulation::new(scenario, 31).run();
         let result = OTrack::default().order(&recording);
         assert_eq!(result.order_x.len(), 4);

@@ -71,9 +71,8 @@ mod tests {
     #[test]
     fn stpp_scheme_matches_direct_pipeline_output() {
         let layout = RowLayout::new(0.0, 0.0, 0.1, 5).build();
-        let scenario = ScenarioBuilder::new(61)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(61).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let truth = scenario.truth_order_x();
         let recording = ReaderSimulation::new(scenario, 61).run();
         let via_scheme = StppScheme::new().order(&recording);

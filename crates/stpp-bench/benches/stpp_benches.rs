@@ -1,12 +1,12 @@
 //! Criterion benchmarks for the STPP reproduction.
 //!
 //! Groups:
-//! * `dtw`        — full vs segmented DTW for several window sizes `w`
-//!                  (paper Section 3.1.2 / Figure 12 latency side).
-//! * `vzone`      — V-zone detection per tag profile.
-//! * `ordering`   — pivot vs pairwise Y ordering (Section 3.2.2).
-//! * `pipeline`   — end-to-end localization for growing populations
-//!                  (context for Figure 23 / Table 1).
+//! * `dtw` — full vs segmented DTW for several window sizes `w`
+//!   (paper Section 3.1.2 / Figure 12 latency side).
+//! * `vzone` — V-zone detection per tag profile.
+//! * `ordering` — pivot vs pairwise Y ordering (Section 3.2.2).
+//! * `pipeline` — end-to-end localization for growing populations
+//!   (context for Figure 23 / Table 1).
 //! * `simulation` — sweep simulation cost (the substrate itself).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -14,9 +14,9 @@ use std::hint::black_box;
 
 use stpp_bench::benchmark_recording;
 use stpp_core::{
-    dtw_full, dtw_segmented_with_penalty, ordering::OrderingEngine,
-    ordering::YOrderingStrategy, PhaseProfile, ReferenceProfile, ReferenceProfileParams,
-    RelativeLocalizer, SegmentedProfile, StppInput, TagObservations, VZoneDetector,
+    dtw_full, dtw_segmented_with_penalty, ordering::OrderingEngine, ordering::YOrderingStrategy,
+    PhaseProfile, ReferenceProfile, ReferenceProfileParams, RelativeLocalizer, SegmentedProfile,
+    StppInput, TagObservations, VZoneDetector,
 };
 
 fn measured_profile() -> PhaseProfile {

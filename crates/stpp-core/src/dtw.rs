@@ -84,13 +84,8 @@ where
 
     for j in 0..m {
         let c = cost(0, j);
-        acc[idx(0, j)] = if subsequence {
-            c
-        } else if j == 0 {
-            c
-        } else {
-            c + acc[idx(0, j - 1)] + penalty_left(j)
-        };
+        acc[idx(0, j)] =
+            if subsequence || j == 0 { c } else { c + acc[idx(0, j - 1)] + penalty_left(j) };
     }
     for i in 1..n {
         acc[idx(i, 0)] = cost(i, 0) + acc[idx(i - 1, 0)] + penalty_up(i);
@@ -227,7 +222,7 @@ mod tests {
             assert!(w[1].0 >= w[0].0);
             assert!(w[1].1 >= w[0].1);
             let step = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
-            assert!(step >= 1 && step <= 2, "invalid step {:?} -> {:?}", w[0], w[1]);
+            assert!((1..=2).contains(&step), "invalid step {:?} -> {:?}", w[0], w[1]);
         }
     }
 
@@ -297,7 +292,7 @@ mod tests {
             haystack.push(v);
             haystack.push(v);
         }
-        haystack.extend(std::iter::repeat(6.0).take(10));
+        haystack.extend(std::iter::repeat_n(6.0, 10));
         let r = dtw_subsequence(&pattern, &haystack).unwrap();
         assert!(r.cost < 1e-9);
         let matched = r.matched_range(0, pattern.len()).unwrap();

@@ -10,7 +10,7 @@
 //!
 //! 1. [`profile`] — each tag's reports become a **phase profile**, a time
 //!    series of wrapped phase values with gaps.
-//! 2. [`reference`] — from the nominal geometry and speed, an analytic
+//! 2. [`reference`](mod@reference) — from the nominal geometry and speed, an analytic
 //!    **reference profile** (4 periods by default) is generated; its
 //!    central V-zone is known exactly.
 //! 3. [`segment`] + [`dtw`] — both profiles are compressed into
@@ -23,7 +23,7 @@
 //! 5. [`ordering`] — tags are ordered along X by nadir time and along Y by
 //!    comparing coarse V-zone representations (the `O`/`G` metrics and the
 //!    pivot-based ordering of the paper).
-//! 6. [`pipeline`] — [`RelativeLocalizer`](pipeline::RelativeLocalizer)
+//! 6. [`pipeline`] — [`pipeline::RelativeLocalizer`]
 //!    ties it all together, consuming a
 //!    [`SweepRecording`](rfid_reader::SweepRecording) and producing the 2-D
 //!    relative ordering; [`metrics`] scores it against ground truth

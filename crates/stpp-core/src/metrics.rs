@@ -57,8 +57,7 @@ pub fn kendall_tau(detected: &[u64], truth: &[u64]) -> f64 {
     let detected_rank: HashMap<u64, usize> =
         detected.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     // The common tags, in true order, mapped to their detected ranks.
-    let ranks: Vec<usize> =
-        truth.iter().filter_map(|id| detected_rank.get(id).copied()).collect();
+    let ranks: Vec<usize> = truth.iter().filter_map(|id| detected_rank.get(id).copied()).collect();
     let n = ranks.len();
     if n < 2 {
         return 1.0;

@@ -37,11 +37,7 @@ pub struct TagVZoneSummary {
 /// than `Q`. Only the overlapping prefix of the two representations is
 /// compared; segments whose `P` value is (numerically) zero are skipped.
 pub fn order_metric(p: &[f64], q: &[f64]) -> f64 {
-    p.iter()
-        .zip(q.iter())
-        .filter(|(sp, _)| sp.abs() > 1e-9)
-        .map(|(sp, sq)| (sp - sq) / sp)
-        .sum()
+    p.iter().zip(q.iter()).filter(|(sp, _)| sp.abs() > 1e-9).map(|(sp, sq)| (sp - sq) / sp).sum()
 }
 
 /// The paper's `G(P, Q)` gap metric: the accumulated absolute difference
@@ -124,9 +120,7 @@ impl OrderingEngine {
         order.sort_by(|p, q| {
             // P comes before Q (closer to the trajectory) when P's means are
             // smaller, i.e. O(P, Q) < 0.
-            order_metric(&p.coarse, &q.coarse)
-                .partial_cmp(&0.0)
-                .expect("finite order metric")
+            order_metric(&p.coarse, &q.coarse).partial_cmp(&0.0).expect("finite order metric")
         });
         order.into_iter().map(|s| s.id).collect()
     }
@@ -149,8 +143,7 @@ mod tests {
     fn summary(id: u64, nadir_time: f64, level: f64) -> TagVZoneSummary {
         // A synthetic V-zone coarse representation: a parabola-ish shape
         // whose overall level encodes the distance from the trajectory.
-        let coarse: Vec<f64> =
-            (0..8).map(|i| level + 0.3 * (i as f64 - 3.5).abs()).collect();
+        let coarse: Vec<f64> = (0..8).map(|i| level + 0.3 * (i as f64 - 3.5).abs()).collect();
         TagVZoneSummary {
             id,
             nadir_time_s: nadir_time,
@@ -190,8 +183,7 @@ mod tests {
 
     #[test]
     fn x_ordering_sorts_by_nadir_time() {
-        let summaries =
-            vec![summary(10, 5.0, 1.0), summary(11, 2.0, 1.0), summary(12, 8.0, 1.0)];
+        let summaries = vec![summary(10, 5.0, 1.0), summary(11, 2.0, 1.0), summary(12, 8.0, 1.0)];
         let engine = OrderingEngine::default();
         assert_eq!(engine.order_x(&summaries), vec![11, 10, 12]);
         assert!(engine.order_x(&[]).is_empty());

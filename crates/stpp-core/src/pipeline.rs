@@ -137,11 +137,8 @@ impl StppInput {
                 "nominal speed must be positive, got {nominal_speed}"
             )));
         }
-        let wavelength = scenario
-            .channel
-            .plan
-            .wavelength(scenario.channel_index)
-            .ok_or_else(|| {
+        let wavelength =
+            scenario.channel.plan.wavelength(scenario.channel_index).ok_or_else(|| {
                 LocalizationError::InvalidGeometry(format!(
                     "channel index {} not in the channel plan",
                     scenario.channel_index
@@ -159,11 +156,8 @@ impl StppInput {
                 min_distance = min_distance.min(d);
             }
         }
-        let perpendicular = if min_distance.is_finite() && min_distance > 0.0 {
-            Some(min_distance)
-        } else {
-            None
-        };
+        let perpendicular =
+            if min_distance.is_finite() && min_distance > 0.0 { Some(min_distance) } else { None };
         Ok(StppInput {
             observations,
             nominal_speed_mps: nominal_speed,
@@ -217,7 +211,8 @@ impl RelativeLocalizer {
         if input.observations.is_empty() {
             return Err(LocalizationError::EmptyInput);
         }
-        if !(input.nominal_speed_mps > 0.0) || !(input.wavelength_m > 0.0) {
+        // Negated comparisons so that NaN inputs are rejected too.
+        if !(input.nominal_speed_mps > 0.0 && input.wavelength_m > 0.0) {
             return Err(LocalizationError::InvalidGeometry(format!(
                 "speed {} m/s, wavelength {} m",
                 input.nominal_speed_mps, input.wavelength_m
@@ -228,12 +223,9 @@ impl RelativeLocalizer {
             .perpendicular_distance_m
             .filter(|d| d.is_finite() && *d > 0.0)
             .unwrap_or(self.config.perpendicular_distance_m);
-        let reference_params = ReferenceProfileParams::new(
-            input.nominal_speed_mps,
-            perpendicular,
-            input.wavelength_m,
-        )
-        .with_periods(self.config.reference_periods);
+        let reference_params =
+            ReferenceProfileParams::new(input.nominal_speed_mps, perpendicular, input.wavelength_m)
+                .with_periods(self.config.reference_periods);
         let dtw_detector = VZoneDetector::new(reference_params)
             .with_window(self.config.window)
             .with_offset_candidates(self.config.offset_candidates);
@@ -323,9 +315,8 @@ mod tests {
         // are), so instead of exact rank accuracy we check that the detected
         // orders respect every non-tied ground-truth pair.
         let layout = GridLayout::new(0.0, 0.0, 0.10, 0.10, 3, 2).build();
-        let scenario = ScenarioBuilder::new(7)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(7).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let positions: std::collections::HashMap<u64, (f64, f64)> = scenario
             .tags
             .iter()
@@ -366,9 +357,8 @@ mod tests {
     #[test]
     fn input_from_recording_carries_speed_and_wavelength() {
         let layout = RowLayout::new(0.0, 0.0, 0.1, 3).build();
-        let scenario = ScenarioBuilder::new(3)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(3).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let recording = ReaderSimulation::new(scenario, 3).run();
         let input = StppInput::from_recording(&recording).unwrap();
         assert!(input.nominal_speed_mps > 0.05 && input.nominal_speed_mps < 0.2);
@@ -402,10 +392,7 @@ mod tests {
             wavelength_m: 0.326,
             perpendicular_distance_m: None,
         };
-        assert!(matches!(
-            localizer.localize(&input),
-            Err(LocalizationError::InvalidGeometry(_))
-        ));
+        assert!(matches!(localizer.localize(&input), Err(LocalizationError::InvalidGeometry(_))));
     }
 
     #[test]
@@ -442,12 +429,12 @@ mod tests {
     #[test]
     fn naive_detection_method_also_produces_an_ordering() {
         let layout = RowLayout::new(0.0, 0.0, 0.1, 4).build();
-        let scenario = ScenarioBuilder::new(11)
-            .antenna_sweep(&layout, AntennaSweepParams::default())
-            .unwrap();
+        let scenario =
+            ScenarioBuilder::new(11).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
         let truth_x = scenario.truth_order_x();
         let recording = ReaderSimulation::new(scenario, 11).run();
-        let config = StppConfig { detection: DetectionMethod::NaiveUnwrap, ..StppConfig::default() };
+        let config =
+            StppConfig { detection: DetectionMethod::NaiveUnwrap, ..StppConfig::default() };
         let result = RelativeLocalizer::new(config).localize_recording(&recording).unwrap();
         // The naive method still works on reasonably clean data.
         let acc = ordering_accuracy(&result.order_x, &truth_x);

@@ -1,7 +1,7 @@
 //! Phase profiles: per-tag time series of wrapped phase values.
 //!
 //! A phase profile is what the paper calls "a sequence of RF phase values
-//! [obtained] from the tag's responses over time". Samples arrive
+//! \[obtained\] from the tag's responses over time". Samples arrive
 //! irregularly (the MAC layer decides when a tag is read), values live in
 //! `[0, 2π)`, and stretches of the profile may be missing entirely.
 

@@ -112,8 +112,8 @@ impl ReferenceProfile {
         // further λ/2. The profile extends (periods − 1)/2 extra periods on
         // each side of the V-zone so it contains `periods` periods in total.
         let theta_nadir = model.phase_at_distance(d_perp);
-        let delta_wrap = (std::f64::consts::TAU - theta_nadir) * lambda
-            / (2.0 * std::f64::consts::TAU);
+        let delta_wrap =
+            (std::f64::consts::TAU - theta_nadir) * lambda / (2.0 * std::f64::consts::TAU);
         let extra_periods = (params.periods.saturating_sub(1)) as f64 / 2.0;
         let max_extra = delta_wrap + extra_periods * lambda / 2.0;
         let x_max = ((d_perp + max_extra).powi(2) - d_perp * d_perp).sqrt();
@@ -175,12 +175,8 @@ impl ReferenceProfile {
     /// offsets are roughly known, and by the multi-offset search in the
     /// V-zone detector.
     pub fn with_phase_offset(&self, offset_rad: f64) -> ReferenceProfile {
-        let pairs: Vec<(f64, f64)> = self
-            .profile
-            .samples()
-            .iter()
-            .map(|s| (s.time_s, s.phase_rad + offset_rad))
-            .collect();
+        let pairs: Vec<(f64, f64)> =
+            self.profile.samples().iter().map(|s| (s.time_s, s.phase_rad + offset_rad)).collect();
         ReferenceProfile {
             profile: PhaseProfile::from_pairs(&pairs),
             vzone_start: self.vzone_start,
@@ -200,9 +196,7 @@ fn is_symmetric_about_nadir(profile: &ReferenceProfile) -> bool {
     let n = phases.len();
     let nadir = profile.nadir;
     let span = nadir.min(n - 1 - nadir);
-    (1..span).all(|k| {
-        rfid_phys::phase::phase_distance(phases[nadir - k], phases[nadir + k]) < 0.2
-    })
+    (1..span).all(|k| rfid_phys::phase::phase_distance(phases[nadir - k], phases[nadir + k]) < 0.2)
 }
 
 #[cfg(test)]
@@ -221,8 +215,7 @@ mod tests {
         assert!(r.profile.len() > 50);
         // The nadir phase is the minimum within the V-zone.
         let vzone = r.vzone_profile();
-        let min_phase =
-            vzone.phases().into_iter().fold(f64::INFINITY, f64::min);
+        let min_phase = vzone.phases().into_iter().fold(f64::INFINITY, f64::min);
         assert!((r.nadir_phase() - min_phase).abs() < 0.05);
         assert!(is_symmetric_about_nadir(&r));
     }
@@ -244,10 +237,8 @@ mod tests {
         // in total the phase covers ~4 periods so at least 2 wraps and at
         // most 5.
         let phases = r.profile.phases();
-        let wraps = phases
-            .windows(2)
-            .filter(|w| (w[1] - w[0]).abs() > std::f64::consts::PI)
-            .count();
+        let wraps =
+            phases.windows(2).filter(|w| (w[1] - w[0]).abs() > std::f64::consts::PI).count();
         assert!((2..=6).contains(&wraps), "wraps = {wraps}");
     }
 
@@ -260,10 +251,10 @@ mod tests {
 
     #[test]
     fn slower_speed_stretches_profile_in_time() {
-        let fast = ReferenceProfile::generate(ReferenceProfileParams::new(0.3, 0.5, 0.326))
-            .unwrap();
-        let slow = ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.5, 0.326))
-            .unwrap();
+        let fast =
+            ReferenceProfile::generate(ReferenceProfileParams::new(0.3, 0.5, 0.326)).unwrap();
+        let slow =
+            ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.5, 0.326)).unwrap();
         assert!(slow.profile.duration() > 2.0 * fast.profile.duration());
         // But the phase ranges are the same.
         assert!((slow.nadir_phase() - fast.nadir_phase()).abs() < 0.05);
@@ -276,10 +267,10 @@ mod tests {
         // provided the two perpendicular distances fall in the same λ/2
         // phase period (0.35 m and 0.45 m both lie in the 0.326–0.489 m
         // window for λ = 0.326 m).
-        let near = ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.35, 0.326))
-            .unwrap();
-        let far = ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.45, 0.326))
-            .unwrap();
+        let near =
+            ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.35, 0.326)).unwrap();
+        let far =
+            ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.45, 0.326)).unwrap();
         assert!(far.nadir_phase() > near.nadir_phase());
         let mean = |p: &ReferenceProfile| {
             let v = p.vzone_profile().phases();
@@ -293,10 +284,10 @@ mod tests {
         assert!(ReferenceProfile::generate(ReferenceProfileParams::new(0.0, 0.3, 0.326)).is_none());
         assert!(ReferenceProfile::generate(ReferenceProfileParams::new(0.1, -1.0, 0.326)).is_none());
         assert!(ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.3, 0.0)).is_none());
-        assert!(
-            ReferenceProfile::generate(ReferenceProfileParams::new(0.1, 0.3, 0.326).with_sample_interval(0.0))
-                .is_none()
-        );
+        assert!(ReferenceProfile::generate(
+            ReferenceProfileParams::new(0.1, 0.3, 0.326).with_sample_interval(0.0)
+        )
+        .is_none());
     }
 
     #[test]
@@ -317,8 +308,7 @@ mod tests {
     fn nadir_phase_matches_equation_one_at_perpendicular_distance() {
         let p = params();
         let r = ReferenceProfile::generate(p).unwrap();
-        let model =
-            PhaseModel::ideal(rfid_phys::constants::SPEED_OF_LIGHT / p.wavelength_m);
+        let model = PhaseModel::ideal(rfid_phys::constants::SPEED_OF_LIGHT / p.wavelength_m);
         let expected = model.phase_at_distance(p.perpendicular_distance_m);
         assert!((r.nadir_phase() - expected).abs() < 0.1);
     }

@@ -69,6 +69,7 @@ impl SegmentedProfile {
     /// `w`). Windows containing a phase wrap are split at the wrap so no
     /// segment spans a `0 ↔ 2π` jump. A `window` of 0 is treated as 1.
     pub fn build(profile: &PhaseProfile, window: usize) -> Self {
+        debug_assert!(phases_in_range(profile), "profile phases must lie in [0, 2π)");
         let window = window.max(1);
         let samples = profile.samples();
         let mut segments = Vec::new();

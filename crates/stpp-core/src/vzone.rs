@@ -332,10 +332,8 @@ impl VZoneDetector {
         }
         // Build the reference at (roughly) the measured sampling rate.
         let interval = measured.median_sample_interval()?.clamp(0.005, 0.2);
-        let params = ReferenceProfileParams {
-            sample_interval_s: interval,
-            ..self.reference_params
-        };
+        let params =
+            ReferenceProfileParams { sample_interval_s: interval, ..self.reference_params };
         let reference = ReferenceProfile::generate(params)?;
 
         let measured_seg = SegmentedProfile::build(measured, self.window);
@@ -391,7 +389,8 @@ impl VZoneDetector {
             // into a sliver of the measured profile (e.g. onto a pause
             // plateau): the matched span must retain a reasonable fraction
             // of the pattern duration.
-            let matched_duration = measured_times[(sample_range.end - 1).min(measured_times.len() - 1)]
+            let matched_duration = measured_times
+                [(sample_range.end - 1).min(measured_times.len() - 1)]
                 - measured_times[sample_range.start];
             if matched_duration < 0.3 * pattern_duration {
                 continue;
@@ -475,8 +474,7 @@ impl NaiveUnwrapDetector {
             .map(|(i, _)| i)?;
         let start = min_idx.saturating_sub(self.half_window);
         let end = (min_idx + self.half_window + 1).min(measured.len());
-        let vzone =
-            VZone { start_idx: start, end_idx: end, profile: measured.slice(start..end) };
+        let vzone = VZone { start_idx: start, end_idx: end, profile: measured.slice(start..end) };
         if vzone.profile.len() < 3 {
             return None;
         }
@@ -492,7 +490,13 @@ mod tests {
 
     /// Builds a noise-free measured profile for a tag at `(tag_x, d_perp)`
     /// swept at `speed` over `span_x` metres.
-    fn synthetic_profile(tag_x: f64, d_perp: f64, speed: f64, span_x: f64, dt: f64) -> PhaseProfile {
+    fn synthetic_profile(
+        tag_x: f64,
+        d_perp: f64,
+        speed: f64,
+        span_x: f64,
+        dt: f64,
+    ) -> PhaseProfile {
         let model = PhaseModel::ideal(920.625e6);
         let mut pairs = Vec::new();
         let mut t = 0.0;
@@ -511,11 +515,12 @@ mod tests {
 
     #[test]
     fn quadratic_fit_recovers_exact_parabola() {
-        let points: Vec<(f64, f64)> =
-            (0..20).map(|i| {
+        let points: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
                 let t = i as f64 * 0.1;
                 (t, 2.0 * (t - 0.7) * (t - 0.7) + 0.3)
-            }).collect();
+            })
+            .collect();
         let fit = QuadraticFit::fit(&points).unwrap();
         assert!(fit.is_minimum());
         assert!((fit.vertex_time().unwrap() - 0.7).abs() < 1e-9);

@@ -2,9 +2,11 @@
 
 use proptest::prelude::*;
 use stpp_core::{
-    dtw_full, dtw_subsequence, kendall_tau, metrics::mean_rank_displacement, ordering_accuracy,
+    dtw_full, dtw_subsequence, kendall_tau,
+    metrics::mean_rank_displacement,
     ordering::{gap_metric, order_metric},
-    PhaseProfile, QuadraticFit, ReferenceProfile, ReferenceProfileParams, SegmentedProfile,
+    ordering_accuracy, PhaseProfile, QuadraticFit, ReferenceProfile, ReferenceProfileParams,
+    SegmentedProfile,
 };
 
 fn arb_sequence(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -105,11 +105,8 @@ pub fn table3_airport_accuracy(trials: &TrialConfig) -> ExperimentReport {
         vec!["scheme", "7:00-9:00", "13:00-15:00", "19:00-21:00"],
     );
     let sim = BaggageSimulation::default();
-    let schemes: Vec<Box<dyn OrderingScheme>> = vec![
-        Box::new(StppScheme::new()),
-        Box::new(OTrack::default()),
-        Box::new(GRssi::default()),
-    ];
+    let schemes: Vec<Box<dyn OrderingScheme>> =
+        vec![Box::new(StppScheme::new()), Box::new(OTrack::default()), Box::new(GRssi::default())];
     for scheme in schemes {
         let mut row = vec![scheme.name().to_string()];
         for (idx, period) in TrafficPeriod::all().into_iter().enumerate() {
@@ -124,7 +121,12 @@ pub fn table3_airport_accuracy(trials: &TrialConfig) -> ExperimentReport {
                 correct += (ax * batch.truth_order.len() as f64).round() as usize;
                 total += batch.truth_order.len();
             }
-            row.push(format!("{}/{} = {}", correct, total, pct(correct as f64 / total.max(1) as f64)));
+            row.push(format!(
+                "{}/{} = {}",
+                correct,
+                total,
+                pct(correct as f64 / total.max(1) as f64)
+            ));
         }
         report.push_row(row);
     }

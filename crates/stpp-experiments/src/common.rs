@@ -123,11 +123,7 @@ pub fn staggered_layout(
         let jitter_y = rng.gen_range(0.0..dy * 0.3);
         layout.push(
             id,
-            Point3::new(
-                col as f64 * spacing + jitter_x,
-                row as f64 * dy + jitter_y,
-                0.0,
-            ),
+            Point3::new(col as f64 * spacing + jitter_x, row as f64 * dy + jitter_y, 0.0),
         );
     }
     layout
@@ -272,8 +268,7 @@ mod tests {
     #[test]
     fn mean_accuracy_runs_a_small_experiment() {
         let trials = TrialConfig { trials: 1, seed: 5 };
-        let (ax, ay) =
-            mean_accuracy(&GRssi::default(), &trials, 0, true, |_| row_layout(3, 0.15));
+        let (ax, ay) = mean_accuracy(&GRssi::default(), &trials, 0, true, |_| row_layout(3, 0.15));
         assert!((0.0..=1.0).contains(&ax));
         assert!((0.0..=1.0).contains(&ay));
     }

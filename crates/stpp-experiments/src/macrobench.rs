@@ -101,10 +101,12 @@ pub fn fig18_accuracy_vs_distance(trials: &TrialConfig) -> ExperimentReport {
         let mut row = vec![scheme.name().to_string()];
         for (idx, &spacing) in spacings.iter().enumerate() {
             let layout = |seed: u64| {
-                with_reference_tags(staggered_layout(20, spacing, 10, 0.05, seed), spacing.max(0.15))
+                with_reference_tags(
+                    staggered_layout(20, spacing, 10, 0.05, seed),
+                    spacing.max(0.15),
+                )
             };
-            let (ax, _) =
-                mean_accuracy(scheme.as_ref(), trials, 3000 + idx, true, layout);
+            let (ax, _) = mean_accuracy(scheme.as_ref(), trials, 3000 + idx, true, layout);
             row.push(pct(ax));
         }
         report.push_row(row);
@@ -131,8 +133,7 @@ pub fn fig19_accuracy_vs_population(trials: &TrialConfig) -> ExperimentReport {
         let mut row = vec![scheme.name().to_string()];
         for (idx, &n) in populations.iter().enumerate() {
             let layout = move |seed: u64| staggered_layout(n, 0.10, 10, 0.05, seed);
-            let (ax, _) =
-                mean_accuracy(scheme.as_ref(), trials, 4000 + idx, true, layout);
+            let (ax, _) = mean_accuracy(scheme.as_ref(), trials, 4000 + idx, true, layout);
             row.push(pct(ax));
         }
         report.push_row(row);

@@ -49,9 +49,14 @@ fn spacing_report(
         let spacing = spacing_cm / 100.0;
         // Two rows of tags so both axes are exercised; row depth equals the
         // tag spacing (as in the paper's pairwise spacing sweep).
-        let layout =
-            |seed: u64| staggered_layout(10, spacing, 5, spacing.min(0.06), seed);
-        let (ax, ay) = mean_accuracy(&scheme, trials, idx + if antenna_moving { 200 } else { 300 }, antenna_moving, layout);
+        let layout = |seed: u64| staggered_layout(10, spacing, 5, spacing.min(0.06), seed);
+        let (ax, ay) = mean_accuracy(
+            &scheme,
+            trials,
+            idx + if antenna_moving { 200 } else { 300 },
+            antenna_moving,
+            layout,
+        );
         report.push_row(vec![format!("{spacing_cm:.0}"), pct(ax), pct(ay)]);
     }
     report.with_notes(

@@ -18,9 +18,7 @@ use crate::common::{pct, run_antenna_sweep, ExperimentReport};
 
 /// The carrier wavelength of the paper's channel 6 (≈0.325 m).
 fn wavelength() -> f64 {
-    rfid_phys::ChannelPlan::china_920()
-        .wavelength(5)
-        .expect("channel 6 exists in the China plan")
+    rfid_phys::ChannelPlan::china_920().wavelength(5).expect("channel 6 exists in the China plan")
 }
 
 /// Figure 2: RSSI traces of two tags 13 cm apart — the peak-RSSI order is
@@ -104,7 +102,12 @@ pub fn fig04_reference_profiles_y() -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "Figure 4",
         "Reference phase profiles along Y: bottom phase vs perpendicular distance",
-        vec!["Y spacing (cm)", "near bottom phase (rad)", "far bottom phase (rad)", "difference (rad)"],
+        vec![
+            "Y spacing (cm)",
+            "near bottom phase (rad)",
+            "far bottom phase (rad)",
+            "difference (rad)",
+        ],
     );
     let lambda = wavelength();
     let base = 0.35;

@@ -32,8 +32,5 @@ fn main() {
     println!("STPP ordering accuracy over the shelf: {:.0}%", outcome.ordering_accuracy * 100.0);
     println!("truly misplaced: {:?}", outcome.misplaced_truth);
     println!("flagged by STPP: {:?}", outcome.flagged);
-    println!(
-        "all misplaced books detected: {}",
-        if outcome.detected_all() { "yes" } else { "no" }
-    );
+    println!("all misplaced books detected: {}", if outcome.detected_all() { "yes" } else { "no" });
 }

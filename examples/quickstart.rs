@@ -35,10 +35,7 @@ fn main() {
 
     println!("true order    : {truth:?}");
     println!("detected order: {:?}", result.order_x);
-    println!(
-        "ordering accuracy: {:.0}%",
-        ordering_accuracy(&result.order_x, &truth) * 100.0
-    );
+    println!("ordering accuracy: {:.0}%", ordering_accuracy(&result.order_x, &truth) * 100.0);
     for summary in &result.summaries {
         println!(
             "  tag {:>2}: perpendicular point at {:>5.2} s, bottom phase {:.2} rad",

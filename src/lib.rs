@@ -11,9 +11,9 @@
 //! (the simulated COTS reader that produces phase-report streams). See the
 //! `examples/` directory for runnable end-to-end scenarios.
 
+pub use rfid_gen2 as gen2;
 pub use rfid_geometry as geometry;
 pub use rfid_phys as phys;
-pub use rfid_gen2 as gen2;
 pub use rfid_reader as reader;
 pub use stpp_apps as apps;
 pub use stpp_baselines as baselines;

@@ -2,7 +2,9 @@
 //! simulation through Gen2 inventory to STPP ordering and the baseline
 //! schemes.
 
-use stpp::apps::{BaggageSimulation, Bookshelf, BookshelfParams, MisplacedBookExperiment, TrafficPeriod};
+use stpp::apps::{
+    BaggageSimulation, Bookshelf, BookshelfParams, MisplacedBookExperiment, TrafficPeriod,
+};
 use stpp::baselines::{BackPos, GRssi, OTrack, OrderingScheme, StppScheme};
 use stpp::core::{kendall_tau, ordering_accuracy, RelativeLocalizer, StppInput};
 use stpp::experiments::common::{row_layout, staggered_layout};
@@ -16,9 +18,8 @@ fn antenna_sweep_stpp_beats_grssi_on_close_spacing() {
     // 10 tags only 5 cm apart: the regime where the paper's macro-benchmark
     // separates STPP from RSSI-based ordering.
     let layout = staggered_layout(10, 0.05, 5, 0.04, 77);
-    let scenario = ScenarioBuilder::new(77)
-        .antenna_sweep(&layout, AntennaSweepParams::default())
-        .unwrap();
+    let scenario =
+        ScenarioBuilder::new(77).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
     let truth = scenario.truth_order_x();
     let recording = ReaderSimulation::new(scenario, 77).run();
 
@@ -36,9 +37,7 @@ fn antenna_sweep_stpp_beats_grssi_on_close_spacing() {
 #[test]
 fn conveyor_case_orders_bags_in_pass_order() {
     let layout = row_layout(5, 0.25);
-    let scenario = ScenarioBuilder::new(88)
-        .conveyor(&layout, ConveyorParams::default())
-        .unwrap();
+    let scenario = ScenarioBuilder::new(88).conveyor(&layout, ConveyorParams::default()).unwrap();
     assert_eq!(scenario.case, MotionCase::TagMoving);
     let recording = ReaderSimulation::new(scenario, 88).run();
     let result = RelativeLocalizer::with_defaults().localize_recording(&recording).unwrap();
@@ -51,9 +50,8 @@ fn conveyor_case_orders_bags_in_pass_order() {
 #[test]
 fn stpp_input_round_trips_through_serde() {
     let layout = RowLayout::new(0.0, 0.0, 0.1, 3).build();
-    let scenario = ScenarioBuilder::new(3)
-        .antenna_sweep(&layout, AntennaSweepParams::default())
-        .unwrap();
+    let scenario =
+        ScenarioBuilder::new(3).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
     let recording = ReaderSimulation::new(scenario, 3).run();
     let input = StppInput::from_recording(&recording).unwrap();
     let json = serde_json::to_string(&recording).expect("recording serializes");
@@ -81,9 +79,8 @@ fn stpp_input_round_trips_through_serde() {
 #[test]
 fn all_schemes_produce_valid_orderings_on_the_same_recording() {
     let layout = staggered_layout(8, 0.08, 4, 0.05, 55);
-    let scenario = ScenarioBuilder::new(55)
-        .antenna_sweep(&layout, AntennaSweepParams::default())
-        .unwrap();
+    let scenario =
+        ScenarioBuilder::new(55).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
     let truth = scenario.truth_order_x();
     let recording = ReaderSimulation::new(scenario, 55).run();
     let schemes: Vec<Box<dyn OrderingScheme>> = vec![

@@ -1,0 +1,54 @@
+//! Umbrella-crate smoke test: guards the re-export surface of `src/lib.rs`.
+//!
+//! Everything here is deliberately written against the `stpp::*` facade
+//! paths (never the underlying `rfid_*`/`stpp_*` crates directly), so that
+//! renaming or dropping a re-export breaks this test rather than silently
+//! breaking downstream users.
+
+use stpp::core::{kendall_tau, ordering_accuracy, RelativeLocalizer, StppInput};
+use stpp::geometry::RowLayout;
+use stpp::reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+
+/// The full pipeline — geometry → scenario → simulated reader → STPP
+/// localizer — composes through the umbrella re-exports on a tiny 3-tag
+/// sweep, and produces a complete, exact ordering.
+#[test]
+fn three_tag_sweep_through_reexports() {
+    // Three tags 15 cm apart: generously spaced, so the ordering must be
+    // perfect and stable for any reasonable channel draw.
+    let layout = RowLayout::new(0.0, 0.0, 0.15, 3).build();
+    let scenario = ScenarioBuilder::new(7)
+        .with_name("umbrella smoke sweep")
+        .antenna_sweep(&layout, AntennaSweepParams::default())
+        .expect("non-empty layout");
+    let truth = scenario.truth_order_x();
+    assert_eq!(truth.len(), 3);
+
+    let recording = ReaderSimulation::new(scenario, 7).run();
+    assert!(!recording.stream.is_empty(), "simulation produced no reports");
+
+    // Both localizer entry points must agree: the convenience
+    // `localize_recording` and the explicit `StppInput` route.
+    let via_recording =
+        RelativeLocalizer::with_defaults().localize_recording(&recording).expect("localize");
+    let input = StppInput::from_recording(&recording).expect("input");
+    let via_input = RelativeLocalizer::with_defaults().localize(&input).expect("localize");
+    assert_eq!(via_recording.order_x, via_input.order_x);
+
+    // At 15 cm spacing the detected X order must match ground truth exactly.
+    assert_eq!(ordering_accuracy(&via_recording.order_x, &truth), 1.0);
+    assert_eq!(kendall_tau(&via_recording.order_x, &truth), 1.0);
+}
+
+/// Each re-exported module alias resolves and exposes its headline type —
+/// a compile-time check that the facade stays complete.
+#[test]
+fn facade_modules_resolve() {
+    // Types reached exclusively through the umbrella aliases.
+    let _phys = stpp::phys::ReaderAntenna::isotropic(30.0);
+    let _gen2 = stpp::gen2::Epc::from_serial(1);
+    let _baseline = stpp::baselines::GRssi::default();
+    let _apps = stpp::apps::BookshelfParams::default();
+    let trials = stpp::experiments::TrialConfig::default();
+    assert!(trials.trials > 0, "experiment harness default must run trials");
+}

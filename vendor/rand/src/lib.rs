@@ -1,0 +1,296 @@
+//! Vendored, dependency-free stand-in for the parts of [`rand` 0.8] that the
+//! STPP workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a minimal random-number API instead of the real crate. It keeps
+//! the same trait names and call signatures (`Rng::gen`, `Rng::gen_range`,
+//! `Rng::gen_bool`, `SeedableRng::seed_from_u64`) so that swapping the real
+//! crate back in later is a one-line `Cargo.toml` change.
+//!
+//! Only determinism-given-a-seed matters to the simulation stack; the
+//! generated streams do **not** bit-match upstream `rand`.
+//!
+//! [`rand` 0.8]: https://docs.rs/rand/0.8
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness: the equivalent of `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same expansion
+    /// scheme `rand_core` documents, so seeds stay well distributed).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64, used only for seed expansion.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod distributions {
+    //! The `Standard` distribution used by [`Rng::gen`](crate::Rng::gen).
+
+    use crate::RngCore;
+
+    /// Types samplable uniformly over their whole domain by `Rng::gen`.
+    pub trait Standard: Sized {
+        /// Draws one value from `rng`.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! standard_small_uint {
+        ($($ty:ty),*) => {$(
+            impl Standard for $ty {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u32() as $ty
+                }
+            }
+        )*};
+    }
+    standard_small_uint!(u8, u16, u32, i8, i16, i32);
+
+    macro_rules! standard_wide_uint {
+        ($($ty:ty),*) => {$(
+            impl Standard for $ty {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    standard_wide_uint!(u64, usize, i64, isize);
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            crate::unit_f64(rng)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            crate::unit_f64(rng) as f32
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` built from the top 53 bits of a `u64`.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f64` in `[0, 1]`.
+fn unit_f64_inclusive<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+/// Types that can be drawn uniformly from a range by `Rng::gen_range`.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from the half-open range `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform sample from the closed range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty integer range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $ty
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: inverted float range");
+                let v = lo + ((hi - lo) as f64 * unit_f64(rng)) as $ty;
+                // `lo + (hi - lo) * u` can round up to exactly `hi`; clamp
+                // so the documented half-open contract `[lo, hi)` holds.
+                if v >= hi && lo < hi {
+                    hi.next_down()
+                } else {
+                    v
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: inverted float range");
+                lo + ((hi - lo) as f64 * unit_f64_inclusive(rng)) as $ty
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Argument accepted by [`Rng::gen_range`]: `lo..hi` or `lo..=hi`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing random-value methods, mirroring `rand 0.8`'s `Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type from the standard distribution.
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, Rr>(&mut self, range: Rr) -> T
+    where
+        T: SampleUniform,
+        Rr: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let n: usize = rng.gen_range(2..=10usize);
+            assert!((2..=10).contains(&n));
+            let m: u16 = rng.gen_range(0..7u16);
+            assert!(m < 7);
+        }
+    }
+
+    #[test]
+    fn degenerate_float_range_returns_endpoint() {
+        let mut rng = Counter(1);
+        let v: f64 = rng.gen_range(0.0..0.0);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn half_open_float_range_never_returns_upper_bound() {
+        let mut rng = Counter(3);
+        // A one-ulp-wide range forces the rounding edge: the only value the
+        // half-open contract admits is `lo` itself.
+        let lo = 1.0f64;
+        let hi = lo.next_up();
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(lo..hi);
+            assert_eq!(v, lo);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,503 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's simplified `Value`-pivot traits. Because the
+//! offline build has no `syn`/`quote`, the item is parsed directly from the
+//! `proc_macro` token stream.
+//!
+//! Supported shapes (everything the STPP workspace derives on):
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field ones serialize as their inner value,
+//!   matching serde's newtype convention),
+//! * unit structs,
+//! * enums with any mix of unit, tuple, and struct variants (serialized
+//!   externally tagged, like real serde's default).
+//!
+//! Not supported: generics, `#[serde(...)]` attributes, unions. Deriving on
+//! such an item produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How fields of a struct or enum variant are laid out.
+enum Fields {
+    /// No fields at all (`struct S;` or `Variant`).
+    Unit,
+    /// Positional fields (`struct S(A, B);` or `Variant(A, B)`).
+    Tuple(usize),
+    /// Named fields (`struct S { a: A }` or `Variant { a: A }`).
+    Named(Vec<String>),
+}
+
+/// The parsed item shape.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips any `#[...]` (or inner `#![...]`) attributes, doc comments
+    /// included.
+    fn skip_attributes(&mut self) {
+        loop {
+            match (self.tokens.get(self.pos), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Punct(bang)))
+                    if p.as_char() == '#' && bang.as_char() == '!' =>
+                {
+                    self.pos += 3;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in path)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde derive: expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes type tokens until a top-level `,` (which is consumed) or the
+    /// end of the stream. Understands `<`/`>` nesting and `->`.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle_depth -= 1;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde derive (vendored): generic type `{name}` is not supported"));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    parse_tuple_fields(g.stream())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("serde derive: unsupported struct body {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde derive: expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let mut cur = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        names.push(cur.expect_ident()?);
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:`, found {other:?}")),
+        }
+        cur.skip_type();
+    }
+    Ok(Fields::Named(names))
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Fields {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        count += 1;
+        cur.skip_type();
+    }
+    Fields::Tuple(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = parse_tuple_fields(g.stream());
+                cur.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                cur.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tok) = cur.next() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => map_literal(
+                    names
+                        .iter()
+                        .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})"))),
+                ),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => {}",
+                            binders.join(", "),
+                            tagged(vname, &payload)
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let payload =
+                            map_literal(fnames.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                        format!(
+                            "{name}::{vname} {{ {} }} => {}",
+                            fnames.join(", "),
+                            tagged(vname, &payload)
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+/// `vec![("key", value), ...]` wrapped into a `Value::Map`.
+fn map_literal(entries: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> =
+        entries.map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})")).collect();
+    format!("::serde::Value::Map(vec![{}])", items.join(", "))
+}
+
+/// Externally-tagged payload: `{"Variant": payload}`.
+fn tagged(variant: &str, payload: &str) -> String {
+    format!("::serde::Value::Map(vec![(::std::string::String::from(\"{variant}\"), {payload})])")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match __v {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\n\
+                         \"expected null for unit struct {name}\")),\n\
+                 }}"
+            ),
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Fields::Tuple(n) => {
+                let fields_code: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                format!(
+                    "{{\n\
+                         let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\n\
+                             \"expected array for tuple struct {name}\"))?;\n\
+                         if __s.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 \"wrong tuple length for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}",
+                    fields_code.join(", ")
+                )
+            }
+            Fields::Named(names) => {
+                let fields_code: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::get_field(__m, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\n\
+                         let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\n\
+                             \"expected map for struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}",
+                    fields_code.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname})"))
+        .collect();
+
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .map(|(vname, fields)| {
+            let build = match fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__payload)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{\n\
+                             let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                             if __s.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\n\
+                                     \"wrong arity for {name}::{vname}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fnames) => {
+                    let items: Vec<String> = fnames
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::get_field(__m, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{{\n\
+                             let __m = __payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected map for {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+            };
+            format!("\"{vname}\" => {build}")
+        })
+        .collect();
+
+    let mut arms = Vec::new();
+    if !unit_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                     \"unknown unit variant {{__other}} for {name}\"))),\n\
+             }}",
+            unit_arms.join(",\n")
+        ));
+    }
+    if !payload_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {},\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"unknown variant {{__other}} for {name}\"))),\n\
+                 }}\n\
+             }}",
+            payload_arms.join(",\n")
+        ));
+    }
+    arms.push(format!(
+        "_ => ::std::result::Result::Err(::serde::Error::custom(\n\
+             \"unexpected value shape for enum {name}\"))"
+    ));
+    format!("match __v {{\n{}\n}}", arms.join(",\n"))
+}

@@ -1,0 +1,331 @@
+//! Vendored stand-in for `serde_json`, matched to the vendored `serde`
+//! crate's [`Value`] pivot model.
+//!
+//! Provides exactly the two entry points the STPP workspace calls:
+//! [`to_string`] and [`from_str`]. Floats are emitted with Rust's `{:?}`
+//! formatting, which produces the shortest representation that parses back
+//! to the same `f64` — so numeric round-trips are exact (non-finite floats
+//! serialize as `null`, as real serde_json does).
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {}", parser.pos)));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is guaranteed round-trippable for finite floats.
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected `{}` at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!("unexpected input {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!("expected `,` or `]` at byte {}", self.pos)))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!("expected `,` or `}}` at byte {}", self.pos)))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut chars = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| Error::custom("invalid UTF-8"))?
+            .char_indices();
+        while let Some((offset, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += offset + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{0008}'),
+                    Some((_, 'f')) => out.push('\u{000C}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            code = code * 16
+                                + h.to_digit(16).ok_or_else(|| Error::custom("bad \\u escape"))?;
+                        }
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => {
+                        return Err(Error::custom(format!("bad escape {other:?}")));
+                    }
+                },
+                c => out.push(c),
+            }
+        }
+        Err(Error::custom("unterminated string"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid UTF-8 in number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips() {
+        let original = Value::Map(vec![
+            ("name".into(), Value::Str("tag \"7\"\n".into())),
+            ("phase".into(), Value::F64(std::f64::consts::PI)),
+            ("count".into(), Value::U64(u64::MAX)),
+            ("delta".into(), Value::I64(-42)),
+            ("flags".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let mut text = String::new();
+        write_value(&mut text, &original);
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        let parsed = parser.parse_value().unwrap();
+        assert_eq!(original, parsed);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [0.1, 1e-300, 123456.789012345, -2.5e17, f64::MIN_POSITIVE] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(x, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<(u64, f64)> = vec![(1, 0.5), (2, -0.25)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(u64, f64)> = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<bool>("true x").is_err());
+    }
+}
