@@ -12,11 +12,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use stpp_bench::benchmark_recording;
+use stpp_bench::{baseline, benchmark_recording};
 use stpp_core::{
-    dtw_full, dtw_segmented_with_penalty, ordering::OrderingEngine, ordering::YOrderingStrategy,
-    PhaseProfile, ReferenceProfile, ReferenceProfileParams, RelativeLocalizer, SegmentedProfile,
-    StppInput, TagObservations, VZoneDetector,
+    dtw_full, dtw_full_banded, dtw_segmented_into, dtw_segmented_with_penalty,
+    ordering::OrderingEngine, ordering::YOrderingStrategy, BatchLocalizer, DetectScratch,
+    DtwScratch, PhaseProfile, ReferenceBankCache, ReferenceProfile, ReferenceProfileParams,
+    RelativeLocalizer, SegmentedProfile, StppConfig, StppInput, TagObservations, VZoneDetector,
 };
 
 fn measured_profile() -> PhaseProfile {
@@ -45,6 +46,13 @@ fn bench_dtw(c: &mut Criterion) {
         let m = measured.phases();
         b.iter(|| black_box(dtw_full(&r, &m)))
     });
+    for band in [10usize, 30] {
+        group.bench_with_input(BenchmarkId::new("full_banded", band), &band, |b, &band| {
+            let r = reference.profile.phases();
+            let m = measured.phases();
+            b.iter(|| black_box(dtw_full_banded(&r, &m, Some(band))))
+        });
+    }
     for w in [3usize, 5, 10] {
         group.bench_with_input(BenchmarkId::new("segmented", w), &w, |b, &w| {
             let rs = SegmentedProfile::build(&reference.profile, w);
@@ -52,15 +60,27 @@ fn bench_dtw(c: &mut Criterion) {
             b.iter(|| black_box(dtw_segmented_with_penalty(&rs, &ms, true, 0.5)))
         });
     }
+    group.bench_function("segmented_scratch_reuse", |b| {
+        let rs = SegmentedProfile::build(&reference.profile, 5);
+        let ms = SegmentedProfile::build(&measured, 5);
+        let mut scratch = DtwScratch::new();
+        b.iter(|| black_box(dtw_segmented_into(&rs, &ms, true, 0.5, None, None, &mut scratch)))
+    });
     group.finish();
 }
 
 fn bench_vzone_detection(c: &mut Criterion) {
     let measured = measured_profile();
     let detector = VZoneDetector::new(ReferenceProfileParams::new(0.1, 0.35, 0.3256));
-    c.bench_function("vzone/detect_one_profile", |b| {
-        b.iter(|| black_box(detector.detect(&measured)))
+    let mut group = c.benchmark_group("vzone");
+    group
+        .bench_function("detect_one_profile", |b| b.iter(|| black_box(detector.detect(&measured))));
+    group.bench_function("detect_cached", |b| {
+        let cache = ReferenceBankCache::new();
+        let mut scratch = DetectScratch::new();
+        b.iter(|| black_box(detector.detect_cached(&measured, &cache, &mut scratch)))
     });
+    group.finish();
 }
 
 fn bench_ordering(c: &mut Criterion) {
@@ -92,6 +112,19 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter(|| black_box(localizer.localize_recording(&recording)))
         });
     }
+    // Frozen seed implementation vs the current fast paths at one size.
+    let recording = benchmark_recording(30, 0.06, 21);
+    let input = StppInput::from_recording(&recording).expect("valid input");
+    group.bench_function("seed_baseline/30", |b| {
+        b.iter(|| black_box(baseline::seed_localize(&input)))
+    });
+    group.bench_function("batch_banded/30", |b| {
+        let localizer = BatchLocalizer::with_available_parallelism(StppConfig {
+            dtw_band: Some(10),
+            ..StppConfig::default()
+        });
+        b.iter(|| black_box(localizer.localize(&input)))
+    });
     group.finish();
 }
 

@@ -1,0 +1,408 @@
+//! The **frozen seed implementation** of the localization hot path, kept
+//! verbatim (modulo visibility) as the benchmark baseline.
+//!
+//! `bench_json` and the criterion benches compare the current pipeline
+//! against this module so the reported speedups always refer to the same
+//! fixed algorithm — the seed's per-call `O(M·N)` allocation DTW, the
+//! per-tag reference regeneration (8 offset shifts × re-segmentation per
+//! tag), and the sort-based median — no matter how fast the live code in
+//! `stpp-core` becomes. Do not "improve" this module: its value is that
+//! it never changes.
+
+use rfid_phys::{wrap_phase, TWO_PI};
+use stpp_core::{
+    LocalizationError, OrderingEngine, PhaseProfile, QuadraticFit, ReferenceProfile,
+    ReferenceProfileParams, SegmentedProfile, StppConfig, StppInput, StppResult, TagVZoneSummary,
+    VZone, VZoneDetection,
+};
+
+/// The seed's generic DTW: allocates a fresh `O(M·N)` accumulated-cost
+/// matrix and traces the path by re-deriving the forward decisions.
+fn seed_dtw_generic<F, PU, PL>(
+    n: usize,
+    m: usize,
+    cost: F,
+    penalty_up: PU,
+    penalty_left: PL,
+    subsequence: bool,
+) -> Option<(f64, Vec<(usize, usize)>)>
+where
+    F: Fn(usize, usize) -> f64,
+    PU: Fn(usize) -> f64,
+    PL: Fn(usize) -> f64,
+{
+    if n == 0 || m == 0 {
+        return None;
+    }
+    let mut acc = vec![f64::INFINITY; n * m];
+    let idx = |i: usize, j: usize| i * m + j;
+
+    for j in 0..m {
+        let c = cost(0, j);
+        acc[idx(0, j)] =
+            if subsequence || j == 0 { c } else { c + acc[idx(0, j - 1)] + penalty_left(j) };
+    }
+    for i in 1..n {
+        acc[idx(i, 0)] = cost(i, 0) + acc[idx(i - 1, 0)] + penalty_up(i);
+        for j in 1..m {
+            let best_prev = (acc[idx(i - 1, j)] + penalty_up(i))
+                .min(acc[idx(i, j - 1)] + penalty_left(j))
+                .min(acc[idx(i - 1, j - 1)]);
+            acc[idx(i, j)] = cost(i, j) + best_prev;
+        }
+    }
+
+    let end_j = if subsequence {
+        (0..m)
+            .min_by(|&a, &b| {
+                acc[idx(n - 1, a)].partial_cmp(&acc[idx(n - 1, b)]).expect("finite costs")
+            })
+            .unwrap_or(m - 1)
+    } else {
+        m - 1
+    };
+    let total_cost = acc[idx(n - 1, end_j)];
+    if !total_cost.is_finite() {
+        return None;
+    }
+
+    let mut path = Vec::new();
+    let mut i = n - 1;
+    let mut j = end_j;
+    path.push((i, j));
+    while i > 0 || (j > 0 && !(subsequence && i == 0)) {
+        if i == 0 {
+            j -= 1;
+        } else if j == 0 {
+            i -= 1;
+        } else {
+            let diag = acc[idx(i - 1, j - 1)];
+            let up = acc[idx(i - 1, j)] + penalty_up(i);
+            let left = acc[idx(i, j - 1)] + penalty_left(j);
+            if diag <= up && diag <= left {
+                i -= 1;
+                j -= 1;
+            } else if up <= left {
+                i -= 1;
+            } else {
+                j -= 1;
+            }
+        }
+        path.push((i, j));
+    }
+    path.reverse();
+    Some((total_cost, path))
+}
+
+/// The seed's segmented subsequence DTW with gap penalty.
+fn seed_dtw_segmented(
+    reference: &SegmentedProfile,
+    measured: &SegmentedProfile,
+    gap_penalty_per_second: f64,
+) -> Option<(f64, Vec<(usize, usize)>)> {
+    let rs = reference.segments();
+    let ms = measured.segments();
+    let penalty = gap_penalty_per_second.max(0.0);
+    seed_dtw_generic(
+        rs.len(),
+        ms.len(),
+        |i, j| {
+            let a = &rs[i];
+            let b = &ms[j];
+            a.time_interval().min(b.time_interval()).max(1e-3) * a.range_distance(b)
+        },
+        |i| penalty * rs[i].time_interval().max(1e-3),
+        |j| penalty * ms[j].time_interval().max(1e-3),
+        true,
+    )
+}
+
+/// The seed's per-segment matched-range query (one `O(path)` scan per
+/// call).
+fn seed_matched_range(
+    path: &[(usize, usize)],
+    start: usize,
+    end: usize,
+) -> Option<std::ops::Range<usize>> {
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for &(r, m) in path {
+        if r >= start && r < end {
+            lo = lo.min(m);
+            hi = hi.max(m + 1);
+        }
+    }
+    if lo == usize::MAX {
+        None
+    } else {
+        Some(lo..hi)
+    }
+}
+
+/// The seed's sort-based median sample interval.
+fn seed_median_sample_interval(profile: &PhaseProfile) -> Option<f64> {
+    let samples = profile.samples();
+    if samples.len() < 2 {
+        return None;
+    }
+    let mut gaps: Vec<f64> = samples.windows(2).map(|w| w[1].time_s - w[0].time_s).collect();
+    gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+    Some(gaps[gaps.len() / 2])
+}
+
+fn seed_moving_average(values: &[f64], window: usize) -> Vec<f64> {
+    let window = window.max(1);
+    let half = window / 2;
+    (0..values.len())
+        .map(|i| {
+            let start = i.saturating_sub(half);
+            let end = (i + half + 1).min(values.len());
+            values[start..end].iter().sum::<f64>() / (end - start) as f64
+        })
+        .collect()
+}
+
+fn seed_refine_vzone(
+    measured: &PhaseProfile,
+    coarse_range: std::ops::Range<usize>,
+    max_half_duration_s: f64,
+    min_samples: usize,
+) -> Option<VZone> {
+    let pad = ((coarse_range.len() as f64) * 0.3).ceil() as usize + 2;
+    let start = coarse_range.start.saturating_sub(pad);
+    let end = (coarse_range.end + pad).min(measured.len());
+    if end <= start {
+        return None;
+    }
+    let slice = measured.slice(start..end);
+    if slice.len() < min_samples.max(3) {
+        return None;
+    }
+    let unwrapped = slice.unwrapped_phases();
+    let smoothed = seed_moving_average(&unwrapped, 5);
+    let min_rel = smoothed
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite phases"))
+        .map(|(i, _)| i)?;
+    let samples = slice.samples();
+    let center_time = samples[min_rel].time_s;
+    let is_wrap = |a: f64, b: f64| (a - b).abs() > std::f64::consts::PI;
+
+    let mut lo = min_rel;
+    while lo > 0 {
+        if center_time - samples[lo - 1].time_s > max_half_duration_s {
+            break;
+        }
+        if is_wrap(samples[lo].phase_rad, samples[lo - 1].phase_rad) {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = min_rel + 1;
+    while hi < samples.len() {
+        if samples[hi].time_s - center_time > max_half_duration_s {
+            break;
+        }
+        if is_wrap(samples[hi].phase_rad, samples[hi - 1].phase_rad) {
+            break;
+        }
+        hi += 1;
+    }
+    let abs_start = start + lo;
+    let abs_end = start + hi;
+    if abs_end - abs_start < 3 {
+        return None;
+    }
+    Some(VZone {
+        start_idx: abs_start,
+        end_idx: abs_end,
+        profile: measured.slice(abs_start..abs_end),
+    })
+}
+
+fn seed_fit_vzone(vzone: &VZone) -> (Option<QuadraticFit>, f64, f64) {
+    let times = vzone.profile.times();
+    let unwrapped = vzone.profile.unwrapped_phases();
+    let points: Vec<(f64, f64)> = times.iter().copied().zip(unwrapped.iter().copied()).collect();
+    let fallback = || {
+        let idx = vzone.profile.argmin_phase().unwrap_or(0);
+        let s = vzone.profile.samples()[idx];
+        (s.time_s, s.phase_rad)
+    };
+    match QuadraticFit::fit(&points) {
+        Some(fit) if fit.is_minimum() => {
+            let t_min = times.first().copied().unwrap_or(0.0);
+            let t_max = times.last().copied().unwrap_or(0.0);
+            match fit.vertex_time() {
+                Some(vt) if vt >= t_min && vt <= t_max => {
+                    let value = fit.vertex_value().unwrap_or_else(|| fit.evaluate(vt));
+                    (Some(fit), vt, wrap_phase(value))
+                }
+                _ => {
+                    let (t, p) = fallback();
+                    (Some(fit), t, p)
+                }
+            }
+        }
+        other => {
+            let (t, p) = fallback();
+            (other, t, p)
+        }
+    }
+}
+
+fn seed_segments_covering(
+    seg: &SegmentedProfile,
+    sample_start: usize,
+    sample_end: usize,
+) -> std::ops::Range<usize> {
+    let mut first = None;
+    let mut last = 0usize;
+    for (i, s) in seg.segments().iter().enumerate() {
+        if s.end_idx > sample_start && s.start_idx < sample_end {
+            if first.is_none() {
+                first = Some(i);
+            }
+            last = i + 1;
+        }
+    }
+    match first {
+        Some(f) => f..last,
+        None => 0..0,
+    }
+}
+
+/// The seed's `VZoneDetector::detect`: regenerates the reference profile,
+/// then shifts + slices + re-segments it for each of the 8 offset
+/// candidates, running a fresh full-matrix DTW per candidate.
+fn seed_detect(
+    reference_params: ReferenceProfileParams,
+    window: usize,
+    offset_candidates: usize,
+    measured: &PhaseProfile,
+) -> Option<VZoneDetection> {
+    let min_samples = 12;
+    let min_vzone_samples = 5;
+    let gap_penalty_per_second = 0.5;
+    if measured.len() < min_samples {
+        return None;
+    }
+    let interval = seed_median_sample_interval(measured)?.clamp(0.005, 0.2);
+    let params = ReferenceProfileParams { sample_interval_s: interval, ..reference_params };
+    let reference = ReferenceProfile::generate(params)?;
+
+    let measured_seg = SegmentedProfile::build(measured, window);
+    if measured_seg.is_empty() {
+        return None;
+    }
+
+    let vzone_len = reference.vzone_end.saturating_sub(reference.vzone_start);
+    let margin = (vzone_len / 4).max(2);
+    let pat_start = reference.vzone_start.saturating_sub(margin);
+    let pat_end = (reference.vzone_end + margin).min(reference.profile.len());
+    let vzone_in_pattern = (reference.vzone_start - pat_start)..(reference.vzone_end - pat_start);
+
+    let measured_times = measured.times();
+
+    let mut best: Option<(f64, std::ops::Range<usize>)> = None;
+    for k in 0..offset_candidates {
+        let offset = TWO_PI * k as f64 / offset_candidates as f64;
+        let shifted = reference.with_phase_offset(offset);
+        let pattern = shifted.profile.slice(pat_start..pat_end);
+        let pattern_duration = pattern.duration();
+        let ref_seg = SegmentedProfile::build(&pattern, window);
+        if ref_seg.is_empty() {
+            continue;
+        }
+        let Some((cost, path)) =
+            seed_dtw_segmented(&ref_seg, &measured_seg, gap_penalty_per_second)
+        else {
+            continue;
+        };
+        let seg_range =
+            seed_segments_covering(&ref_seg, vzone_in_pattern.start, vzone_in_pattern.end);
+        let Some(matched_segs) = seed_matched_range(&path, seg_range.start, seg_range.end) else {
+            continue;
+        };
+        let sample_range = measured_seg.sample_range(matched_segs);
+        if sample_range.is_empty() {
+            continue;
+        }
+        let matched_duration = measured_times[(sample_range.end - 1).min(measured_times.len() - 1)]
+            - measured_times[sample_range.start];
+        if matched_duration < 0.3 * pattern_duration {
+            continue;
+        }
+        let normalised_cost = cost / ref_seg.len().max(1) as f64;
+        if best.as_ref().map(|(c, _)| normalised_cost < *c).unwrap_or(true) {
+            best = Some((normalised_cost, sample_range));
+        }
+    }
+
+    let (cost, range) = best?;
+    let d = params.perpendicular_distance_m;
+    let lambda = params.wavelength_m;
+    let half_x = ((d + lambda / 4.0).powi(2) - d * d).sqrt();
+    let max_half_duration = (half_x / params.speed_mps).max(3.0 * interval);
+    let vzone = seed_refine_vzone(measured, range, max_half_duration, min_vzone_samples)?;
+    if vzone.profile.len() < min_vzone_samples {
+        return None;
+    }
+    let (fit, nadir_time_s, nadir_phase) = seed_fit_vzone(&vzone);
+    Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: Some(cost) })
+}
+
+/// The seed's sequential/exact pipeline: per-tag detection with the
+/// frozen detector above, then the same summary + ordering stages as the
+/// live `RelativeLocalizer`.
+pub fn seed_localize(input: &StppInput) -> Result<StppResult, LocalizationError> {
+    let config = StppConfig::default();
+    if input.observations.is_empty() {
+        return Err(LocalizationError::EmptyInput);
+    }
+    if !(input.nominal_speed_mps > 0.0 && input.wavelength_m > 0.0) {
+        return Err(LocalizationError::InvalidGeometry(format!(
+            "speed {} m/s, wavelength {} m",
+            input.nominal_speed_mps, input.wavelength_m
+        )));
+    }
+    let perpendicular = input
+        .perpendicular_distance_m
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .unwrap_or(config.perpendicular_distance_m);
+    let reference_params =
+        ReferenceProfileParams::new(input.nominal_speed_mps, perpendicular, input.wavelength_m)
+            .with_periods(config.reference_periods);
+
+    let mut summaries = Vec::new();
+    let mut undetected = Vec::new();
+    for obs in &input.observations {
+        if obs.profile.len() < config.min_reads {
+            undetected.push(obs.id);
+            continue;
+        }
+        match seed_detect(reference_params, config.window, config.offset_candidates, &obs.profile) {
+            Some(d) => {
+                let coarse = d
+                    .coarse_representation(config.y_segments)
+                    .unwrap_or_else(|| vec![d.nadir_phase; config.y_segments]);
+                summaries.push(TagVZoneSummary {
+                    id: obs.id,
+                    nadir_time_s: d.nadir_time_s,
+                    nadir_phase: d.nadir_phase,
+                    coarse,
+                    vzone_duration_s: d.vzone.duration(),
+                });
+            }
+            None => undetected.push(obs.id),
+        }
+    }
+    if summaries.is_empty() {
+        return Err(LocalizationError::NoDetections);
+    }
+    let engine = OrderingEngine { y_segments: config.y_segments, strategy: config.y_strategy };
+    let order_x = engine.order_x(&summaries);
+    let order_y = engine.order_y(&summaries);
+    Ok(StppResult { order_x, order_y, summaries, undetected })
+}

@@ -1,0 +1,162 @@
+//! `bench_json` — the tracked pipeline benchmark harness.
+//!
+//! Runs the end-to-end localization pipeline over growing tag populations
+//! in a matrix of modes (sequential vs parallel × exact vs banded DTW,
+//! plus a replica of the seed implementation's per-tag reference-rebuild
+//! path) and writes the results as machine-readable JSON to
+//! `BENCH_pipeline.json` at the repository root. Every perf-focused PR is
+//! judged against this file: run it before and after a change and compare
+//! the per-population timings.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p stpp-bench --bin bench_json            # full run
+//! cargo run --release -p stpp-bench --bin bench_json -- --smoke # tiny CI run
+//! cargo run --release -p stpp-bench --bin bench_json -- --out p.json
+//! ```
+//!
+//! The `--smoke` mode exists so CI can prove the harness still builds,
+//! runs, and emits valid JSON without paying for the 300-tag populations.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use stpp_bench::{baseline, benchmark_recording};
+use stpp_core::{
+    BatchLocalizer, LocalizationError, RelativeLocalizer, StppConfig, StppInput, StppResult,
+};
+
+/// Band width used by the banded modes (segments of slack each warping
+/// path may accumulate). Wide enough that detection quality matches the
+/// exact alignment on the benchmark scenarios.
+const BAND: usize = 10;
+/// Timed repetitions per (population, mode); the minimum is reported.
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct ModeReport {
+    /// Minimum wall-clock time over the repetitions, milliseconds.
+    localize_ms: f64,
+    /// Number of tags the mode localized (quality guard: banding must not
+    /// silently drop tags).
+    localized: usize,
+}
+
+#[derive(Serialize)]
+struct PopulationReport {
+    tags: usize,
+    /// Time to build the `StppInput` from the recording (profile
+    /// extraction + closed-form closest-approach geometry), milliseconds.
+    input_build_ms: f64,
+    /// The seed implementation's code path: exact DTW, reference profile
+    /// regenerated and re-segmented per tag, fresh scratch per tag.
+    seed_sequential_exact: ModeReport,
+    /// Current sequential path (shared reference bank + scratch), exact DTW.
+    sequential_exact: ModeReport,
+    /// Current sequential path with banded DTW.
+    sequential_banded: ModeReport,
+    /// Parallel batch engine, exact DTW.
+    batch_exact: ModeReport,
+    /// Parallel batch engine, banded DTW (the production fast path).
+    batch_banded: ModeReport,
+    /// `seed_sequential_exact.localize_ms / batch_banded.localize_ms`.
+    speedup_batch_banded_vs_seed: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    smoke: bool,
+    /// Worker threads used by the batch modes.
+    threads: usize,
+    /// Band width used by the banded modes.
+    band: usize,
+    populations: Vec<PopulationReport>,
+}
+
+fn time_mode<F: FnMut() -> Result<StppResult, LocalizationError>>(mut run: F) -> ModeReport {
+    let mut best_ms = f64::INFINITY;
+    let mut localized = 0usize;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let result = run();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+        localized = result.map(|r| r.localized_count()).unwrap_or(0);
+    }
+    ModeReport { localize_ms: best_ms, localized }
+}
+
+fn bench_population(tags: usize, threads: usize) -> PopulationReport {
+    let recording = benchmark_recording(tags, 0.06, 21);
+    let t = Instant::now();
+    let input = StppInput::from_recording(&recording).expect("valid benchmark input");
+    let input_build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let exact = StppConfig::default();
+    let banded = StppConfig { dtw_band: Some(BAND), ..StppConfig::default() };
+
+    let seed_sequential_exact = time_mode(|| baseline::seed_localize(&input));
+    let sequential_exact = time_mode(|| RelativeLocalizer::new(exact).localize(&input));
+    let sequential_banded = time_mode(|| RelativeLocalizer::new(banded).localize(&input));
+    let batch_exact = time_mode(|| BatchLocalizer::new(exact, threads).localize(&input));
+    let batch_banded = time_mode(|| BatchLocalizer::new(banded, threads).localize(&input));
+
+    let speedup = seed_sequential_exact.localize_ms / batch_banded.localize_ms.max(1e-9);
+    PopulationReport {
+        tags,
+        input_build_ms,
+        seed_sequential_exact,
+        sequential_exact,
+        sequential_banded,
+        batch_exact,
+        batch_banded,
+        speedup_batch_banded_vs_seed: speedup,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            // Default to the repository root regardless of the cwd.
+            format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR"))
+        });
+
+    let populations: &[usize] = if smoke { &[3, 5] } else { &[5, 15, 30, 100, 300] };
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut reports = Vec::new();
+    for &tags in populations {
+        eprintln!("benchmarking {tags} tags…");
+        let report = bench_population(tags, threads);
+        eprintln!(
+            "  seed {:8.2} ms | seq exact {:8.2} ms | seq banded {:8.2} ms | batch exact \
+             {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x",
+            report.seed_sequential_exact.localize_ms,
+            report.sequential_exact.localize_ms,
+            report.sequential_banded.localize_ms,
+            report.batch_exact.localize_ms,
+            report.batch_banded.localize_ms,
+            report.speedup_batch_banded_vs_seed,
+        );
+        reports.push(report);
+    }
+
+    let report = BenchReport {
+        schema: "stpp-bench-pipeline/v1",
+        smoke,
+        threads,
+        band: BAND,
+        populations: reports,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+}

@@ -14,6 +14,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+
 use rfid_geometry::TagLayout;
 use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder, SweepRecording};
 

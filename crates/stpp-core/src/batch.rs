@@ -1,0 +1,156 @@
+//! Parallel batch localization.
+//!
+//! Per-tag V-zone detection is embarrassingly parallel: each tag's profile
+//! is matched against the (shared, read-only) reference bank
+//! independently, and only the final ordering stage needs all summaries
+//! together. [`BatchLocalizer`] exploits that with a hand-rolled
+//! [`std::thread::scope`] worker pool — no external runtime — while
+//! keeping the output **deterministic**: results are written into
+//! per-observation slots, so the assembled [`StppResult`] is bit-identical
+//! for any `threads` value (the sequential `threads = 1` path is the
+//! reference implementation and shares the exact same per-tag code).
+//!
+//! Work is distributed dynamically through an atomic cursor rather than by
+//! static chunking: profile lengths — and hence per-tag DTW cost — vary by
+//! 3–4× within one sweep, so static chunks would leave workers idle behind
+//! the unluckiest chunk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use crate::ordering::TagVZoneSummary;
+use crate::pipeline::{
+    assemble_result, DetectionEngine, LocalizationError, StppConfig, StppInput, StppResult,
+};
+use crate::vzone::DetectScratch;
+
+/// A localizer that fans per-tag detection across a scoped worker pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchLocalizer {
+    /// The pipeline configuration (shared with
+    /// [`RelativeLocalizer`](crate::pipeline::RelativeLocalizer)).
+    pub config: StppConfig,
+    /// Number of worker threads. `1` runs the plain sequential loop on
+    /// the calling thread (today's reference path); values above the tag
+    /// count are clamped at spawn time.
+    pub threads: usize,
+}
+
+impl BatchLocalizer {
+    /// Creates a batch localizer with an explicit thread count (clamped to
+    /// at least 1).
+    pub fn new(config: StppConfig, threads: usize) -> Self {
+        BatchLocalizer { config, threads: threads.max(1) }
+    }
+
+    /// Creates a batch localizer with the default configuration and one
+    /// worker per available CPU.
+    pub fn with_available_parallelism(config: StppConfig) -> Self {
+        let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        BatchLocalizer::new(config, threads)
+    }
+
+    /// Runs the pipeline over the input, fanning per-tag detection across
+    /// the worker pool. Produces exactly the same result as the sequential
+    /// [`RelativeLocalizer`](crate::pipeline::RelativeLocalizer) with the
+    /// same configuration, for any thread count.
+    pub fn localize(&self, input: &StppInput) -> Result<StppResult, LocalizationError> {
+        if input.observations.is_empty() {
+            return Err(LocalizationError::EmptyInput);
+        }
+        let engine = DetectionEngine::new(self.config, input)?;
+        let observations = &input.observations;
+        let workers = self.threads.min(observations.len()).max(1);
+
+        let per_tag: Vec<Option<TagVZoneSummary>> = if workers == 1 {
+            let mut scratch = DetectScratch::new();
+            observations.iter().map(|obs| engine.summarize(obs, &mut scratch)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut slots: Vec<Option<TagVZoneSummary>> = Vec::new();
+            slots.resize_with(observations.len(), || None);
+            let chunks: Vec<Vec<(usize, Option<TagVZoneSummary>)>> = thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let engine = &engine;
+                        let cursor = &cursor;
+                        scope.spawn(move || {
+                            let mut scratch = DetectScratch::new();
+                            let mut out = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(obs) = observations.get(i) else {
+                                    break;
+                                };
+                                out.push((i, engine.summarize(obs, &mut scratch)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("detection worker panicked")).collect()
+            });
+            for (i, summary) in chunks.into_iter().flatten() {
+                slots[i] = summary;
+            }
+            slots
+        };
+        assemble_result(&self.config, input, per_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::RelativeLocalizer;
+    use rfid_geometry::RowLayout;
+    use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+
+    fn batch_input(tags: usize, seed: u64) -> StppInput {
+        let layout = RowLayout::new(0.0, 0.0, 0.08, tags).build();
+        let scenario = ScenarioBuilder::new(seed)
+            .antenna_sweep(&layout, AntennaSweepParams::default())
+            .unwrap();
+        let recording = ReaderSimulation::new(scenario, seed).run();
+        StppInput::from_recording(&recording).expect("valid input")
+    }
+
+    #[test]
+    fn thread_counts_produce_identical_results() {
+        let input = batch_input(8, 17);
+        let sequential = RelativeLocalizer::with_defaults().localize(&input).expect("sequential");
+        for threads in [1usize, 2, 4, 8] {
+            let batch = BatchLocalizer::new(StppConfig::default(), threads)
+                .localize(&input)
+                .expect("batch");
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tags_is_fine() {
+        let input = batch_input(3, 5);
+        let result = BatchLocalizer::new(StppConfig::default(), 32).localize(&input).unwrap();
+        assert_eq!(result.localized_count() + result.undetected.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let input = StppInput {
+            observations: Vec::new(),
+            nominal_speed_mps: 0.1,
+            wavelength_m: 0.326,
+            perpendicular_distance_m: None,
+        };
+        assert_eq!(
+            BatchLocalizer::new(StppConfig::default(), 4).localize(&input),
+            Err(LocalizationError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let localizer = BatchLocalizer::new(StppConfig::default(), 0);
+        assert_eq!(localizer.threads, 1);
+    }
+}

@@ -13,6 +13,39 @@
 //!   coarse segment representations, with the segment-range distance and
 //!   the `min(s^T_P, s^T_Q)` time weighting from Section 3.1.2, reducing
 //!   the complexity to `O(M·N / w²)`.
+//!
+//! ## The fast path
+//!
+//! Every variant is a thin wrapper around one banded, scratch-backed
+//! kernel. Two orthogonal optimisations sit on top of the textbook
+//! recurrence:
+//!
+//! * **Sakoe-Chiba banding** (`band = Some(width)`): in full-sequence mode
+//!   cells farther than `width` from the (slope-adjusted) diagonal are
+//!   never computed; in subsequence mode — where the match may start
+//!   anywhere along the measured axis, so there is no single diagonal —
+//!   the band prunes the left triangle of cells that no start column
+//!   could reach within the allowed net up-moves (a path at cell `(i, j)`
+//!   starting from column `s ≥ 0` has accumulated warp `(j − i) − s ≥
+//!   −i + j`). The allowance is `width` plus the minimal warp a longer
+//!   reference forces (`max(0, N − M)` net up-moves), so the band never
+//!   renders a feasible alignment infeasible in subsequence mode.
+//!   `band = None` is the exact algorithm. In full mode a too-narrow band
+//!   can make the alignment infeasible, in which case the functions
+//!   return `None`.
+//! * **[`DtwScratch`] reuse**: all DP state (accumulated costs, move tags,
+//!   per-cell path starts, the traced path, and flattened segment
+//!   features) lives in a caller-owned arena, so repeated alignments —
+//!   e.g. the 8 offset candidates × hundreds of tags in the localization
+//!   hot path — perform no heap allocation after the first call at a
+//!   given problem size.
+//!
+//! The scratch entry point [`dtw_segmented_into`] also supports *early
+//! abandoning*: because local costs and gap penalties are non-negative,
+//! the minimum accumulated cost in a row is a lower bound on the final
+//! cost, and an alignment that can no longer beat `abandon_above` is cut
+//! off mid-matrix. The V-zone detector uses this to prune the offset
+//! candidates that clearly lose against the best match so far.
 
 use serde::{Deserialize, Serialize};
 
@@ -37,74 +70,374 @@ impl DtwResult {
     /// The range of measured indices matched to a reference index range
     /// `[start, end)`, or `None` if nothing matched.
     pub fn matched_range(&self, start: usize, end: usize) -> Option<std::ops::Range<usize>> {
-        let mut lo = usize::MAX;
-        let mut hi = 0usize;
+        path_matched_range(&self.path, start..end)
+    }
+
+    /// The matched measured range of *every* reference index in a single
+    /// traversal of the path. Entry `i` of the returned vector is the
+    /// measured index range matched to reference index `i`, or `None` if
+    /// reference index `i` never appears on the path (possible only for
+    /// indices past the path's last reference index). Querying all
+    /// per-segment ranges this way is `O(path + segments)` instead of the
+    /// `O(segments × path)` of repeated [`matched_range`](Self::matched_range)
+    /// calls.
+    pub fn matched_ranges(&self) -> Vec<Option<std::ops::Range<usize>>> {
+        let n = self.path.iter().map(|&(r, _)| r + 1).max().unwrap_or(0);
+        let mut out: Vec<Option<std::ops::Range<usize>>> = vec![None; n];
         for &(r, m) in &self.path {
-            if r >= start && r < end {
-                lo = lo.min(m);
-                hi = hi.max(m + 1);
+            match &mut out[r] {
+                Some(range) => {
+                    range.start = range.start.min(m);
+                    range.end = range.end.max(m + 1);
+                }
+                slot => *slot = Some(m..m + 1),
             }
         }
-        if lo == usize::MAX {
-            None
-        } else {
-            Some(lo..hi)
+        out
+    }
+}
+
+/// The measured index range a warping path matches to the reference index
+/// range `seg_range`, in one pass over the path. Shared by
+/// [`DtwResult::matched_range`] and the scratch-based V-zone hot path
+/// (which borrows the path from a [`DtwScratch`] instead of owning a
+/// [`DtwResult`]).
+pub fn path_matched_range(
+    path: &[(usize, usize)],
+    seg_range: std::ops::Range<usize>,
+) -> Option<std::ops::Range<usize>> {
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for &(r, m) in path {
+        if r >= seg_range.start && r < seg_range.end {
+            lo = lo.min(m);
+            hi = hi.max(m + 1);
+        }
+    }
+    if lo == usize::MAX {
+        None
+    } else {
+        Some(lo..hi)
+    }
+}
+
+/// Move tags recorded per cell so the traceback replays exactly the
+/// decisions of the forward pass.
+const MOVE_NONE: u8 = 0;
+const MOVE_START: u8 = 1;
+const MOVE_DIAG: u8 = 2;
+const MOVE_UP: u8 = 3;
+const MOVE_LEFT: u8 = 4;
+
+/// Reusable DP arena for the DTW kernel.
+///
+/// Buffers grow to the largest problem seen and are then reused, so a
+/// warmed-up scratch performs zero heap allocations per alignment. One
+/// scratch serves any number of sequential alignments; use one scratch per
+/// worker thread for parallel batches.
+#[derive(Debug, Default, Clone)]
+pub struct DtwScratch {
+    /// Accumulated-cost matrix, row-major.
+    acc: Vec<f64>,
+    /// Per-cell move tag (`MOVE_*`).
+    moves: Vec<u8>,
+    /// The traced warping path of the most recent alignment.
+    path: Vec<(usize, usize)>,
+    /// Flattened segment features for the profile-level segmented entry
+    /// points (the bank-backed hot path brings its own, precomputed).
+    ref_feat: SegmentFeatures,
+    mea_feat: SegmentFeatures,
+}
+
+/// Per-segment features of a [`SegmentedProfile`] flattened into
+/// structure-of-arrays form for the segmented DTW inner loop: phase range
+/// bounds plus the effective (floored) time interval. Precompute these
+/// once per representation — the V-zone detector's reference bank stores
+/// them per offset pattern, and the measured profile's features are built
+/// once per tag and shared by all 8 offset alignments.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SegmentFeatures {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    dur: Vec<f64>,
+}
+
+impl SegmentFeatures {
+    /// Builds the features of a segmented profile.
+    pub fn from_segmented(segmented: &SegmentedProfile) -> Self {
+        let mut out = SegmentFeatures::default();
+        out.refill(segmented);
+        out
+    }
+
+    /// Clears and refills in place, reusing the buffers.
+    pub fn refill(&mut self, segmented: &SegmentedProfile) {
+        self.lo.clear();
+        self.hi.clear();
+        self.dur.clear();
+        for s in segmented.segments() {
+            self.lo.push(s.min_phase);
+            self.hi.push(s.max_phase);
+            self.dur.push(s.time_interval().max(1e-3));
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+}
+
+impl DtwScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        DtwScratch::default()
+    }
+
+    /// The warping path of the most recent successful alignment, as
+    /// `(reference_index, measured_index)` pairs. Empty before the first
+    /// alignment and after a failed one.
+    pub fn path(&self) -> &[(usize, usize)] {
+        &self.path
+    }
+
+    /// Materialises the most recent alignment as an owned [`DtwResult`].
+    fn to_result(&self, cost: f64) -> DtwResult {
+        DtwResult { cost, path: self.path.clone() }
+    }
+
+    fn ensure_matrix(&mut self, cells: usize) {
+        if self.acc.len() < cells {
+            self.acc.resize(cells, f64::INFINITY);
+            self.moves.resize(cells, MOVE_NONE);
         }
     }
 }
 
-/// Generic DTW over index spaces `0..n` (reference) and `0..m` (measured).
+/// The banded DTW kernel. Fills `scratch` and returns the optimal cost, or
+/// `None` when either sequence is empty, no in-band path exists, or the
+/// row-minimum lower bound exceeded `abandon_above`.
 ///
-/// `cost(i, j)` is the local matching cost. With `subsequence = true` the
-/// alignment may start and end anywhere along the measured axis.
-/// `penalty_up(i)` is an extra cost for consuming reference element `i`
-/// without advancing the measured index (an "insertion"); `penalty_left(j)`
-/// is the analogue for consuming measured element `j` without advancing the
-/// reference. Non-zero penalties discourage pathological paths that
-/// collapse one sequence onto a sliver of the other.
-fn dtw_generic<F, PU, PL>(
+/// See the module docs for the band semantics in full vs subsequence mode.
+#[allow(clippy::too_many_arguments)] // one internal kernel, many thin wrappers
+fn dtw_kernel<CR, RC, PU, PL>(
     n: usize,
     m: usize,
-    cost: F,
+    cost_row: CR,
     penalty_up: PU,
     penalty_left: PL,
     subsequence: bool,
-) -> Option<DtwResult>
+    band: Option<usize>,
+    abandon_above: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<f64>
 where
-    F: Fn(usize, usize) -> f64,
+    CR: Fn(usize) -> RC,
+    RC: Fn(usize) -> f64,
     PU: Fn(usize) -> f64,
     PL: Fn(usize) -> f64,
 {
+    scratch.path.clear();
     if n == 0 || m == 0 {
         return None;
     }
-    // Accumulated-cost matrix, row-major (reference index is the row).
-    let mut acc = vec![f64::INFINITY; n * m];
+    scratch.ensure_matrix(n * m);
+    let acc = &mut scratch.acc;
+    let moves = &mut scratch.moves;
     let idx = |i: usize, j: usize| i * m + j;
 
-    for j in 0..m {
-        let c = cost(0, j);
-        acc[idx(0, j)] =
-            if subsequence || j == 0 { c } else { c + acc[idx(0, j - 1)] + penalty_left(j) };
-    }
-    for i in 1..n {
-        acc[idx(i, 0)] = cost(i, 0) + acc[idx(i - 1, 0)] + penalty_up(i);
-        for j in 1..m {
-            let best_prev = (acc[idx(i - 1, j)] + penalty_up(i))
-                .min(acc[idx(i, j - 1)] + penalty_left(j))
-                .min(acc[idx(i - 1, j - 1)]);
-            acc[idx(i, j)] = cost(i, j) + best_prev;
+    // Column range of the last row, for the endpoint scan.
+    let mut last_lo = 0usize;
+
+    if subsequence {
+        // ---- subsequence mode: the localization hot path. ----
+        // Any start column is allowed, so the band cannot pin a diagonal;
+        // it prunes the left triangle of columns that no start could reach
+        // within `band` net up-moves. All reachable cells are finite, so
+        // the inner loop needs no reachability guards — a single INFINITY
+        // sentinel just left of a banded row keeps the unguarded
+        // `diag`/`left` reads correct on the boundary (the matrix is
+        // reused dirty otherwise).
+        let cost0 = cost_row(0);
+        for j in 0..m {
+            acc[j] = cost0(j);
+            moves[j] = MOVE_START;
+        }
+        for i in 1..n {
+            let lo = match band {
+                // Budget the minimal warp a longer reference forces
+                // (`n - m` net up-moves) on top of the configured band, so
+                // the band never renders a feasible alignment infeasible.
+                Some(b) => i.saturating_sub(b + n.saturating_sub(m)),
+                None => 0,
+            };
+            if lo >= m {
+                return None;
+            }
+            let row = i * m;
+            let prev_row = row - m;
+            if lo > 0 {
+                acc[row + lo - 1] = f64::INFINITY;
+            }
+            let pu = penalty_up(i);
+            let cost_j = cost_row(i);
+            let first = {
+                let diag = if lo > 0 { acc[prev_row + lo - 1] } else { f64::INFINITY };
+                let up = acc[prev_row + lo] + pu;
+                let (best, mv) = if diag <= up { (diag, MOVE_DIAG) } else { (up, MOVE_UP) };
+                acc[row + lo] = cost_j(lo) + best;
+                moves[row + lo] = mv;
+                acc[row + lo]
+            };
+            let mut row_min = first;
+            for j in lo + 1..m {
+                let diag = acc[prev_row + j - 1];
+                let up = acc[prev_row + j] + pu;
+                let left = acc[row + j - 1] + penalty_left(j);
+                let mut best = diag;
+                let mut mv = MOVE_DIAG;
+                if up < best {
+                    best = up;
+                    mv = MOVE_UP;
+                }
+                if left < best {
+                    best = left;
+                    mv = MOVE_LEFT;
+                }
+                let v = cost_j(j) + best;
+                acc[row + j] = v;
+                moves[row + j] = mv;
+                if v < row_min {
+                    row_min = v;
+                }
+            }
+            if let Some(limit) = abandon_above {
+                // Costs and penalties are non-negative, so the best cell
+                // of this row lower-bounds every completion through it.
+                if row_min > limit {
+                    return None;
+                }
+            }
+            last_lo = lo;
+        }
+    } else {
+        // ---- full mode: Sakoe-Chiba band around the slope-adjusted
+        // diagonal; cells outside a row's range are never computed, so
+        // predecessors must be range-checked (the matrix is reused dirty).
+        let row_range = |i: usize| -> (usize, usize) {
+            match band {
+                None => (0, m - 1),
+                Some(b) => {
+                    let center = if n > 1 { i * (m - 1) / (n - 1) } else { 0 };
+                    (center.saturating_sub(b), (center + b).min(m - 1))
+                }
+            }
+        };
+        let (mut prev_lo, mut prev_hi) = row_range(0);
+        let cost0 = cost_row(0);
+        for j in prev_lo..=prev_hi {
+            let c = cost0(j);
+            if j == 0 {
+                acc[0] = c;
+                moves[0] = MOVE_START;
+            } else {
+                acc[j] = c + acc[j - 1] + penalty_left(j);
+                moves[j] = MOVE_LEFT;
+            }
+        }
+        for i in 1..n {
+            let (lo, hi) = row_range(i);
+            if lo > hi {
+                return None;
+            }
+            let mut row_min = f64::INFINITY;
+            let cost_j = cost_row(i);
+            for j in lo..=hi {
+                let mut best = f64::INFINITY;
+                let mut mv = MOVE_NONE;
+                if j > prev_lo && j - 1 <= prev_hi {
+                    let v = acc[idx(i - 1, j - 1)];
+                    if v.is_finite() {
+                        best = v;
+                        mv = MOVE_DIAG;
+                    }
+                }
+                if j >= prev_lo && j <= prev_hi {
+                    let v = acc[idx(i - 1, j)];
+                    if v.is_finite() {
+                        let v = v + penalty_up(i);
+                        if v < best {
+                            best = v;
+                            mv = MOVE_UP;
+                        }
+                    }
+                }
+                if j > lo {
+                    let v = acc[idx(i, j - 1)];
+                    if v.is_finite() {
+                        let v = v + penalty_left(j);
+                        if v < best {
+                            best = v;
+                            mv = MOVE_LEFT;
+                        }
+                    }
+                }
+                let cell = idx(i, j);
+                if mv == MOVE_NONE {
+                    acc[cell] = f64::INFINITY;
+                    moves[cell] = MOVE_NONE;
+                } else {
+                    acc[cell] = cost_j(j) + best;
+                    moves[cell] = mv;
+                    row_min = row_min.min(acc[cell]);
+                }
+            }
+            if let Some(limit) = abandon_above {
+                if row_min > limit {
+                    return None;
+                }
+            }
+            (prev_lo, prev_hi) = (lo, hi);
+        }
+        last_lo = prev_lo;
+        if m - 1 > prev_hi {
+            return None;
         }
     }
 
-    // Endpoint: anywhere on the last reference row for subsequence
-    // alignment, the corner otherwise.
+    finish_alignment(acc, moves, &mut scratch.path, n, m, subsequence, last_lo, abandon_above)
+}
+
+/// Shared tail of the DP kernels: picks the endpoint (anywhere on the last
+/// reference row for subsequence alignment — the *first* minimum on ties,
+/// matching the seed's `Iterator::min_by` — the corner otherwise), applies
+/// the final abandon check, and replays the recorded moves back to the
+/// path start.
+#[allow(clippy::too_many_arguments)] // internal tail shared by two kernels
+fn finish_alignment(
+    acc: &[f64],
+    moves: &[u8],
+    path: &mut Vec<(usize, usize)>,
+    n: usize,
+    m: usize,
+    subsequence: bool,
+    last_lo: usize,
+    abandon_above: Option<f64>,
+) -> Option<f64> {
+    let idx = |i: usize, j: usize| i * m + j;
     let end_j = if subsequence {
-        (0..m)
-            .min_by(|&a, &b| {
-                acc[idx(n - 1, a)].partial_cmp(&acc[idx(n - 1, b)]).expect("finite costs")
-            })
-            .unwrap_or(m - 1)
+        let mut best_j = last_lo;
+        for j in last_lo + 1..m {
+            if acc[idx(n - 1, j)] < acc[idx(n - 1, best_j)] {
+                best_j = j;
+            }
+        }
+        best_j
     } else {
         m - 1
     };
@@ -112,61 +445,92 @@ where
     if !total_cost.is_finite() {
         return None;
     }
+    if let Some(limit) = abandon_above {
+        if total_cost > limit {
+            return None;
+        }
+    }
 
-    // Trace the path back, re-applying the same move penalties.
-    let mut path = Vec::new();
     let mut i = n - 1;
     let mut j = end_j;
-    path.push((i, j));
-    while i > 0 || (j > 0 && !(subsequence && i == 0)) {
-        if i == 0 {
-            j -= 1;
-        } else if j == 0 {
-            i -= 1;
-        } else {
-            let diag = acc[idx(i - 1, j - 1)];
-            let up = acc[idx(i - 1, j)] + penalty_up(i);
-            let left = acc[idx(i, j - 1)] + penalty_left(j);
-            if diag <= up && diag <= left {
+    loop {
+        path.push((i, j));
+        match moves[idx(i, j)] {
+            MOVE_DIAG => {
                 i -= 1;
-                j -= 1;
-            } else if up <= left {
-                i -= 1;
-            } else {
                 j -= 1;
             }
+            MOVE_UP => i -= 1,
+            MOVE_LEFT => j -= 1,
+            _ => break,
         }
-        path.push((i, j));
     }
     path.reverse();
-    Some(DtwResult { cost: total_cost, path })
+    Some(total_cost)
+}
+
+/// Runs the kernel over raw sample values with absolute-difference local
+/// cost.
+fn dtw_values_into(
+    reference: &[f64],
+    measured: &[f64],
+    subsequence: bool,
+    band: Option<usize>,
+    scratch: &mut DtwScratch,
+) -> Option<f64> {
+    dtw_kernel(
+        reference.len(),
+        measured.len(),
+        |i| {
+            let r = reference[i];
+            move |j: usize| (r - measured[j]).abs()
+        },
+        |_| 0.0,
+        |_| 0.0,
+        subsequence,
+        band,
+        None,
+        scratch,
+    )
 }
 
 /// Classic full-sequence DTW over raw values with absolute-difference local
 /// cost. Returns `None` if either sequence is empty.
 pub fn dtw_full(reference: &[f64], measured: &[f64]) -> Option<DtwResult> {
-    dtw_generic(
-        reference.len(),
-        measured.len(),
-        |i, j| (reference[i] - measured[j]).abs(),
-        |_| 0.0,
-        |_| 0.0,
-        false,
-    )
+    dtw_full_banded(reference, measured, None)
+}
+
+/// [`dtw_full`] constrained to a Sakoe-Chiba band of `band` cells around
+/// the slope-adjusted diagonal (`None` = exact). Returns `None` when the
+/// band admits no path; a band of at least `max(reference, measured)`
+/// length is always equivalent to the exact algorithm.
+pub fn dtw_full_banded(
+    reference: &[f64],
+    measured: &[f64],
+    band: Option<usize>,
+) -> Option<DtwResult> {
+    let mut scratch = DtwScratch::new();
+    let cost = dtw_values_into(reference, measured, false, band, &mut scratch)?;
+    Some(scratch.to_result(cost))
 }
 
 /// Subsequence DTW: aligns the whole `reference` against the best-matching
 /// contiguous (warped) part of `measured`. Returns `None` if either
 /// sequence is empty.
 pub fn dtw_subsequence(reference: &[f64], measured: &[f64]) -> Option<DtwResult> {
-    dtw_generic(
-        reference.len(),
-        measured.len(),
-        |i, j| (reference[i] - measured[j]).abs(),
-        |_| 0.0,
-        |_| 0.0,
-        true,
-    )
+    dtw_subsequence_banded(reference, measured, None)
+}
+
+/// [`dtw_subsequence`] with the subsequence band semantics described in
+/// the module docs (`None` = exact).
+pub fn dtw_subsequence_banded(
+    reference: &[f64],
+    measured: &[f64],
+    band: Option<usize>,
+) -> Option<DtwResult> {
+    let mut scratch = DtwScratch::new();
+    let cost = dtw_values_into(reference, measured, true, band, &mut scratch)?;
+    Some(scratch.to_result(cost))
 }
 
 /// The paper's segmented DTW: aligns two coarse segment representations
@@ -195,21 +559,343 @@ pub fn dtw_segmented_with_penalty(
     subsequence: bool,
     gap_penalty_per_second: f64,
 ) -> Option<DtwResult> {
-    let rs = reference.segments();
-    let ms = measured.segments();
-    let penalty = gap_penalty_per_second.max(0.0);
-    dtw_generic(
-        rs.len(),
-        ms.len(),
-        |i, j| {
-            let a = &rs[i];
-            let b = &ms[j];
-            a.time_interval().min(b.time_interval()).max(1e-3) * a.range_distance(b)
-        },
-        |i| penalty * rs[i].time_interval().max(1e-3),
-        |j| penalty * ms[j].time_interval().max(1e-3),
+    dtw_segmented_banded(reference, measured, subsequence, gap_penalty_per_second, None)
+}
+
+/// [`dtw_segmented_with_penalty`] constrained to a band (`None` = exact).
+pub fn dtw_segmented_banded(
+    reference: &SegmentedProfile,
+    measured: &SegmentedProfile,
+    subsequence: bool,
+    gap_penalty_per_second: f64,
+    band: Option<usize>,
+) -> Option<DtwResult> {
+    let mut scratch = DtwScratch::new();
+    let cost = dtw_segmented_into(
+        reference,
+        measured,
         subsequence,
+        gap_penalty_per_second,
+        band,
+        None,
+        &mut scratch,
+    )?;
+    Some(scratch.to_result(cost))
+}
+
+/// The zero-alloc segmented DTW entry point used by the localization hot
+/// path: writes all DP state and the warping path into `scratch` (read it
+/// back via [`DtwScratch::path`]) and returns only the cost.
+///
+/// `abandon_above` enables early abandoning: when every path prefix
+/// already costs more than the given bound, the alignment is cut off and
+/// `None` is returned — exactly as if the alignment had lost a comparison
+/// it could no longer win.
+pub fn dtw_segmented_into(
+    reference: &SegmentedProfile,
+    measured: &SegmentedProfile,
+    subsequence: bool,
+    gap_penalty_per_second: f64,
+    band: Option<usize>,
+    abandon_above: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<f64> {
+    // Flatten the segment features so the O(M·N) inner loop touches
+    // contiguous f64s instead of chasing `Segment` fields through two
+    // structs per cell. Callers that precompute features (the V-zone
+    // detector's bank) use `dtw_segmented_features_into` directly.
+    scratch.ref_feat.refill(reference);
+    scratch.mea_feat.refill(measured);
+    let DtwScratch { ref_feat, mea_feat, .. } = scratch;
+    let (rf, mf) = (std::mem::take(ref_feat), std::mem::take(mea_feat));
+    let cost = dtw_segmented_features_into(
+        &rf,
+        &mf,
+        subsequence,
+        gap_penalty_per_second,
+        band,
+        abandon_above,
+        scratch,
+    );
+    scratch.ref_feat = rf;
+    scratch.mea_feat = mf;
+    cost
+}
+
+/// [`dtw_segmented_into`] over pre-flattened [`SegmentFeatures`] — the
+/// innermost hot-path entry: no per-call feature extraction at all. The
+/// reference features come straight from the detector's reference bank
+/// and the measured features are built once per tag, so the 8 offset
+/// alignments of one tag share both.
+#[allow(clippy::too_many_arguments)] // hot-path entry mirroring the kernel
+pub fn dtw_segmented_features_into(
+    reference: &SegmentFeatures,
+    measured: &SegmentFeatures,
+    subsequence: bool,
+    gap_penalty_per_second: f64,
+    band: Option<usize>,
+    abandon_above: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<f64> {
+    let penalty = gap_penalty_per_second.max(0.0);
+    if subsequence {
+        return dtw_segmented_subsequence_kernel(
+            reference,
+            measured,
+            penalty,
+            band,
+            abandon_above,
+            scratch,
+        );
+    }
+    let (m_lo, m_hi, m_dur) = (&measured.lo[..], &measured.hi[..], &measured.dur[..]);
+    dtw_kernel(
+        reference.len(),
+        measured.len(),
+        |i| {
+            let (r_lo, r_hi, r_dur) = (reference.lo[i], reference.hi[i], reference.dur[i]);
+            move |j: usize| {
+                let gap = if r_lo > m_hi[j] {
+                    r_lo - m_hi[j]
+                } else if m_lo[j] > r_hi {
+                    m_lo[j] - r_hi
+                } else {
+                    0.0
+                };
+                r_dur.min(m_dur[j]) * gap
+            }
+        },
+        |i| penalty * reference.dur[i],
+        |j| penalty * m_dur[j],
+        subsequence,
+        band,
+        abandon_above,
+        scratch,
     )
+}
+
+/// Cost-only segmented subsequence DTW: identical arithmetic (and hence
+/// bit-identical cost) to [`dtw_segmented_features_into`] with
+/// `subsequence = true`, but keeps only two rolling matrix rows and
+/// records no moves, so no warping path can be traced afterwards.
+///
+/// The V-zone detector screens every offset candidate with this variant
+/// and re-runs the full path-recording alignment only for candidates that
+/// actually improve on the best match so far — with a good first guess
+/// that is one single full alignment per tag.
+pub fn dtw_segmented_cost_only(
+    reference: &SegmentFeatures,
+    measured: &SegmentFeatures,
+    gap_penalty_per_second: f64,
+    band: Option<usize>,
+    abandon_above: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<f64> {
+    let penalty = gap_penalty_per_second.max(0.0);
+    let n = reference.len();
+    let m = measured.len();
+    if n == 0 || m == 0 {
+        return None;
+    }
+    scratch.ensure_matrix(2 * m);
+    let (a, b) = scratch.acc.split_at_mut(m);
+    let mut prev: &mut [f64] = a;
+    let mut cur: &mut [f64] = &mut b[..m];
+    let (m_lo, m_hi, m_dur) = (&measured.lo[..m], &measured.hi[..m], &measured.dur[..m]);
+    let cell_cost = |r_lo: f64, r_hi: f64, r_dur: f64, j: usize| -> f64 {
+        let gap = if r_lo > m_hi[j] {
+            r_lo - m_hi[j]
+        } else if m_lo[j] > r_hi {
+            m_lo[j] - r_hi
+        } else {
+            0.0
+        };
+        r_dur.min(m_dur[j]) * gap
+    };
+
+    {
+        let (r_lo, r_hi, r_dur) = (reference.lo[0], reference.hi[0], reference.dur[0]);
+        for (j, slot) in prev.iter_mut().enumerate() {
+            *slot = cell_cost(r_lo, r_hi, r_dur, j);
+        }
+    }
+
+    let mut last_lo = 0usize;
+    for i in 1..n {
+        let lo = match band {
+            // See `dtw_kernel`: budget the minimal warp forced by a longer
+            // reference on top of the configured band.
+            Some(b) => i.saturating_sub(b + n.saturating_sub(m)),
+            None => 0,
+        };
+        if lo >= m {
+            return None;
+        }
+        let (r_lo, r_hi, r_dur) = (reference.lo[i], reference.hi[i], reference.dur[i]);
+        let pu = penalty * r_dur;
+        if lo > 0 {
+            cur[lo - 1] = f64::INFINITY;
+        }
+        let mut left = {
+            let diag = if lo > 0 { prev[lo - 1] } else { f64::INFINITY };
+            let up = prev[lo] + pu;
+            let best = if diag <= up { diag } else { up };
+            let v = cell_cost(r_lo, r_hi, r_dur, lo) + best;
+            cur[lo] = v;
+            v
+        };
+        let mut row_min = left;
+        for j in lo + 1..m {
+            let diag = prev[j - 1];
+            let up = prev[j] + pu;
+            let left_cost = left + penalty * m_dur[j];
+            let mut best = diag;
+            if up < best {
+                best = up;
+            }
+            if left_cost < best {
+                best = left_cost;
+            }
+            let v = cell_cost(r_lo, r_hi, r_dur, j) + best;
+            cur[j] = v;
+            left = v;
+            if v < row_min {
+                row_min = v;
+            }
+        }
+        if let Some(limit) = abandon_above {
+            if row_min > limit {
+                return None;
+            }
+        }
+        last_lo = lo;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    // `prev` now holds the last computed row.
+    let mut total = f64::INFINITY;
+    for &v in &prev[last_lo..] {
+        if v < total {
+            total = v;
+        }
+    }
+    if !total.is_finite() {
+        return None;
+    }
+    if let Some(limit) = abandon_above {
+        if total > limit {
+            return None;
+        }
+    }
+    Some(total)
+}
+
+/// The specialised DP loop behind [`dtw_segmented_features_into`] in
+/// subsequence mode — the innermost loop of the localization pipeline.
+/// Same recurrence, move preference, and abandon rule as `dtw_kernel`;
+/// the segment features stream through explicitly-sized slices (so the
+/// optimiser drops the bounds checks) and the `left` neighbour is carried
+/// in a register instead of re-read from the matrix.
+fn dtw_segmented_subsequence_kernel(
+    reference: &SegmentFeatures,
+    measured: &SegmentFeatures,
+    penalty: f64,
+    band: Option<usize>,
+    abandon_above: Option<f64>,
+    scratch: &mut DtwScratch,
+) -> Option<f64> {
+    let n = reference.len();
+    let m = measured.len();
+    scratch.path.clear();
+    if n == 0 || m == 0 {
+        return None;
+    }
+    scratch.ensure_matrix(n * m);
+    let acc = &mut scratch.acc;
+    let moves = &mut scratch.moves;
+    let (m_lo, m_hi, m_dur) = (&measured.lo[..m], &measured.hi[..m], &measured.dur[..m]);
+    let cell_cost = |r_lo: f64, r_hi: f64, r_dur: f64, j: usize| -> f64 {
+        let gap = if r_lo > m_hi[j] {
+            r_lo - m_hi[j]
+        } else if m_lo[j] > r_hi {
+            m_lo[j] - r_hi
+        } else {
+            0.0
+        };
+        r_dur.min(m_dur[j]) * gap
+    };
+
+    {
+        let (r_lo, r_hi, r_dur) = (reference.lo[0], reference.hi[0], reference.dur[0]);
+        let row0 = &mut acc[..m];
+        for (j, slot) in row0.iter_mut().enumerate() {
+            *slot = cell_cost(r_lo, r_hi, r_dur, j);
+        }
+        moves[..m].fill(MOVE_START);
+    }
+
+    let mut last_lo = 0usize;
+    for i in 1..n {
+        let lo = match band {
+            // See `dtw_kernel`: budget the minimal warp forced by a longer
+            // reference on top of the configured band.
+            Some(b) => i.saturating_sub(b + n.saturating_sub(m)),
+            None => 0,
+        };
+        if lo >= m {
+            return None;
+        }
+        let row = i * m;
+        let (before, after) = acc.split_at_mut(row);
+        let prev = &before[row - m..][..m];
+        let cur = &mut after[..m];
+        let mrow = &mut moves[row..][..m];
+        let (r_lo, r_hi, r_dur) = (reference.lo[i], reference.hi[i], reference.dur[i]);
+        let pu = penalty * r_dur;
+        if lo > 0 {
+            cur[lo - 1] = f64::INFINITY;
+        }
+        let mut left = {
+            let diag = if lo > 0 { prev[lo - 1] } else { f64::INFINITY };
+            let up = prev[lo] + pu;
+            let (best, mv) = if diag <= up { (diag, MOVE_DIAG) } else { (up, MOVE_UP) };
+            let v = cell_cost(r_lo, r_hi, r_dur, lo) + best;
+            cur[lo] = v;
+            mrow[lo] = mv;
+            v
+        };
+        let mut row_min = left;
+        for j in lo + 1..m {
+            let diag = prev[j - 1];
+            let up = prev[j] + pu;
+            let left_cost = left + penalty * m_dur[j];
+            let mut best = diag;
+            let mut mv = MOVE_DIAG;
+            if up < best {
+                best = up;
+                mv = MOVE_UP;
+            }
+            if left_cost < best {
+                best = left_cost;
+                mv = MOVE_LEFT;
+            }
+            let v = cell_cost(r_lo, r_hi, r_dur, j) + best;
+            cur[j] = v;
+            mrow[j] = mv;
+            left = v;
+            if v < row_min {
+                row_min = v;
+            }
+        }
+        if let Some(limit) = abandon_above {
+            if row_min > limit {
+                return None;
+            }
+        }
+        last_lo = lo;
+    }
+
+    finish_alignment(acc, moves, &mut scratch.path, n, m, true, last_lo, abandon_above)
 }
 
 #[cfg(test)]
@@ -284,6 +970,23 @@ mod tests {
     }
 
     #[test]
+    fn subsequence_keeps_first_of_equally_good_matches() {
+        // The pattern appears twice with identical (zero) cost; the seed's
+        // `Iterator::min_by` endpoint selection kept the FIRST minimal
+        // column, so the left occurrence must win.
+        let pattern = vec![3.0, 1.0, 3.0];
+        let mut haystack = vec![5.0; 4];
+        haystack.extend_from_slice(&pattern);
+        haystack.extend_from_slice(&[5.0; 4]);
+        haystack.extend_from_slice(&pattern);
+        haystack.extend_from_slice(&[5.0; 4]);
+        let r = dtw_subsequence(&pattern, &haystack).unwrap();
+        assert!(r.cost < 1e-12);
+        let matched = r.matched_range(0, pattern.len()).unwrap();
+        assert_eq!(matched, 4..4 + pattern.len(), "must match the first occurrence");
+    }
+
+    #[test]
     fn subsequence_tolerates_stretch_of_the_embedded_pattern() {
         let pattern = vec![3.0, 2.0, 1.0, 0.5, 1.0, 2.0, 3.0];
         let mut haystack = vec![6.0; 10];
@@ -306,6 +1009,101 @@ mod tests {
         assert_eq!(r.matched_range(1, 2), Some(1..3));
         assert_eq!(r.matched_range(0, 3), Some(0..4));
         assert_eq!(r.matched_range(5, 6), None);
+    }
+
+    #[test]
+    fn matched_ranges_agrees_with_per_segment_queries() {
+        let r = DtwResult { cost: 0.0, path: vec![(0, 0), (1, 1), (1, 2), (3, 3), (3, 4)] };
+        let all = r.matched_ranges();
+        assert_eq!(all.len(), 4);
+        for (i, range) in all.iter().enumerate() {
+            assert_eq!(*range, r.matched_range(i, i + 1), "segment {i}");
+        }
+        assert_eq!(all[2], None);
+    }
+
+    #[test]
+    fn wide_band_matches_exact_alignment() {
+        let a = vec![0.0, 1.0, 2.5, 3.0, 2.0, 1.0, 0.5];
+        let b = vec![0.1, 0.9, 1.1, 2.6, 3.1, 2.1, 0.9, 0.4];
+        let exact = dtw_full(&a, &b).unwrap();
+        let band = dtw_full_banded(&a, &b, Some(a.len().max(b.len()))).unwrap();
+        assert_eq!(exact, band);
+        let exact_sub = dtw_subsequence(&a, &b).unwrap();
+        let band_sub = dtw_subsequence_banded(&a, &b, Some(a.len().max(b.len()))).unwrap();
+        assert_eq!(exact_sub, band_sub);
+    }
+
+    #[test]
+    fn narrow_band_restricts_warping() {
+        // A long flat prefix forces the exact alignment to warp heavily;
+        // a zero-width band forbids any warping at all, so the banded cost
+        // can only be larger (the diagonal pairing).
+        let a = vec![0.0, 1.0, 2.0, 3.0];
+        let b = vec![0.0, 0.0, 0.0, 1.0];
+        let exact = dtw_full(&a, &b).unwrap();
+        let banded = dtw_full_banded(&a, &b, Some(0)).unwrap();
+        assert!(banded.cost >= exact.cost - 1e-12);
+        assert_eq!(banded.path.len(), a.len());
+        for &(i, j) in &banded.path {
+            assert_eq!(i, j);
+        }
+    }
+
+    #[test]
+    fn infeasible_band_returns_none() {
+        // Band 0 with very different lengths: the diagonal jumps by more
+        // than one column per row, so rows become disconnected.
+        let a = vec![0.0, 1.0];
+        let b = vec![0.0; 12];
+        assert!(dtw_full_banded(&a, &b, Some(0)).is_none());
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_runs() {
+        let mut scratch = DtwScratch::new();
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            ((0..30).map(|i| (i as f64 * 0.3).sin() + 1.5).collect(), vec![1.0; 40]),
+            (vec![2.0, 1.0, 0.5, 1.0, 2.0], (0..12).map(|i| i as f64 * 0.5).collect()),
+            ((0..8).map(|i| i as f64).collect(), (0..50).map(|i| (i % 7) as f64).collect()),
+        ];
+        for (a, b) in &pairs {
+            for subsequence in [false, true] {
+                let cost = dtw_values_into(a, b, subsequence, None, &mut scratch).unwrap();
+                let fresh = if subsequence {
+                    dtw_subsequence(a, b).unwrap()
+                } else {
+                    dtw_full(a, b).unwrap()
+                };
+                assert_eq!(cost, fresh.cost);
+                assert_eq!(scratch.path(), fresh.path.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandon_only_cuts_losing_alignments() {
+        // Offset the haystack so no segment ranges overlap: the optimal
+        // cost must be strictly positive for the bound to bite.
+        let a = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let b = [3.0, 4.0, 5.0, 4.0, 3.0, 3.5];
+        let sr = {
+            let pa: Vec<(f64, f64)> = a.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+            SegmentedProfile::build(&PhaseProfile::from_pairs(&pa), 2)
+        };
+        let sm = {
+            let pb: Vec<(f64, f64)> = b.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+            SegmentedProfile::build(&PhaseProfile::from_pairs(&pb), 2)
+        };
+        let mut scratch = DtwScratch::new();
+        let exact =
+            dtw_segmented_into(&sr, &sm, true, 0.5, None, None, &mut scratch).expect("aligns");
+        // A bound above the true cost must not abandon…
+        let kept = dtw_segmented_into(&sr, &sm, true, 0.5, None, Some(exact + 1.0), &mut scratch);
+        assert_eq!(kept, Some(exact));
+        // …a bound below it must.
+        let cut = dtw_segmented_into(&sr, &sm, true, 0.5, None, Some(exact / 2.0), &mut scratch);
+        assert_eq!(cut, None);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dtw;
 pub mod metrics;
 pub mod ordering;
@@ -41,11 +42,20 @@ pub mod reference;
 pub mod segment;
 pub mod vzone;
 
-pub use dtw::{dtw_full, dtw_segmented, dtw_segmented_with_penalty, dtw_subsequence, DtwResult};
+pub use batch::BatchLocalizer;
+pub use dtw::{
+    dtw_full, dtw_full_banded, dtw_segmented, dtw_segmented_banded, dtw_segmented_cost_only,
+    dtw_segmented_features_into, dtw_segmented_into, dtw_segmented_with_penalty, dtw_subsequence,
+    dtw_subsequence_banded, path_matched_range, DtwResult, DtwScratch, SegmentFeatures,
+};
 pub use metrics::{kendall_tau, ordering_accuracy, OrderingScore};
 pub use ordering::{gap_metric, order_metric, OrderingEngine, TagVZoneSummary};
 pub use pipeline::{LocalizationError, RelativeLocalizer, StppConfig, StppInput, StppResult};
 pub use profile::{PhaseProfile, PhaseSample, TagObservations};
-pub use reference::{ReferenceProfile, ReferenceProfileParams};
+pub use reference::{
+    OffsetPattern, ReferenceBank, ReferenceBankCache, ReferenceProfile, ReferenceProfileParams,
+};
 pub use segment::{Segment, SegmentedProfile};
-pub use vzone::{NaiveUnwrapDetector, QuadraticFit, VZone, VZoneDetection, VZoneDetector};
+pub use vzone::{
+    DetectScratch, NaiveUnwrapDetector, QuadraticFit, VZone, VZoneDetection, VZoneDetector,
+};

@@ -6,13 +6,14 @@
 //! quadratic fitting), then X ordering by nadir time and Y ordering by
 //! coarse V-zone comparison.
 
-use rfid_reader::{MotionCase, SweepRecording};
+use rfid_geometry::Point3;
+use rfid_reader::{AntennaMotion, MotionCase, Scenario, SweepRecording, TagTrack};
 use serde::{Deserialize, Serialize};
 
 use crate::ordering::{OrderingEngine, TagVZoneSummary, YOrderingStrategy};
 use crate::profile::TagObservations;
-use crate::reference::ReferenceProfileParams;
-use crate::vzone::{NaiveUnwrapDetector, VZoneDetector};
+use crate::reference::{ReferenceBankCache, ReferenceProfileParams};
+use crate::vzone::{DetectScratch, NaiveUnwrapDetector, VZoneDetector};
 
 /// Errors the pipeline can report.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +75,10 @@ pub struct StppConfig {
     pub y_strategy: YOrderingStrategy,
     /// Minimum number of reads a tag needs before we try to localize it.
     pub min_reads: usize,
+    /// Sakoe-Chiba band width (in segments) for the segmented DTW;
+    /// `None` = exact alignment (the default, and the paper's algorithm).
+    /// See the [`dtw`](crate::dtw) module docs for the band semantics.
+    pub dtw_band: Option<usize>,
 }
 
 impl Default for StppConfig {
@@ -87,6 +92,7 @@ impl Default for StppConfig {
             detection: DetectionMethod::SegmentedDtw,
             y_strategy: YOrderingStrategy::Pivot,
             min_reads: 12,
+            dtw_band: None,
         }
     }
 }
@@ -146,16 +152,8 @@ impl StppInput {
             })?;
         // Deployment geometry: the closest approach between the antenna and
         // any tag over the sweep (the surveyed reader-to-shelf distance in
-        // the paper's setup). Sampled on a coarse time grid.
-        let mut min_distance = f64::INFINITY;
-        let steps = 200usize;
-        for tag in &scenario.tags {
-            for i in 0..=steps {
-                let t = scenario.duration_s * i as f64 / steps as f64;
-                let d = scenario.antenna_motion.position_at(t).distance(tag.track.position_at(t));
-                min_distance = min_distance.min(d);
-            }
-        }
+        // the paper's setup).
+        let min_distance = closest_approach_m(scenario);
         let perpendicular =
             if min_distance.is_finite() && min_distance > 0.0 { Some(min_distance) } else { None };
         Ok(StppInput {
@@ -165,6 +163,69 @@ impl StppInput {
             perpendicular_distance_m: perpendicular,
         })
     }
+}
+
+/// Distance from point `p` to the segment `[a, b]`.
+fn point_to_segment_m(p: Point3, a: Point3, b: Point3) -> f64 {
+    let ab = b - a;
+    let len_sq = ab.norm_squared();
+    if len_sq <= 1e-18 {
+        return p.distance(a);
+    }
+    let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    p.distance(a + ab * t)
+}
+
+/// The closest approach between the antenna and any tag over the sweep.
+///
+/// Every motion the builders produce is a straight relative sweep, so the
+/// distance is computed in closed form as a point-to-segment distance:
+///
+/// * fixed tag, moving antenna (linear or manual — the manual speed
+///   profile never reverses, so the antenna covers exactly the segment
+///   between its endpoint positions);
+/// * conveyor tag, stationary or linear antenna (the *relative* motion is
+///   linear in time).
+///
+/// Anything else falls back to the sampled scan the seed implementation
+/// used for every case — which was `O(200 · tags)` of transcendental math
+/// before localization even started.
+fn closest_approach_m(scenario: &Scenario) -> f64 {
+    let duration = scenario.duration_s;
+    let mut min_distance = f64::INFINITY;
+    for tag in &scenario.tags {
+        let d = match (&scenario.antenna_motion, tag.track) {
+            (AntennaMotion::Stationary(p), TagTrack::Fixed(q)) => p.distance(q),
+            (AntennaMotion::Stationary(p), TagTrack::Conveyor { start, velocity }) => {
+                point_to_segment_m(*p, start, start + velocity * duration)
+            }
+            (AntennaMotion::Linear(_) | AntennaMotion::Manual(_), TagTrack::Fixed(q)) => {
+                let a = scenario.antenna_motion.position_at(0.0);
+                let b = scenario.antenna_motion.position_at(duration);
+                point_to_segment_m(q, a, b)
+            }
+            (AntennaMotion::Linear(traj), TagTrack::Conveyor { start, velocity }) => {
+                // In the antenna's frame the tag moves linearly with the
+                // relative velocity; measure from the origin of that frame.
+                let rel0 = Point3::ORIGIN + (start - traj.start);
+                let rel1 = rel0 + (velocity - traj.velocity) * duration;
+                point_to_segment_m(Point3::ORIGIN, rel0, rel1)
+            }
+            (AntennaMotion::Manual(_), TagTrack::Conveyor { .. }) => {
+                // Both endpoints move and the antenna speed varies: no
+                // closed form; sample like the seed did.
+                let steps = 200usize;
+                (0..=steps)
+                    .map(|i| {
+                        let t = duration * i as f64 / steps as f64;
+                        scenario.antenna_motion.position_at(t).distance(tag.track.position_at(t))
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            }
+        };
+        min_distance = min_distance.min(d);
+    }
+    min_distance
 }
 
 /// The pipeline output.
@@ -186,6 +247,102 @@ impl StppResult {
     pub fn localized_count(&self) -> usize {
         self.summaries.len()
     }
+}
+
+/// The per-run detection engine shared by the sequential
+/// [`RelativeLocalizer`] and the parallel
+/// [`BatchLocalizer`](crate::batch::BatchLocalizer): the configured
+/// detectors plus the reference-bank cache every tag (and worker thread)
+/// shares.
+pub(crate) struct DetectionEngine {
+    config: StppConfig,
+    dtw_detector: VZoneDetector,
+    naive_detector: NaiveUnwrapDetector,
+    cache: ReferenceBankCache,
+}
+
+impl DetectionEngine {
+    /// Validates the input geometry and builds the engine.
+    pub(crate) fn new(config: StppConfig, input: &StppInput) -> Result<Self, LocalizationError> {
+        // Negated comparisons so that NaN inputs are rejected too.
+        if !(input.nominal_speed_mps > 0.0 && input.wavelength_m > 0.0) {
+            return Err(LocalizationError::InvalidGeometry(format!(
+                "speed {} m/s, wavelength {} m",
+                input.nominal_speed_mps, input.wavelength_m
+            )));
+        }
+        let perpendicular = input
+            .perpendicular_distance_m
+            .filter(|d| d.is_finite() && *d > 0.0)
+            .unwrap_or(config.perpendicular_distance_m);
+        let reference_params =
+            ReferenceProfileParams::new(input.nominal_speed_mps, perpendicular, input.wavelength_m)
+                .with_periods(config.reference_periods);
+        let dtw_detector = VZoneDetector::new(reference_params)
+            .with_window(config.window)
+            .with_offset_candidates(config.offset_candidates)
+            .with_dtw_band(config.dtw_band);
+        Ok(DetectionEngine {
+            config,
+            dtw_detector,
+            naive_detector: NaiveUnwrapDetector::default(),
+            cache: ReferenceBankCache::new(),
+        })
+    }
+
+    /// Runs V-zone detection for one tag and condenses it into the
+    /// ordering summary; `None` marks the tag undetected.
+    pub(crate) fn summarize(
+        &self,
+        obs: &TagObservations,
+        scratch: &mut DetectScratch,
+    ) -> Option<TagVZoneSummary> {
+        if obs.profile.len() < self.config.min_reads {
+            return None;
+        }
+        let detection = match self.config.detection {
+            DetectionMethod::SegmentedDtw => {
+                self.dtw_detector.detect_cached(&obs.profile, &self.cache, scratch)
+            }
+            DetectionMethod::NaiveUnwrap => self.naive_detector.detect(&obs.profile),
+        };
+        let d = detection?;
+        let coarse = d
+            .coarse_representation(self.config.y_segments)
+            .unwrap_or_else(|| vec![d.nadir_phase; self.config.y_segments]);
+        Some(TagVZoneSummary {
+            id: obs.id,
+            nadir_time_s: d.nadir_time_s,
+            nadir_phase: d.nadir_phase,
+            coarse,
+            vzone_duration_s: d.vzone.duration(),
+        })
+    }
+}
+
+/// Assembles per-tag summaries (in observation order) into the final
+/// result: the undetected list plus both axis orderings.
+pub(crate) fn assemble_result(
+    config: &StppConfig,
+    input: &StppInput,
+    per_tag: Vec<Option<TagVZoneSummary>>,
+) -> Result<StppResult, LocalizationError> {
+    debug_assert_eq!(per_tag.len(), input.observations.len());
+    let mut summaries = Vec::new();
+    let mut undetected = Vec::new();
+    for (obs, summary) in input.observations.iter().zip(per_tag) {
+        match summary {
+            Some(s) => summaries.push(s),
+            None => undetected.push(obs.id),
+        }
+    }
+    if summaries.is_empty() {
+        return Err(LocalizationError::NoDetections);
+    }
+    let engine = OrderingEngine { y_segments: config.y_segments, strategy: config.y_strategy };
+    let order_x = engine.order_x(&summaries);
+    let order_y = engine.order_y(&summaries);
+    Ok(StppResult { order_x, order_y, summaries, undetected })
 }
 
 /// The relative localizer.
@@ -211,63 +368,11 @@ impl RelativeLocalizer {
         if input.observations.is_empty() {
             return Err(LocalizationError::EmptyInput);
         }
-        // Negated comparisons so that NaN inputs are rejected too.
-        if !(input.nominal_speed_mps > 0.0 && input.wavelength_m > 0.0) {
-            return Err(LocalizationError::InvalidGeometry(format!(
-                "speed {} m/s, wavelength {} m",
-                input.nominal_speed_mps, input.wavelength_m
-            )));
-        }
-
-        let perpendicular = input
-            .perpendicular_distance_m
-            .filter(|d| d.is_finite() && *d > 0.0)
-            .unwrap_or(self.config.perpendicular_distance_m);
-        let reference_params =
-            ReferenceProfileParams::new(input.nominal_speed_mps, perpendicular, input.wavelength_m)
-                .with_periods(self.config.reference_periods);
-        let dtw_detector = VZoneDetector::new(reference_params)
-            .with_window(self.config.window)
-            .with_offset_candidates(self.config.offset_candidates);
-        let naive_detector = NaiveUnwrapDetector::default();
-
-        let mut summaries = Vec::new();
-        let mut undetected = Vec::new();
-        for obs in &input.observations {
-            if obs.profile.len() < self.config.min_reads {
-                undetected.push(obs.id);
-                continue;
-            }
-            let detection = match self.config.detection {
-                DetectionMethod::SegmentedDtw => dtw_detector.detect(&obs.profile),
-                DetectionMethod::NaiveUnwrap => naive_detector.detect(&obs.profile),
-            };
-            match detection {
-                Some(d) => {
-                    let coarse = d
-                        .coarse_representation(self.config.y_segments)
-                        .unwrap_or_else(|| vec![d.nadir_phase; self.config.y_segments]);
-                    summaries.push(TagVZoneSummary {
-                        id: obs.id,
-                        nadir_time_s: d.nadir_time_s,
-                        nadir_phase: d.nadir_phase,
-                        coarse,
-                        vzone_duration_s: d.vzone.duration(),
-                    });
-                }
-                None => undetected.push(obs.id),
-            }
-        }
-
-        if summaries.is_empty() {
-            return Err(LocalizationError::NoDetections);
-        }
-
-        let engine =
-            OrderingEngine { y_segments: self.config.y_segments, strategy: self.config.y_strategy };
-        let order_x = engine.order_x(&summaries);
-        let order_y = engine.order_y(&summaries);
-        Ok(StppResult { order_x, order_y, summaries, undetected })
+        let engine = DetectionEngine::new(self.config, input)?;
+        let mut scratch = DetectScratch::new();
+        let per_tag: Vec<Option<TagVZoneSummary>> =
+            input.observations.iter().map(|obs| engine.summarize(obs, &mut scratch)).collect();
+        assemble_result(&self.config, input, per_tag)
     }
 
     /// Convenience: run the full pipeline straight from a sweep recording.
@@ -364,6 +469,37 @@ mod tests {
         assert!(input.nominal_speed_mps > 0.05 && input.nominal_speed_mps < 0.2);
         assert!(input.wavelength_m > 0.3 && input.wavelength_m < 0.34);
         assert_eq!(input.observations.len(), 3);
+    }
+
+    #[test]
+    fn closed_form_closest_approach_matches_dense_sampled_scan() {
+        // Antenna-moving (manual speed profile) and conveyor scenarios:
+        // the closed-form point-to-segment distance must agree with a
+        // dense brute-force scan (which can only overestimate the true
+        // minimum, and by very little at 10k steps).
+        let layout = RowLayout::new(0.3, 0.0, 0.15, 4).build();
+        let sweep =
+            ScenarioBuilder::new(9).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
+        let conveyor = ScenarioBuilder::new(9)
+            .conveyor(&layout, rfid_reader::ConveyorParams::default())
+            .unwrap();
+        for scenario in [&sweep, &conveyor] {
+            let closed = closest_approach_m(scenario);
+            let mut sampled = f64::INFINITY;
+            let steps = 10_000;
+            for tag in &scenario.tags {
+                for i in 0..=steps {
+                    let t = scenario.duration_s * i as f64 / steps as f64;
+                    let d =
+                        scenario.antenna_motion.position_at(t).distance(tag.track.position_at(t));
+                    sampled = sampled.min(d);
+                }
+            }
+            assert!(
+                closed <= sampled + 1e-9 && (sampled - closed) < 1e-3,
+                "closed-form {closed} vs sampled {sampled}"
+            );
+        }
     }
 
     #[test]

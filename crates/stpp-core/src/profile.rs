@@ -101,8 +101,12 @@ impl PhaseProfile {
         }
         let mut gaps: Vec<f64> =
             self.samples.windows(2).map(|w| w[1].time_s - w[0].time_s).collect();
-        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
-        Some(gaps[gaps.len() / 2])
+        let mid = gaps.len() / 2;
+        // Selection, not a full sort: this runs once per tag on the
+        // localization hot path.
+        let (_, median, _) =
+            gaps.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite gaps"));
+        Some(*median)
     }
 
     /// A sub-profile containing the samples with indices in `range`.
@@ -127,26 +131,34 @@ impl PhaseProfile {
     /// first sample keeps its wrapped value.
     pub fn unwrapped_phases(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.samples.len());
-        let mut offset = 0.0;
-        let mut prev: Option<f64> = None;
-        for s in &self.samples {
-            if let Some(p) = prev {
-                let raw = s.phase_rad + offset;
-                let mut diff = raw - p;
-                while diff > std::f64::consts::PI {
-                    offset -= TWO_PI;
-                    diff -= TWO_PI;
-                }
-                while diff < -std::f64::consts::PI {
-                    offset += TWO_PI;
-                    diff += TWO_PI;
-                }
-            }
-            let value = s.phase_rad + offset;
-            out.push(value);
-            prev = Some(value);
-        }
+        unwrap_phases_into(&self.samples, &mut out);
         out
+    }
+}
+
+/// The unwrap algorithm behind [`PhaseProfile::unwrapped_phases`], shared
+/// with the V-zone refinement hot path, which operates on sample slices
+/// and reuses `out` across calls (it is cleared first).
+pub(crate) fn unwrap_phases_into(samples: &[PhaseSample], out: &mut Vec<f64>) {
+    out.clear();
+    let mut offset = 0.0;
+    let mut prev: Option<f64> = None;
+    for s in samples {
+        if let Some(p) = prev {
+            let raw = s.phase_rad + offset;
+            let mut diff = raw - p;
+            while diff > std::f64::consts::PI {
+                offset -= TWO_PI;
+                diff -= TWO_PI;
+            }
+            while diff < -std::f64::consts::PI {
+                offset += TWO_PI;
+                diff += TWO_PI;
+            }
+        }
+        let value = s.phase_rad + offset;
+        out.push(value);
+        prev = Some(value);
     }
 }
 

@@ -20,10 +20,15 @@
 //! construction, which is what lets DTW alignment transfer it onto a
 //! measured profile.
 
-use rfid_phys::PhaseModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rfid_phys::{PhaseModel, TWO_PI};
 use serde::{Deserialize, Serialize};
 
+use crate::dtw::SegmentFeatures;
 use crate::profile::PhaseProfile;
+use crate::segment::SegmentedProfile;
 
 /// Parameters describing the nominal sweep geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -187,6 +192,179 @@ impl ReferenceProfile {
     }
 }
 
+/// One precomputed hardware-offset candidate of a [`ReferenceBank`]: the
+/// segmented DTW pattern (reference V-zone plus margin) with a constant
+/// phase offset applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffsetPattern {
+    /// The constant phase offset applied to the reference, radians.
+    pub offset_rad: f64,
+    /// The segmented pattern at this offset.
+    pub segments: SegmentedProfile,
+    /// The pattern's segment features, pre-flattened for the DTW kernel.
+    pub features: SegmentFeatures,
+    /// The pattern's segment range covering the reference V-zone samples.
+    pub vzone_segments: std::ops::Range<usize>,
+    /// Time span of the pattern, seconds.
+    pub duration_s: f64,
+}
+
+/// Everything the V-zone detector needs from a reference profile,
+/// precomputed once per (geometry, sampling interval) and shared across
+/// every tag and worker thread.
+///
+/// The seed implementation regenerated the reference and re-shifted +
+/// re-segmented it for each of the 8 offset candidates *per tag* — at 300
+/// tags that is 2400 profile rebuilds of identical data. The bank
+/// generates the reference once, derives each offset candidate
+/// analytically with
+/// [`SegmentedProfile::build_with_offset`] (the shift only moves the wrap
+/// split points; no sample vector is rebuilt), and precomputes the
+/// pattern metadata (V-zone segment range, duration, refinement cap) the
+/// detector needs per match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceBank {
+    /// The parameters the bank was generated from (including the sampling
+    /// interval actually used).
+    pub params: ReferenceProfileParams,
+    /// Segmentation window `w` used for the patterns.
+    pub window: usize,
+    /// Number of offset candidates the bank was built for (patterns whose
+    /// segmentation came out empty are dropped, so `patterns` may be
+    /// shorter).
+    pub offset_candidates: usize,
+    /// One pattern per hardware-offset candidate.
+    pub patterns: Vec<OffsetPattern>,
+    /// Cap on the half-width of the refined V-zone window, seconds: the
+    /// time the reader needs to add a quarter wavelength of one-way path
+    /// beyond the perpendicular distance.
+    pub max_half_duration_s: f64,
+}
+
+impl ReferenceBank {
+    /// Builds the bank: generates the reference, slices the DTW pattern
+    /// (V-zone plus a margin of a quarter V-zone on each side) and
+    /// segments it at every offset candidate. Returns `None` when the
+    /// parameters are degenerate or the pattern is empty.
+    pub fn build(
+        params: ReferenceProfileParams,
+        window: usize,
+        offset_candidates: usize,
+    ) -> Option<ReferenceBank> {
+        let reference = ReferenceProfile::generate(params)?;
+        // The DTW pattern is the reference V-zone plus a small margin on
+        // each side: the V-zone is the distinctive, wide feature; dragging
+        // several steep flanking periods into the subsequence match only
+        // dilutes it (and the flanks may not even fit inside the reading
+        // zone).
+        let vzone_len = reference.vzone_end.saturating_sub(reference.vzone_start);
+        let margin = (vzone_len / 4).max(2);
+        let pat_start = reference.vzone_start.saturating_sub(margin);
+        let pat_end = (reference.vzone_end + margin).min(reference.profile.len());
+        let pattern_profile = reference.profile.slice(pat_start..pat_end);
+        if pattern_profile.is_empty() {
+            return None;
+        }
+        let vzone_in_pattern =
+            (reference.vzone_start - pat_start)..(reference.vzone_end - pat_start);
+        let duration_s = pattern_profile.duration();
+
+        let candidates = offset_candidates.max(1);
+        let mut patterns = Vec::with_capacity(candidates);
+        for k in 0..candidates {
+            let offset_rad = TWO_PI * k as f64 / candidates as f64;
+            let segments =
+                SegmentedProfile::build_with_offset(&pattern_profile, window, offset_rad);
+            if segments.is_empty() {
+                continue;
+            }
+            let vzone_segments =
+                segments.segments_covering(vzone_in_pattern.start, vzone_in_pattern.end);
+            let features = SegmentFeatures::from_segmented(&segments);
+            patterns.push(OffsetPattern {
+                offset_rad,
+                segments,
+                features,
+                vzone_segments,
+                duration_s,
+            });
+        }
+        if patterns.is_empty() {
+            return None;
+        }
+
+        let d = params.perpendicular_distance_m;
+        let lambda = params.wavelength_m;
+        let half_x = ((d + lambda / 4.0).powi(2) - d * d).sqrt();
+        let max_half_duration_s = (half_x / params.speed_mps).max(3.0 * params.sample_interval_s);
+        Some(ReferenceBank {
+            params,
+            window,
+            offset_candidates: candidates,
+            patterns,
+            max_half_duration_s,
+        })
+    }
+}
+
+/// Cache key: (sampling-interval bits, window, offset candidates).
+type BankKey = (u64, usize, usize);
+
+/// A concurrent cache of [`ReferenceBank`]s keyed by sampling interval,
+/// segmentation window, and offset-candidate count. One cache is shared
+/// by every tag of a localization run (and every worker of a
+/// [`BatchLocalizer`](crate::batch::BatchLocalizer)): tags read during
+/// the same sweep have near-identical median sampling intervals, so
+/// after the first few tags every detection is a pure lookup.
+///
+/// The cache assumes one sweep geometry: entries are not keyed by the
+/// remaining [`ReferenceProfileParams`] fields, so use a separate cache
+/// per distinct geometry base (the pipeline creates one per run).
+#[derive(Debug, Default)]
+pub struct ReferenceBankCache {
+    banks: Mutex<HashMap<BankKey, Option<Arc<ReferenceBank>>>>,
+}
+
+impl ReferenceBankCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ReferenceBankCache::default()
+    }
+
+    /// Returns the bank for `interval_s`, building (and memoising) it on
+    /// first use. `base` carries the sweep geometry; its sampling interval
+    /// is overridden by `interval_s`. Degenerate parameters memoise as
+    /// `None` so they are not retried per tag.
+    pub fn get_or_build(
+        &self,
+        base: ReferenceProfileParams,
+        window: usize,
+        offset_candidates: usize,
+        interval_s: f64,
+    ) -> Option<Arc<ReferenceBank>> {
+        let key = (interval_s.to_bits(), window, offset_candidates);
+        if let Some(bank) = self.banks.lock().expect("bank cache poisoned").get(&key) {
+            return bank.clone();
+        }
+        // Build outside the lock: bank construction is the expensive part,
+        // and a duplicate build by a racing worker is harmless (the first
+        // insertion wins below, keeping all workers on one instance).
+        let params = ReferenceProfileParams { sample_interval_s: interval_s, ..base };
+        let built = ReferenceBank::build(params, window, offset_candidates).map(Arc::new);
+        self.banks.lock().expect("bank cache poisoned").entry(key).or_insert(built).clone()
+    }
+
+    /// Number of distinct banks (including memoised failures) in the cache.
+    pub fn len(&self) -> usize {
+        self.banks.lock().expect("bank cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Checks that phases fall/rise symmetrically: helper shared by tests.
 /// Uses the circular phase distance so a wrap on one side of the nadir a
 /// sample earlier than on the other does not count as asymmetry.
@@ -302,6 +480,48 @@ mod tests {
             let d = rfid_phys::phase::phase_distance(x + 1.0, *y);
             assert!(d < 1e-9);
         }
+    }
+
+    #[test]
+    fn reference_bank_precomputes_all_offset_patterns() {
+        let bank = ReferenceBank::build(params(), 5, 8).expect("bank builds");
+        assert_eq!(bank.patterns.len(), 8);
+        assert!(bank.max_half_duration_s > 0.0);
+        for (k, pattern) in bank.patterns.iter().enumerate() {
+            assert!((pattern.offset_rad - TWO_PI * k as f64 / 8.0).abs() < 1e-12);
+            assert!(!pattern.segments.is_empty());
+            assert_eq!(pattern.features.len(), pattern.segments.len());
+            assert!(!pattern.vzone_segments.is_empty());
+            assert!(pattern.vzone_segments.end <= pattern.segments.len());
+            assert!(pattern.duration_s > 0.0);
+        }
+        // The zero-offset pattern matches segmenting the sliced reference
+        // directly.
+        let reference = ReferenceProfile::generate(params()).unwrap();
+        let vzone_len = reference.vzone_end - reference.vzone_start;
+        let margin = (vzone_len / 4).max(2);
+        let pat_start = reference.vzone_start.saturating_sub(margin);
+        let pat_end = (reference.vzone_end + margin).min(reference.profile.len());
+        let expected = SegmentedProfile::build(&reference.profile.slice(pat_start..pat_end), 5);
+        assert_eq!(bank.patterns[0].segments, expected);
+    }
+
+    #[test]
+    fn bank_cache_memoises_by_interval() {
+        let cache = ReferenceBankCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_build(params(), 5, 8, 0.02).expect("valid bank");
+        let b = cache.get_or_build(params(), 5, 8, 0.02).expect("valid bank");
+        assert!(Arc::ptr_eq(&a, &b), "same interval must share one bank");
+        let c = cache.get_or_build(params(), 5, 8, 0.05).expect("valid bank");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        // Degenerate parameters memoise as a failure instead of retrying.
+        let bad_cache = ReferenceBankCache::new();
+        let bad = ReferenceProfileParams::new(0.0, 0.3, 0.326);
+        assert!(bad_cache.get_or_build(bad, 5, 8, 0.02).is_none());
+        assert!(bad_cache.get_or_build(bad, 5, 8, 0.02).is_none());
+        assert_eq!(bad_cache.len(), 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! a window the window is split at the wrap point, exactly as the paper
 //! specifies.
 
-use rfid_phys::TWO_PI;
+use rfid_phys::{wrap_phase, TWO_PI};
 use serde::{Deserialize, Serialize};
 
 use crate::profile::PhaseProfile;
@@ -58,7 +58,7 @@ impl Segment {
 }
 
 /// A profile compressed into segments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SegmentedProfile {
     segments: Vec<Segment>,
     window: usize,
@@ -69,42 +69,70 @@ impl SegmentedProfile {
     /// `w`). Windows containing a phase wrap are split at the wrap so no
     /// segment spans a `0 ↔ 2π` jump. A `window` of 0 is treated as 1.
     pub fn build(profile: &PhaseProfile, window: usize) -> Self {
+        Self::build_with_offset(profile, window, 0.0)
+    }
+
+    /// Segments the profile *as if* a constant phase offset had been added
+    /// to every sample, without materialising the shifted profile. This is
+    /// how the V-zone detector's reference bank derives all of its
+    /// hardware-offset candidates from one generated reference: the shift
+    /// moves the `0 ↔ 2π` wrap points, so the segmentation is recomputed
+    /// over `wrap(phase + offset)` on the fly, but no sample vector is
+    /// ever copied, re-sorted, or re-wrapped into a new profile.
+    pub fn build_with_offset(profile: &PhaseProfile, window: usize, offset_rad: f64) -> Self {
+        let mut out = SegmentedProfile::default();
+        out.rebuild_with_offset(profile, window, offset_rad);
+        out
+    }
+
+    /// In-place version of [`build`](Self::build): clears and refills this
+    /// representation, reusing its segment storage. Part of the zero-alloc
+    /// detection hot path.
+    pub fn rebuild(&mut self, profile: &PhaseProfile, window: usize) {
+        self.rebuild_with_offset(profile, window, 0.0);
+    }
+
+    /// In-place version of [`build_with_offset`](Self::build_with_offset).
+    pub fn rebuild_with_offset(&mut self, profile: &PhaseProfile, window: usize, offset_rad: f64) {
         debug_assert!(phases_in_range(profile), "profile phases must lie in [0, 2π)");
         let window = window.max(1);
         let samples = profile.samples();
-        let mut segments = Vec::new();
+        let segments = &mut self.segments;
+        segments.clear();
+        self.window = window;
+        let shift = |p: f64| if offset_rad == 0.0 { p } else { wrap_phase(p + offset_rad) };
         let mut start = 0usize;
         while start < samples.len() {
             let mut end = (start + window).min(samples.len());
             // Split at a wrap: a jump larger than π between consecutive
-            // samples indicates the phase crossed the 0/2π boundary.
-            for i in start + 1..end {
-                if (samples[i].phase_rad - samples[i - 1].phase_rad).abs() > std::f64::consts::PI {
-                    end = i;
+            // (shifted) samples indicates the phase crossed the 0/2π
+            // boundary.
+            let mut prev = shift(samples[start].phase_rad);
+            let mut min_phase = prev;
+            let mut max_phase = prev;
+            let mut sum = prev;
+            for (off, s) in samples[start + 1..end].iter().enumerate() {
+                let cur = shift(s.phase_rad);
+                if (cur - prev).abs() > std::f64::consts::PI {
+                    end = start + 1 + off;
                     break;
                 }
-            }
-            let slice = &samples[start..end];
-            let mut min_phase = f64::INFINITY;
-            let mut max_phase = f64::NEG_INFINITY;
-            let mut sum = 0.0;
-            for s in slice {
-                min_phase = min_phase.min(s.phase_rad);
-                max_phase = max_phase.max(s.phase_rad);
-                sum += s.phase_rad;
+                min_phase = min_phase.min(cur);
+                max_phase = max_phase.max(cur);
+                sum += cur;
+                prev = cur;
             }
             segments.push(Segment {
                 min_phase,
                 max_phase,
-                mean_phase: sum / slice.len() as f64,
-                start_time: slice[0].time_s,
-                end_time: slice[slice.len() - 1].time_s,
+                mean_phase: sum / (end - start) as f64,
+                start_time: samples[start].time_s,
+                end_time: samples[end - 1].time_s,
                 start_idx: start,
                 end_idx: end,
             });
             start = end;
         }
-        SegmentedProfile { segments, window }
     }
 
     /// The segments.
@@ -130,13 +158,40 @@ impl SegmentedProfile {
     /// The index range (into the original profile) covered by segments
     /// `seg_range`, clamped to valid bounds.
     pub fn sample_range(&self, seg_range: std::ops::Range<usize>) -> std::ops::Range<usize> {
-        if self.segments.is_empty() || seg_range.start >= self.segments.len() {
+        if self.segments.is_empty()
+            || seg_range.start >= self.segments.len()
+            || seg_range.end <= seg_range.start
+        {
             return 0..0;
         }
         let start = self.segments[seg_range.start].start_idx;
         let end_seg = seg_range.end.min(self.segments.len());
         let end = self.segments[end_seg - 1].end_idx;
         start..end
+    }
+
+    /// The range of segment indices whose sample ranges overlap the sample
+    /// index range `[sample_start, sample_end)`. Returns an empty range
+    /// when no segment overlaps.
+    pub fn segments_covering(
+        &self,
+        sample_start: usize,
+        sample_end: usize,
+    ) -> std::ops::Range<usize> {
+        let mut first = None;
+        let mut last = 0usize;
+        for (i, s) in self.segments.iter().enumerate() {
+            if s.end_idx > sample_start && s.start_idx < sample_end {
+                if first.is_none() {
+                    first = Some(i);
+                }
+                last = i + 1;
+            }
+        }
+        match first {
+            Some(f) => f..last,
+            None => 0..0,
+        }
     }
 
     /// The mean phase of each segment — the coarse representation `S(P)`
@@ -274,6 +329,43 @@ mod tests {
         }
         assert!(SegmentedProfile::equal_count_means(&p, 0).is_none());
         assert!(SegmentedProfile::equal_count_means(&p, 11).is_none());
+    }
+
+    #[test]
+    fn build_with_offset_matches_segmenting_a_shifted_profile() {
+        // The analytic offset path must produce exactly the segmentation
+        // of a materialised shifted profile — including the wrap splits,
+        // which move with the offset.
+        let p = ramp_profile(120, 0.04, 0.3, 0.17);
+        for offset in [0.0, 0.8, 2.9, 4.4, 6.1] {
+            let analytic = SegmentedProfile::build_with_offset(&p, 6, offset);
+            let shifted = PhaseProfile::from_pairs(
+                &p.samples().iter().map(|s| (s.time_s, s.phase_rad + offset)).collect::<Vec<_>>(),
+            );
+            let materialised = SegmentedProfile::build(&shifted, 6);
+            assert_eq!(analytic.len(), materialised.len(), "offset {offset}");
+            for (a, b) in analytic.segments().iter().zip(materialised.segments()) {
+                assert_eq!(a.start_idx, b.start_idx);
+                assert_eq!(a.end_idx, b.end_idx);
+                assert!((a.min_phase - b.min_phase).abs() < 1e-9);
+                assert!((a.max_phase - b.max_phase).abs() < 1e-9);
+                assert!((a.mean_phase - b.mean_phase).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn segments_covering_finds_overlapping_range() {
+        let p = ramp_profile(30, 0.1, 0.0, 0.05);
+        let sp = SegmentedProfile::build(&p, 7);
+        assert_eq!(sp.segments_covering(0, 30), 0..sp.len());
+        let r = sp.segments_covering(8, 15);
+        assert!(!r.is_empty());
+        for (i, s) in sp.segments().iter().enumerate() {
+            let overlaps = s.end_idx > 8 && s.start_idx < 15;
+            assert_eq!(r.contains(&i), overlaps, "segment {i}");
+        }
+        assert_eq!(sp.segments_covering(100, 200), 0..0);
     }
 
     #[test]

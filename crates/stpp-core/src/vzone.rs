@@ -18,12 +18,17 @@
 //!   argues against: unwrap the whole profile and take the global minimum.
 //!   Kept as an ablation baseline.
 
-use rfid_phys::{wrap_phase, TWO_PI};
+use std::sync::Arc;
+
+use rfid_phys::wrap_phase;
 use serde::{Deserialize, Serialize};
 
-use crate::dtw::dtw_segmented_with_penalty;
+use crate::dtw::{
+    dtw_segmented_cost_only, dtw_segmented_features_into, path_matched_range, DtwScratch,
+    SegmentFeatures,
+};
 use crate::profile::PhaseProfile;
-use crate::reference::{ReferenceProfile, ReferenceProfileParams};
+use crate::reference::{ReferenceBank, ReferenceBankCache, ReferenceProfileParams};
 use crate::segment::SegmentedProfile;
 
 /// A least-squares quadratic fit `y = a·t² + b·t + c`.
@@ -168,30 +173,81 @@ impl VZoneDetection {
     }
 }
 
+/// Quantises a median sample interval onto a coarse grid (step ≲ 10 % of
+/// the value: 1 ms below 20 ms, 5 ms below 50 ms, 10 ms above) and
+/// clamps it to the sane reference-generation range, so profiles read
+/// during the same sweep share a handful of [`ReferenceBank`] cache
+/// entries. The reference is an analytically resampled profile, so a few
+/// per-cent of interval slack is invisible to the segmented alignment;
+/// per-tag read rates within one sweep vary far more than that.
+fn quantize_interval(median_s: f64) -> f64 {
+    let clamped = median_s.clamp(0.005, 0.2);
+    let step = if clamped < 0.02 {
+        1e-3
+    } else if clamped < 0.05 {
+        5e-3
+    } else {
+        1e-2
+    };
+    ((clamped / step).round() * step).clamp(0.005, 0.2)
+}
+
+/// [`PhaseProfile::median_sample_interval`] with a caller-provided gap
+/// buffer (zero-alloc on the detection hot path). Long profiles are
+/// estimated from a deterministic stride sample of at most 64 gaps — the
+/// result only seeds the coarsely quantised reference sampling interval
+/// (see [`quantize_interval`]), so the cheap estimate lands in the same
+/// bucket as the exact median in all but pathological cases.
+fn median_interval_with(profile: &PhaseProfile, gaps: &mut Vec<f64>) -> Option<f64> {
+    const MAX_GAPS: usize = 64;
+    let samples = profile.samples();
+    if samples.len() < 2 {
+        return None;
+    }
+    let total = samples.len() - 1;
+    gaps.clear();
+    if total <= MAX_GAPS {
+        gaps.extend(samples.windows(2).map(|w| w[1].time_s - w[0].time_s));
+    } else {
+        let stride = total.div_ceil(MAX_GAPS);
+        let mut g = 0;
+        while g < total {
+            gaps.push(samples[g + 1].time_s - samples[g].time_s);
+            g += stride;
+        }
+    }
+    let mid = gaps.len() / 2;
+    let (_, median, _) =
+        gaps.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite gaps"));
+    Some(*median)
+}
+
 /// Simple moving average used to smooth unwrapped phases before locating
-/// the minimum.
-fn moving_average(values: &[f64], window: usize) -> Vec<f64> {
+/// the minimum; writes into `out`.
+fn moving_average_into(values: &[f64], window: usize, out: &mut Vec<f64>) {
     let window = window.max(1);
     let half = window / 2;
-    (0..values.len())
-        .map(|i| {
-            let start = i.saturating_sub(half);
-            let end = (i + half + 1).min(values.len());
-            values[start..end].iter().sum::<f64>() / (end - start) as f64
-        })
-        .collect()
+    out.clear();
+    out.extend((0..values.len()).map(|i| {
+        let start = i.saturating_sub(half);
+        let end = (i + half + 1).min(values.len());
+        values[start..end].iter().sum::<f64>() / (end - start) as f64
+    }));
 }
 
 /// Refines a coarse V-zone range (from DTW) into a window centred on the
 /// profile nadir: the coarse range is padded, unwrapped and smoothed, the
 /// minimum located, and the window grown symmetrically around it until
 /// either `max_half_duration_s` is reached or the raw phase wraps (which
-/// marks the true V-zone boundary).
+/// marks the true V-zone boundary). `buf_a`/`buf_b` are reusable working
+/// buffers (unwrapped and smoothed phases).
 fn refine_vzone(
     measured: &PhaseProfile,
     coarse_range: std::ops::Range<usize>,
     max_half_duration_s: f64,
     min_samples: usize,
+    buf_a: &mut Vec<f64>,
+    buf_b: &mut Vec<f64>,
 ) -> Option<VZone> {
     let pad = ((coarse_range.len() as f64) * 0.3).ceil() as usize + 2;
     let start = coarse_range.start.saturating_sub(pad);
@@ -199,18 +255,17 @@ fn refine_vzone(
     if end <= start {
         return None;
     }
-    let slice = measured.slice(start..end);
-    if slice.len() < min_samples.max(3) {
+    let samples = &measured.samples()[start..end];
+    if samples.len() < min_samples.max(3) {
         return None;
     }
-    let unwrapped = slice.unwrapped_phases();
-    let smoothed = moving_average(&unwrapped, 5);
-    let min_rel = smoothed
+    crate::profile::unwrap_phases_into(samples, buf_a);
+    moving_average_into(buf_a, 5, buf_b);
+    let min_rel = buf_b
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite phases"))
         .map(|(i, _)| i)?;
-    let samples = slice.samples();
     let center_time = samples[min_rel].time_s;
     let is_wrap = |a: f64, b: f64| (a - b).abs() > std::f64::consts::PI;
 
@@ -247,20 +302,30 @@ fn refine_vzone(
 }
 
 fn fit_vzone(vzone: &VZone) -> (Option<QuadraticFit>, f64, f64) {
+    fit_vzone_with(vzone, &mut Vec::new(), &mut Vec::new())
+}
+
+fn fit_vzone_with(
+    vzone: &VZone,
+    unwrapped_buf: &mut Vec<f64>,
+    points_buf: &mut Vec<(f64, f64)>,
+) -> (Option<QuadraticFit>, f64, f64) {
     // Fit over unwrapped values so a bottom that dips below 0 (and wraps to
     // ~2π) does not destroy the parabola.
-    let times = vzone.profile.times();
-    let unwrapped = vzone.profile.unwrapped_phases();
-    let points: Vec<(f64, f64)> = times.iter().copied().zip(unwrapped.iter().copied()).collect();
+    let samples = vzone.profile.samples();
+    crate::profile::unwrap_phases_into(samples, unwrapped_buf);
+    points_buf.clear();
+    points_buf.extend(samples.iter().zip(unwrapped_buf.iter()).map(|(s, &u)| (s.time_s, u)));
+    let points = &points_buf[..];
     let fallback = || {
         let idx = vzone.profile.argmin_phase().unwrap_or(0);
         let s = vzone.profile.samples()[idx];
         (s.time_s, s.phase_rad)
     };
-    match QuadraticFit::fit(&points) {
+    match QuadraticFit::fit(points) {
         Some(fit) if fit.is_minimum() => {
-            let t_min = times.first().copied().unwrap_or(0.0);
-            let t_max = times.last().copied().unwrap_or(0.0);
+            let t_min = samples.first().map(|s| s.time_s).unwrap_or(0.0);
+            let t_max = samples.last().map(|s| s.time_s).unwrap_or(0.0);
             match fit.vertex_time() {
                 Some(vt) if vt >= t_min && vt <= t_max => {
                     let value = fit.vertex_value().unwrap_or_else(|| fit.evaluate(vt));
@@ -276,6 +341,44 @@ fn fit_vzone(vzone: &VZone) -> (Option<QuadraticFit>, f64, f64) {
             let (t, p) = fallback();
             (other, t, p)
         }
+    }
+}
+
+/// Reusable per-worker state for V-zone detection: the DTW arena, the
+/// measured profile's segment representation, and the offset-candidate
+/// hint carried from the previous detection.
+///
+/// One scratch serves any number of sequential detections; give each
+/// worker thread its own. All buffers grow to the largest profile seen
+/// and are then reused, so a warmed-up scratch allocates nothing per tag
+/// on the DTW side.
+#[derive(Debug, Default)]
+pub struct DetectScratch {
+    dtw: DtwScratch,
+    measured_seg: SegmentedProfile,
+    measured_feat: SegmentFeatures,
+    /// Reusable buffer for the median-interval selection.
+    gaps: Vec<f64>,
+    /// Working buffers for V-zone refinement and fitting.
+    work_a: Vec<f64>,
+    work_b: Vec<f64>,
+    points: Vec<(f64, f64)>,
+    /// The most recently used reference bank, keyed by its quantised
+    /// interval bits — skips the shared cache's lock when consecutive
+    /// tags share a sampling interval (the common case within one sweep).
+    last_bank: Option<(u64, Arc<ReferenceBank>)>,
+    /// The offset candidate that won the previous detection. Tags of one
+    /// sweep share the reader's hardware offset, so trying last time's
+    /// winner first makes the early-abandon bound tight immediately and
+    /// the remaining candidates cheap to discard. The final result does
+    /// not depend on the trial order (ties break on the candidate index).
+    hint: Option<usize>,
+}
+
+impl DetectScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        DetectScratch::default()
     }
 }
 
@@ -296,11 +399,16 @@ pub struct VZoneDetector {
     /// Gap penalty (rad/s of warped time) applied to the segmented DTW so
     /// the alignment cannot collapse onto a single wide-range segment.
     pub gap_penalty_per_second: f64,
+    /// Sakoe-Chiba band width (in segments) for the segmented DTW;
+    /// `None` = exact alignment. See the [`dtw`](crate::dtw) module docs
+    /// for the subsequence band semantics. Too narrow a band can make
+    /// short profiles undetectable (the pattern no longer fits).
+    pub dtw_band: Option<usize>,
 }
 
 impl VZoneDetector {
     /// Creates a detector with the paper's defaults (`w = 5`, 4-period
-    /// reference, 8 offset candidates).
+    /// reference, 8 offset candidates, exact DTW).
     pub fn new(reference_params: ReferenceProfileParams) -> Self {
         VZoneDetector {
             reference_params,
@@ -309,6 +417,7 @@ impl VZoneDetector {
             min_samples: 12,
             min_vzone_samples: 5,
             gap_penalty_per_second: 0.5,
+            dtw_band: None,
         }
     }
 
@@ -324,61 +433,165 @@ impl VZoneDetector {
         self
     }
 
+    /// Overrides the DTW band width (`None` = exact).
+    pub fn with_dtw_band(mut self, band: Option<usize>) -> Self {
+        self.dtw_band = band;
+        self
+    }
+
+    /// The reference sampling interval used for a measured profile: its
+    /// median sample interval, clamped to a sane range and quantised onto
+    /// a coarse grid (step ≲ 10 % of the value) so profiles read during
+    /// the same sweep share a handful of [`ReferenceBank`] cache entries.
+    pub fn reference_interval(&self, measured: &PhaseProfile) -> Option<f64> {
+        // Same estimator as the hot path in `detect_cached`, so a bank
+        // pre-built from this interval is the one detection would choose.
+        Some(quantize_interval(median_interval_with(measured, &mut Vec::new())?))
+    }
+
     /// Detects the V-zone in a measured profile. Returns `None` when the
     /// profile is too short or no acceptable match is found.
+    ///
+    /// This is the convenience entry point: it builds a throwaway
+    /// reference bank and scratch per call. Callers processing many
+    /// profiles should hold a [`ReferenceBankCache`] and a
+    /// [`DetectScratch`] and use [`detect_cached`](Self::detect_cached),
+    /// which amortises the reference construction across tags and
+    /// performs no per-tag DTW allocations.
     pub fn detect(&self, measured: &PhaseProfile) -> Option<VZoneDetection> {
+        self.detect_cached(measured, &ReferenceBankCache::new(), &mut DetectScratch::new())
+    }
+
+    /// [`detect`](Self::detect) with shared state: the reference bank is
+    /// looked up in (or added to) `cache`, and all per-tag working memory
+    /// lives in `scratch`.
+    pub fn detect_cached(
+        &self,
+        measured: &PhaseProfile,
+        cache: &ReferenceBankCache,
+        scratch: &mut DetectScratch,
+    ) -> Option<VZoneDetection> {
         if measured.len() < self.min_samples {
             return None;
         }
-        // Build the reference at (roughly) the measured sampling rate.
-        let interval = measured.median_sample_interval()?.clamp(0.005, 0.2);
+        let interval = quantize_interval(median_interval_with(measured, &mut scratch.gaps)?);
+        let key = interval.to_bits();
         let params =
             ReferenceProfileParams { sample_interval_s: interval, ..self.reference_params };
-        let reference = ReferenceProfile::generate(params)?;
+        let bank = match &scratch.last_bank {
+            Some((k, bank))
+                if *k == key
+                    && bank.params == params
+                    && bank.window == self.window
+                    && bank.offset_candidates == self.offset_candidates.max(1) =>
+            {
+                bank.clone()
+            }
+            _ => {
+                let bank = cache.get_or_build(
+                    self.reference_params,
+                    self.window,
+                    self.offset_candidates,
+                    interval,
+                )?;
+                scratch.last_bank = Some((key, bank.clone()));
+                bank
+            }
+        };
+        self.detect_with_bank(measured, &bank, scratch)
+    }
 
-        let measured_seg = SegmentedProfile::build(measured, self.window);
+    /// [`detect`](Self::detect) against an explicit precomputed reference
+    /// bank.
+    pub fn detect_with_bank(
+        &self,
+        measured: &PhaseProfile,
+        bank: &ReferenceBank,
+        scratch: &mut DetectScratch,
+    ) -> Option<VZoneDetection> {
+        if measured.len() < self.min_samples {
+            return None;
+        }
+        let DetectScratch {
+            dtw, measured_seg, measured_feat, hint, work_a, work_b, points, ..
+        } = scratch;
+        measured_seg.rebuild(measured, self.window);
         if measured_seg.is_empty() {
             return None;
         }
+        measured_feat.refill(measured_seg);
+        let samples = measured.samples();
 
-        // The DTW pattern is the reference V-zone plus a small margin on
-        // each side: the V-zone is the distinctive, wide feature; dragging
-        // several steep flanking periods into the subsequence match only
-        // dilutes it (and the flanks may not even fit inside the reading
-        // zone).
-        let vzone_len = reference.vzone_end.saturating_sub(reference.vzone_start);
-        let margin = (vzone_len / 4).max(2);
-        let pat_start = reference.vzone_start.saturating_sub(margin);
-        let pat_end = (reference.vzone_end + margin).min(reference.profile.len());
-        let vzone_in_pattern =
-            (reference.vzone_start - pat_start)..(reference.vzone_end - pat_start);
-
-        let measured_times = measured.times();
-
-        // Try several constant offsets on the reference to absorb the
-        // unknown hardware μ of the measured profile; keep the best match.
-        let mut best: Option<(f64, std::ops::Range<usize>)> = None;
-        for k in 0..self.offset_candidates {
-            let offset = TWO_PI * k as f64 / self.offset_candidates as f64;
-            let shifted = reference.with_phase_offset(offset);
-            let pattern = shifted.profile.slice(pat_start..pat_end);
-            let pattern_duration = pattern.duration();
-            let ref_seg = SegmentedProfile::build(&pattern, self.window);
-            if ref_seg.is_empty() {
-                continue;
-            }
-            let Some(result) = dtw_segmented_with_penalty(
-                &ref_seg,
-                &measured_seg,
+        // Try every offset candidate and keep the best match. The trial
+        // order starts from the previous winner so the early-abandon bound
+        // is tight from the first candidate on; the outcome is order
+        // independent (candidates that lose to the running best are
+        // exactly the ones early abandoning discards, and exact cost ties
+        // resolve to the smaller candidate index).
+        let candidates = bank.patterns.len();
+        let first = hint.filter(|h| *h < candidates).unwrap_or(0);
+        let mut best: Option<(f64, usize, std::ops::Range<usize>)> = None;
+        for step in 0..candidates {
+            let k = if step == 0 {
+                first
+            } else {
+                // Steps 1.. enumerate the remaining candidates in index
+                // order, skipping the one already tried first.
+                let k = step - 1;
+                if k >= first {
+                    k + 1
+                } else {
+                    k
+                }
+            };
+            let pattern = &bank.patterns[k];
+            let n = pattern.features.len();
+            // Screen every candidate after the first with the cost-only
+            // alignment (two rolling rows, no path, early abandoning
+            // against the best so far). Only a candidate that improves on
+            // the best match is re-aligned with path recording — with the
+            // hint, that is typically one full alignment per tag.
+            let cost = match &best {
+                None => None,
+                Some((best_cost, bk, _)) => {
+                    let abandon_above = Some(best_cost * n as f64);
+                    let Some(cost) = dtw_segmented_cost_only(
+                        &pattern.features,
+                        measured_feat,
+                        self.gap_penalty_per_second,
+                        self.dtw_band,
+                        abandon_above,
+                        dtw,
+                    ) else {
+                        continue;
+                    };
+                    let normalised = cost / n.max(1) as f64;
+                    if !(normalised < *best_cost || (normalised == *best_cost && k < *bk)) {
+                        continue;
+                    }
+                    Some(cost)
+                }
+            };
+            let cost = match dtw_segmented_features_into(
+                &pattern.features,
+                measured_feat,
                 true,
                 self.gap_penalty_per_second,
-            ) else {
-                continue;
+                self.dtw_band,
+                None,
+                dtw,
+            ) {
+                Some(full_cost) => {
+                    debug_assert!(cost.is_none_or(|c| c == full_cost));
+                    full_cost
+                }
+                None => continue,
             };
-            // Which pattern segments cover the V-zone samples?
-            let seg_range =
-                Self::segments_covering(&ref_seg, vzone_in_pattern.start, vzone_in_pattern.end);
-            let Some(matched_segs) = result.matched_range(seg_range.start, seg_range.end) else {
+            let normalised_cost = cost / n.max(1) as f64;
+            // Which measured samples did the pattern's V-zone segments
+            // match? One pass over the warping path.
+            let Some(matched_segs) = path_matched_range(dtw.path(), pattern.vzone_segments.clone())
+            else {
                 continue;
             };
             let sample_range = measured_seg.sample_range(matched_segs);
@@ -389,55 +602,31 @@ impl VZoneDetector {
             // into a sliver of the measured profile (e.g. onto a pause
             // plateau): the matched span must retain a reasonable fraction
             // of the pattern duration.
-            let matched_duration = measured_times
-                [(sample_range.end - 1).min(measured_times.len() - 1)]
-                - measured_times[sample_range.start];
-            if matched_duration < 0.3 * pattern_duration {
+            let matched_duration = samples[(sample_range.end - 1).min(samples.len() - 1)].time_s
+                - samples[sample_range.start].time_s;
+            if matched_duration < 0.3 * pattern.duration_s {
                 continue;
             }
-            let normalised_cost = result.cost / ref_seg.len().max(1) as f64;
-            if best.as_ref().map(|(c, _)| normalised_cost < *c).unwrap_or(true) {
-                best = Some((normalised_cost, sample_range));
-            }
+            best = Some((normalised_cost, k, sample_range));
         }
 
-        let (cost, range) = best?;
-        // Refine the coarse DTW match into a window centred on the nadir.
-        // The cap on the half-width is the time the reader needs to add a
-        // quarter wavelength of one-way path beyond the perpendicular
-        // distance — roughly half of one V-zone regardless of where the
-        // bottom phase sits relative to the wrap point.
-        let d = params.perpendicular_distance_m;
-        let lambda = params.wavelength_m;
-        let half_x = ((d + lambda / 4.0).powi(2) - d * d).sqrt();
-        let max_half_duration = (half_x / params.speed_mps).max(3.0 * interval);
-        let vzone = refine_vzone(measured, range, max_half_duration, self.min_vzone_samples)?;
+        let (cost, winner, range) = best?;
+        *hint = Some(winner);
+        // Refine the coarse DTW match into a window centred on the nadir;
+        // the half-width cap was precomputed by the bank.
+        let vzone = refine_vzone(
+            measured,
+            range,
+            bank.max_half_duration_s,
+            self.min_vzone_samples,
+            work_a,
+            work_b,
+        )?;
         if vzone.profile.len() < self.min_vzone_samples {
             return None;
         }
-        let (fit, nadir_time_s, nadir_phase) = fit_vzone(&vzone);
+        let (fit, nadir_time_s, nadir_phase) = fit_vzone_with(&vzone, work_a, points);
         Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: Some(cost) })
-    }
-
-    fn segments_covering(
-        seg: &SegmentedProfile,
-        sample_start: usize,
-        sample_end: usize,
-    ) -> std::ops::Range<usize> {
-        let mut first = None;
-        let mut last = 0usize;
-        for (i, s) in seg.segments().iter().enumerate() {
-            if s.end_idx > sample_start && s.start_idx < sample_end {
-                if first.is_none() {
-                    first = Some(i);
-                }
-                last = i + 1;
-            }
-        }
-        match first {
-            Some(f) => f..last,
-            None => 0..0,
-        }
     }
 }
 
@@ -486,7 +675,7 @@ impl NaiveUnwrapDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfid_phys::PhaseModel;
+    use rfid_phys::{PhaseModel, TWO_PI};
 
     /// Builds a noise-free measured profile for a tag at `(tag_x, d_perp)`
     /// swept at `speed` over `span_x` metres.

@@ -2,11 +2,12 @@
 
 use proptest::prelude::*;
 use stpp_core::{
-    dtw_full, dtw_subsequence, kendall_tau,
+    dtw_full, dtw_full_banded, dtw_segmented_banded, dtw_segmented_with_penalty, dtw_subsequence,
+    dtw_subsequence_banded, kendall_tau,
     metrics::mean_rank_displacement,
     ordering::{gap_metric, order_metric},
-    ordering_accuracy, PhaseProfile, QuadraticFit, ReferenceProfile, ReferenceProfileParams,
-    SegmentedProfile,
+    ordering_accuracy, BatchLocalizer, PhaseProfile, QuadraticFit, ReferenceProfile,
+    ReferenceProfileParams, RelativeLocalizer, SegmentedProfile, StppConfig, StppInput,
 };
 
 fn arb_sequence(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -43,6 +44,80 @@ proptest! {
         let sub = dtw_subsequence(&a, &b).unwrap();
         // Allowing a free start/end can only reduce (or equal) the cost.
         prop_assert!(sub.cost <= full.cost + 1e-9);
+    }
+
+    #[test]
+    fn banded_dtw_with_wide_band_equals_exact(a in arb_sequence(30), b in arb_sequence(30)) {
+        // A band of at least max(N, M) admits every cell (full mode) and
+        // every warp (subsequence mode): the banded alignment must return
+        // the identical cost AND path, bit for bit.
+        let band = Some(a.len().max(b.len()));
+        let full_exact = dtw_full(&a, &b).unwrap();
+        let full_banded = dtw_full_banded(&a, &b, band).unwrap();
+        prop_assert_eq!(&full_exact, &full_banded);
+        let sub_exact = dtw_subsequence(&a, &b).unwrap();
+        let sub_banded = dtw_subsequence_banded(&a, &b, band).unwrap();
+        prop_assert_eq!(&sub_exact, &sub_banded);
+    }
+
+    #[test]
+    fn banded_segmented_dtw_with_wide_band_equals_exact(
+        pairs_a in proptest::collection::vec((0.0f64..60.0, 0.0f64..std::f64::consts::TAU), 6..80),
+        pairs_b in proptest::collection::vec((0.0f64..60.0, 0.0f64..std::f64::consts::TAU), 6..80),
+        window in 2usize..8,
+        subsequence in any::<bool>(),
+        penalty in 0.0f64..2.0,
+    ) {
+        let sa = SegmentedProfile::build(&PhaseProfile::from_pairs(&pairs_a), window);
+        let sb = SegmentedProfile::build(&PhaseProfile::from_pairs(&pairs_b), window);
+        let band = Some(sa.len().max(sb.len()));
+        let exact = dtw_segmented_with_penalty(&sa, &sb, subsequence, penalty).unwrap();
+        let banded = dtw_segmented_banded(&sa, &sb, subsequence, penalty, band).unwrap();
+        prop_assert_eq!(exact, banded);
+    }
+
+    #[test]
+    fn cost_only_screen_is_bit_identical_to_full_alignment(
+        pairs_a in proptest::collection::vec((0.0f64..40.0, 0.0f64..std::f64::consts::TAU), 6..60),
+        pairs_b in proptest::collection::vec((0.0f64..40.0, 0.0f64..std::f64::consts::TAU), 6..60),
+        window in 2usize..8,
+        penalty in 0.0f64..2.0,
+        band_raw in 0usize..24,
+    ) {
+        // The detector's offset screen trusts the rolling cost-only
+        // kernel to return exactly the path-recording kernel's cost; the
+        // two recurrences are maintained by hand, so pin them together.
+        // (band_raw 20.. maps to the exact, unbanded algorithm.)
+        let band = if band_raw < 20 { Some(band_raw) } else { None };
+        let sa = SegmentedProfile::build(&PhaseProfile::from_pairs(&pairs_a), window);
+        let sb = SegmentedProfile::build(&PhaseProfile::from_pairs(&pairs_b), window);
+        let ra = stpp_core::SegmentFeatures::from_segmented(&sa);
+        let rb = stpp_core::SegmentFeatures::from_segmented(&sb);
+        let mut scratch = stpp_core::DtwScratch::new();
+        let full = stpp_core::dtw_segmented_features_into(
+            &ra, &rb, true, penalty, band, None, &mut scratch,
+        );
+        let screened =
+            stpp_core::dtw_segmented_cost_only(&ra, &rb, penalty, band, None, &mut scratch);
+        prop_assert_eq!(full, screened);
+    }
+
+    #[test]
+    fn narrow_banded_dtw_cost_never_beats_exact(
+        a in arb_sequence(25),
+        b in arb_sequence(25),
+        band in 0usize..6,
+    ) {
+        // Banding only removes warping freedom: when an in-band path
+        // exists its cost is bounded below by the exact optimum.
+        let exact = dtw_full(&a, &b).unwrap();
+        if let Some(banded) = dtw_full_banded(&a, &b, Some(band)) {
+            prop_assert!(banded.cost >= exact.cost - 1e-9);
+        }
+        let sub_exact = dtw_subsequence(&a, &b).unwrap();
+        if let Some(sub_banded) = dtw_subsequence_banded(&a, &b, Some(band)) {
+            prop_assert!(sub_banded.cost >= sub_exact.cost - 1e-9);
+        }
     }
 
     #[test]
@@ -104,6 +179,49 @@ proptest! {
         prop_assert!(r.vzone_start <= r.nadir);
         prop_assert!(r.nadir < r.vzone_end);
         prop_assert!(r.vzone_end <= r.profile.len());
+    }
+
+    #[test]
+    fn batch_localizer_is_bit_identical_across_thread_counts(
+        tag_xs in proptest::collection::vec(0.2f64..2.8, 3..10),
+        d_perp in 0.25f64..0.34,
+        mu in 0.0f64..std::f64::consts::TAU,
+    ) {
+        // Synthetic noise-free sweep: one V-shaped profile per tag with a
+        // shared hardware offset. The parallel batch engine must produce
+        // exactly the sequential localizer's result for every thread
+        // count — same orderings, same summaries, bit for bit.
+        let wavelength = 0.326f64;
+        let speed = 0.1f64;
+        let observations: Vec<stpp_core::TagObservations> = tag_xs
+            .iter()
+            .enumerate()
+            .map(|(id, &tag_x)| {
+                let pairs: Vec<(f64, f64)> = (0..600)
+                    .map(|i| {
+                        let t = i as f64 * 0.05;
+                        let d = ((speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
+                        (t, std::f64::consts::TAU * 2.0 * d / wavelength + mu)
+                    })
+                    .collect();
+                stpp_core::TagObservations {
+                    id: id as u64,
+                    epc: rfid_gen2::Epc::from_serial(id as u64),
+                    profile: PhaseProfile::from_pairs(&pairs),
+                }
+            })
+            .collect();
+        let input = StppInput {
+            observations,
+            nominal_speed_mps: speed,
+            wavelength_m: wavelength,
+            perpendicular_distance_m: Some(d_perp),
+        };
+        let sequential = RelativeLocalizer::with_defaults().localize(&input);
+        for threads in [1usize, 2, 8] {
+            let batch = BatchLocalizer::new(StppConfig::default(), threads).localize(&input);
+            prop_assert_eq!(&sequential, &batch, "threads = {}", threads);
+        }
     }
 
     #[test]

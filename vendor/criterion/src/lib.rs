@@ -147,10 +147,21 @@ impl Bencher {
     }
 }
 
+/// Whether the process was started in test mode (`cargo bench -- --test`):
+/// each benchmark runs exactly once, unmeasured, to prove it executes.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    if test_mode() {
+        f(&mut bencher);
+        println!("{label:<50} (test mode: ran once, not measured)");
+        return;
+    }
     // Calibration: grow the iteration count until one sample takes long
     // enough to time reliably.
-    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
     loop {
         f(&mut bencher);
         if bencher.elapsed >= TARGET_SAMPLE_TIME || bencher.iters >= (1 << 20) {
