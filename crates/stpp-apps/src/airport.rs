@@ -8,13 +8,16 @@
 //! batch of bags with a configurable scheme (STPP by default), and measures
 //! both ordering accuracy and the ordering latency per batch.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rfid_geometry::{Point3, TagLayout};
 use rfid_reader::{ConveyorParams, ReaderSimulation, ScenarioBuilder, SweepRecording};
 use serde::{Deserialize, Serialize};
-use stpp_core::{ordering_accuracy, RelativeLocalizer, StppConfig};
+use stpp_core::{ordering_accuracy, LocalizationError, RelativeLocalizer, StppConfig, StppInput};
+use stpp_serve::{LocalizationService, RequestMetrics, ServiceConfig};
 
 /// The airport's traffic periods, with the bag-gap statistics the paper
 /// reports.
@@ -149,17 +152,26 @@ impl BaggageSimulation {
         let started = std::time::Instant::now();
         let result = RelativeLocalizer::new(self.stpp).localize_recording(recording);
         let latency = started.elapsed().as_secs_f64();
-        let detected: Vec<u64> = match &result {
-            // In the tag-moving case the *later* a bag passes the antenna
-            // the further back on the belt it is, and the belt moves toward
-            // +X, so passing order equals descending layout X. Reverse to
-            // compare against the ascending-X ground truth.
-            Ok(r) => r.order_x.iter().rev().copied().collect(),
-            Err(_) => Vec::new(),
-        };
+        Self::score_batch(batch, result.ok().map(|r| r.order_x), latency)
+    }
+
+    /// Scores a detected pass order against a batch's ground truth. In
+    /// the tag-moving case the *later* a bag passes the antenna the
+    /// further back on the belt it is, and the belt moves toward +X, so
+    /// passing order equals descending layout X: the detected order is
+    /// reversed before comparing against the ascending-X ground truth.
+    /// `None` (localization failed) scores as an empty detection.
+    fn score_batch(batch: &BaggageBatch, order_x: Option<Vec<u64>>, latency_s: f64) -> BatchResult {
+        let detected: Vec<u64> = order_x.map(|o| o.into_iter().rev().collect()).unwrap_or_default();
         let accuracy = ordering_accuracy(&detected, &batch.truth_order);
         let correct = (accuracy * batch.truth_order.len() as f64).round() as usize;
-        BatchResult { accuracy, bags: batch.truth_order.len(), correct, latency_s: latency }
+        BatchResult { accuracy, bags: batch.truth_order.len(), correct, latency_s }
+    }
+
+    /// The deterministic per-batch seed of a period run (shared by the
+    /// per-run and service paths so they replay identical traffic).
+    fn batch_seed(seed: u64, index: usize) -> u64 {
+        seed.wrapping_add(index as u64 * 7919)
     }
 
     /// Runs `batches` consecutive batches of a period and aggregates the
@@ -167,10 +179,73 @@ impl BaggageSimulation {
     pub fn run_period(&self, period: TrafficPeriod, batches: usize, seed: u64) -> Vec<BatchResult> {
         (0..batches)
             .filter_map(|i| {
-                let batch_seed = seed.wrapping_add(i as u64 * 7919);
+                let batch_seed = Self::batch_seed(seed, i);
                 let batch = self.generate_batch(period, batch_seed);
                 let recording = self.run_batch(&batch, batch_seed)?;
                 Some(self.order_batch(&batch, &recording))
+            })
+            .collect()
+    }
+
+    /// The surveyed portal geometry: perpendicular distance from the
+    /// antenna to the belt centre line, metres. Every batch the portal
+    /// sees shares this value, so requests built from it resolve to one
+    /// geometry key and ride the warm reference banks.
+    pub fn portal_perpendicular_m(&self) -> f64 {
+        (self.conveyor.antenna_standoff_y.powi(2) + self.conveyor.antenna_height_z.powi(2)).sqrt()
+    }
+
+    /// A localization service configured for this portal (share it across
+    /// every batch of the deployment).
+    pub fn portal_service(&self) -> Arc<LocalizationService> {
+        LocalizationService::new(ServiceConfig { stpp: self.stpp, ..ServiceConfig::default() })
+    }
+
+    /// The service input for one batch recording: measured profiles plus
+    /// the *deployment-surveyed* portal geometry instead of the per-batch
+    /// measured closest approach (which wobbles with each bag's lateral
+    /// jitter and would fragment the service's geometry cache).
+    pub fn portal_input(&self, recording: &SweepRecording) -> Result<StppInput, LocalizationError> {
+        let mut input = StppInput::from_recording(recording)?;
+        input.perpendicular_distance_m = Some(self.portal_perpendicular_m());
+        Ok(input)
+    }
+
+    /// [`order_batch`](Self::order_batch) through a long-lived
+    /// [`LocalizationService`]: same scoring, but batches after the first
+    /// skip reference-bank construction entirely. Returns the request
+    /// metrics alongside (absent when the batch failed to localize).
+    pub fn order_batch_with_service(
+        &self,
+        service: &LocalizationService,
+        batch: &BaggageBatch,
+        recording: &SweepRecording,
+    ) -> (BatchResult, Option<RequestMetrics>) {
+        let started = std::time::Instant::now();
+        let response = self.portal_input(recording).and_then(|input| service.localize(&input));
+        let latency = started.elapsed().as_secs_f64();
+        let (order_x, metrics) = match response {
+            Ok(r) => (Some(r.result.order_x), Some(r.metrics)),
+            Err(_) => (None, None),
+        };
+        (Self::score_batch(batch, order_x, latency), metrics)
+    }
+
+    /// [`run_period`](Self::run_period) against one shared service — the
+    /// portal's continuous operation.
+    pub fn run_period_with_service(
+        &self,
+        service: &LocalizationService,
+        period: TrafficPeriod,
+        batches: usize,
+        seed: u64,
+    ) -> Vec<(BatchResult, Option<RequestMetrics>)> {
+        (0..batches)
+            .filter_map(|i| {
+                let batch_seed = Self::batch_seed(seed, i);
+                let batch = self.generate_batch(period, batch_seed);
+                let recording = self.run_batch(&batch, batch_seed)?;
+                Some(self.order_batch_with_service(service, &batch, &recording))
             })
             .collect()
     }
@@ -232,6 +307,39 @@ mod tests {
             result.bags
         );
         assert!(result.latency_s >= 0.0);
+    }
+
+    #[test]
+    fn service_port_reuses_banks_across_batches() {
+        // Consecutive portal batches share the deployment geometry. A
+        // first pass over the period warms the bank cache (batches can
+        // differ in their quantised sampling interval, so the warm-up may
+        // build more than one bank); re-running the same period must then
+        // perform zero constructions — the portal's steady state — while
+        // ordering quality holds up.
+        let sim = BaggageSimulation { bags_per_batch: 4, ..BaggageSimulation::default() };
+        let service = sim.portal_service();
+        let warmup = sim.run_period_with_service(&service, TrafficPeriod::MiddayOffPeak, 3, 11);
+        assert_eq!(warmup.len(), 3);
+        assert!(
+            warmup[0].1.expect("first batch metrics").bank_cache.builds > 0,
+            "first batch must build banks"
+        );
+        assert_eq!(service.cached_geometries(), 1, "one portal geometry");
+
+        let steady = sim.run_period_with_service(&service, TrafficPeriod::MiddayOffPeak, 3, 11);
+        let (correct, total, accuracy) = BaggageSimulation::aggregate_accuracy(
+            &steady.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>(),
+        );
+        assert!(
+            accuracy >= 0.7,
+            "service-path off-peak accuracy {accuracy} (correct {correct}/{total})"
+        );
+        for (i, (_, metrics)) in steady.iter().enumerate() {
+            let m = metrics.expect("batch metrics");
+            assert!(m.geometry_cache_hit, "steady batch {i} must hit the geometry cache");
+            assert_eq!(m.bank_cache.builds, 0, "steady batch {i} must build zero banks");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ use stpp_bench::{baseline, benchmark_recording};
 use stpp_core::{
     BatchLocalizer, LocalizationError, RelativeLocalizer, StppConfig, StppInput, StppResult,
 };
+use stpp_serve::{LocalizationService, ServiceConfig};
 
 /// Band width used by the banded modes (segments of slack each warping
 /// path may accumulate). Wide enough that detection quality matches the
@@ -61,8 +62,16 @@ struct PopulationReport {
     batch_exact: ModeReport,
     /// Parallel batch engine, banded DTW (the production fast path).
     batch_banded: ModeReport,
+    /// Serving cold path: a fresh `LocalizationService` per request, so
+    /// every request rebuilds its reference banks (per-run behaviour).
+    serve_cold: ModeReport,
+    /// Serving warm path: one long-lived service, repeated same-geometry
+    /// requests (zero bank constructions after the first — asserted).
+    serve_warm: ModeReport,
     /// `seed_sequential_exact.localize_ms / batch_banded.localize_ms`.
     speedup_batch_banded_vs_seed: f64,
+    /// `serve_cold.localize_ms / serve_warm.localize_ms`.
+    speedup_serve_warm_vs_cold: f64,
 }
 
 #[derive(Serialize)]
@@ -104,7 +113,26 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
     let batch_exact = time_mode(|| BatchLocalizer::new(exact, threads).localize(&input));
     let batch_banded = time_mode(|| BatchLocalizer::new(banded, threads).localize(&input));
 
+    // Serving paths, banded config (the production setup): cold constructs
+    // a fresh service per request, warm reuses one long-lived service.
+    let service_config = ServiceConfig { stpp: banded, threads, ..ServiceConfig::default() };
+    let serve_cold = time_mode(|| {
+        let service = LocalizationService::new(service_config);
+        service.localize(&input).map(|r| r.result)
+    });
+    let warm_service = LocalizationService::new(service_config);
+    warm_service.localize(&input).expect("warm-up request");
+    let serve_warm = time_mode(|| {
+        let response = warm_service.localize(&input)?;
+        assert_eq!(
+            response.metrics.bank_cache.builds, 0,
+            "warm serving request must build zero banks"
+        );
+        Ok(response.result)
+    });
+
     let speedup = seed_sequential_exact.localize_ms / batch_banded.localize_ms.max(1e-9);
+    let serve_speedup = serve_cold.localize_ms / serve_warm.localize_ms.max(1e-9);
     PopulationReport {
         tags,
         input_build_ms,
@@ -113,7 +141,10 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
         sequential_banded,
         batch_exact,
         batch_banded,
+        serve_cold,
+        serve_warm,
         speedup_batch_banded_vs_seed: speedup,
+        speedup_serve_warm_vs_cold: serve_speedup,
     }
 }
 
@@ -138,19 +169,23 @@ fn main() {
         let report = bench_population(tags, threads);
         eprintln!(
             "  seed {:8.2} ms | seq exact {:8.2} ms | seq banded {:8.2} ms | batch exact \
-             {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x",
+             {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x | serve cold {:8.2} ms / warm \
+             {:8.2} ms ({:3.1}x)",
             report.seed_sequential_exact.localize_ms,
             report.sequential_exact.localize_ms,
             report.sequential_banded.localize_ms,
             report.batch_exact.localize_ms,
             report.batch_banded.localize_ms,
             report.speedup_batch_banded_vs_seed,
+            report.serve_cold.localize_ms,
+            report.serve_warm.localize_ms,
+            report.speedup_serve_warm_vs_cold,
         );
         reports.push(report);
     }
 
     let report = BenchReport {
-        schema: "stpp-bench-pipeline/v1",
+        schema: "stpp-bench-pipeline/v2",
         smoke,
         threads,
         band: BAND,

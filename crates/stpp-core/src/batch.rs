@@ -15,20 +15,85 @@
 //! 3–4× within one sweep, so static chunks would leave workers idle behind
 //! the unluckiest chunk.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 
 use crate::ordering::TagVZoneSummary;
 use crate::pipeline::{
-    assemble_result, DetectionEngine, LocalizationError, StppConfig, StppInput, StppResult,
+    DetectionEngine, LocalizationError, RelativeLocalizer, StppConfig, StppInput, StppResult,
 };
+use crate::profile::TagObservations;
+use crate::reference::ReferenceBankCache;
 use crate::vzone::DetectScratch;
+
+/// Runs per-tag detection with `threads` workers and returns the
+/// summaries index-aligned with `observations`. Shared by the sequential
+/// localizer, the batch localizer, and
+/// [`PreparedRequest::detect`](crate::pipeline::PreparedRequest::detect).
+///
+/// Deterministic for any worker count on the success path: results land
+/// in per-observation slots, so the `Ok` output is bit-identical to the
+/// sequential scan. On a malformed profile the pool **fails fast** —
+/// workers stop claiming new observations once any error is recorded —
+/// and the lowest-indexed error actually observed is reported. (With a
+/// single malformed tag that is the same error the sequential scan
+/// reports; with several, which one surfaces can depend on scheduling —
+/// an error is an error, and not paying full-batch DTW cost to report it
+/// matters more at portal populations.)
+pub(crate) fn detect_all(
+    engine: &DetectionEngine,
+    observations: &[TagObservations],
+    threads: usize,
+) -> Result<Vec<Option<TagVZoneSummary>>, LocalizationError> {
+    let workers = threads.min(observations.len()).max(1);
+    if workers == 1 {
+        let mut scratch = DetectScratch::new();
+        return observations.iter().map(|obs| engine.summarize(obs, &mut scratch)).collect();
+    }
+    type SlotResult = Result<Option<TagVZoneSummary>, LocalizationError>;
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut slots: Vec<SlotResult> = Vec::new();
+    slots.resize_with(observations.len(), || Ok(None));
+    let chunks: Vec<Vec<(usize, SlotResult)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let failed = &failed;
+                scope.spawn(move || {
+                    let mut scratch = DetectScratch::new();
+                    let mut out = Vec::new();
+                    while !failed.load(Ordering::Relaxed) {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(obs) = observations.get(i) else {
+                            break;
+                        };
+                        let result = engine.summarize(obs, &mut scratch);
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        out.push((i, result));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("detection worker panicked")).collect()
+    });
+    for (i, summary) in chunks.into_iter().flatten() {
+        slots[i] = summary;
+    }
+    // Lowest-indexed recorded error wins (slots never processed hold
+    // `Ok(None)` and are irrelevant once any error exists).
+    slots.into_iter().collect()
+}
 
 /// A localizer that fans per-tag detection across a scoped worker pool.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchLocalizer {
     /// The pipeline configuration (shared with
-    /// [`RelativeLocalizer`](crate::pipeline::RelativeLocalizer)).
+    /// [`RelativeLocalizer`]).
     pub config: StppConfig,
     /// Number of worker threads. `1` runs the plain sequential loop on
     /// the calling thread (today's reference path); values above the tag
@@ -52,50 +117,25 @@ impl BatchLocalizer {
 
     /// Runs the pipeline over the input, fanning per-tag detection across
     /// the worker pool. Produces exactly the same result as the sequential
-    /// [`RelativeLocalizer`](crate::pipeline::RelativeLocalizer) with the
+    /// [`RelativeLocalizer`] with the
     /// same configuration, for any thread count.
     pub fn localize(&self, input: &StppInput) -> Result<StppResult, LocalizationError> {
-        if input.observations.is_empty() {
-            return Err(LocalizationError::EmptyInput);
-        }
-        let engine = DetectionEngine::new(self.config, input)?;
-        let observations = &input.observations;
-        let workers = self.threads.min(observations.len()).max(1);
+        self.localize_with_cache(input, ReferenceBankCache::shared())
+    }
 
-        let per_tag: Vec<Option<TagVZoneSummary>> = if workers == 1 {
-            let mut scratch = DetectScratch::new();
-            observations.iter().map(|obs| engine.summarize(obs, &mut scratch)).collect()
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let mut slots: Vec<Option<TagVZoneSummary>> = Vec::new();
-            slots.resize_with(observations.len(), || None);
-            let chunks: Vec<Vec<(usize, Option<TagVZoneSummary>)>> = thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let engine = &engine;
-                        let cursor = &cursor;
-                        scope.spawn(move || {
-                            let mut scratch = DetectScratch::new();
-                            let mut out = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(obs) = observations.get(i) else {
-                                    break;
-                                };
-                                out.push((i, engine.summarize(obs, &mut scratch)));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("detection worker panicked")).collect()
-            });
-            for (i, summary) in chunks.into_iter().flatten() {
-                slots[i] = summary;
-            }
-            slots
-        };
-        assemble_result(&self.config, input, per_tag)
+    /// [`localize`](Self::localize) reusing a caller-supplied
+    /// reference-bank cache, so a serving layer that keeps one cache per
+    /// geometry performs zero bank constructions on warm requests. The
+    /// cache must be dedicated to this input's effective geometry (see
+    /// [`RelativeLocalizer::prepare_with_cache`](crate::pipeline::RelativeLocalizer::prepare_with_cache)).
+    /// Output is unaffected by the cache's warmth: bit-identical to the
+    /// sequential localizer either way.
+    pub fn localize_with_cache(
+        &self,
+        input: &StppInput,
+        cache: Arc<ReferenceBankCache>,
+    ) -> Result<StppResult, LocalizationError> {
+        RelativeLocalizer::new(self.config).prepare_with_cache(input, cache)?.execute(self.threads)
     }
 }
 

@@ -50,12 +50,16 @@ pub use dtw::{
 };
 pub use metrics::{kendall_tau, ordering_accuracy, OrderingScore};
 pub use ordering::{gap_metric, order_metric, OrderingEngine, TagVZoneSummary};
-pub use pipeline::{LocalizationError, RelativeLocalizer, StppConfig, StppInput, StppResult};
+pub use pipeline::{
+    LocalizationError, PreparedRequest, RelativeLocalizer, StppConfig, StppInput, StppResult,
+};
 pub use profile::{PhaseProfile, PhaseSample, TagObservations};
 pub use reference::{
-    OffsetPattern, ReferenceBank, ReferenceBankCache, ReferenceProfile, ReferenceProfileParams,
+    BankCacheStats, OffsetPattern, ReferenceBank, ReferenceBankCache, ReferenceProfile,
+    ReferenceProfileParams,
 };
 pub use segment::{Segment, SegmentedProfile};
 pub use vzone::{
-    DetectScratch, NaiveUnwrapDetector, QuadraticFit, VZone, VZoneDetection, VZoneDetector,
+    DetectError, DetectScratch, NaiveUnwrapDetector, QuadraticFit, VZone, VZoneDetection,
+    VZoneDetector,
 };

@@ -6,9 +6,10 @@
 //! * **Y axis** (orthogonal, in-plane): tags farther from the reader
 //!   trajectory have lower radial velocity, hence a lower phase changing
 //!   rate and a shallower V-zone. The paper compares the coarse
-//!   representations `S(P)` of the V-zone profiles with the metric
-//!   `O(P, Q) = Σᵢ (s_{P,i} − s_{Q,i}) / s_{P,i}` to decide which of two
-//!   tags is farther, and `G(P, Q) = Σᵢ |s_{P,i} − s_{Q,i}|` as a proxy for
+//!   representations `S(P)` of the V-zone profiles with a relative
+//!   difference metric `O(P, Q)` (see [`order_metric`] for the exact,
+//!   anti-symmetric form used here) to decide which of two tags is
+//!   farther, and `G(P, Q) = Σᵢ |s_{P,i} − s_{Q,i}|` as a proxy for
 //!   their physical spacing; a pivot tag reduces the `M(M−1)/2` pairwise
 //!   comparisons to `M − 1`.
 
@@ -34,15 +35,50 @@ pub struct TagVZoneSummary {
 ///
 /// Positive values mean `P`'s segment means are larger, i.e. `P` has the
 /// lower phase changing rate and is **farther** from the reader trajectory
-/// than `Q`. Only the overlapping prefix of the two representations is
-/// compared; segments whose `P` value is (numerically) zero are skipped.
+/// than `Q`.
+///
+/// The two representations are first truncated to their shared prefix
+/// (`min(|P|, |Q|)` segments — coarse representations of different
+/// lengths can only be compared segment-for-segment over the part both
+/// cover), and each segment contributes its difference relative to the
+/// segment pair's mean:
+///
+/// ```text
+/// O(P, Q) = (1/n) · Σᵢ (s_{P,i} − s_{Q,i}) / ((s_{P,i} + s_{Q,i}) / 2)
+/// ```
+///
+/// where `n` is the number of contributing segments. Normalising by the
+/// symmetric per-segment mean (the paper's formulation divides by
+/// `s_{P,i}` alone) and by the shared segment count makes the metric
+/// **anti-symmetric** — `O(P, Q) = −O(Q, P)` exactly — so the pairwise
+/// Y-ordering comparator cannot disagree about a pair depending on
+/// argument order, and values stay comparable across representations of
+/// different lengths. Segment pairs whose mean is (numerically) zero are
+/// skipped.
 pub fn order_metric(p: &[f64], q: &[f64]) -> f64 {
-    p.iter().zip(q.iter()).filter(|(sp, _)| sp.abs() > 1e-9).map(|(sp, sq)| (sp - sq) / sp).sum()
+    let shared = p.len().min(q.len());
+    let (p, q) = (&p[..shared], &q[..shared]);
+    let mut sum = 0.0;
+    let mut contributing = 0usize;
+    for (sp, sq) in p.iter().zip(q.iter()) {
+        let mean = (sp + sq) / 2.0;
+        if mean.abs() <= 1e-9 {
+            continue;
+        }
+        sum += (sp - sq) / mean;
+        contributing += 1;
+    }
+    if contributing == 0 {
+        0.0
+    } else {
+        sum / contributing as f64
+    }
 }
 
 /// The paper's `G(P, Q)` gap metric: the accumulated absolute difference
 /// between the two coarse representations, proportional to the physical
-/// spacing of the two tags along Y.
+/// spacing of the two tags along Y. Like [`order_metric`], only the
+/// shared prefix of the two representations is compared.
 pub fn gap_metric(p: &[f64], q: &[f64]) -> f64 {
     p.iter().zip(q.iter()).map(|(sp, sq)| (sp - sq).abs()).sum()
 }
@@ -78,7 +114,9 @@ impl OrderingEngine {
     pub fn order_x(&self, summaries: &[TagVZoneSummary]) -> Vec<u64> {
         let mut indexed: Vec<(u64, f64)> =
             summaries.iter().map(|s| (s.id, s.nadir_time_s)).collect();
-        indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("nadir times are finite"));
+        // total_cmp: nadir times are finite for every summary the detector
+        // produces, but a hand-built summary must not panic the sort.
+        indexed.sort_by(|a, b| a.1.total_cmp(&b.1));
         indexed.into_iter().map(|(id, _)| id).collect()
     }
 
@@ -111,18 +149,50 @@ impl OrderingEngine {
                 }
             })
             .collect();
-        offsets.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite offsets"));
+        offsets.sort_by(|a, b| a.1.total_cmp(&b.1));
         offsets.into_iter().map(|(id, _)| id).collect()
     }
 
     fn order_y_pairwise(&self, summaries: &[TagVZoneSummary]) -> Vec<u64> {
-        let mut order: Vec<&TagVZoneSummary> = summaries.iter().collect();
-        order.sort_by(|p, q| {
-            // P comes before Q (closer to the trajectory) when P's means are
-            // smaller, i.e. O(P, Q) < 0.
-            order_metric(&p.coarse, &q.coarse).partial_cmp(&0.0).expect("finite order metric")
-        });
-        order.into_iter().map(|s| s.id).collect()
+        // The anti-symmetric metric settles each *pair* consistently, but
+        // pairwise preferences need not be transitive (noisy coarse
+        // representations can form a preference cycle, like non-transitive
+        // dice); feeding an intransitive comparator to `sort_by` yields an
+        // arbitrary order — and Rust's sort may detect and panic on a
+        // non-total order. Instead each tag is ranked by its Copeland
+        // score: the signed count of pairwise comparisons it "wins"
+        // (O < 0, i.e. nearer the trajectory). Still the paper's
+        // M(M−1)/2 comparisons, but the final sort key is a per-tag
+        // scalar, so the order is always well defined; score ties keep
+        // observation order (stable sort), matching the pivot method on
+        // clean, fully ordered data.
+        let scores: Vec<(usize, i64)> = summaries
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let score: i64 = summaries
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, q)| {
+                        // ±0.0 must count as a tie, not a win/loss
+                        // (f64::signum(±0.0) is ±1).
+                        let o = order_metric(&p.coarse, &q.coarse);
+                        if o < 0.0 {
+                            1
+                        } else if o > 0.0 {
+                            -1
+                        } else {
+                            0
+                        }
+                    })
+                    .sum();
+                (i, score)
+            })
+            .collect();
+        let mut order = scores;
+        order.sort_by_key(|(_, score)| std::cmp::Reverse(*score));
+        order.into_iter().map(|(i, _)| summaries[i].id).collect()
     }
 
     /// Number of coarse-representation comparisons the configured strategy
@@ -174,11 +244,42 @@ mod tests {
     }
 
     #[test]
-    fn order_metric_skips_zero_segments() {
+    fn order_metric_skips_zero_mean_segments() {
         let p = vec![0.0, 2.0];
-        let q = vec![5.0, 1.0];
-        // The first segment (p = 0) is skipped, so only (2-1)/2 remains.
-        assert!((order_metric(&p, &q) - 0.5).abs() < 1e-12);
+        let q = vec![0.0, 1.0];
+        // The first segment pair means zero and is skipped; the second
+        // contributes (2-1)/1.5, and the sum is normalised by the one
+        // contributing segment.
+        assert!((order_metric(&p, &q) - 1.0 / 1.5).abs() < 1e-12);
+        // All-zero representations compare equal instead of dividing by 0.
+        assert_eq!(order_metric(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn order_metric_is_antisymmetric() {
+        // Regression: the seed metric divided by s_{P,i} only, so
+        // O(P, Q) ≠ −O(Q, P) and the pairwise comparator could disagree
+        // about a pair depending on argument order. The normalised metric
+        // is exactly anti-symmetric.
+        let p = vec![1.0, 2.5, 0.7, 3.1];
+        let q = vec![2.0, 0.4, 1.9, 0.6];
+        assert_eq!(order_metric(&p, &q), -order_metric(&q, &p));
+        assert_eq!(order_metric(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn order_metric_truncates_to_shared_prefix() {
+        // Regression: representations of different lengths (different
+        // y_segments configurations, or a V-zone too short for the full
+        // segment count) are compared over the shared prefix only, and
+        // anti-symmetry holds across the length mismatch.
+        let long = vec![2.0, 2.0, 2.0, 9.0, 9.0];
+        let short = vec![1.0, 1.0, 1.0];
+        let o = order_metric(&long, &short);
+        // Only the first three segments are compared: the 9.0 tail of the
+        // longer representation must not leak into the metric.
+        assert!((o - (2.0 - 1.0) / 1.5).abs() < 1e-12);
+        assert_eq!(order_metric(&short, &long), -o);
     }
 
     #[test]
@@ -233,6 +334,34 @@ mod tests {
             rotated.rotate_left(rotation);
             assert_eq!(engine.order_y(&rotated), expected, "rotation {rotation}");
         }
+    }
+
+    #[test]
+    fn pairwise_ordering_survives_a_preference_cycle() {
+        // Regression: these three coarse representations form a
+        // preference cycle under the order metric (each "beats" the next,
+        // like non-transitive dice). Fed directly into sort_by as a
+        // comparator this is not a total order — the result was
+        // arbitrary, and Rust's sort is allowed to panic on it. The
+        // Copeland-score ranking must return a well-defined order (all
+        // scores tie at 0, so observation order is kept) without
+        // panicking.
+        let cyclic = |id: u64, coarse: Vec<f64>| TagVZoneSummary {
+            id,
+            nadir_time_s: 0.0,
+            nadir_phase: 1.0,
+            coarse,
+            vzone_duration_s: 1.0,
+        };
+        let a = cyclic(1, vec![2.981, 0.001, 0.0546]);
+        let b = cyclic(2, vec![0.0546, 2.981, 0.001]);
+        let c = cyclic(3, vec![0.001, 0.0546, 2.981]);
+        // Confirm the cycle really exists under the metric.
+        assert!(order_metric(&a.coarse, &b.coarse) > 0.0);
+        assert!(order_metric(&b.coarse, &c.coarse) > 0.0);
+        assert!(order_metric(&c.coarse, &a.coarse) > 0.0);
+        let engine = OrderingEngine { strategy: YOrderingStrategy::Pairwise, y_segments: 3 };
+        assert_eq!(engine.order_y(&[a, b, c]), vec![1, 2, 3]);
     }
 
     #[test]

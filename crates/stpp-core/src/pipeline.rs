@@ -6,6 +6,8 @@
 //! quadratic fitting), then X ordering by nadir time and Y ordering by
 //! coarse V-zone comparison.
 
+use std::sync::Arc;
+
 use rfid_geometry::Point3;
 use rfid_reader::{AntennaMotion, MotionCase, Scenario, SweepRecording, TagTrack};
 use serde::{Deserialize, Serialize};
@@ -13,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::ordering::{OrderingEngine, TagVZoneSummary, YOrderingStrategy};
 use crate::profile::TagObservations;
 use crate::reference::{ReferenceBankCache, ReferenceProfileParams};
-use crate::vzone::{DetectScratch, NaiveUnwrapDetector, VZoneDetector};
+use crate::vzone::{DetectError, DetectScratch, NaiveUnwrapDetector, VZoneDetector};
 
 /// Errors the pipeline can report.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,6 +27,15 @@ pub enum LocalizationError {
     /// The sweep geometry needed to build the reference profile is invalid
     /// (zero speed or wavelength).
     InvalidGeometry(String),
+    /// A tag's profile was malformed (non-finite samples, degenerate
+    /// V-zone). The seed pipeline either panicked on such input or
+    /// silently fabricated a nadir; now the offending tag is named.
+    MalformedProfile {
+        /// Id of the offending tag.
+        id: u64,
+        /// The underlying detection error.
+        error: DetectError,
+    },
 }
 
 impl std::fmt::Display for LocalizationError {
@@ -36,6 +47,9 @@ impl std::fmt::Display for LocalizationError {
             }
             LocalizationError::InvalidGeometry(msg) => {
                 write!(f, "invalid sweep geometry: {msg}")
+            }
+            LocalizationError::MalformedProfile { id, error } => {
+                write!(f, "tag {id} has a malformed profile: {error}")
             }
         }
     }
@@ -163,6 +177,25 @@ impl StppInput {
             perpendicular_distance_m: perpendicular,
         })
     }
+
+    /// Validates the request-level invariants every pipeline entry
+    /// enforces before doing any work: a non-empty observation set and a
+    /// usable sweep geometry (finite, positive speed and wavelength).
+    /// Serving layers call this *before* registering per-geometry state,
+    /// so the rejection condition cannot drift from the pipeline's own.
+    pub fn validate(&self) -> Result<(), LocalizationError> {
+        if self.observations.is_empty() {
+            return Err(LocalizationError::EmptyInput);
+        }
+        // Negated comparisons so that NaN inputs are rejected too.
+        if !(self.nominal_speed_mps > 0.0 && self.wavelength_m > 0.0) {
+            return Err(LocalizationError::InvalidGeometry(format!(
+                "speed {} m/s, wavelength {} m",
+                self.nominal_speed_mps, self.wavelength_m
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Distance from point `p` to the segment `[a, b]`.
@@ -258,26 +291,26 @@ pub(crate) struct DetectionEngine {
     config: StppConfig,
     dtw_detector: VZoneDetector,
     naive_detector: NaiveUnwrapDetector,
-    cache: ReferenceBankCache,
+    cache: Arc<ReferenceBankCache>,
 }
 
 impl DetectionEngine {
-    /// Validates the input geometry and builds the engine.
-    pub(crate) fn new(config: StppConfig, input: &StppInput) -> Result<Self, LocalizationError> {
-        // Negated comparisons so that NaN inputs are rejected too.
-        if !(input.nominal_speed_mps > 0.0 && input.wavelength_m > 0.0) {
-            return Err(LocalizationError::InvalidGeometry(format!(
-                "speed {} m/s, wavelength {} m",
-                input.nominal_speed_mps, input.wavelength_m
-            )));
-        }
-        let perpendicular = input
-            .perpendicular_distance_m
-            .filter(|d| d.is_finite() && *d > 0.0)
-            .unwrap_or(config.perpendicular_distance_m);
-        let reference_params =
-            ReferenceProfileParams::new(input.nominal_speed_mps, perpendicular, input.wavelength_m)
-                .with_periods(config.reference_periods);
+    /// Validates the input geometry and builds an engine around a
+    /// caller-supplied (possibly process-wide, shared) reference-bank
+    /// cache. The cache must be dedicated to this input's geometry: its
+    /// entries are keyed by sampling interval only.
+    pub(crate) fn with_cache(
+        config: StppConfig,
+        input: &StppInput,
+        cache: Arc<ReferenceBankCache>,
+    ) -> Result<Self, LocalizationError> {
+        input.validate()?;
+        let reference_params = ReferenceProfileParams::new(
+            input.nominal_speed_mps,
+            effective_perpendicular_m(&config, input),
+            input.wavelength_m,
+        )
+        .with_periods(config.reference_periods);
         let dtw_detector = VZoneDetector::new(reference_params)
             .with_window(config.window)
             .with_offset_candidates(config.offset_candidates)
@@ -286,37 +319,63 @@ impl DetectionEngine {
             config,
             dtw_detector,
             naive_detector: NaiveUnwrapDetector::default(),
-            cache: ReferenceBankCache::new(),
+            cache,
         })
     }
 
     /// Runs V-zone detection for one tag and condenses it into the
-    /// ordering summary; `None` marks the tag undetected.
+    /// ordering summary; `Ok(None)` marks the tag undetected, `Err` a
+    /// malformed profile.
     pub(crate) fn summarize(
         &self,
         obs: &TagObservations,
         scratch: &mut DetectScratch,
-    ) -> Option<TagVZoneSummary> {
+    ) -> Result<Option<TagVZoneSummary>, LocalizationError> {
         if obs.profile.len() < self.config.min_reads {
-            return None;
+            return Ok(None);
         }
         let detection = match self.config.detection {
             DetectionMethod::SegmentedDtw => {
                 self.dtw_detector.detect_cached(&obs.profile, &self.cache, scratch)
             }
             DetectionMethod::NaiveUnwrap => self.naive_detector.detect(&obs.profile),
+        }
+        .map_err(|error| LocalizationError::MalformedProfile { id: obs.id, error })?;
+        let Some(d) = detection else {
+            return Ok(None);
         };
-        let d = detection?;
         let coarse = d
             .coarse_representation(self.config.y_segments)
             .unwrap_or_else(|| vec![d.nadir_phase; self.config.y_segments]);
-        Some(TagVZoneSummary {
+        Ok(Some(TagVZoneSummary {
             id: obs.id,
             nadir_time_s: d.nadir_time_s,
             nadir_phase: d.nadir_phase,
             coarse,
             vzone_duration_s: d.vzone.duration(),
-        })
+        }))
+    }
+}
+
+/// The perpendicular distance the detection engine actually uses for an
+/// input: the input's own surveyed value when it is usable, the
+/// configured deployment guess otherwise. Exposed (crate-visibly through
+/// [`StppConfig::effective_perpendicular_m`]) so serving layers can key
+/// process-wide caches by the *effective* geometry.
+fn effective_perpendicular_m(config: &StppConfig, input: &StppInput) -> f64 {
+    input
+        .perpendicular_distance_m
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .unwrap_or(config.perpendicular_distance_m)
+}
+
+impl StppConfig {
+    /// The perpendicular distance detection will use for `input`: the
+    /// input's surveyed value if finite and positive, this config's
+    /// deployment default otherwise. Serving layers key shared
+    /// reference-bank caches by this value.
+    pub fn effective_perpendicular_m(&self, input: &StppInput) -> f64 {
+        effective_perpendicular_m(self, input)
     }
 }
 
@@ -363,16 +422,38 @@ impl RelativeLocalizer {
         RelativeLocalizer { config: StppConfig::default() }
     }
 
+    /// Validates the input and constructs the per-request detection state
+    /// (with a private reference-bank cache) without running detection.
+    /// The construction/execution split lets callers time the stages
+    /// separately and reuse caches across requests; see
+    /// [`prepare_with_cache`](Self::prepare_with_cache).
+    pub fn prepare<'a>(
+        &self,
+        input: &'a StppInput,
+    ) -> Result<PreparedRequest<'a>, LocalizationError> {
+        self.prepare_with_cache(input, ReferenceBankCache::shared())
+    }
+
+    /// [`prepare`](Self::prepare) with a caller-supplied reference-bank
+    /// cache — the serving hook. The cache must be dedicated to this
+    /// input's *effective geometry* (speed, wavelength,
+    /// [`StppConfig::effective_perpendicular_m`], window, offset
+    /// candidates, periods): its entries are keyed by sampling interval
+    /// only, so mixing geometries in one cache returns wrong banks.
+    pub fn prepare_with_cache<'a>(
+        &self,
+        input: &'a StppInput,
+        cache: Arc<ReferenceBankCache>,
+    ) -> Result<PreparedRequest<'a>, LocalizationError> {
+        // `with_cache` runs `input.validate()` (non-empty observations,
+        // usable geometry) before building the engine.
+        let engine = DetectionEngine::with_cache(self.config, input, cache)?;
+        Ok(PreparedRequest { config: self.config, input, engine })
+    }
+
     /// Runs the pipeline over the input.
     pub fn localize(&self, input: &StppInput) -> Result<StppResult, LocalizationError> {
-        if input.observations.is_empty() {
-            return Err(LocalizationError::EmptyInput);
-        }
-        let engine = DetectionEngine::new(self.config, input)?;
-        let mut scratch = DetectScratch::new();
-        let per_tag: Vec<Option<TagVZoneSummary>> =
-            input.observations.iter().map(|obs| engine.summarize(obs, &mut scratch)).collect();
-        assemble_result(&self.config, input, per_tag)
+        self.prepare(input)?.execute(1)
     }
 
     /// Convenience: run the full pipeline straight from a sweep recording.
@@ -382,6 +463,53 @@ impl RelativeLocalizer {
     ) -> Result<StppResult, LocalizationError> {
         let input = StppInput::from_recording(recording)?;
         self.localize(&input)
+    }
+}
+
+/// A validated localization request with its detection state constructed
+/// but not yet run: the execution half of the
+/// [`RelativeLocalizer::prepare`] split.
+///
+/// The stages can be driven separately ([`detect`](Self::detect) then
+/// [`assemble`](Self::assemble)) so serving layers can attribute time to
+/// detection vs ordering, or together via [`execute`](Self::execute).
+/// Results are bit-identical for any thread count, and identical to
+/// [`RelativeLocalizer::localize`].
+pub struct PreparedRequest<'a> {
+    config: StppConfig,
+    input: &'a StppInput,
+    engine: DetectionEngine,
+}
+
+impl<'a> PreparedRequest<'a> {
+    /// The input this request was prepared for.
+    pub fn input(&self) -> &'a StppInput {
+        self.input
+    }
+
+    /// Runs per-tag V-zone detection with `threads` workers (1 = the
+    /// sequential reference path on the calling thread). The returned
+    /// vector is index-aligned with the input observations; `None` marks
+    /// an undetected tag.
+    pub fn detect(
+        &self,
+        threads: usize,
+    ) -> Result<Vec<Option<TagVZoneSummary>>, LocalizationError> {
+        crate::batch::detect_all(&self.engine, &self.input.observations, threads)
+    }
+
+    /// Assembles per-tag summaries (from [`detect`](Self::detect)) into
+    /// the final ordered result.
+    pub fn assemble(
+        &self,
+        per_tag: Vec<Option<TagVZoneSummary>>,
+    ) -> Result<StppResult, LocalizationError> {
+        assemble_result(&self.config, self.input, per_tag)
+    }
+
+    /// Detection plus assembly in one call.
+    pub fn execute(&self, threads: usize) -> Result<StppResult, LocalizationError> {
+        self.assemble(self.detect(threads)?)
     }
 }
 
@@ -583,5 +711,75 @@ mod tests {
         assert!(e.to_string().contains("speed 0"));
         assert!(LocalizationError::EmptyInput.to_string().contains("no tag"));
         assert!(LocalizationError::NoDetections.to_string().contains("V-zone"));
+        let m = LocalizationError::MalformedProfile {
+            id: 9,
+            error: crate::vzone::DetectError::NonFiniteSample { index: 4 },
+        };
+        assert!(m.to_string().contains("tag 9") && m.to_string().contains("sample 4"));
+    }
+
+    #[test]
+    fn malformed_profile_is_reported_not_panicked() {
+        // A NaN timestamp smuggled past `from_pairs` (deserialization trust
+        // level) must surface as a typed error naming the tag — the seed
+        // pipeline panicked in the gap-median selection. The same error
+        // must come back for any thread count (lowest offending
+        // observation index wins in the batch path).
+        use crate::profile::PhaseSample;
+        let good = |id: u64| TagObservations {
+            id,
+            epc: rfid_gen2::Epc::from_serial(id),
+            profile: crate::profile::PhaseProfile::from_pairs(
+                &(0..80).map(|i| (i as f64 * 0.05, 1.0 + 0.02 * i as f64)).collect::<Vec<_>>(),
+            ),
+        };
+        let mut samples: Vec<PhaseSample> =
+            (0..80).map(|i| PhaseSample { time_s: i as f64 * 0.05, phase_rad: 1.0 }).collect();
+        samples[11].time_s = f64::NAN;
+        let bad = TagObservations {
+            id: 5,
+            epc: rfid_gen2::Epc::from_serial(5),
+            profile: crate::profile::PhaseProfile::from_samples(samples),
+        };
+        let input = StppInput {
+            observations: vec![good(1), bad, good(2)],
+            nominal_speed_mps: 0.1,
+            wavelength_m: 0.326,
+            perpendicular_distance_m: Some(0.3),
+        };
+        let expected = Err(LocalizationError::MalformedProfile {
+            id: 5,
+            error: crate::vzone::DetectError::NonFiniteSample { index: 11 },
+        });
+        assert_eq!(RelativeLocalizer::with_defaults().localize(&input), expected);
+        for threads in [1usize, 2, 4] {
+            let batch = crate::batch::BatchLocalizer::new(StppConfig::default(), threads);
+            assert_eq!(batch.localize(&input), expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn prepared_request_stages_match_one_shot_localize() {
+        let layout = RowLayout::new(0.0, 0.0, 0.1, 4).build();
+        let scenario =
+            ScenarioBuilder::new(23).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
+        let recording = ReaderSimulation::new(scenario, 23).run();
+        let input = StppInput::from_recording(&recording).unwrap();
+        let localizer = RelativeLocalizer::with_defaults();
+        let one_shot = localizer.localize(&input).expect("one-shot");
+        let prepared = localizer.prepare(&input).expect("prepare");
+        let per_tag = prepared.detect(1).expect("detect");
+        let staged = prepared.assemble(per_tag).expect("assemble");
+        assert_eq!(staged, one_shot);
+        // The same prepared request re-executes (and a shared cache makes
+        // the repeat build zero banks).
+        let cache = crate::reference::ReferenceBankCache::shared();
+        let warm = localizer.prepare_with_cache(&input, cache.clone()).expect("prepare");
+        assert_eq!(warm.execute(2).expect("warm execute"), one_shot);
+        let before = cache.stats();
+        assert!(before.builds > 0, "first request must build banks");
+        let again = localizer.prepare_with_cache(&input, cache.clone()).expect("prepare");
+        assert_eq!(again.execute(1).expect("repeat execute"), one_shot);
+        assert_eq!(cache.stats().since(before).builds, 0, "warm repeat must build no banks");
     }
 }

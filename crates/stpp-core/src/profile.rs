@@ -49,6 +49,17 @@ impl PhaseProfile {
         Self::from_pairs(&reports.iter().map(|r| (r.time_s, r.phase_rad)).collect::<Vec<_>>())
     }
 
+    /// Builds a profile from raw samples **without** the sanitisation
+    /// [`from_pairs`](Self::from_pairs) applies: samples are taken as-is
+    /// (no sorting, no wrapping, no non-finite filtering). This is the
+    /// trust level of a profile arriving through deserialization; the
+    /// detectors reject malformed samples with a typed
+    /// [`DetectError`](crate::vzone::DetectError) rather than assuming
+    /// every profile went through `from_pairs`.
+    pub fn from_samples(samples: Vec<PhaseSample>) -> Self {
+        PhaseProfile { samples }
+    }
+
     /// The samples, in time order.
     pub fn samples(&self) -> &[PhaseSample] {
         &self.samples
@@ -122,7 +133,7 @@ impl PhaseProfile {
         self.samples
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.phase_rad.partial_cmp(&b.1.phase_rad).expect("finite phases"))
+            .min_by(|a, b| a.1.phase_rad.total_cmp(&b.1.phase_rad))
             .map(|(i, _)| i)
     }
 

@@ -21,6 +21,7 @@
 //! measured profile.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rfid_phys::{PhaseModel, TWO_PI};
@@ -319,16 +320,57 @@ type BankKey = (u64, usize, usize);
 ///
 /// The cache assumes one sweep geometry: entries are not keyed by the
 /// remaining [`ReferenceProfileParams`] fields, so use a separate cache
-/// per distinct geometry base (the pipeline creates one per run).
+/// per distinct geometry base. A per-run pipeline creates one implicitly;
+/// a serving layer holds one per geometry process-wide behind an `Arc`
+/// (see `stpp-serve`) so repeated sweeps skip bank construction entirely.
 #[derive(Debug, Default)]
 pub struct ReferenceBankCache {
     banks: Mutex<HashMap<BankKey, Option<Arc<ReferenceBank>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+}
+
+/// Monotonic instrumentation counters of a [`ReferenceBankCache`].
+///
+/// `hits`/`misses` count cache lookups (note that the detection scratch
+/// short-circuits the cache when consecutive tags share a sampling
+/// interval, so lookups undercount detections); `builds` counts actual
+/// [`ReferenceBank::build`] invocations — the expensive event a warm
+/// serving cache exists to avoid. Snapshot before and after a request and
+/// subtract with [`BankCacheStats::since`] for per-request numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BankCacheStats {
+    /// Lookups that found a memoised bank (or memoised failure).
+    pub hits: u64,
+    /// Lookups that found nothing and triggered a build.
+    pub misses: u64,
+    /// Reference-bank constructions performed (including failed builds of
+    /// degenerate parameters, which memoise as failures).
+    pub builds: u64,
+}
+
+impl BankCacheStats {
+    /// The counter deltas accumulated since an `earlier` snapshot.
+    pub fn since(self, earlier: BankCacheStats) -> BankCacheStats {
+        BankCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            builds: self.builds.saturating_sub(earlier.builds),
+        }
+    }
 }
 
 impl ReferenceBankCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         ReferenceBankCache::default()
+    }
+
+    /// Creates an empty cache already wrapped for process-wide sharing
+    /// across runs, threads, and requests.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ReferenceBankCache::default())
     }
 
     /// Returns the bank for `interval_s`, building (and memoising) it on
@@ -344,14 +386,26 @@ impl ReferenceBankCache {
     ) -> Option<Arc<ReferenceBank>> {
         let key = (interval_s.to_bits(), window, offset_candidates);
         if let Some(bank) = self.banks.lock().expect("bank cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return bank.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         // Build outside the lock: bank construction is the expensive part,
         // and a duplicate build by a racing worker is harmless (the first
         // insertion wins below, keeping all workers on one instance).
+        self.builds.fetch_add(1, Ordering::Relaxed);
         let params = ReferenceProfileParams { sample_interval_s: interval_s, ..base };
         let built = ReferenceBank::build(params, window, offset_candidates).map(Arc::new);
         self.banks.lock().expect("bank cache poisoned").entry(key).or_insert(built).clone()
+    }
+
+    /// A snapshot of the cache's instrumentation counters.
+    pub fn stats(&self) -> BankCacheStats {
+        BankCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct banks (including memoised failures) in the cache.
@@ -510,12 +564,22 @@ mod tests {
     fn bank_cache_memoises_by_interval() {
         let cache = ReferenceBankCache::new();
         assert!(cache.is_empty());
+        assert_eq!(cache.stats(), BankCacheStats::default());
         let a = cache.get_or_build(params(), 5, 8, 0.02).expect("valid bank");
         let b = cache.get_or_build(params(), 5, 8, 0.02).expect("valid bank");
         assert!(Arc::ptr_eq(&a, &b), "same interval must share one bank");
         let c = cache.get_or_build(params(), 5, 8, 0.05).expect("valid bank");
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
+        // Instrumentation: two distinct intervals = two misses and two
+        // builds; the repeated lookup was the single hit.
+        let stats = cache.stats();
+        assert_eq!(stats, BankCacheStats { hits: 1, misses: 2, builds: 2 });
+        // A warm repeat performs zero constructions.
+        let before = cache.stats();
+        let _ = cache.get_or_build(params(), 5, 8, 0.02).expect("valid bank");
+        let delta = cache.stats().since(before);
+        assert_eq!(delta, BankCacheStats { hits: 1, misses: 0, builds: 0 });
         // Degenerate parameters memoise as a failure instead of retrying.
         let bad_cache = ReferenceBankCache::new();
         let bad = ReferenceProfileParams::new(0.0, 0.3, 0.326);

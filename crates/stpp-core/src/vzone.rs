@@ -31,6 +31,73 @@ use crate::profile::PhaseProfile;
 use crate::reference::{ReferenceBank, ReferenceBankCache, ReferenceProfileParams};
 use crate::segment::SegmentedProfile;
 
+/// Typed detection failures for malformed input profiles.
+///
+/// These are *errors*, distinct from the `Ok(None)` "no V-zone found"
+/// outcome: a profile that triggers one of these could previously panic
+/// the detector (non-finite timestamps reaching the gap-median selection)
+/// or silently fabricate a result (an empty V-zone "nadir" at index 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectError {
+    /// A sample carries a non-finite time or phase value. Profiles built
+    /// through [`PhaseProfile::from_pairs`] /
+    /// [`PhaseProfile::from_reports`] are pre-filtered, but profiles can
+    /// also arrive through deserialization or
+    /// [`PhaseProfile::from_samples`], so the detectors re-validate at
+    /// their own ingestion boundary instead of panicking deep inside the
+    /// match.
+    NonFiniteSample {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+    /// A sample's timestamp precedes its predecessor's. The detectors
+    /// require time-ordered profiles (segmentation, gap medians, and
+    /// unwrapping all walk the samples in time order); a shuffled profile
+    /// would quietly produce a garbage alignment instead.
+    UnsortedSamples {
+        /// Index of the first sample that is earlier than its predecessor.
+        index: usize,
+    },
+    /// The candidate V-zone contained no samples to take a nadir from.
+    EmptyVZone,
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::NonFiniteSample { index } => {
+                write!(f, "profile sample {index} has a non-finite time or phase")
+            }
+            DetectError::UnsortedSamples { index } => {
+                write!(f, "profile sample {index} is earlier than its predecessor")
+            }
+            DetectError::EmptyVZone => {
+                write!(f, "candidate V-zone contained no samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+/// Rejects profiles containing non-finite or time-disordered samples
+/// with a typed error naming the first offending sample (scan order:
+/// whichever defect appears first). Equal timestamps are allowed — COTS
+/// readers can report two channels in the same millisecond.
+fn validate_profile(profile: &PhaseProfile) -> Result<(), DetectError> {
+    let mut prev_time = f64::NEG_INFINITY;
+    for (index, s) in profile.samples().iter().enumerate() {
+        if !(s.time_s.is_finite() && s.phase_rad.is_finite()) {
+            return Err(DetectError::NonFiniteSample { index });
+        }
+        if s.time_s < prev_time {
+            return Err(DetectError::UnsortedSamples { index });
+        }
+        prev_time = s.time_s;
+    }
+    Ok(())
+}
+
 /// A least-squares quadratic fit `y = a·t² + b·t + c`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuadraticFit {
@@ -217,8 +284,10 @@ fn median_interval_with(profile: &PhaseProfile, gaps: &mut Vec<f64>) -> Option<f
         }
     }
     let mid = gaps.len() / 2;
-    let (_, median, _) =
-        gaps.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite gaps"));
+    // total_cmp instead of partial_cmp().expect("finite gaps"): callers
+    // validate profiles before detection, but the selection itself must
+    // never be able to panic on a NaN gap from a malformed recording.
+    let (_, median, _) = gaps.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
     Some(*median)
 }
 
@@ -241,6 +310,19 @@ fn moving_average_into(values: &[f64], window: usize, out: &mut Vec<f64>) {
 /// either `max_half_duration_s` is reached or the raw phase wraps (which
 /// marks the true V-zone boundary). `buf_a`/`buf_b` are reusable working
 /// buffers (unwrapped and smoothed phases).
+///
+/// When the bottom phase itself sits on the 0/2π boundary (nadir phase +
+/// hardware offset ≈ 2π), the samples hug the boundary and wrap back and
+/// forth *at the nadir*; treating those jitter wraps as the V-zone edge
+/// truncated the window below the fittable minimum and made the tag
+/// silently undetectable for a hair-thin band of hardware offsets. The
+/// plain first-wrap walk therefore gets a second chance: if (and only
+/// if) it produced an unusably small window around a boundary-hugging
+/// bottom, the walk is redone ignoring wraps until the unwrapped phase
+/// has climbed out of the boundary band — capped, as always, by
+/// `max_half_duration_s`, the quarter-wavelength fitting window, which
+/// is the right degenerate answer when the nadir sits *on* a period
+/// boundary. Windows the plain walk already handled are untouched.
 fn refine_vzone(
     measured: &PhaseProfile,
     coarse_range: std::ops::Range<usize>,
@@ -261,33 +343,52 @@ fn refine_vzone(
     }
     crate::profile::unwrap_phases_into(samples, buf_a);
     moving_average_into(buf_a, 5, buf_b);
-    let min_rel = buf_b
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite phases"))
-        .map(|(i, _)| i)?;
+    let min_rel = buf_b.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)?;
     let center_time = samples[min_rel].time_s;
+    let u_bottom = buf_a[min_rel];
     let is_wrap = |a: f64, b: f64| (a - b).abs() > std::f64::consts::PI;
+    // The band must sit above the noise scale of a smoothed bottom
+    // (~0.1–0.2 rad) and below the smallest genuine edge rise
+    // (2π − θ_nadir ≈ 0.99 rad for the paper's 0.3 m / λ setup).
+    const BOUNDARY_BAND_RAD: f64 = 0.3;
+    let bottom_raw = samples[min_rel].phase_rad;
+    let boundary_hug =
+        !(BOUNDARY_BAND_RAD..=std::f64::consts::TAU - BOUNDARY_BAND_RAD).contains(&bottom_raw);
+    // `skip_hug_wraps = false` is the plain walk: stop at the first wrap.
+    // The retry pass additionally requires the unwrapped phase to have
+    // climbed out of the boundary band before a wrap counts as the edge.
+    let walk = |skip_hug_wraps: bool| -> (usize, usize) {
+        let is_edge_wrap = |idx_outer: usize, idx_inner: usize| {
+            is_wrap(samples[idx_inner].phase_rad, samples[idx_outer].phase_rad)
+                && (!skip_hug_wraps || buf_a[idx_outer] - u_bottom > BOUNDARY_BAND_RAD)
+        };
+        let mut lo = min_rel;
+        while lo > 0 {
+            if center_time - samples[lo - 1].time_s > max_half_duration_s {
+                break;
+            }
+            if is_edge_wrap(lo - 1, lo) {
+                break;
+            }
+            lo -= 1;
+        }
+        let mut hi = min_rel + 1;
+        while hi < samples.len() {
+            if samples[hi].time_s - center_time > max_half_duration_s {
+                break;
+            }
+            if is_edge_wrap(hi, hi - 1) {
+                break;
+            }
+            hi += 1;
+        }
+        (lo, hi)
+    };
 
-    let mut lo = min_rel;
-    while lo > 0 {
-        if center_time - samples[lo - 1].time_s > max_half_duration_s {
-            break;
-        }
-        if is_wrap(samples[lo].phase_rad, samples[lo - 1].phase_rad) {
-            break;
-        }
-        lo -= 1;
-    }
-    let mut hi = min_rel + 1;
-    while hi < samples.len() {
-        if samples[hi].time_s - center_time > max_half_duration_s {
-            break;
-        }
-        if is_wrap(samples[hi].phase_rad, samples[hi - 1].phase_rad) {
-            break;
-        }
-        hi += 1;
+    let usable = min_samples.max(3);
+    let (mut lo, mut hi) = walk(false);
+    if hi - lo < usable && boundary_hug {
+        (lo, hi) = walk(true);
     }
     let abs_start = start + lo;
     let abs_end = start + hi;
@@ -301,7 +402,7 @@ fn refine_vzone(
     })
 }
 
-fn fit_vzone(vzone: &VZone) -> (Option<QuadraticFit>, f64, f64) {
+fn fit_vzone(vzone: &VZone) -> Result<(Option<QuadraticFit>, f64, f64), DetectError> {
     fit_vzone_with(vzone, &mut Vec::new(), &mut Vec::new())
 }
 
@@ -309,7 +410,7 @@ fn fit_vzone_with(
     vzone: &VZone,
     unwrapped_buf: &mut Vec<f64>,
     points_buf: &mut Vec<(f64, f64)>,
-) -> (Option<QuadraticFit>, f64, f64) {
+) -> Result<(Option<QuadraticFit>, f64, f64), DetectError> {
     // Fit over unwrapped values so a bottom that dips below 0 (and wraps to
     // ~2π) does not destroy the parabola.
     let samples = vzone.profile.samples();
@@ -317,10 +418,14 @@ fn fit_vzone_with(
     points_buf.clear();
     points_buf.extend(samples.iter().zip(unwrapped_buf.iter()).map(|(s, &u)| (s.time_s, u)));
     let points = &points_buf[..];
-    let fallback = || {
-        let idx = vzone.profile.argmin_phase().unwrap_or(0);
+    // When the quadratic fit cannot place the nadir, fall back to the raw
+    // minimum-phase sample. An empty or degenerate V-zone has no such
+    // sample: that is a detection error, not "the nadir is at index 0" —
+    // the seed implementation fabricated exactly that.
+    let fallback = || -> Result<(f64, f64), DetectError> {
+        let idx = vzone.profile.argmin_phase().ok_or(DetectError::EmptyVZone)?;
         let s = vzone.profile.samples()[idx];
-        (s.time_s, s.phase_rad)
+        Ok((s.time_s, s.phase_rad))
     };
     match QuadraticFit::fit(points) {
         Some(fit) if fit.is_minimum() => {
@@ -329,17 +434,17 @@ fn fit_vzone_with(
             match fit.vertex_time() {
                 Some(vt) if vt >= t_min && vt <= t_max => {
                     let value = fit.vertex_value().unwrap_or_else(|| fit.evaluate(vt));
-                    (Some(fit), vt, wrap_phase(value))
+                    Ok((Some(fit), vt, wrap_phase(value)))
                 }
                 _ => {
-                    let (t, p) = fallback();
-                    (Some(fit), t, p)
+                    let (t, p) = fallback()?;
+                    Ok((Some(fit), t, p))
                 }
             }
         }
         other => {
-            let (t, p) = fallback();
-            (other, t, p)
+            let (t, p) = fallback()?;
+            Ok((other, t, p))
         }
     }
 }
@@ -449,8 +554,9 @@ impl VZoneDetector {
         Some(quantize_interval(median_interval_with(measured, &mut Vec::new())?))
     }
 
-    /// Detects the V-zone in a measured profile. Returns `None` when the
-    /// profile is too short or no acceptable match is found.
+    /// Detects the V-zone in a measured profile. Returns `Ok(None)` when
+    /// the profile is too short or no acceptable match is found, and
+    /// `Err` when the profile itself is malformed (see [`DetectError`]).
     ///
     /// This is the convenience entry point: it builds a throwaway
     /// reference bank and scratch per call. Callers processing many
@@ -458,7 +564,7 @@ impl VZoneDetector {
     /// [`DetectScratch`] and use [`detect_cached`](Self::detect_cached),
     /// which amortises the reference construction across tags and
     /// performs no per-tag DTW allocations.
-    pub fn detect(&self, measured: &PhaseProfile) -> Option<VZoneDetection> {
+    pub fn detect(&self, measured: &PhaseProfile) -> Result<Option<VZoneDetection>, DetectError> {
         self.detect_cached(measured, &ReferenceBankCache::new(), &mut DetectScratch::new())
     }
 
@@ -470,11 +576,15 @@ impl VZoneDetector {
         measured: &PhaseProfile,
         cache: &ReferenceBankCache,
         scratch: &mut DetectScratch,
-    ) -> Option<VZoneDetection> {
+    ) -> Result<Option<VZoneDetection>, DetectError> {
         if measured.len() < self.min_samples {
-            return None;
+            return Ok(None);
         }
-        let interval = quantize_interval(median_interval_with(measured, &mut scratch.gaps)?);
+        validate_profile(measured)?;
+        let Some(median) = median_interval_with(measured, &mut scratch.gaps) else {
+            return Ok(None);
+        };
+        let interval = quantize_interval(median);
         let key = interval.to_bits();
         let params =
             ReferenceProfileParams { sample_interval_s: interval, ..self.reference_params };
@@ -488,17 +598,20 @@ impl VZoneDetector {
                 bank.clone()
             }
             _ => {
-                let bank = cache.get_or_build(
+                let Some(bank) = cache.get_or_build(
                     self.reference_params,
                     self.window,
                     self.offset_candidates,
                     interval,
-                )?;
+                ) else {
+                    return Ok(None);
+                };
                 scratch.last_bank = Some((key, bank.clone()));
                 bank
             }
         };
-        self.detect_with_bank(measured, &bank, scratch)
+        // The profile was validated above; skip the re-scan.
+        self.detect_with_bank_validated(measured, &bank, scratch)
     }
 
     /// [`detect`](Self::detect) against an explicit precomputed reference
@@ -508,16 +621,29 @@ impl VZoneDetector {
         measured: &PhaseProfile,
         bank: &ReferenceBank,
         scratch: &mut DetectScratch,
-    ) -> Option<VZoneDetection> {
+    ) -> Result<Option<VZoneDetection>, DetectError> {
         if measured.len() < self.min_samples {
-            return None;
+            return Ok(None);
         }
+        validate_profile(measured)?;
+        self.detect_with_bank_validated(measured, bank, scratch)
+    }
+
+    /// The detection body, assuming `measured` has already passed the
+    /// `min_samples` gate and [`validate_profile`] (every public entry
+    /// performs both exactly once).
+    fn detect_with_bank_validated(
+        &self,
+        measured: &PhaseProfile,
+        bank: &ReferenceBank,
+        scratch: &mut DetectScratch,
+    ) -> Result<Option<VZoneDetection>, DetectError> {
         let DetectScratch {
             dtw, measured_seg, measured_feat, hint, work_a, work_b, points, ..
         } = scratch;
         measured_seg.rebuild(measured, self.window);
         if measured_seg.is_empty() {
-            return None;
+            return Ok(None);
         }
         measured_feat.refill(measured_seg);
         let samples = measured.samples();
@@ -610,23 +736,27 @@ impl VZoneDetector {
             best = Some((normalised_cost, k, sample_range));
         }
 
-        let (cost, winner, range) = best?;
+        let Some((cost, winner, range)) = best else {
+            return Ok(None);
+        };
         *hint = Some(winner);
         // Refine the coarse DTW match into a window centred on the nadir;
         // the half-width cap was precomputed by the bank.
-        let vzone = refine_vzone(
+        let Some(vzone) = refine_vzone(
             measured,
             range,
             bank.max_half_duration_s,
             self.min_vzone_samples,
             work_a,
             work_b,
-        )?;
+        ) else {
+            return Ok(None);
+        };
         if vzone.profile.len() < self.min_vzone_samples {
-            return None;
+            return Ok(None);
         }
-        let (fit, nadir_time_s, nadir_phase) = fit_vzone_with(&vzone, work_a, points);
-        Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: Some(cost) })
+        let (fit, nadir_time_s, nadir_phase) = fit_vzone_with(&vzone, work_a, points)?;
+        Ok(Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: Some(cost) }))
     }
 }
 
@@ -650,25 +780,28 @@ impl Default for NaiveUnwrapDetector {
 }
 
 impl NaiveUnwrapDetector {
-    /// Detects the nadir by global unwrapping.
-    pub fn detect(&self, measured: &PhaseProfile) -> Option<VZoneDetection> {
+    /// Detects the nadir by global unwrapping. Returns `Ok(None)` when the
+    /// profile is too short, `Err` when it is malformed (see
+    /// [`DetectError`]).
+    pub fn detect(&self, measured: &PhaseProfile) -> Result<Option<VZoneDetection>, DetectError> {
         if measured.len() < self.min_samples {
-            return None;
+            return Ok(None);
         }
+        validate_profile(measured)?;
         let unwrapped = measured.unwrapped_phases();
-        let min_idx = unwrapped
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite phases"))
-            .map(|(i, _)| i)?;
+        let Some(min_idx) =
+            unwrapped.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
+        else {
+            return Ok(None);
+        };
         let start = min_idx.saturating_sub(self.half_window);
         let end = (min_idx + self.half_window + 1).min(measured.len());
         let vzone = VZone { start_idx: start, end_idx: end, profile: measured.slice(start..end) };
         if vzone.profile.len() < 3 {
-            return None;
+            return Ok(None);
         }
-        let (fit, nadir_time_s, nadir_phase) = fit_vzone(&vzone);
-        Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: None })
+        let (fit, nadir_time_s, nadir_phase) = fit_vzone(&vzone)?;
+        Ok(Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: None }))
     }
 }
 
@@ -745,7 +878,8 @@ mod tests {
         let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
         let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
         let detector = VZoneDetector::new(params);
-        let detection = detector.detect(&profile).expect("V-zone must be found");
+        let detection =
+            detector.detect(&profile).expect("valid profile").expect("V-zone must be found");
         assert!(
             (detection.nadir_time_s - 10.0).abs() < 0.6,
             "nadir at {} expected near 10.0",
@@ -763,8 +897,8 @@ mod tests {
         let p2 = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
         let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
         let detector = VZoneDetector::new(params);
-        let d1 = detector.detect(&p1).unwrap();
-        let d2 = detector.detect(&p2).unwrap();
+        let d1 = detector.detect(&p1).unwrap().unwrap();
+        let d2 = detector.detect(&p2).unwrap().unwrap();
         assert!(d1.nadir_time_s < d2.nadir_time_s);
         // 20 cm at 0.1 m/s = 2 s apart.
         assert!(((d2.nadir_time_s - d1.nadir_time_s) - 2.0).abs() < 1.0);
@@ -780,8 +914,8 @@ mod tests {
         let far = synthetic_profile(1.0, 0.32, 0.1, 2.0, 0.03);
         let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
         let detector = VZoneDetector::new(params);
-        let d_near = detector.detect(&near).unwrap();
-        let d_far = detector.detect(&far).unwrap();
+        let d_near = detector.detect(&near).unwrap().unwrap();
+        let d_far = detector.detect(&far).unwrap().unwrap();
         assert!(
             d_far.nadir_phase > d_near.nadir_phase,
             "far = {}, near = {}",
@@ -803,7 +937,10 @@ mod tests {
             .collect();
         let degraded = PhaseProfile::from_pairs(&pairs);
         let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
-        let detection = VZoneDetector::new(params).detect(&degraded).expect("must still detect");
+        let detection = VZoneDetector::new(params)
+            .detect(&degraded)
+            .expect("valid profile")
+            .expect("must still detect");
         assert!((detection.nadir_time_s - 10.0).abs() < 1.0, "nadir {}", detection.nadir_time_s);
     }
 
@@ -812,14 +949,14 @@ mod tests {
         let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
         let detector = VZoneDetector::new(params);
         let tiny = PhaseProfile::from_pairs(&[(0.0, 1.0), (0.1, 1.1), (0.2, 1.2)]);
-        assert!(detector.detect(&tiny).is_none());
-        assert!(detector.detect(&PhaseProfile::new()).is_none());
+        assert!(detector.detect(&tiny).unwrap().is_none());
+        assert!(detector.detect(&PhaseProfile::new()).unwrap().is_none());
     }
 
     #[test]
     fn naive_detector_finds_nadir_of_clean_profile() {
         let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
-        let detection = NaiveUnwrapDetector::default().detect(&profile).unwrap();
+        let detection = NaiveUnwrapDetector::default().detect(&profile).unwrap().unwrap();
         assert!((detection.nadir_time_s - 10.0).abs() < 0.6);
         assert!(detection.match_cost.is_none());
     }
@@ -828,7 +965,7 @@ mod tests {
     fn coarse_representation_has_k_values_in_range() {
         let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
         let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
-        let detection = VZoneDetector::new(params).detect(&profile).unwrap();
+        let detection = VZoneDetector::new(params).detect(&profile).unwrap().unwrap();
         let coarse = detection.coarse_representation(6).unwrap();
         assert_eq!(coarse.len(), 6);
         for v in &coarse {
@@ -843,12 +980,96 @@ mod tests {
     }
 
     #[test]
+    fn nadir_on_the_wrap_boundary_is_still_detected() {
+        // Regression: when the bottom phase lands exactly on the 0/2π
+        // boundary (θ_nadir + hardware offset ≈ 2π), the samples near the
+        // nadir wrap back and forth across the boundary. The refinement
+        // used to mistake those jitter wraps for the V-zone edge,
+        // truncate the window below the fittable minimum, and silently
+        // report the tag undetectable — for a hair-thin band of offsets
+        // (±0.001 rad around the critical value) surrounded by offsets
+        // that detect fine.
+        let d_perp = 0.3f64;
+        let wl = 0.326f64;
+        let speed = 0.1f64;
+        // θ_nadir = wrap(4π·d⊥/λ) ≈ 5.283 for this geometry; an offset of
+        // 2π − θ_nadir ≈ 1.0003 puts the bottom exactly on the boundary.
+        let theta_nadir = rfid_phys::wrap_phase(2.0 * TWO_PI * d_perp / wl);
+        let critical_mu = TWO_PI - theta_nadir;
+        let detector = VZoneDetector::new(ReferenceProfileParams::new(speed, d_perp, wl));
+        for mu in [critical_mu - 1e-3, critical_mu, critical_mu + 1e-3] {
+            let pairs: Vec<(f64, f64)> = (0..600)
+                .map(|i| {
+                    let t = i as f64 * 0.05;
+                    let d = ((speed * t - 1.0f64).powi(2) + d_perp * d_perp).sqrt();
+                    (t, TWO_PI * 2.0 * d / wl + mu)
+                })
+                .collect();
+            let profile = PhaseProfile::from_pairs(&pairs);
+            let detection = detector
+                .detect(&profile)
+                .expect("valid profile")
+                .unwrap_or_else(|| panic!("boundary nadir undetected at mu = {mu}"));
+            assert!(
+                (detection.nadir_time_s - 10.0).abs() < 0.6,
+                "mu = {mu}: nadir at {}",
+                detection.nadir_time_s
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_with_a_typed_error() {
+        // Regression: profiles that bypass `from_pairs` sanitisation (e.g.
+        // deserialized recordings) used to panic inside the gap-median
+        // selection on NaN timestamps. Both detectors now reject them with
+        // a typed error naming the offending sample.
+        use crate::profile::PhaseSample;
+        let mut samples: Vec<PhaseSample> = (0..40)
+            .map(|i| PhaseSample { time_s: i as f64 * 0.05, phase_rad: 1.0 + 0.01 * i as f64 })
+            .collect();
+        samples[7].time_s = f64::NAN;
+        let malformed = PhaseProfile::from_samples(samples.clone());
+        let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
+        assert_eq!(
+            VZoneDetector::new(params).detect(&malformed),
+            Err(DetectError::NonFiniteSample { index: 7 })
+        );
+        assert_eq!(
+            NaiveUnwrapDetector::default().detect(&malformed),
+            Err(DetectError::NonFiniteSample { index: 7 })
+        );
+        samples[7].time_s = 0.35;
+        samples[3].phase_rad = f64::INFINITY;
+        let malformed = PhaseProfile::from_samples(samples);
+        assert_eq!(
+            VZoneDetector::new(params).detect(&malformed),
+            Err(DetectError::NonFiniteSample { index: 3 })
+        );
+        // The error is human readable.
+        assert!(DetectError::NonFiniteSample { index: 3 }.to_string().contains("sample 3"));
+        assert!(DetectError::EmptyVZone.to_string().contains("V-zone"));
+    }
+
+    #[test]
+    fn empty_vzone_fallback_is_an_error_not_index_zero() {
+        // Regression for the `argmin_phase().unwrap_or(0)` fabrication: a
+        // degenerate V-zone must surface `DetectError::EmptyVZone` instead
+        // of inventing a nadir at the first sample.
+        let vzone = VZone { start_idx: 0, end_idx: 0, profile: PhaseProfile::from_pairs(&[]) };
+        assert_eq!(fit_vzone(&vzone), Err(DetectError::EmptyVZone));
+    }
+
+    #[test]
     fn window_size_affects_detection_but_small_windows_stay_accurate() {
         let profile = synthetic_profile(1.0, 0.3, 0.1, 2.0, 0.03);
         let params = ReferenceProfileParams::new(0.1, 0.3, wavelength());
         for w in [1usize, 3, 5] {
             let detector = VZoneDetector::new(params).with_window(w);
-            let detection = detector.detect(&profile).expect("detection with small window");
+            let detection = detector
+                .detect(&profile)
+                .expect("valid profile")
+                .expect("detection with small window");
             assert!(
                 (detection.nadir_time_s - 10.0).abs() < 0.8,
                 "w={w} nadir={}",

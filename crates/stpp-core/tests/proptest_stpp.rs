@@ -243,6 +243,85 @@ proptest! {
     }
 
     #[test]
+    fn order_metric_is_antisymmetric_for_any_representations(
+        p in proptest::collection::vec(0.0f64..7.0, 0..12),
+        q in proptest::collection::vec(0.0f64..7.0, 0..12),
+    ) {
+        // Exact anti-symmetry — the property the Y-ordering comparator
+        // relies on — must hold for representations of any (unequal)
+        // lengths, including empty ones.
+        let o_pq = order_metric(&p, &q);
+        let o_qp = order_metric(&q, &p);
+        // Exact IEEE equality, not an epsilon: every contributing term is
+        // the bit-exact negation of its counterpart. (Value equality, so
+        // +0.0 matches -0.0.)
+        prop_assert!(o_pq == -o_qp, "O(P,Q) = {}, O(Q,P) = {}", o_pq, o_qp);
+        prop_assert_eq!(order_metric(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn no_input_panics_the_detectors(
+        raw in proptest::collection::vec(
+            ((0u8..8, -50.0f64..50.0), (0u8..8, -50.0f64..50.0)),
+            0..80,
+        ),
+    ) {
+        // Hostile profiles — unsorted times, NaN / ±inf samples, wild
+        // phases — must never panic a detector: non-finite samples come
+        // back as typed errors, everything else as a normal outcome.
+        let hostile = |sel: u8, v: f64| match sel {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => v,
+        };
+        let samples: Vec<stpp_core::PhaseSample> = raw
+            .iter()
+            .map(|&((ts, tv), (ps, pv))| stpp_core::PhaseSample {
+                time_s: hostile(ts, tv),
+                phase_rad: hostile(ps, pv),
+            })
+            .collect();
+        // Mirror the validation scan: the first defect in sample order
+        // decides the expected error (non-finite wins at its index,
+        // otherwise a backwards time step).
+        let mut expected: Option<stpp_core::DetectError> = None;
+        let mut prev_time = f64::NEG_INFINITY;
+        for (index, s) in samples.iter().enumerate() {
+            if !(s.time_s.is_finite() && s.phase_rad.is_finite()) {
+                expected = Some(stpp_core::DetectError::NonFiniteSample { index });
+                break;
+            }
+            if s.time_s < prev_time {
+                expected = Some(stpp_core::DetectError::UnsortedSamples { index });
+                break;
+            }
+            prev_time = s.time_s;
+        }
+        let profile = PhaseProfile::from_samples(samples);
+        let params = ReferenceProfileParams::new(0.1, 0.3, 0.326);
+        let dtw = stpp_core::VZoneDetector::new(params);
+        let naive = stpp_core::NaiveUnwrapDetector::default();
+        let r_dtw = dtw.detect(&profile);
+        let r_naive = naive.detect(&profile);
+        match expected {
+            Some(err) => {
+                if profile.len() >= dtw.min_samples {
+                    prop_assert_eq!(&r_dtw, &Err(err));
+                }
+                if profile.len() >= naive.min_samples {
+                    prop_assert_eq!(&r_naive, &Err(err));
+                }
+            }
+            None => {
+                // Well-formed input: a miss is fine, an error is not.
+                prop_assert!(r_dtw.is_ok());
+                prop_assert!(r_naive.is_ok());
+            }
+        }
+    }
+
+    #[test]
     fn order_and_gap_metrics_are_consistent(
         base in proptest::collection::vec(0.5f64..6.0, 4..12),
         delta in 0.01f64..1.0,

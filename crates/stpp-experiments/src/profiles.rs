@@ -154,7 +154,7 @@ fn measured_pair_report(
                 input.wavelength_m,
             ));
             for obs in &input.observations {
-                if let Some(d) = detector.detect(&obs.profile) {
+                if let Ok(Some(d)) = detector.detect(&obs.profile) {
                     report.push_row(vec![
                         format!("{}", obs.id),
                         format!("{}", obs.profile.len()),
@@ -294,7 +294,7 @@ pub fn fig09_quadratic_fitting(seed: u64) -> ExperimentReport {
                 input.wavelength_m,
             ));
             for obs in &input.observations {
-                if let Some(d) = detector.detect(&obs.profile) {
+                if let Ok(Some(d)) = detector.detect(&obs.profile) {
                     nadirs.push((obs.id, d.nadir_time_s));
                     report.push_row(vec![
                         format!("{}", obs.id),

@@ -1,0 +1,56 @@
+//! # stpp-serve
+//!
+//! The serving layer over the STPP pipeline: a long-lived
+//! [`LocalizationService`] that a portal process creates **once** and
+//! shares (behind an [`std::sync::Arc`]) across every conveyor batch,
+//! sweep, and worker thread.
+//!
+//! What the per-run pipeline rebuilds on every call, the service keeps:
+//!
+//! * a process-wide registry of
+//!   [`ReferenceBankCache`](stpp_core::ReferenceBankCache)s keyed by the
+//!   request's effective geometry ([`GeometryKey`]), so a repeated
+//!   same-geometry request performs **zero** reference-bank
+//!   constructions — verified by instrumentation counters
+//!   ([`BankCacheStats`](stpp_core::BankCacheStats)) that every response
+//!   reports back in its [`RequestMetrics`];
+//! * per-request stage timings (prepare / detect / order) for latency
+//!   attribution;
+//! * a streaming path: a [`ServiceSession`] ingests
+//!   [`TagReadReport`](rfid_reader::TagReadReport)s incrementally,
+//!   rejects malformed samples at the boundary ([`IngestError`]), and
+//!   triggers localization when tag profiles go quiescent — the paper's
+//!   online operation rather than one-shot batch calls.
+//!
+//! Service output is **bit-identical** to the sequential
+//! [`RelativeLocalizer`](stpp_core::RelativeLocalizer) for any thread
+//! count, warm or cold cache.
+//!
+//! ```
+//! use stpp_serve::LocalizationService;
+//! # use rfid_geometry::RowLayout;
+//! # use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+//! # use stpp_core::StppInput;
+//! let service = LocalizationService::with_defaults();
+//! # let layout = RowLayout::new(0.0, 0.0, 0.1, 4).build();
+//! # let scenario =
+//! #     ScenarioBuilder::new(7).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
+//! # let recording = ReaderSimulation::new(scenario, 7).run();
+//! # let input = StppInput::from_recording(&recording).unwrap();
+//! let first = service.localize(&input).unwrap();
+//! let repeat = service.localize(&input).unwrap();
+//! assert_eq!(first.result, repeat.result);
+//! assert_eq!(repeat.metrics.bank_cache.builds, 0); // warm: zero bank builds
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod session;
+
+pub use service::{
+    GeometryKey, LocalizationRequest, LocalizationResponse, LocalizationService, RequestMetrics,
+    ServiceConfig, ServiceStats,
+};
+pub use session::{IngestError, ServiceSession, SessionGeometry};

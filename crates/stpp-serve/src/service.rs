@@ -1,0 +1,441 @@
+//! The long-lived localization service.
+//!
+//! A portal deployment localizes conveyor after conveyor of tag
+//! populations with the *same* scenario geometry. The per-run pipeline
+//! rebuilds its reference banks for every call; [`LocalizationService`]
+//! instead owns one process-wide cache of [`ReferenceBankCache`]s keyed
+//! by the request's effective geometry, fans each request through the
+//! existing batch engine, and reports per-request metrics (bank-cache
+//! counters, per-stage timings). Output is bit-identical to the
+//! sequential [`RelativeLocalizer`] for any
+//! thread count, warm or cold.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use stpp_core::{
+    BankCacheStats, LocalizationError, ReferenceBankCache, RelativeLocalizer, StppConfig,
+    StppInput, StppResult,
+};
+
+use crate::session::{ServiceSession, SessionGeometry};
+
+/// Configuration of a [`LocalizationService`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// The pipeline configuration every request runs with.
+    pub stpp: StppConfig,
+    /// Default worker-thread count per request (requests may override it).
+    pub threads: usize,
+    /// Upper bound on the number of distinct geometries whose bank caches
+    /// are retained. When a new geometry would exceed the bound the whole
+    /// registry is flushed (a growth guard, not an LRU — portals see a
+    /// handful of geometries, so the bound should never be hit in
+    /// practice).
+    pub max_cached_geometries: usize,
+    /// Default quiescence window for streaming sessions, seconds: a tag
+    /// whose last read is at least this much older than the newest
+    /// ingested timestamp is considered to have left the reading zone.
+    pub session_quiescence_s: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            stpp: StppConfig::default(),
+            threads: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_cached_geometries: 64,
+            session_quiescence_s: 1.5,
+        }
+    }
+}
+
+/// The effective geometry of a request — everything that determines the
+/// *contents* of a reference bank. Requests with equal keys can share one
+/// [`ReferenceBankCache`]; requests with different keys must not (the
+/// cache's own entries are keyed by sampling interval only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GeometryKey {
+    speed_bits: u64,
+    wavelength_bits: u64,
+    perpendicular_bits: u64,
+    window: usize,
+    offset_candidates: usize,
+    periods: usize,
+}
+
+impl GeometryKey {
+    /// Derives the key a request resolves to: the input's sweep geometry
+    /// combined with the configuration fields baked into bank
+    /// construction. Uses [`StppConfig::effective_perpendicular_m`], so
+    /// an input carrying its own surveyed perpendicular distance keys
+    /// differently from one falling back to the deployment default.
+    pub fn for_request(config: &StppConfig, input: &StppInput) -> GeometryKey {
+        GeometryKey {
+            speed_bits: input.nominal_speed_mps.to_bits(),
+            wavelength_bits: input.wavelength_m.to_bits(),
+            perpendicular_bits: config.effective_perpendicular_m(input).to_bits(),
+            window: config.window,
+            offset_candidates: config.offset_candidates,
+            periods: config.reference_periods,
+        }
+    }
+}
+
+/// One localization request: the input plus optional per-request
+/// overrides.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalizationRequest<'a> {
+    /// The pipeline input (per-tag observations + sweep geometry).
+    pub input: &'a StppInput,
+    /// Worker threads for this request; `None` uses the service default.
+    pub threads: Option<usize>,
+}
+
+/// Per-request instrumentation returned alongside every result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestMetrics {
+    /// Number of tags in the request.
+    pub tags: usize,
+    /// Number of tags localized (present in the orderings).
+    pub localized: usize,
+    /// Number of tags observed but not localizable.
+    pub undetected: usize,
+    /// Worker threads the request actually ran with: the requested (or
+    /// service-default) count capped at the tag population, exactly as
+    /// the worker pool clamps it.
+    pub threads: usize,
+    /// Whether the request's geometry already had a bank cache registered
+    /// (a *geometry* hit still says nothing about the banks inside — see
+    /// `bank_cache`).
+    pub geometry_cache_hit: bool,
+    /// Bank-cache counter deltas attributed to this request: `builds = 0`
+    /// is the warm-path guarantee. Deltas are exact for serial callers;
+    /// concurrent requests on the same geometry may attribute each
+    /// other's counts to themselves.
+    pub bank_cache: BankCacheStats,
+    /// Time spent validating the request and constructing the detection
+    /// engine, seconds.
+    pub prepare_seconds: f64,
+    /// Time spent in per-tag V-zone detection (the DTW stage), seconds.
+    pub detect_seconds: f64,
+    /// Time spent assembling the X/Y orderings, seconds.
+    pub order_seconds: f64,
+    /// End-to-end service time for the request, seconds.
+    pub total_seconds: f64,
+}
+
+/// A localization result plus its request metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizationResponse {
+    /// The ordered result, bit-identical to the sequential localizer's.
+    pub result: StppResult,
+    /// Instrumentation for this request.
+    pub metrics: RequestMetrics,
+}
+
+/// Monotonic service-level counters (see [`LocalizationService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Requests served (successfully or not).
+    pub requests: u64,
+    /// Requests whose geometry already had a registered bank cache.
+    pub geometry_hits: u64,
+    /// Requests that registered a new geometry.
+    pub geometry_misses: u64,
+    /// Times the geometry registry was flushed by the growth guard.
+    pub registry_flushes: u64,
+    /// Streaming sessions opened.
+    pub sessions_opened: u64,
+    /// Batches localized on behalf of streaming sessions.
+    pub session_batches: u64,
+}
+
+/// A long-lived localization service holding one process-wide,
+/// geometry-keyed registry of reference-bank caches.
+///
+/// Wrap it in an [`Arc`] (see [`LocalizationService::new`]) and share it
+/// across threads and requests: every method takes `&self`, and repeated
+/// requests for the same geometry perform **zero** reference-bank
+/// constructions after the first.
+#[derive(Debug)]
+pub struct LocalizationService {
+    config: ServiceConfig,
+    banks: Mutex<HashMap<GeometryKey, Arc<ReferenceBankCache>>>,
+    requests: AtomicU64,
+    geometry_hits: AtomicU64,
+    geometry_misses: AtomicU64,
+    registry_flushes: AtomicU64,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) session_batches: AtomicU64,
+}
+
+impl LocalizationService {
+    /// Creates a service ready for process-wide sharing.
+    pub fn new(config: ServiceConfig) -> Arc<Self> {
+        Arc::new(LocalizationService {
+            config: ServiceConfig {
+                threads: config.threads.max(1),
+                max_cached_geometries: config.max_cached_geometries.max(1),
+                ..config
+            },
+            banks: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            geometry_hits: AtomicU64::new(0),
+            geometry_misses: AtomicU64::new(0),
+            registry_flushes: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            session_batches: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates a service with the default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        LocalizationService::new(ServiceConfig::default())
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Localizes one request with the service default thread count.
+    pub fn localize(&self, input: &StppInput) -> Result<LocalizationResponse, LocalizationError> {
+        self.localize_request(LocalizationRequest { input, threads: None })
+    }
+
+    /// Localizes one request.
+    pub fn localize_request(
+        &self,
+        request: LocalizationRequest<'_>,
+    ) -> Result<LocalizationResponse, LocalizationError> {
+        let started = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let input = request.input;
+        // Reject invalid requests *before* touching the geometry
+        // registry: a stream of malformed requests (NaN speed, empty
+        // populations) must not register never-usable caches and
+        // eventually trip the growth guard's flush, evicting the warm
+        // banks of valid geometries. Same validator the pipeline itself
+        // runs, so the rejection condition cannot drift.
+        input.validate()?;
+        // Mirror the worker pool's clamp so the metrics report the
+        // parallelism the request actually ran with.
+        let threads =
+            request.threads.unwrap_or(self.config.threads).min(input.observations.len()).max(1);
+
+        let (cache, geometry_cache_hit) = self.bank_cache_for(&self.config.stpp, input);
+        let bank_stats_before = cache.stats();
+
+        let localizer = RelativeLocalizer::new(self.config.stpp);
+        let prepared = localizer.prepare_with_cache(input, cache.clone())?;
+        let prepare_seconds = started.elapsed().as_secs_f64();
+
+        let detect_started = Instant::now();
+        let per_tag = prepared.detect(threads)?;
+        let detect_seconds = detect_started.elapsed().as_secs_f64();
+
+        let order_started = Instant::now();
+        let result = prepared.assemble(per_tag)?;
+        let order_seconds = order_started.elapsed().as_secs_f64();
+
+        let metrics = RequestMetrics {
+            tags: input.observations.len(),
+            localized: result.localized_count(),
+            undetected: result.undetected.len(),
+            threads,
+            geometry_cache_hit,
+            bank_cache: cache.stats().since(bank_stats_before),
+            prepare_seconds,
+            detect_seconds,
+            order_seconds,
+            total_seconds: started.elapsed().as_secs_f64(),
+        };
+        Ok(LocalizationResponse { result, metrics })
+    }
+
+    /// Opens a streaming ingestion session against this service with the
+    /// default quiescence window.
+    pub fn open_session(self: &Arc<Self>, geometry: SessionGeometry) -> ServiceSession {
+        let quiescence = self.config.session_quiescence_s;
+        self.open_session_with_quiescence(geometry, quiescence)
+    }
+
+    /// Opens a streaming ingestion session with an explicit quiescence
+    /// window (seconds of read silence after which a tag is considered to
+    /// have left the reading zone).
+    pub fn open_session_with_quiescence(
+        self: &Arc<Self>,
+        geometry: SessionGeometry,
+        quiescence_s: f64,
+    ) -> ServiceSession {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        ServiceSession::new(self.clone(), geometry, quiescence_s)
+    }
+
+    /// The bank cache registered for this request's geometry, creating it
+    /// if needed. The boolean reports whether the geometry was already
+    /// registered.
+    fn bank_cache_for(
+        &self,
+        config: &StppConfig,
+        input: &StppInput,
+    ) -> (Arc<ReferenceBankCache>, bool) {
+        let key = GeometryKey::for_request(config, input);
+        let mut banks = self.banks.lock().expect("geometry registry poisoned");
+        if let Some(cache) = banks.get(&key) {
+            self.geometry_hits.fetch_add(1, Ordering::Relaxed);
+            return (cache.clone(), true);
+        }
+        self.geometry_misses.fetch_add(1, Ordering::Relaxed);
+        if banks.len() >= self.config.max_cached_geometries {
+            banks.clear();
+            self.registry_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        let cache = ReferenceBankCache::shared();
+        banks.insert(key, cache.clone());
+        (cache, false)
+    }
+
+    /// Number of geometries currently holding a bank cache.
+    pub fn cached_geometries(&self) -> usize {
+        self.banks.lock().expect("geometry registry poisoned").len()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            geometry_hits: self.geometry_hits.load(Ordering::Relaxed),
+            geometry_misses: self.geometry_misses.load(Ordering::Relaxed),
+            registry_flushes: self.registry_flushes.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            session_batches: self.session_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geometry::RowLayout;
+    use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+
+    fn row_input(tags: usize, seed: u64) -> StppInput {
+        let layout = RowLayout::new(0.0, 0.0, 0.08, tags).build();
+        let scenario = ScenarioBuilder::new(seed)
+            .antenna_sweep(&layout, AntennaSweepParams::default())
+            .unwrap();
+        let recording = ReaderSimulation::new(scenario, seed).run();
+        StppInput::from_recording(&recording).expect("valid input")
+    }
+
+    #[test]
+    fn warm_requests_build_zero_banks_and_match_sequential() {
+        let input = row_input(6, 3);
+        let sequential = RelativeLocalizer::with_defaults().localize(&input).expect("sequential");
+        let service = LocalizationService::with_defaults();
+
+        let cold = service.localize(&input).expect("cold request");
+        assert_eq!(cold.result, sequential);
+        assert!(!cold.metrics.geometry_cache_hit);
+        assert!(cold.metrics.bank_cache.builds > 0, "cold request must build banks");
+
+        let warm = service.localize(&input).expect("warm request");
+        assert_eq!(warm.result, sequential);
+        assert!(warm.metrics.geometry_cache_hit);
+        assert_eq!(warm.metrics.bank_cache.builds, 0, "warm request must build zero banks");
+        assert!(warm.metrics.bank_cache.hits > 0);
+        assert_eq!(service.cached_geometries(), 1);
+
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.geometry_hits, 1);
+        assert_eq!(stats.geometry_misses, 1);
+    }
+
+    #[test]
+    fn distinct_geometries_get_distinct_caches() {
+        let a = row_input(4, 3);
+        let mut b = row_input(4, 3);
+        b.perpendicular_distance_m = Some(0.45);
+        let service = LocalizationService::with_defaults();
+        service.localize(&a).expect("a");
+        service.localize(&b).expect("b");
+        assert_eq!(service.cached_geometries(), 2);
+        // Same effective geometry resolves to the same key, different
+        // perpendicular to a different one.
+        let cfg = StppConfig::default();
+        assert_eq!(GeometryKey::for_request(&cfg, &a), GeometryKey::for_request(&cfg, &a));
+        assert_ne!(GeometryKey::for_request(&cfg, &a), GeometryKey::for_request(&cfg, &b));
+    }
+
+    #[test]
+    fn registry_growth_guard_flushes_at_capacity() {
+        let config = ServiceConfig { max_cached_geometries: 2, ..ServiceConfig::default() };
+        let service = LocalizationService::new(config);
+        let base = row_input(3, 9);
+        for (i, perp) in [0.30, 0.36, 0.42, 0.48].iter().enumerate() {
+            let mut input = base.clone();
+            input.perpendicular_distance_m = Some(*perp);
+            service.localize(&input).unwrap_or_else(|e| panic!("request {i}: {e}"));
+            assert!(service.cached_geometries() <= 2);
+        }
+        assert!(service.stats().registry_flushes >= 1);
+    }
+
+    #[test]
+    fn invalid_requests_do_not_pollute_the_geometry_registry() {
+        let service = LocalizationService::with_defaults();
+        let empty = StppInput {
+            observations: Vec::new(),
+            nominal_speed_mps: 0.1,
+            wavelength_m: 0.326,
+            perpendicular_distance_m: None,
+        };
+        assert_eq!(service.localize(&empty), Err(LocalizationError::EmptyInput));
+        let mut bad_speed = row_input(3, 9);
+        bad_speed.nominal_speed_mps = f64::NAN;
+        assert!(matches!(service.localize(&bad_speed), Err(LocalizationError::InvalidGeometry(_))));
+        // Neither request registered a geometry (each NaN bit pattern
+        // would otherwise be a fresh key marching toward the growth
+        // guard's flush of the warm caches).
+        assert_eq!(service.cached_geometries(), 0);
+        assert_eq!(service.stats().geometry_misses, 0);
+    }
+
+    #[test]
+    fn per_request_metrics_account_for_the_population() {
+        let input = row_input(5, 11);
+        let service = LocalizationService::with_defaults();
+        let response = service.localize(&input).expect("request");
+        let m = response.metrics;
+        assert_eq!(m.tags, 5);
+        assert_eq!(m.localized + m.undetected, 5);
+        assert!(m.threads >= 1);
+        assert!(m.prepare_seconds >= 0.0 && m.detect_seconds >= 0.0 && m.order_seconds >= 0.0);
+        assert!(m.total_seconds >= m.detect_seconds);
+        // Metrics serialize for scrape endpoints.
+        let json = serde_json::to_string(&m).expect("metrics serialize");
+        assert!(json.contains("detect_seconds"));
+    }
+
+    #[test]
+    fn request_thread_override_is_honoured_and_output_invariant() {
+        let input = row_input(7, 21);
+        let service = LocalizationService::with_defaults();
+        let reference = service.localize(&input).expect("reference").result;
+        for threads in [1usize, 2, 5, 16] {
+            let response = service
+                .localize_request(LocalizationRequest { input: &input, threads: Some(threads) })
+                .expect("request");
+            // The metric reports the clamped worker count (7 tags here).
+            assert_eq!(response.metrics.threads, threads.min(7));
+            assert_eq!(response.result, reference, "threads = {threads}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Streaming ingestion sessions.
+//!
+//! The paper's system runs *online*: tags flow through the reading zone
+//! continuously, and a tag's ordering is decided once its phase profile
+//! is complete — i.e. once the tag has stopped being read. A
+//! [`ServiceSession`] models exactly that: it accumulates
+//! [`TagReadReport`]s incrementally, tracks a per-tag last-seen clock,
+//! and when asked releases the **quiescent** tags (those whose last read
+//! is older than the quiescence window relative to the newest ingested
+//! timestamp) as one localization batch through the owning
+//! [`LocalizationService`] — so consecutive conveyor batches reuse the
+//! warm reference banks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rfid_gen2::Epc;
+use rfid_reader::TagReadReport;
+use serde::{Deserialize, Serialize};
+use stpp_core::{LocalizationError, PhaseProfile, StppInput, TagObservations};
+
+use crate::service::{LocalizationResponse, LocalizationService};
+
+/// Errors a session can raise at the ingestion boundary.
+///
+/// Non-finite samples are rejected *here*, with the offending EPC named —
+/// before they can reach profile construction — mirroring the typed
+/// [`DetectError`](stpp_core::DetectError) the detectors raise for
+/// profiles that bypass ingestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestError {
+    /// The report carries a non-finite timestamp.
+    NonFiniteTime {
+        /// EPC of the reported tag.
+        epc: Epc,
+    },
+    /// The report carries a non-finite phase value.
+    NonFinitePhase {
+        /// EPC of the reported tag.
+        epc: Epc,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NonFiniteTime { epc } => {
+                write!(f, "report for tag {epc:?} has a non-finite timestamp")
+            }
+            IngestError::NonFinitePhase { epc } => {
+                write!(f, "report for tag {epc:?} has a non-finite phase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// The deployment geometry a session localizes against — the fields of
+/// [`StppInput`] that do not come from the report stream. Surveyed once
+/// at deployment time (reader-to-shelf or antenna-to-belt distance, belt
+/// speed, channel wavelength), shared by every batch the portal sees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionGeometry {
+    /// Nominal relative speed between reader and tags, m/s.
+    pub nominal_speed_mps: f64,
+    /// Carrier wavelength, metres.
+    pub wavelength_m: f64,
+    /// Surveyed perpendicular distance to the nearest tag row, metres;
+    /// `None` falls back to the service's configured deployment guess.
+    pub perpendicular_distance_m: Option<f64>,
+}
+
+/// Per-tag accumulation state.
+#[derive(Debug, Clone)]
+struct TagBuffer {
+    pairs: Vec<(f64, f64)>,
+    last_seen_s: f64,
+}
+
+/// A streaming ingestion session (see the module docs).
+#[derive(Debug)]
+pub struct ServiceSession {
+    service: Arc<LocalizationService>,
+    geometry: SessionGeometry,
+    quiescence_s: f64,
+    clock_s: f64,
+    active: BTreeMap<Epc, TagBuffer>,
+}
+
+impl ServiceSession {
+    pub(crate) fn new(
+        service: Arc<LocalizationService>,
+        geometry: SessionGeometry,
+        quiescence_s: f64,
+    ) -> Self {
+        ServiceSession {
+            service,
+            geometry,
+            quiescence_s: quiescence_s.max(0.0),
+            clock_s: f64::NEG_INFINITY,
+            active: BTreeMap::new(),
+        }
+    }
+
+    /// The geometry this session localizes against.
+    pub fn geometry(&self) -> SessionGeometry {
+        self.geometry
+    }
+
+    /// The newest timestamp ingested so far (`None` before the first
+    /// report).
+    pub fn clock_s(&self) -> Option<f64> {
+        if self.clock_s.is_finite() {
+            Some(self.clock_s)
+        } else {
+            None
+        }
+    }
+
+    /// Number of tags currently accumulating reads.
+    pub fn pending_tags(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Ingests one reader report. Non-finite samples are rejected with a
+    /// typed error and leave the session state untouched.
+    pub fn ingest(&mut self, report: &TagReadReport) -> Result<(), IngestError> {
+        self.ingest_sample(report.epc, report.time_s, report.phase_rad)
+    }
+
+    /// Ingests one raw `(time, phase)` sample for a tag.
+    pub fn ingest_sample(
+        &mut self,
+        epc: Epc,
+        time_s: f64,
+        phase_rad: f64,
+    ) -> Result<(), IngestError> {
+        if !time_s.is_finite() {
+            return Err(IngestError::NonFiniteTime { epc });
+        }
+        if !phase_rad.is_finite() {
+            return Err(IngestError::NonFinitePhase { epc });
+        }
+        self.clock_s = if self.clock_s.is_finite() { self.clock_s.max(time_s) } else { time_s };
+        let buffer =
+            self.active.entry(epc).or_insert(TagBuffer { pairs: Vec::new(), last_seen_s: time_s });
+        buffer.pairs.push((time_s, phase_rad));
+        buffer.last_seen_s = buffer.last_seen_s.max(time_s);
+        Ok(())
+    }
+
+    /// Number of tags whose profiles have gone quiescent (no read within
+    /// the quiescence window of the session clock).
+    pub fn quiescent_tags(&self) -> usize {
+        let clock = self.clock_s;
+        if !clock.is_finite() {
+            return 0;
+        }
+        self.active.values().filter(|b| clock - b.last_seen_s >= self.quiescence_s).count()
+    }
+
+    /// Releases every quiescent tag as one localization batch. Returns
+    /// `Ok(None)` when no tag is quiescent yet; otherwise the quiescent
+    /// tags leave the session and are localized together through the
+    /// owning service (warm banks after the first batch of a geometry).
+    ///
+    /// A batch whose every profile is too short or too noisy surfaces
+    /// [`LocalizationError::NoDetections`]; the tags are still consumed
+    /// (they have left the reading zone — more reads will never arrive).
+    pub fn flush_quiescent(&mut self) -> Result<Option<LocalizationResponse>, LocalizationError> {
+        let clock = self.clock_s;
+        if !clock.is_finite() {
+            return Ok(None);
+        }
+        let quiescent: Vec<Epc> = self
+            .active
+            .iter()
+            .filter(|(_, b)| clock - b.last_seen_s >= self.quiescence_s)
+            .map(|(epc, _)| *epc)
+            .collect();
+        if quiescent.is_empty() {
+            return Ok(None);
+        }
+        self.localize_batch(quiescent).map(Some)
+    }
+
+    /// Ends the session, localizing every remaining tag (quiescent or
+    /// not) as a final batch. Returns `Ok(None)` for a session that never
+    /// accumulated a tag.
+    pub fn finish(mut self) -> Result<Option<LocalizationResponse>, LocalizationError> {
+        let remaining: Vec<Epc> = self.active.keys().copied().collect();
+        if remaining.is_empty() {
+            return Ok(None);
+        }
+        self.localize_batch(remaining).map(Some)
+    }
+
+    /// Removes the given tags from the session and localizes them as one
+    /// batch (in EPC order, matching the offline pipeline's observation
+    /// order).
+    fn localize_batch(
+        &mut self,
+        epcs: Vec<Epc>,
+    ) -> Result<LocalizationResponse, LocalizationError> {
+        let observations: Vec<TagObservations> = epcs
+            .into_iter()
+            .filter_map(|epc| {
+                let buffer = self.active.remove(&epc)?;
+                Some(TagObservations {
+                    id: epc.serial(),
+                    epc,
+                    profile: PhaseProfile::from_pairs(&buffer.pairs),
+                })
+            })
+            .collect();
+        let input = StppInput {
+            observations,
+            nominal_speed_mps: self.geometry.nominal_speed_mps,
+            wavelength_m: self.geometry.wavelength_m,
+            perpendicular_distance_m: self.geometry.perpendicular_distance_m,
+        };
+        self.service.session_batches.fetch_add(1, Ordering::Relaxed);
+        self.service.localize(&input)
+    }
+}

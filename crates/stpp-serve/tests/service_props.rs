@@ -1,0 +1,198 @@
+//! Property and integration tests for the serving layer.
+//!
+//! The two contractual properties of `LocalizationService`:
+//!
+//! 1. **Bit identity** — a warm-cache service request equals the cold
+//!    sequential pipeline result exactly, for any thread count.
+//! 2. **Zero warm constructions** — the second request for a geometry
+//!    performs no `ReferenceBank` builds (asserted on the cache's
+//!    instrumentation counters).
+
+use proptest::prelude::*;
+use rfid_geometry::RowLayout;
+use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+use stpp_core::{PhaseProfile, RelativeLocalizer, StppInput, TagObservations};
+use stpp_serve::{LocalizationRequest, LocalizationService, SessionGeometry};
+
+/// A synthetic noise-free input: one V-shaped profile per tag with a
+/// shared hardware offset (same construction as stpp-core's batch
+/// determinism property).
+fn synthetic_input(tag_xs: &[f64], d_perp: f64, mu: f64) -> StppInput {
+    let wavelength = 0.326f64;
+    let speed = 0.1f64;
+    let observations: Vec<TagObservations> = tag_xs
+        .iter()
+        .enumerate()
+        .map(|(id, &tag_x)| {
+            let pairs: Vec<(f64, f64)> = (0..600)
+                .map(|i| {
+                    let t = i as f64 * 0.05;
+                    let d = ((speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
+                    (t, std::f64::consts::TAU * 2.0 * d / wavelength + mu)
+                })
+                .collect();
+            TagObservations {
+                id: id as u64,
+                epc: rfid_gen2::Epc::from_serial(id as u64),
+                profile: PhaseProfile::from_pairs(&pairs),
+            }
+        })
+        .collect();
+    StppInput {
+        observations,
+        nominal_speed_mps: speed,
+        wavelength_m: wavelength,
+        perpendicular_distance_m: Some(d_perp),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn warm_service_is_bit_identical_to_cold_sequential_for_any_thread_count(
+        tag_xs in proptest::collection::vec(0.2f64..2.8, 3..8),
+        d_perp in 0.25f64..0.34,
+        mu in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let input = synthetic_input(&tag_xs, d_perp, mu);
+        let sequential = RelativeLocalizer::with_defaults().localize(&input);
+        let service = LocalizationService::with_defaults();
+        // Cold request warms the cache; the results must already match.
+        let cold = service.localize(&input).map(|r| r.result);
+        prop_assert_eq!(&sequential, &cold);
+        // Warm requests across thread counts: bit-identical, zero builds.
+        for threads in [1usize, 2, 8] {
+            let response = service
+                .localize_request(LocalizationRequest { input: &input, threads: Some(threads) })
+                .expect("warm request");
+            prop_assert_eq!(&sequential, &Ok(response.result), "threads = {}", threads);
+            prop_assert_eq!(response.metrics.bank_cache.builds, 0, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn second_same_geometry_request_performs_zero_bank_constructions(
+        tag_xs in proptest::collection::vec(0.3f64..2.5, 3..6),
+    ) {
+        // The acceptance property, stated directly on the counters.
+        let input = synthetic_input(&tag_xs, 0.3, 1.0);
+        let service = LocalizationService::with_defaults();
+        let first = service.localize(&input).expect("first request");
+        prop_assert!(first.metrics.bank_cache.builds > 0, "cold request must build");
+        let second = service.localize(&input).expect("second request");
+        prop_assert_eq!(second.metrics.bank_cache.builds, 0);
+        prop_assert!(second.metrics.geometry_cache_hit);
+        prop_assert_eq!(first.result, second.result);
+    }
+}
+
+#[test]
+fn streaming_session_matches_the_offline_batch_pipeline() {
+    // Feed a simulated sweep's report stream through a session in time
+    // order, then finish: the ordered result must equal running the
+    // offline pipeline over the same recording (EPC serials are the
+    // ground-truth ids in simulation, so the observation order matches).
+    let layout = RowLayout::new(0.0, 0.0, 0.1, 5).build();
+    let scenario =
+        ScenarioBuilder::new(41).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
+    let recording = ReaderSimulation::new(scenario, 41).run();
+    let offline_input = StppInput::from_recording(&recording).expect("offline input");
+    let offline = RelativeLocalizer::with_defaults().localize(&offline_input).expect("offline");
+
+    let service = LocalizationService::with_defaults();
+    let geometry = SessionGeometry {
+        nominal_speed_mps: offline_input.nominal_speed_mps,
+        wavelength_m: offline_input.wavelength_m,
+        perpendicular_distance_m: offline_input.perpendicular_distance_m,
+    };
+    let mut session = service.open_session(geometry);
+    for report in recording.stream.reports() {
+        session.ingest(report).expect("finite report");
+    }
+    assert_eq!(session.pending_tags(), 5);
+    // Mid-sweep nothing is quiescent yet (reads keep arriving for every
+    // tag until near the end of the recording).
+    let streamed = session.finish().expect("finish").expect("non-empty session");
+    assert_eq!(streamed.result, offline);
+    assert_eq!(service.stats().sessions_opened, 1);
+    assert_eq!(service.stats().session_batches, 1);
+}
+
+#[test]
+fn session_flushes_quiescent_tags_in_waves() {
+    // Two waves of tags passing a portal: the first wave's tags stop
+    // being read, the clock advances past the quiescence window, and
+    // flush_quiescent releases exactly that wave while the second keeps
+    // accumulating. Both waves localize with the same warm geometry.
+    let speed = 0.1f64;
+    let wavelength = 0.326f64;
+    let d_perp = 0.3f64;
+    let service = LocalizationService::with_defaults();
+    let mut session = service.open_session_with_quiescence(
+        SessionGeometry {
+            nominal_speed_mps: speed,
+            wavelength_m: wavelength,
+            perpendicular_distance_m: Some(d_perp),
+        },
+        2.0,
+    );
+
+    let phase = |t: f64, tag_x: f64| {
+        let d = ((speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
+        std::f64::consts::TAU * 2.0 * d / wavelength
+    };
+    // Wave 1: tags 0..3 read over t = 0..30 s.
+    for i in 0..600 {
+        let t = i as f64 * 0.05;
+        for (id, tag_x) in [(0u64, 0.8), (1, 1.2), (2, 1.6)] {
+            session
+                .ingest_sample(rfid_gen2::Epc::from_serial(id), t, phase(t, tag_x))
+                .expect("finite");
+        }
+    }
+    // Wave 2 starts 40 s in (v·t = 4.0–7.0 m): wave 1 is now quiescent.
+    for i in 0..600 {
+        let t = 40.0 + i as f64 * 0.05;
+        for (id, tag_x) in [(10u64, 4.8), (11, 5.2)] {
+            session
+                .ingest_sample(rfid_gen2::Epc::from_serial(id), t, phase(t, tag_x))
+                .expect("finite");
+        }
+    }
+    assert_eq!(session.pending_tags(), 5);
+    assert_eq!(session.quiescent_tags(), 3);
+    let wave1 = session.flush_quiescent().expect("flush").expect("wave 1 ready");
+    assert_eq!(wave1.result.order_x, vec![0, 1, 2]);
+    assert_eq!(session.pending_tags(), 2);
+    assert_eq!(session.quiescent_tags(), 0);
+    let wave2 = session.finish().expect("finish").expect("wave 2");
+    assert_eq!(wave2.result.order_x, vec![10, 11]);
+    // Wave 2 rode the warm banks wave 1 built.
+    assert_eq!(wave2.metrics.bank_cache.builds, 0, "second wave must reuse banks");
+    assert_eq!(service.stats().session_batches, 2);
+}
+
+#[test]
+fn session_rejects_non_finite_samples_at_ingestion() {
+    let service = LocalizationService::with_defaults();
+    let mut session = service.open_session(SessionGeometry {
+        nominal_speed_mps: 0.1,
+        wavelength_m: 0.326,
+        perpendicular_distance_m: Some(0.3),
+    });
+    let epc = rfid_gen2::Epc::from_serial(7);
+    assert_eq!(
+        session.ingest_sample(epc, f64::NAN, 1.0),
+        Err(stpp_serve::IngestError::NonFiniteTime { epc })
+    );
+    assert_eq!(
+        session.ingest_sample(epc, 1.0, f64::INFINITY),
+        Err(stpp_serve::IngestError::NonFinitePhase { epc })
+    );
+    // Rejected samples leave no trace.
+    assert_eq!(session.pending_tags(), 0);
+    assert_eq!(session.clock_s(), None);
+    // A session that never accumulated anything finishes empty.
+    assert!(session.finish().expect("empty finish").is_none());
+}

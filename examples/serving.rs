@@ -1,0 +1,104 @@
+//! The serving demo: a portal process keeping one `LocalizationService`
+//! alive across conveyor batches.
+//!
+//! Demonstrates (and asserts — CI runs this as the `stpp-serve` smoke
+//! test) the service's two contractual properties:
+//!
+//! 1. output is bit-identical to the one-shot sequential pipeline;
+//! 2. a repeated same-geometry request performs **zero** reference-bank
+//!    constructions (the warm path), visible in the per-request metrics.
+//!
+//! Also drives the streaming path: reader reports are ingested one by one
+//! into a `ServiceSession`, and localization triggers once the tags go
+//! quiescent.
+//!
+//! Run with `cargo run --release --example serving`.
+
+use stpp::core::{ordering_accuracy, RelativeLocalizer, StppInput};
+use stpp::geometry::RowLayout;
+use stpp::reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+use stpp::serve::{LocalizationService, SessionGeometry};
+
+fn main() {
+    // A row of 8 tags swept by the portal antenna.
+    let layout = RowLayout::new(0.0, 0.0, 0.09, 8).build();
+    let scenario = ScenarioBuilder::new(2026)
+        .with_name("serving demo sweep")
+        .antenna_sweep(&layout, AntennaSweepParams::default())
+        .expect("non-empty layout");
+    let truth_x = scenario.truth_order_x();
+    let recording = ReaderSimulation::new(scenario, 2026).run();
+    let input = StppInput::from_recording(&recording).expect("valid input");
+
+    // The long-lived service a portal process creates once.
+    let service = LocalizationService::with_defaults();
+
+    println!("== batch requests ==");
+    let cold = service.localize(&input).expect("cold request");
+    let warm = service.localize(&input).expect("warm request");
+    for (label, response) in [("cold", &cold), ("warm", &warm)] {
+        let m = &response.metrics;
+        println!(
+            "{label:5} request: {} tags, {} localized | banks built {} (cache {} hit / {} miss) \
+             | prepare {:.2} ms, detect {:.2} ms, order {:.2} ms",
+            m.tags,
+            m.localized,
+            m.bank_cache.builds,
+            m.bank_cache.hits,
+            m.bank_cache.misses,
+            m.prepare_seconds * 1e3,
+            m.detect_seconds * 1e3,
+            m.order_seconds * 1e3,
+        );
+    }
+
+    // Contract 1: bit-identical to the one-shot sequential pipeline.
+    let sequential = RelativeLocalizer::with_defaults().localize(&input).expect("sequential");
+    assert_eq!(cold.result, sequential, "service output must equal the sequential pipeline");
+    assert_eq!(warm.result, sequential, "warm output must equal the sequential pipeline");
+    // Contract 2: the warm path builds nothing.
+    assert!(cold.metrics.bank_cache.builds > 0, "cold request must build banks");
+    assert_eq!(warm.metrics.bank_cache.builds, 0, "warm request must build zero banks");
+
+    // The result is a usable ordering.
+    let accuracy = ordering_accuracy(&cold.result.order_x, &truth_x);
+    println!(
+        "ordered {} tags along X: {:?} (accuracy {accuracy:.2})",
+        cold.result.order_x.len(),
+        cold.result.order_x,
+    );
+    assert!(!cold.result.order_x.is_empty(), "demo sweep must produce an ordering");
+    assert!(accuracy >= 0.75, "demo ordering accuracy {accuracy} too low");
+
+    println!("\n== streaming session ==");
+    let mut session = service.open_session(SessionGeometry {
+        nominal_speed_mps: input.nominal_speed_mps,
+        wavelength_m: input.wavelength_m,
+        perpendicular_distance_m: input.perpendicular_distance_m,
+    });
+    for report in recording.stream.reports() {
+        session.ingest(report).expect("finite report");
+    }
+    println!(
+        "ingested {} reports for {} tags (clock {:.1} s)",
+        recording.stream.len(),
+        session.pending_tags(),
+        session.clock_s().unwrap_or(0.0),
+    );
+    let streamed = session.finish().expect("session localizes").expect("tags were ingested");
+    println!(
+        "session batch: order_x = {:?} | banks built {}",
+        streamed.result.order_x, streamed.metrics.bank_cache.builds,
+    );
+    // The session rode the warm banks the batch requests built, and its
+    // result matches the offline pipeline over the same reports.
+    assert_eq!(streamed.result, sequential, "session output must equal the offline pipeline");
+    assert_eq!(streamed.metrics.bank_cache.builds, 0, "session must reuse the warm banks");
+
+    let stats = service.stats();
+    println!(
+        "\nservice stats: {} requests, {} geometry hits / {} misses, {} session batches",
+        stats.requests, stats.geometry_hits, stats.geometry_misses, stats.session_batches,
+    );
+    println!("serving demo OK");
+}

@@ -19,3 +19,4 @@ pub use stpp_apps as apps;
 pub use stpp_baselines as baselines;
 pub use stpp_core as core;
 pub use stpp_experiments as experiments;
+pub use stpp_serve as serve;
