@@ -17,7 +17,7 @@ use rfid_geometry::{Point3, TagLayout};
 use rfid_reader::{ConveyorParams, ReaderSimulation, ScenarioBuilder, SweepRecording};
 use serde::{Deserialize, Serialize};
 use stpp_core::{ordering_accuracy, LocalizationError, RelativeLocalizer, StppConfig, StppInput};
-use stpp_serve::{LocalizationService, RequestMetrics, ServiceConfig};
+use stpp_serve::{ClientError, LocalizationService, RequestMetrics, ServiceConfig, StppClient};
 
 /// The airport's traffic periods, with the bag-gap statistics the paper
 /// reports.
@@ -222,13 +222,61 @@ impl BaggageSimulation {
         recording: &SweepRecording,
     ) -> (BatchResult, Option<RequestMetrics>) {
         let started = std::time::Instant::now();
-        let response = self.portal_input(recording).and_then(|input| service.localize(&input));
+        let response =
+            self.portal_input(recording).and_then(|input| service.localize(Arc::new(input)));
         let latency = started.elapsed().as_secs_f64();
         let (order_x, metrics) = match response {
             Ok(r) => (Some(r.result.order_x), Some(r.metrics)),
             Err(_) => (None, None),
         };
         (Self::score_batch(batch, order_x, latency), metrics)
+    }
+
+    /// [`order_batch_with_service`](Self::order_batch_with_service) over
+    /// the wire: the portal forwards the batch to a shared
+    /// [`StppServer`](stpp_serve::StppServer) instead of owning a
+    /// localization process. A [`LocalizeReply::Busy`](stpp_serve::LocalizeReply::Busy) backpressure
+    /// rejection is retried with a short pause — a portal must order
+    /// every batch eventually, backpressure only delays it — and
+    /// transport failures surface as [`ClientError`].
+    pub fn order_batch_with_client(
+        &self,
+        client: &mut StppClient,
+        batch: &BaggageBatch,
+        recording: &SweepRecording,
+    ) -> Result<(BatchResult, Option<RequestMetrics>), ClientError> {
+        let started = std::time::Instant::now();
+        let Ok(input) = self.portal_input(recording) else {
+            let latency = started.elapsed().as_secs_f64();
+            return Ok((Self::score_batch(batch, None, latency), None));
+        };
+        let response = client.localize_retrying(&input, None, std::time::Duration::from_millis(5));
+        let latency = started.elapsed().as_secs_f64();
+        let (order_x, metrics) = match response {
+            Ok(r) => (Some(r.result.order_x), Some(r.metrics)),
+            Err(ClientError::Rejected(_)) => (None, None),
+            Err(e) => return Err(e),
+        };
+        Ok((Self::score_batch(batch, order_x, latency), metrics))
+    }
+
+    /// [`run_period`](Self::run_period) against a remote server — the
+    /// networked portal's continuous operation.
+    pub fn run_period_with_client(
+        &self,
+        client: &mut StppClient,
+        period: TrafficPeriod,
+        batches: usize,
+        seed: u64,
+    ) -> Result<Vec<(BatchResult, Option<RequestMetrics>)>, ClientError> {
+        (0..batches)
+            .filter_map(|i| {
+                let batch_seed = Self::batch_seed(seed, i);
+                let batch = self.generate_batch(period, batch_seed);
+                let recording = self.run_batch(&batch, batch_seed)?;
+                Some(self.order_batch_with_client(client, &batch, &recording))
+            })
+            .collect()
     }
 
     /// [`run_period`](Self::run_period) against one shared service — the
@@ -340,6 +388,50 @@ mod tests {
             assert!(m.geometry_cache_hit, "steady batch {i} must hit the geometry cache");
             assert_eq!(m.bank_cache.builds, 0, "steady batch {i} must build zero banks");
         }
+    }
+
+    #[test]
+    fn networked_portal_matches_the_in_process_service_path() {
+        // The same traffic ordered through a remote server must score
+        // identically to the in-process service path (the results are
+        // bit-identical; only latency differs), and the second pass over
+        // the period must ride the server's warm banks.
+        let sim = BaggageSimulation { bags_per_batch: 4, ..BaggageSimulation::default() };
+        let in_process: Vec<BatchResult> = sim
+            .run_period_with_service(&sim.portal_service(), TrafficPeriod::MiddayOffPeak, 2, 11)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+
+        let server = stpp_serve::StppServer::bind(
+            "127.0.0.1:0",
+            sim.portal_service(),
+            stpp_serve::ServerConfig::default(),
+        )
+        .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client = StppClient::connect(handle.addr()).expect("connect");
+        let wire = sim
+            .run_period_with_client(&mut client, TrafficPeriod::MiddayOffPeak, 2, 11)
+            .expect("wire period");
+        assert_eq!(wire.len(), in_process.len());
+        for (i, ((wire_result, metrics), local_result)) in wire.iter().zip(&in_process).enumerate()
+        {
+            assert_eq!(wire_result.accuracy, local_result.accuracy, "batch {i}");
+            assert_eq!(wire_result.correct, local_result.correct, "batch {i}");
+            assert_eq!(wire_result.bags, local_result.bags, "batch {i}");
+            assert!(metrics.is_some(), "batch {i} must return metrics over the wire");
+        }
+        let steady = sim
+            .run_period_with_client(&mut client, TrafficPeriod::MiddayOffPeak, 2, 11)
+            .expect("steady period");
+        for (i, (_, metrics)) in steady.iter().enumerate() {
+            let m = metrics.expect("steady batch metrics");
+            assert!(m.geometry_cache_hit, "steady batch {i} must hit the geometry cache");
+            assert_eq!(m.bank_cache.builds, 0, "steady batch {i} must build zero banks");
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exits");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rfid_geometry::{Point3, TagLayout};
 use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder, SweepRecording};
 use serde::{Deserialize, Serialize};
 use stpp_core::{RelativeLocalizer, StppConfig, StppInput};
-use stpp_serve::{LocalizationService, RequestMetrics, ServiceConfig};
+use stpp_serve::{ClientError, LocalizationService, RequestMetrics, ServiceConfig, StppClient};
 
 /// Parameters of the bookshelf generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -240,12 +240,37 @@ impl MisplacedBookExperiment {
         shelf: &Bookshelf,
         recording: &SweepRecording,
     ) -> (MisplacementOutcome, Option<RequestMetrics>) {
-        let response = self.sweep_input(recording).and_then(|input| service.localize(&input));
+        let response =
+            self.sweep_input(recording).and_then(|input| service.localize(Arc::new(input)));
         let (order_x, metrics) = match response {
             Ok(r) => (r.result.order_x.clone(), Some(r.metrics)),
             Err(_) => (Vec::new(), None),
         };
         (Self::assess(shelf, &order_x), metrics)
+    }
+
+    /// [`detect_with_service`](Self::detect_with_service) over the wire:
+    /// the cart's reader forwards each shelf sweep to a shared
+    /// [`StppServer`](stpp_serve::StppServer), so every cart in the
+    /// library rides one warm bank registry. [`LocalizeReply::Busy`](stpp_serve::LocalizeReply::Busy)
+    /// backpressure is retried with a short pause (the librarian's sweep
+    /// can wait); transport failures surface as [`ClientError`].
+    pub fn detect_with_client(
+        &self,
+        client: &mut StppClient,
+        shelf: &Bookshelf,
+        recording: &SweepRecording,
+    ) -> Result<(MisplacementOutcome, Option<RequestMetrics>), ClientError> {
+        let Ok(input) = self.sweep_input(recording) else {
+            return Ok((Self::assess(shelf, &[]), None));
+        };
+        let response = client.localize_retrying(&input, None, std::time::Duration::from_millis(5));
+        let (order_x, metrics) = match response {
+            Ok(r) => (r.result.order_x.clone(), Some(r.metrics)),
+            Err(ClientError::Rejected(_)) => (Vec::new(), None),
+            Err(e) => return Err(e),
+        };
+        Ok((Self::assess(shelf, &order_x), metrics))
     }
 
     /// Scores a detected X order against the shelf: flags out-of-sequence
@@ -396,6 +421,34 @@ mod tests {
             outcome.flagged,
             outcome.ordering_accuracy
         );
+    }
+
+    #[test]
+    fn networked_shelf_detection_matches_the_service_path() {
+        let experiment = MisplacedBookExperiment::default();
+        let shelf = small_shelf(6);
+        let recording = experiment.sweep_shelf(&shelf, 6).expect("sweep");
+        let (local_outcome, _) =
+            experiment.detect_with_service(&experiment.shelf_service(), &shelf, &recording);
+
+        let server = stpp_serve::StppServer::bind(
+            "127.0.0.1:0",
+            experiment.shelf_service(),
+            stpp_serve::ServerConfig::default(),
+        )
+        .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client = StppClient::connect(handle.addr()).expect("connect");
+        let (wire_outcome, metrics) =
+            experiment.detect_with_client(&mut client, &shelf, &recording).expect("wire detect");
+        assert_eq!(wire_outcome, local_outcome, "wire detection must equal the service path");
+        assert!(metrics.is_some());
+        // A repeat sweep rides the server's warm banks.
+        let (_, metrics) =
+            experiment.detect_with_client(&mut client, &shelf, &recording).expect("warm detect");
+        assert_eq!(metrics.expect("warm metrics").bank_cache.builds, 0);
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exits");
     }
 
     #[test]

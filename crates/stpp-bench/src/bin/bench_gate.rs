@@ -1,0 +1,223 @@
+//! `bench_gate` — the CI perf-regression gate.
+//!
+//! Reads a `bench_json` report and the checked-in thresholds from
+//! `bench_gate.toml`, compares the report's **relative ratios** against
+//! them, and exits non-zero on any violation. Gating on ratios (seed vs
+//! current path, cold vs warm, wire vs in-process) makes the gate
+//! tolerant of wall-clock noise on unpinned CI runners: both sides of
+//! each ratio come from the same run on the same machine, so machine
+//! speed cancels.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p stpp-bench --bin bench_gate -- \
+//!     --report bench-smoke.json [--gate bench_gate.toml] [--degrade 0.5]
+//! ```
+//!
+//! `--degrade F` multiplies every measured speedup by `F` (and divides
+//! the overhead ratio by it) before gating — an artificial regression
+//! used to verify the gate actually fails when fed bad numbers.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use serde::Deserialize;
+
+/// The slice of a mode report the gate needs.
+#[derive(Debug, Deserialize)]
+struct ModeReport {
+    localize_ms: f64,
+    localized: usize,
+}
+
+/// The slice of a population report the gate needs (extra JSON fields are
+/// ignored by the deserializer).
+#[derive(Debug, Deserialize)]
+struct PopulationReport {
+    tags: usize,
+    seed_sequential_exact: ModeReport,
+    batch_banded: ModeReport,
+    speedup_batch_banded_vs_seed: f64,
+    speedup_serve_warm_vs_cold: f64,
+    overhead_net_vs_warm: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct BenchReport {
+    schema: String,
+    populations: Vec<PopulationReport>,
+}
+
+/// Parses the `[thresholds]` section of a minimal TOML file: `key =
+/// number` lines, `#` comments, one section header. Returns an error
+/// string naming the first malformed line.
+fn parse_thresholds(text: &str) -> Result<HashMap<String, f64>, String> {
+    let mut out = HashMap::new();
+    let mut in_thresholds = false;
+    for (number, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_thresholds = section.trim() == "thresholds";
+            continue;
+        }
+        if !in_thresholds {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`, got `{raw}`", number + 1));
+        };
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: `{}` is not a number", number + 1, value.trim()))?;
+        out.insert(key.trim().to_string(), value);
+    }
+    Ok(out)
+}
+
+fn threshold(thresholds: &HashMap<String, f64>, key: &str) -> Result<f64, String> {
+    thresholds.get(key).copied().ok_or_else(|| format!("bench_gate.toml is missing `{key}`"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned());
+    let report_path = arg_value("--report")
+        .unwrap_or_else(|| format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR")));
+    let gate_path = arg_value("--gate")
+        .unwrap_or_else(|| format!("{}/../../bench_gate.toml", env!("CARGO_MANIFEST_DIR")));
+    let degrade: f64 =
+        arg_value("--degrade").map(|v| v.parse().expect("--degrade takes a number")).unwrap_or(1.0);
+
+    let report_text = match std::fs::read_to_string(&report_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read report {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: BenchReport = match serde_json::from_str(&report_text) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench_gate: cannot parse report {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.schema != "stpp-bench-pipeline/v3" {
+        eprintln!(
+            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v3` — regenerate the \
+             report with this tree's bench_json",
+            report.schema
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.populations.is_empty() {
+        eprintln!("bench_gate: report has no populations");
+        return ExitCode::FAILURE;
+    }
+
+    let gate_text = match std::fs::read_to_string(&gate_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read thresholds {gate_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let thresholds = match parse_thresholds(&gate_text) {
+        Ok(map) => map,
+        Err(e) => {
+            eprintln!("bench_gate: {gate_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let required = [
+        "min_speedup_batch_banded_vs_seed",
+        "min_speedup_serve_warm_vs_cold",
+        "max_overhead_net_vs_warm",
+    ];
+    let mut limits = HashMap::new();
+    for key in required {
+        match threshold(&thresholds, key) {
+            Ok(v) => {
+                limits.insert(key, v);
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if degrade != 1.0 {
+        eprintln!("bench_gate: applying artificial degrade factor {degrade} (gate self-test)");
+    }
+
+    // Gate on the worst population: the slowest speedup and the largest
+    // overhead observed anywhere in the sweep.
+    let mut violations: Vec<String> = Vec::new();
+    let mut worst_batch = f64::INFINITY;
+    let mut worst_warm = f64::INFINITY;
+    let mut worst_net = 0.0f64;
+    for population in &report.populations {
+        worst_batch = worst_batch.min(population.speedup_batch_banded_vs_seed * degrade);
+        worst_warm = worst_warm.min(population.speedup_serve_warm_vs_cold * degrade);
+        worst_net = worst_net.max(population.overhead_net_vs_warm / degrade);
+        // Noise-free quality guard: the banded batch path must localize
+        // exactly the tags the seed path localizes.
+        if population.batch_banded.localized != population.seed_sequential_exact.localized {
+            violations.push(format!(
+                "{} tags: batch_banded localized {} tags but the seed path localized {} — \
+                 banding is dropping tags",
+                population.tags,
+                population.batch_banded.localized,
+                population.seed_sequential_exact.localized,
+            ));
+        }
+        eprintln!(
+            "bench_gate: {:4} tags | batch-banded {:5.2}x vs seed (seed {:.2} ms, banded {:.2} \
+             ms) | warm {:5.2}x vs cold | net {:5.2}x warm",
+            population.tags,
+            population.speedup_batch_banded_vs_seed,
+            population.seed_sequential_exact.localize_ms,
+            population.batch_banded.localize_ms,
+            population.speedup_serve_warm_vs_cold,
+            population.overhead_net_vs_warm,
+        );
+    }
+
+    let min_batch = limits["min_speedup_batch_banded_vs_seed"];
+    if worst_batch < min_batch {
+        violations.push(format!(
+            "batch-banded speedup vs seed regressed to {worst_batch:.2}x (threshold {min_batch}x)"
+        ));
+    }
+    let min_warm = limits["min_speedup_serve_warm_vs_cold"];
+    if worst_warm < min_warm {
+        violations.push(format!(
+            "warm-service speedup vs cold regressed to {worst_warm:.2}x (threshold {min_warm}x)"
+        ));
+    }
+    let max_net = limits["max_overhead_net_vs_warm"];
+    if worst_net > max_net {
+        violations
+            .push(format!("wire overhead vs warm grew to {worst_net:.2}x (threshold {max_net}x)"));
+    }
+
+    if violations.is_empty() {
+        eprintln!(
+            "bench_gate: PASS (batch {worst_batch:.2}x >= {min_batch}, warm {worst_warm:.2}x >= \
+             {min_warm}, net {worst_net:.2}x <= {max_net})"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("bench_gate: FAIL: {violation}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,7 @@
 //! The `--smoke` mode exists so CI can prove the harness still builds,
 //! runs, and emits valid JSON without paying for the 300-tag populations.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -27,7 +28,9 @@ use stpp_bench::{baseline, benchmark_recording};
 use stpp_core::{
     BatchLocalizer, LocalizationError, RelativeLocalizer, StppConfig, StppInput, StppResult,
 };
-use stpp_serve::{LocalizationService, ServiceConfig};
+use stpp_serve::{
+    LocalizationService, LocalizeReply, ServerConfig, ServiceConfig, StppClient, StppServer,
+};
 
 /// Band width used by the banded modes (segments of slack each warping
 /// path may accumulate). Wide enough that detection quality matches the
@@ -68,10 +71,16 @@ struct PopulationReport {
     /// Serving warm path: one long-lived service, repeated same-geometry
     /// requests (zero bank constructions after the first — asserted).
     serve_warm: ModeReport,
+    /// Networked serving path: warm requests through `StppServer` /
+    /// `StppClient` over localhost TCP (serialization + framing + loopback
+    /// on top of `serve_warm`).
+    serve_net: ModeReport,
     /// `seed_sequential_exact.localize_ms / batch_banded.localize_ms`.
     speedup_batch_banded_vs_seed: f64,
     /// `serve_cold.localize_ms / serve_warm.localize_ms`.
     speedup_serve_warm_vs_cold: f64,
+    /// `serve_net.localize_ms / serve_warm.localize_ms` — the wire tax.
+    overhead_net_vs_warm: f64,
 }
 
 #[derive(Serialize)]
@@ -101,7 +110,7 @@ fn time_mode<F: FnMut() -> Result<StppResult, LocalizationError>>(mut run: F) ->
 fn bench_population(tags: usize, threads: usize) -> PopulationReport {
     let recording = benchmark_recording(tags, 0.06, 21);
     let t = Instant::now();
-    let input = StppInput::from_recording(&recording).expect("valid benchmark input");
+    let input = Arc::new(StppInput::from_recording(&recording).expect("valid benchmark input"));
     let input_build_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let exact = StppConfig::default();
@@ -118,12 +127,12 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
     let service_config = ServiceConfig { stpp: banded, threads, ..ServiceConfig::default() };
     let serve_cold = time_mode(|| {
         let service = LocalizationService::new(service_config);
-        service.localize(&input).map(|r| r.result)
+        service.localize(input.clone()).map(|r| r.result)
     });
     let warm_service = LocalizationService::new(service_config);
-    warm_service.localize(&input).expect("warm-up request");
+    warm_service.localize(input.clone()).expect("warm-up request");
     let serve_warm = time_mode(|| {
-        let response = warm_service.localize(&input)?;
+        let response = warm_service.localize(input.clone())?;
         assert_eq!(
             response.metrics.bank_cache.builds, 0,
             "warm serving request must build zero banks"
@@ -131,8 +140,29 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
         Ok(response.result)
     });
 
+    // Networked serving: the same warm service behind `StppServer`,
+    // driven over localhost TCP (measures the full wire tax: request
+    // serialization, framing, loopback, response deserialization).
+    let server = StppServer::bind("127.0.0.1:0", warm_service, ServerConfig::default())
+        .expect("bind benchmark server");
+    let handle = server.spawn().expect("spawn benchmark server");
+    let mut client = StppClient::connect(handle.addr()).expect("connect benchmark client");
+    let serve_net = time_mode(|| match client.localize(&input, None).expect("wire request") {
+        LocalizeReply::Localized(response) => {
+            assert_eq!(
+                response.metrics.bank_cache.builds, 0,
+                "warm wire request must build zero banks"
+            );
+            Ok(response.result)
+        }
+        LocalizeReply::Busy { .. } => unreachable!("idle benchmark server cannot be busy"),
+    });
+    client.shutdown().expect("shutdown benchmark server");
+    handle.join().expect("benchmark server exits");
+
     let speedup = seed_sequential_exact.localize_ms / batch_banded.localize_ms.max(1e-9);
     let serve_speedup = serve_cold.localize_ms / serve_warm.localize_ms.max(1e-9);
+    let net_overhead = serve_net.localize_ms / serve_warm.localize_ms.max(1e-9);
     PopulationReport {
         tags,
         input_build_ms,
@@ -143,8 +173,10 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
         batch_banded,
         serve_cold,
         serve_warm,
+        serve_net,
         speedup_batch_banded_vs_seed: speedup,
         speedup_serve_warm_vs_cold: serve_speedup,
+        overhead_net_vs_warm: net_overhead,
     }
 }
 
@@ -170,7 +202,7 @@ fn main() {
         eprintln!(
             "  seed {:8.2} ms | seq exact {:8.2} ms | seq banded {:8.2} ms | batch exact \
              {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x | serve cold {:8.2} ms / warm \
-             {:8.2} ms ({:3.1}x)",
+             {:8.2} ms ({:3.1}x) | net {:8.2} ms ({:3.1}x warm)",
             report.seed_sequential_exact.localize_ms,
             report.sequential_exact.localize_ms,
             report.sequential_banded.localize_ms,
@@ -180,12 +212,14 @@ fn main() {
             report.serve_cold.localize_ms,
             report.serve_warm.localize_ms,
             report.speedup_serve_warm_vs_cold,
+            report.serve_net.localize_ms,
+            report.overhead_net_vs_warm,
         );
         reports.push(report);
     }
 
     let report = BenchReport {
-        schema: "stpp-bench-pipeline/v2",
+        schema: "stpp-bench-pipeline/v3",
         smoke,
         threads,
         band: BAND,

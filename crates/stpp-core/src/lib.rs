@@ -51,7 +51,8 @@ pub use dtw::{
 pub use metrics::{kendall_tau, ordering_accuracy, OrderingScore};
 pub use ordering::{gap_metric, order_metric, OrderingEngine, TagVZoneSummary};
 pub use pipeline::{
-    LocalizationError, PreparedRequest, RelativeLocalizer, StppConfig, StppInput, StppResult,
+    LocalizationError, PreparedRequest, RelativeLocalizer, SharedPreparedRequest, StppConfig,
+    StppInput, StppResult,
 };
 pub use profile::{PhaseProfile, PhaseSample, TagObservations};
 pub use reference::{

@@ -451,6 +451,19 @@ impl RelativeLocalizer {
         Ok(PreparedRequest { config: self.config, input, engine })
     }
 
+    /// [`prepare_with_cache`](Self::prepare_with_cache) for an input that
+    /// lives behind an [`Arc`]: the returned request is `'static` and can
+    /// be shared with a persistent worker pool (see
+    /// [`SharedPreparedRequest`]).
+    pub fn prepare_shared(
+        &self,
+        input: Arc<StppInput>,
+        cache: Arc<ReferenceBankCache>,
+    ) -> Result<SharedPreparedRequest, LocalizationError> {
+        let engine = DetectionEngine::with_cache(self.config, &input, cache)?;
+        Ok(SharedPreparedRequest { config: self.config, input, engine })
+    }
+
     /// Runs the pipeline over the input.
     pub fn localize(&self, input: &StppInput) -> Result<StppResult, LocalizationError> {
         self.prepare(input)?.execute(1)
@@ -510,6 +523,78 @@ impl<'a> PreparedRequest<'a> {
     /// Detection plus assembly in one call.
     pub fn execute(&self, threads: usize) -> Result<StppResult, LocalizationError> {
         self.assemble(self.detect(threads)?)
+    }
+}
+
+/// A prepared request that owns its input behind an [`Arc`], so detection
+/// can be fanned across *persistent* worker threads (`'static` jobs)
+/// instead of per-request scoped spawns.
+///
+/// This is the scratch-reuse half of the [`RelativeLocalizer::prepare`]
+/// split: [`detect_slot`](Self::detect_slot) runs detection for one
+/// observation into a caller-owned (long-lived) [`DetectScratch`], and
+/// [`detect_with_scratch`](Self::detect_with_scratch) runs the whole
+/// request sequentially through one scratch. A serving layer's worker
+/// pool claims slot indices from a shared cursor, each worker detecting
+/// into its own warmed-up scratch — zero per-request scratch allocations,
+/// and per-worker [`DetectScratch::bank_stats`] deltas attribute
+/// bank-cache traffic to the request exactly, even under concurrency.
+///
+/// Output is bit-identical to [`PreparedRequest`] /
+/// [`RelativeLocalizer::localize`] regardless of how slots are
+/// distributed: every slot computation is independent and lands in its
+/// own index.
+pub struct SharedPreparedRequest {
+    config: StppConfig,
+    input: Arc<StppInput>,
+    engine: DetectionEngine,
+}
+
+impl SharedPreparedRequest {
+    /// The input this request was prepared for.
+    pub fn input(&self) -> &Arc<StppInput> {
+        &self.input
+    }
+
+    /// Number of observations (valid `detect_slot` indices are
+    /// `0..observation_count()`).
+    pub fn observation_count(&self) -> usize {
+        self.input.observations.len()
+    }
+
+    /// Runs V-zone detection for the observation at `index`, reusing the
+    /// caller's scratch. `Ok(None)` marks the tag undetected, `Err` a
+    /// malformed profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= observation_count()`.
+    pub fn detect_slot(
+        &self,
+        index: usize,
+        scratch: &mut DetectScratch,
+    ) -> Result<Option<TagVZoneSummary>, LocalizationError> {
+        self.engine.summarize(&self.input.observations[index], scratch)
+    }
+
+    /// Runs the whole request's detection sequentially through one
+    /// long-lived scratch (the `threads = 1` reference path without the
+    /// per-request scratch allocation). The returned vector is
+    /// index-aligned with the observations.
+    pub fn detect_with_scratch(
+        &self,
+        scratch: &mut DetectScratch,
+    ) -> Result<Vec<Option<TagVZoneSummary>>, LocalizationError> {
+        self.input.observations.iter().map(|obs| self.engine.summarize(obs, scratch)).collect()
+    }
+
+    /// Assembles per-tag summaries (index-aligned with the observations)
+    /// into the final ordered result.
+    pub fn assemble(
+        &self,
+        per_tag: Vec<Option<TagVZoneSummary>>,
+    ) -> Result<StppResult, LocalizationError> {
+        assemble_result(&self.config, &self.input, per_tag)
     }
 }
 
@@ -756,6 +841,47 @@ mod tests {
             let batch = crate::batch::BatchLocalizer::new(StppConfig::default(), threads);
             assert_eq!(batch.localize(&input), expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn shared_prepared_request_matches_one_shot_for_any_slot_distribution() {
+        let layout = RowLayout::new(0.0, 0.0, 0.1, 5).build();
+        let scenario =
+            ScenarioBuilder::new(29).antenna_sweep(&layout, AntennaSweepParams::default()).unwrap();
+        let recording = ReaderSimulation::new(scenario, 29).run();
+        let input = Arc::new(StppInput::from_recording(&recording).unwrap());
+        let localizer = RelativeLocalizer::with_defaults();
+        let one_shot = localizer.localize(&input).expect("one-shot");
+
+        let cache = crate::reference::ReferenceBankCache::shared();
+        let shared = localizer.prepare_shared(input.clone(), cache.clone()).expect("prepare");
+        assert_eq!(shared.observation_count(), 5);
+        assert!(Arc::ptr_eq(shared.input(), &input));
+
+        // Whole-request detection through one long-lived scratch.
+        let mut scratch = crate::vzone::DetectScratch::new();
+        let per_tag = shared.detect_with_scratch(&mut scratch).expect("detect");
+        assert_eq!(shared.assemble(per_tag).expect("assemble"), one_shot);
+        let first_pass = scratch.bank_stats();
+        assert!(first_pass.builds > 0, "cold scratch must build banks");
+
+        // Slot-by-slot detection in an adversarial order (reversed, as a
+        // pool's claim order might interleave) reassembles identically,
+        // and the warmed scratch + cache build nothing new.
+        let mut per_tag: Vec<Option<crate::ordering::TagVZoneSummary>> = vec![None; 5];
+        for index in (0..shared.observation_count()).rev() {
+            per_tag[index] = shared.detect_slot(index, &mut scratch).expect("slot");
+        }
+        assert_eq!(shared.assemble(per_tag).expect("assemble"), one_shot);
+        let second_pass = scratch.bank_stats().since(first_pass);
+        assert_eq!(second_pass.builds, 0, "warm slots must build zero banks");
+        assert!(second_pass.hits > 0, "warm slots must hit the bank cache");
+        // A fresh scratch on the same shared cache also builds nothing:
+        // its local counters record the hits exactly.
+        let mut other = crate::vzone::DetectScratch::new();
+        let _ = shared.detect_slot(0, &mut other).expect("slot");
+        assert_eq!(other.bank_stats().builds, 0);
+        assert!(other.bank_stats().hits > 0);
     }
 
     #[test]

@@ -384,16 +384,45 @@ impl ReferenceBankCache {
         offset_candidates: usize,
         interval_s: f64,
     ) -> Option<Arc<ReferenceBank>> {
+        self.get_or_build_tracked(
+            base,
+            window,
+            offset_candidates,
+            interval_s,
+            &mut Default::default(),
+        )
+    }
+
+    /// [`get_or_build`](Self::get_or_build) that additionally records the
+    /// lookup in a caller-owned counter set. The shared cache's global
+    /// atomics observe every caller interleaved; `local` observes only the
+    /// calls made through it — which is what makes per-request counter
+    /// deltas **exact** under concurrency (thread each worker's
+    /// [`DetectScratch`](crate::vzone::DetectScratch) counters through
+    /// here and sum them per request, instead of snapshotting the global
+    /// counters around a request and attributing every concurrent caller's
+    /// traffic to it).
+    pub fn get_or_build_tracked(
+        &self,
+        base: ReferenceProfileParams,
+        window: usize,
+        offset_candidates: usize,
+        interval_s: f64,
+        local: &mut BankCacheStats,
+    ) -> Option<Arc<ReferenceBank>> {
         let key = (interval_s.to_bits(), window, offset_candidates);
         if let Some(bank) = self.banks.lock().expect("bank cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            local.hits += 1;
             return bank.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        local.misses += 1;
         // Build outside the lock: bank construction is the expensive part,
         // and a duplicate build by a racing worker is harmless (the first
         // insertion wins below, keeping all workers on one instance).
         self.builds.fetch_add(1, Ordering::Relaxed);
+        local.builds += 1;
         let params = ReferenceProfileParams { sample_interval_s: interval_s, ..base };
         let built = ReferenceBank::build(params, window, offset_candidates).map(Arc::new);
         self.banks.lock().expect("bank cache poisoned").entry(key).or_insert(built).clone()

@@ -28,7 +28,7 @@ use crate::dtw::{
     SegmentFeatures,
 };
 use crate::profile::PhaseProfile;
-use crate::reference::{ReferenceBank, ReferenceBankCache, ReferenceProfileParams};
+use crate::reference::{BankCacheStats, ReferenceBank, ReferenceBankCache, ReferenceProfileParams};
 use crate::segment::SegmentedProfile;
 
 /// Typed detection failures for malformed input profiles.
@@ -478,12 +478,27 @@ pub struct DetectScratch {
     /// the remaining candidates cheap to discard. The final result does
     /// not depend on the trial order (ties break on the candidate index).
     hint: Option<usize>,
+    /// Monotonic bank-cache counters for the lookups performed *through
+    /// this scratch* (the `last_bank` short-circuit counts as a hit).
+    /// Unlike the shared cache's global atomics, these see exactly one
+    /// caller, so snapshot deltas around a request are exact even while
+    /// concurrent requests hammer the same cache.
+    bank_stats: BankCacheStats,
 }
 
 impl DetectScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         DetectScratch::default()
+    }
+
+    /// A snapshot of this scratch's bank-cache counters: every reference
+    /// bank this scratch resolved, hit or built. Counters only grow;
+    /// subtract snapshots with [`BankCacheStats::since`] to attribute a
+    /// run's lookups exactly, even under concurrency (no other thread can
+    /// touch a `&mut` scratch).
+    pub fn bank_stats(&self) -> BankCacheStats {
+        self.bank_stats
     }
 }
 
@@ -595,14 +610,16 @@ impl VZoneDetector {
                     && bank.window == self.window
                     && bank.offset_candidates == self.offset_candidates.max(1) =>
             {
+                scratch.bank_stats.hits += 1;
                 bank.clone()
             }
             _ => {
-                let Some(bank) = cache.get_or_build(
+                let Some(bank) = cache.get_or_build_tracked(
                     self.reference_params,
                     self.window,
                     self.offset_candidates,
                     interval,
+                    &mut scratch.bank_stats,
                 ) else {
                     return Ok(None);
                 };

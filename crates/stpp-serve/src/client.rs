@@ -1,0 +1,210 @@
+//! The blocking TCP client for the STPP wire protocol.
+//!
+//! [`StppClient`] wraps one connection to a [`StppServer`](crate::StppServer)
+//! with typed request helpers. Calls are synchronous: each helper writes
+//! one [`Request`] frame and reads exactly one [`Response`] frame, so a
+//! client observes responses strictly in request order. Backpressure
+//! surfaces in the return types — [`LocalizeReply::Busy`] is a normal
+//! outcome the caller is forced to consider, not an error to forget.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use stpp_core::{LocalizationError, StppInput};
+
+use crate::proto::{
+    read_frame, write_frame, ProtoError, Request, Response, ServerStats, WireReport,
+};
+use crate::service::{LocalizationResponse, ServiceStats};
+use crate::session::{IngestError, SessionGeometry};
+
+/// Errors a client call can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// A transport/protocol failure (I/O, framing, decode).
+    Proto(ProtoError),
+    /// The server rejected the request with a typed pipeline error.
+    Rejected(LocalizationError),
+    /// The server rejected a report at the ingestion boundary.
+    Ingest(IngestError),
+    /// The named session does not exist on the server.
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
+    },
+    /// The server answered with a frame this call did not expect.
+    Unexpected {
+        /// Debug rendering of the unexpected frame.
+        frame: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected(e) => write!(f, "request rejected: {e}"),
+            ClientError::Ingest(e) => write!(f, "ingestion rejected: {e}"),
+            ClientError::UnknownSession { session } => write!(f, "unknown session {session}"),
+            ClientError::Unexpected { frame } => write!(f, "unexpected response frame: {frame}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Outcome of a localize call: the result, or the server's typed
+/// backpressure rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalizeReply {
+    /// The batch was localized (bit-identical to the in-process service).
+    Localized(LocalizationResponse),
+    /// The admission queue was full; retry later.
+    Busy {
+        /// The server's admission bound.
+        depth: u64,
+    },
+}
+
+/// Outcome of a flush call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlushReply {
+    /// The flush ran; `None` means no tag was quiescent yet.
+    Flushed(Option<LocalizationResponse>),
+    /// The admission queue was full; retry later.
+    Busy {
+        /// The server's admission bound.
+        depth: u64,
+    },
+}
+
+/// One blocking connection to an STPP server (see the module docs).
+#[derive(Debug)]
+pub struct StppClient {
+    stream: TcpStream,
+}
+
+impl StppClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<StppClient, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ProtoError::from)?;
+        let _ = stream.set_nodelay(true);
+        Ok(StppClient { stream })
+    }
+
+    /// Sends one raw request frame and reads the matching response frame.
+    /// The typed helpers below are usually more convenient.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame::<_, Response>(&mut self.stream)? {
+            Some(response) => Ok(response),
+            None => Err(ClientError::Proto(ProtoError::Truncated)),
+        }
+    }
+
+    /// Localizes one batch on the server.
+    pub fn localize(
+        &mut self,
+        input: &StppInput,
+        threads: Option<usize>,
+    ) -> Result<LocalizeReply, ClientError> {
+        let request =
+            Request::Localize { input: input.clone(), threads: threads.map(|t| t as u64) };
+        match self.request(&request)? {
+            Response::Localized { response } => Ok(LocalizeReply::Localized(response)),
+            Response::Busy { depth } => Ok(LocalizeReply::Busy { depth }),
+            Response::Rejected { error } => Err(ClientError::Rejected(error)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`localize`](Self::localize), retrying [`LocalizeReply::Busy`]
+    /// with a fixed pause until the request is admitted. For callers
+    /// that must process every batch (portals, shelf carts) and treat
+    /// backpressure as delay, never loss. Typed rejections and transport
+    /// failures still surface as [`ClientError`].
+    pub fn localize_retrying(
+        &mut self,
+        input: &StppInput,
+        threads: Option<usize>,
+        pause: std::time::Duration,
+    ) -> Result<LocalizationResponse, ClientError> {
+        loop {
+            match self.localize(input, threads)? {
+                LocalizeReply::Localized(response) => return Ok(response),
+                LocalizeReply::Busy { .. } => std::thread::sleep(pause),
+            }
+        }
+    }
+
+    /// Opens a server-side streaming session; returns its id.
+    pub fn open_session(
+        &mut self,
+        geometry: SessionGeometry,
+        quiescence_s: Option<f64>,
+    ) -> Result<u64, ClientError> {
+        match self.request(&Request::OpenSession { geometry, quiescence_s })? {
+            Response::SessionOpened { session } => Ok(session),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ingests a batch of reports into a session; returns the number of
+    /// tags currently pending in it.
+    pub fn ingest(&mut self, session: u64, reports: &[WireReport]) -> Result<u64, ClientError> {
+        match self.request(&Request::IngestReports { session, reports: reports.to_vec() })? {
+            Response::Ingested { pending, .. } => Ok(pending),
+            Response::IngestRejected { error, .. } => Err(ClientError::Ingest(error)),
+            Response::UnknownSession { session } => Err(ClientError::UnknownSession { session }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Releases a session's quiescent tags as one localization batch;
+    /// with `finish = true`, ends the session and localizes everything
+    /// left.
+    pub fn flush_session(&mut self, session: u64, finish: bool) -> Result<FlushReply, ClientError> {
+        match self.request(&Request::FlushSession { session, finish })? {
+            Response::Flushed { outcome, .. } => Ok(FlushReply::Flushed(outcome)),
+            Response::Busy { depth } => Ok(FlushReply::Busy { depth }),
+            Response::Rejected { error } => Err(ClientError::Rejected(error)),
+            Response::UnknownSession { session } => Err(ClientError::UnknownSession { session }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the service- and server-level counters.
+    pub fn stats(&mut self) -> Result<(ServiceStats, ServerStats), ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { service, server } => Ok((service, server)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Occupies one admission slot for `seconds` (load drill). Returns
+    /// `false` when the queue was already full.
+    pub fn pause(&mut self, seconds: f64) -> Result<bool, ClientError> {
+        match self.request(&Request::Pause { seconds })? {
+            Response::Paused => Ok(true),
+            Response::Busy { .. } => Ok(false),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> ClientError {
+    ClientError::Unexpected { frame: format!("{response:?}") }
+}

@@ -1,0 +1,325 @@
+//! The blocking-I/O TCP server over [`LocalizationService`].
+//!
+//! One [`StppServer`] owns one service (and therefore one persistent
+//! detection pool and one geometry-keyed bank-cache LRU) and serves any
+//! number of portal/shelf-reader connections. Each connection is a strict
+//! request/response alternation handled on its own thread, so responses
+//! always come back in request order; concurrency comes from connections
+//! sharing the pool.
+//!
+//! ## Backpressure
+//!
+//! Detection work ([`Request::Localize`], [`Request::FlushSession`],
+//! [`Request::Pause`]) passes an **admission queue** bounded by
+//! [`ServerConfig::queue_depth`]: at most that many detection requests
+//! may be admitted (queued on the pool or executing) at once. A request
+//! arriving beyond the bound is rejected immediately with the typed
+//! [`Response::Busy`] frame — the client sees the rejection in
+//! microseconds instead of its request silently queueing without bound.
+//! With `queue_depth > pool_workers`, admitted requests beyond the worker
+//! count wait inside the pool's job queue; the admission bound caps that
+//! wait list. Control-plane frames (stats, session ingestion, open,
+//! shutdown) bypass admission — they stay responsive under full load.
+//!
+//! ## Sessions
+//!
+//! Streaming sessions live server-side, keyed by the id returned from
+//! [`Request::OpenSession`]; ingestion is cheap and unthrottled, flushes
+//! run detection and are admission-controlled like any localize call.
+
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use rfid_gen2::Epc;
+
+use crate::proto::{read_frame, write_frame, Request, Response, ServerStats};
+use crate::service::{LocalizationRequest, LocalizationService};
+use crate::session::ServiceSession;
+
+/// Configuration of a [`StppServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum detection requests admitted concurrently (queued or
+    /// executing); beyond this, requests are rejected with
+    /// [`Response::Busy`]. Clamped to at least 1.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { queue_depth: 32 }
+    }
+}
+
+/// State shared by the acceptor and every connection thread.
+struct ServerState {
+    service: Arc<LocalizationService>,
+    queue_depth: usize,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Option<ServiceSession>>>>>,
+    next_session: AtomicU64,
+    in_flight: AtomicUsize,
+    busy_rejections: AtomicU64,
+    requests: AtomicU64,
+    connections: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// An RAII admission slot; dropping it releases the slot.
+struct AdmissionSlot<'a>(&'a ServerState);
+
+impl Drop for AdmissionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl ServerState {
+    /// Tries to occupy one admission slot.
+    fn try_admit(&self) -> Option<AdmissionSlot<'_>> {
+        let admitted = self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.queue_depth).then_some(n + 1)
+            })
+            .is_ok();
+        if admitted {
+            Some(AdmissionSlot(self))
+        } else {
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            in_flight: self.in_flight.load(Ordering::SeqCst) as u64,
+            queue_depth: self.queue_depth as u64,
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            sessions_open: self.sessions.lock().expect("session table poisoned").len() as u64,
+            pool_workers: self.service.pool_workers() as u64,
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bound, not-yet-serving STPP TCP server (see the module docs).
+pub struct StppServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Handle to a server running on a background thread (see
+/// [`StppServer::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to stop (a client must send
+    /// [`Request::Shutdown`] for that to happen).
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+impl StppServer {
+    /// Binds a listener and wires it to the service. `127.0.0.1:0` picks
+    /// an ephemeral port (see [`local_addr`](Self::local_addr)).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<LocalizationService>,
+        config: ServerConfig,
+    ) -> std::io::Result<StppServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(StppServer {
+            listener,
+            state: Arc::new(ServerState {
+                service,
+                queue_depth: config.queue_depth.max(1),
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(0),
+                in_flight: AtomicUsize::new(0),
+                busy_rejections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client sends [`Request::Shutdown`].
+    /// Each connection runs on its own thread; this call blocks on the
+    /// acceptor.
+    pub fn serve(self) -> std::io::Result<()> {
+        let local_addr = self.listener.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let state = self.state.clone();
+            thread::spawn(move || handle_connection(&state, stream, local_addr));
+        }
+        Ok(())
+    }
+
+    /// Runs [`serve`](Self::serve) on a background thread and returns a
+    /// handle carrying the bound address — the one-liner examples and
+    /// tests use.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let thread = thread::spawn(move || self.serve());
+        Ok(ServerHandle { addr, thread })
+    }
+}
+
+/// The per-connection request/response loop. Any protocol error tears the
+/// connection down (the peer is misbehaving or gone); the server itself
+/// keeps serving.
+fn handle_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
+    state.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_frame::<_, Request>(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // clean disconnect
+            Err(_) => break,   // malformed or gone peer: drop the connection
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = handle_request(state, request);
+        if write_frame(&mut writer, &response).is_err() {
+            break;
+        }
+        if is_shutdown {
+            // Wake the blocked acceptor so `serve` observes the flag. A
+            // wildcard bind address (0.0.0.0 / ::) is not connectable on
+            // every platform; rewrite it to the matching loopback.
+            let mut wake_addr = local_addr;
+            if wake_addr.ip().is_unspecified() {
+                wake_addr.set_ip(match wake_addr {
+                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
+            break;
+        }
+    }
+}
+
+fn handle_request(state: &ServerState, request: Request) -> Response {
+    match request {
+        Request::Localize { input, threads } => {
+            let Some(_slot) = state.try_admit() else {
+                return Response::Busy { depth: state.queue_depth as u64 };
+            };
+            let request = LocalizationRequest {
+                input: Arc::new(input),
+                threads: threads.map(|t| t as usize),
+            };
+            match state.service.localize_request(request) {
+                Ok(response) => Response::Localized { response },
+                Err(error) => Response::Rejected { error },
+            }
+        }
+        Request::OpenSession { geometry, quiescence_s } => {
+            let session_handle = match quiescence_s {
+                Some(q) => state.service.open_session_with_quiescence(geometry, q),
+                None => state.service.open_session(geometry),
+            };
+            let id = state.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+            state
+                .sessions
+                .lock()
+                .expect("session table poisoned")
+                .insert(id, Arc::new(Mutex::new(Some(session_handle))));
+            Response::SessionOpened { session: id }
+        }
+        Request::IngestReports { session, reports } => {
+            let Some(slot) = lookup_session(state, session) else {
+                return Response::UnknownSession { session };
+            };
+            let mut guard = slot.lock().expect("session poisoned");
+            let Some(active) = guard.as_mut() else {
+                return Response::UnknownSession { session };
+            };
+            for report in &reports {
+                if let Err(error) = active.ingest_sample(
+                    Epc::from_serial(report.epc_serial),
+                    report.time_s,
+                    report.phase_rad,
+                ) {
+                    // Earlier reports of this frame stay ingested; the
+                    // client learns exactly which constraint failed.
+                    return Response::IngestRejected { session, error };
+                }
+            }
+            Response::Ingested { session, pending: active.pending_tags() as u64 }
+        }
+        Request::FlushSession { session, finish } => {
+            let Some(_slot) = state.try_admit() else {
+                return Response::Busy { depth: state.queue_depth as u64 };
+            };
+            let Some(slot) = lookup_session(state, session) else {
+                return Response::UnknownSession { session };
+            };
+            let mut guard = slot.lock().expect("session poisoned");
+            if guard.is_none() {
+                return Response::UnknownSession { session };
+            }
+            let flushed = if finish {
+                let active = guard.take().expect("session checked above");
+                state.sessions.lock().expect("session table poisoned").remove(&session);
+                active.finish()
+            } else {
+                guard.as_mut().expect("session checked above").flush_quiescent()
+            };
+            match flushed {
+                Ok(outcome) => Response::Flushed { session, outcome },
+                Err(error) => Response::Rejected { error },
+            }
+        }
+        Request::Stats => {
+            Response::Stats { service: state.service.stats(), server: state.server_stats() }
+        }
+        Request::Pause { seconds } => {
+            let Some(_slot) = state.try_admit() else {
+                return Response::Busy { depth: state.queue_depth as u64 };
+            };
+            let seconds = if seconds.is_finite() { seconds.clamp(0.0, 10.0) } else { 0.0 };
+            thread::sleep(Duration::from_secs_f64(seconds));
+            Response::Paused
+        }
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn lookup_session(state: &ServerState, session: u64) -> Option<Arc<Mutex<Option<ServiceSession>>>> {
+    state.sessions.lock().expect("session table poisoned").get(&session).cloned()
+}

@@ -40,6 +40,16 @@ pub enum IngestError {
         /// EPC of the reported tag.
         epc: Epc,
     },
+    /// The session already buffers its maximum number of samples
+    /// ([`crate::ServiceConfig::session_max_samples`]); flush (or finish)
+    /// before ingesting more. The bound keeps a misbehaving or stalled
+    /// report stream from growing process memory without limit.
+    SessionFull {
+        /// EPC of the rejected report.
+        epc: Epc,
+        /// The session's sample capacity.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for IngestError {
@@ -50,6 +60,13 @@ impl std::fmt::Display for IngestError {
             }
             IngestError::NonFinitePhase { epc } => {
                 write!(f, "report for tag {epc:?} has a non-finite phase")
+            }
+            IngestError::SessionFull { epc, limit } => {
+                write!(
+                    f,
+                    "report for tag {epc:?} rejected: session already buffers {limit} samples \
+                     (flush or finish first)"
+                )
             }
         }
     }
@@ -85,6 +102,8 @@ pub struct ServiceSession {
     service: Arc<LocalizationService>,
     geometry: SessionGeometry,
     quiescence_s: f64,
+    max_samples: usize,
+    buffered: usize,
     clock_s: f64,
     active: BTreeMap<Epc, TagBuffer>,
 }
@@ -95,10 +114,13 @@ impl ServiceSession {
         geometry: SessionGeometry,
         quiescence_s: f64,
     ) -> Self {
+        let max_samples = service.config().session_max_samples.max(1);
         ServiceSession {
             service,
             geometry,
             quiescence_s: quiescence_s.max(0.0),
+            max_samples,
+            buffered: 0,
             clock_s: f64::NEG_INFINITY,
             active: BTreeMap::new(),
         }
@@ -124,6 +146,11 @@ impl ServiceSession {
         self.active.len()
     }
 
+    /// Number of samples currently buffered across all pending tags.
+    pub fn pending_samples(&self) -> usize {
+        self.buffered
+    }
+
     /// Ingests one reader report. Non-finite samples are rejected with a
     /// typed error and leave the session state untouched.
     pub fn ingest(&mut self, report: &TagReadReport) -> Result<(), IngestError> {
@@ -143,11 +170,15 @@ impl ServiceSession {
         if !phase_rad.is_finite() {
             return Err(IngestError::NonFinitePhase { epc });
         }
+        if self.buffered >= self.max_samples {
+            return Err(IngestError::SessionFull { epc, limit: self.max_samples as u64 });
+        }
         self.clock_s = if self.clock_s.is_finite() { self.clock_s.max(time_s) } else { time_s };
         let buffer =
             self.active.entry(epc).or_insert(TagBuffer { pairs: Vec::new(), last_seen_s: time_s });
         buffer.pairs.push((time_s, phase_rad));
         buffer.last_seen_s = buffer.last_seen_s.max(time_s);
+        self.buffered += 1;
         Ok(())
     }
 
@@ -208,6 +239,7 @@ impl ServiceSession {
             .into_iter()
             .filter_map(|epc| {
                 let buffer = self.active.remove(&epc)?;
+                self.buffered -= buffer.pairs.len();
                 Some(TagObservations {
                     id: epc.serial(),
                     epc,
@@ -222,6 +254,6 @@ impl ServiceSession {
             perpendicular_distance_m: self.geometry.perpendicular_distance_m,
         };
         self.service.session_batches.fetch_add(1, Ordering::Relaxed);
-        self.service.localize(&input)
+        self.service.localize(Arc::new(input))
     }
 }

@@ -8,6 +8,8 @@
 //!    performs no `ReferenceBank` builds (asserted on the cache's
 //!    instrumentation counters).
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use rfid_geometry::RowLayout;
 use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
@@ -55,16 +57,19 @@ proptest! {
         d_perp in 0.25f64..0.34,
         mu in 0.0f64..std::f64::consts::TAU,
     ) {
-        let input = synthetic_input(&tag_xs, d_perp, mu);
+        let input = Arc::new(synthetic_input(&tag_xs, d_perp, mu));
         let sequential = RelativeLocalizer::with_defaults().localize(&input);
         let service = LocalizationService::with_defaults();
         // Cold request warms the cache; the results must already match.
-        let cold = service.localize(&input).map(|r| r.result);
+        let cold = service.localize(input.clone()).map(|r| r.result);
         prop_assert_eq!(&sequential, &cold);
-        // Warm requests across thread counts: bit-identical, zero builds.
+        // Warm requests across fanouts: bit-identical, zero builds.
         for threads in [1usize, 2, 8] {
             let response = service
-                .localize_request(LocalizationRequest { input: &input, threads: Some(threads) })
+                .localize_request(LocalizationRequest {
+                    input: input.clone(),
+                    threads: Some(threads),
+                })
                 .expect("warm request");
             prop_assert_eq!(&sequential, &Ok(response.result), "threads = {}", threads);
             prop_assert_eq!(response.metrics.bank_cache.builds, 0, "threads = {}", threads);
@@ -76,11 +81,11 @@ proptest! {
         tag_xs in proptest::collection::vec(0.3f64..2.5, 3..6),
     ) {
         // The acceptance property, stated directly on the counters.
-        let input = synthetic_input(&tag_xs, 0.3, 1.0);
+        let input = Arc::new(synthetic_input(&tag_xs, 0.3, 1.0));
         let service = LocalizationService::with_defaults();
-        let first = service.localize(&input).expect("first request");
+        let first = service.localize(input.clone()).expect("first request");
         prop_assert!(first.metrics.bank_cache.builds > 0, "cold request must build");
-        let second = service.localize(&input).expect("second request");
+        let second = service.localize(input).expect("second request");
         prop_assert_eq!(second.metrics.bank_cache.builds, 0);
         prop_assert!(second.metrics.geometry_cache_hit);
         prop_assert_eq!(first.result, second.result);
@@ -171,6 +176,40 @@ fn session_flushes_quiescent_tags_in_waves() {
     // Wave 2 rode the warm banks wave 1 built.
     assert_eq!(wave2.metrics.bank_cache.builds, 0, "second wave must reuse banks");
     assert_eq!(service.stats().session_batches, 2);
+}
+
+#[test]
+fn session_sample_cap_bounds_ingestion_memory() {
+    // A session that never flushes must stop accepting samples at the
+    // configured cap with a typed error — the bound that keeps a
+    // misbehaving report stream from growing process memory forever.
+    let service = stpp_serve::LocalizationService::new(stpp_serve::ServiceConfig {
+        session_max_samples: 10,
+        ..stpp_serve::ServiceConfig::default()
+    });
+    let mut session = service.open_session_with_quiescence(
+        SessionGeometry {
+            nominal_speed_mps: 0.1,
+            wavelength_m: 0.326,
+            perpendicular_distance_m: Some(0.3),
+        },
+        0.0,
+    );
+    let epc = rfid_gen2::Epc::from_serial(1);
+    for i in 0..10 {
+        session.ingest_sample(epc, i as f64 * 0.05, 1.0).expect("within cap");
+    }
+    assert_eq!(session.pending_samples(), 10);
+    assert_eq!(
+        session.ingest_sample(epc, 0.6, 1.0),
+        Err(stpp_serve::IngestError::SessionFull { epc, limit: 10 })
+    );
+    // Flushing releases the budget: the tags leave the session (this
+    // tiny constant-phase batch cannot localize — the error is expected
+    // and the tags are consumed regardless) and new samples fit again.
+    assert!(session.flush_quiescent().is_err());
+    session.ingest_sample(rfid_gen2::Epc::from_serial(2), 100.0, 1.0).expect("freed capacity");
+    assert_eq!(session.pending_samples(), 1);
 }
 
 #[test]

@@ -14,6 +14,8 @@
 //!
 //! Run with `cargo run --release --example serving`.
 
+use std::sync::Arc;
+
 use stpp::core::{ordering_accuracy, RelativeLocalizer, StppInput};
 use stpp::geometry::RowLayout;
 use stpp::reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
@@ -28,14 +30,14 @@ fn main() {
         .expect("non-empty layout");
     let truth_x = scenario.truth_order_x();
     let recording = ReaderSimulation::new(scenario, 2026).run();
-    let input = StppInput::from_recording(&recording).expect("valid input");
+    let input = Arc::new(StppInput::from_recording(&recording).expect("valid input"));
 
     // The long-lived service a portal process creates once.
     let service = LocalizationService::with_defaults();
 
     println!("== batch requests ==");
-    let cold = service.localize(&input).expect("cold request");
-    let warm = service.localize(&input).expect("warm request");
+    let cold = service.localize(input.clone()).expect("cold request");
+    let warm = service.localize(input.clone()).expect("warm request");
     for (label, response) in [("cold", &cold), ("warm", &warm)] {
         let m = &response.metrics;
         println!(

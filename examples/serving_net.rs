@@ -1,0 +1,217 @@
+//! The networked serving demo: `StppServer` on localhost driven by
+//! `StppClient` over the length-prefixed binary protocol.
+//!
+//! Demonstrates (and asserts — CI runs this as the `serve-net` job) the
+//! wire layer's contractual properties:
+//!
+//! 1. **Wire transparency** — server responses are bit-identical to the
+//!    in-process sequential pipeline, for pool worker counts 1, 2 and 4;
+//! 2. **Ordered output** — a connection's responses come back in request
+//!    order (distinct batches round-trip without crosstalk);
+//! 3. **Warm path** — a repeated same-geometry request over the wire
+//!    builds zero reference banks;
+//! 4. **Backpressure** — a deliberately overfilled admission queue
+//!    rejects with the typed `Busy` frame, and admits again once the
+//!    queue drains;
+//! 5. **Streaming** — a server-side session fed report-by-report matches
+//!    the offline pipeline.
+//!
+//! Run with `cargo run --release --example serving_net`.
+
+use stpp::core::{RelativeLocalizer, StppInput};
+use stpp::geometry::RowLayout;
+use stpp::reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder};
+use stpp::serve::{
+    FlushReply, LocalizationService, LocalizeReply, ServerConfig, ServiceConfig, SessionGeometry,
+    StppClient, StppServer, WireReport,
+};
+
+/// A deterministic row-sweep input with `tags` tags.
+fn sweep_input(tags: usize, seed: u64) -> StppInput {
+    let layout = RowLayout::new(0.0, 0.0, 0.09, tags).build();
+    let scenario = ScenarioBuilder::new(seed)
+        .with_name("serving_net demo sweep")
+        .antenna_sweep(&layout, AntennaSweepParams::default())
+        .expect("non-empty layout");
+    let recording = ReaderSimulation::new(scenario, seed).run();
+    StppInput::from_recording(&recording).expect("valid input")
+}
+
+fn main() {
+    let input = sweep_input(8, 2026);
+    let sequential = RelativeLocalizer::with_defaults().localize(&input).expect("sequential");
+
+    // 1. Wire transparency, property-checked across pool worker counts.
+    println!("== wire transparency (worker counts 1, 2, 4) ==");
+    for workers in [1usize, 2, 4] {
+        let service = LocalizationService::new(ServiceConfig {
+            pool_workers: workers,
+            ..ServiceConfig::default()
+        });
+        let server =
+            StppServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind server");
+        let handle = server.spawn().expect("spawn server");
+        let mut client = StppClient::connect(handle.addr()).expect("connect");
+
+        let LocalizeReply::Localized(cold) = client.localize(&input, None).expect("cold request")
+        else {
+            panic!("idle server must admit the cold request");
+        };
+        assert_eq!(
+            cold.result, sequential,
+            "{workers}-worker server output must equal the sequential pipeline"
+        );
+        assert!(cold.metrics.bank_cache.builds > 0, "cold request must build banks");
+
+        // 3. Warm path over the wire: zero bank builds, still identical.
+        let LocalizeReply::Localized(warm) = client.localize(&input, None).expect("warm request")
+        else {
+            panic!("idle server must admit the warm request");
+        };
+        assert_eq!(warm.result, sequential, "warm output must equal the sequential pipeline");
+        assert_eq!(warm.metrics.bank_cache.builds, 0, "warm request must build zero banks");
+        println!(
+            "workers = {workers}: cold {:.2} ms ({} banks built), warm {:.2} ms (0 banks) — \
+             bit-identical to the in-process pipeline",
+            cold.metrics.total_seconds * 1e3,
+            cold.metrics.bank_cache.builds,
+            warm.metrics.total_seconds * 1e3,
+        );
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exits");
+    }
+
+    // One long-lived server for the remaining drills.
+    let service = LocalizationService::with_defaults();
+    let server = StppServer::bind("127.0.0.1:0", service, ServerConfig { queue_depth: 1 })
+        .expect("bind server");
+    let handle = server.spawn().expect("spawn server");
+
+    // 2. Ordered output: distinct batches on one connection come back in
+    //    request order (each response's population identifies its batch).
+    println!("\n== ordered responses on one connection ==");
+    let mut client = StppClient::connect(handle.addr()).expect("connect");
+    let batches: Vec<StppInput> = [3usize, 5, 7, 4, 6]
+        .iter()
+        .enumerate()
+        .map(|(i, &tags)| sweep_input(tags, 100 + i as u64))
+        .collect();
+    let expected: Vec<_> = batches
+        .iter()
+        .map(|b| RelativeLocalizer::with_defaults().localize(b).expect("sequential batch"))
+        .collect();
+    for (i, (batch, expected)) in batches.iter().zip(&expected).enumerate() {
+        let reply = loop {
+            match client.localize(batch, None).expect("batch request") {
+                LocalizeReply::Localized(reply) => break reply,
+                LocalizeReply::Busy { .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(2))
+                }
+            }
+        };
+        assert_eq!(
+            &reply.result, expected,
+            "response {i} must belong to request {i} (ordered, no crosstalk)"
+        );
+    }
+    println!("{} batches round-tripped in order", batches.len());
+
+    // 4. Backpressure: a Pause occupies the only admission slot; the next
+    //    detection request must be rejected with the typed Busy frame.
+    println!("\n== backpressure (queue_depth = 1, deliberately overfilled) ==");
+    let addr = handle.addr();
+    let pauser = std::thread::spawn(move || {
+        let mut pauser = StppClient::connect(addr).expect("connect pauser");
+        assert!(pauser.pause(3.0).expect("pause"), "empty queue must admit the pause");
+    });
+    // Wait (bounded — a stalled runner must fail the job, not hang it)
+    // until the pause occupies the only slot.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let (_, server_stats) = client.stats().expect("stats");
+        if server_stats.in_flight >= 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "pause never observed in flight within 30 s");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let reply = client.localize(&input, None).expect("request under load");
+    assert_eq!(
+        reply,
+        LocalizeReply::Busy { depth: 1 },
+        "overfilled queue must reject with the typed Busy frame"
+    );
+    pauser.join().expect("pauser thread");
+    let reply = client.localize(&input, None).expect("request after load");
+    assert!(matches!(reply, LocalizeReply::Localized(_)), "drained queue must admit the retry");
+    let (_, server_stats) = client.stats().expect("stats");
+    assert!(server_stats.busy_rejections >= 1);
+    println!(
+        "Busy observed while the slot was held; retry admitted after drain \
+         ({} rejection(s) counted)",
+        server_stats.busy_rejections
+    );
+
+    // 5. Streaming session over the wire.
+    println!("\n== streaming session over the wire ==");
+    let mut session_input = sweep_input(5, 77);
+    session_input.observations.sort_by_key(|obs| obs.id);
+    let offline = RelativeLocalizer::with_defaults().localize(&session_input).expect("offline");
+    let session = client
+        .open_session(
+            SessionGeometry {
+                nominal_speed_mps: session_input.nominal_speed_mps,
+                wavelength_m: session_input.wavelength_m,
+                perpendicular_distance_m: session_input.perpendicular_distance_m,
+            },
+            None,
+        )
+        .expect("open session");
+    let mut reports: Vec<(f64, WireReport)> = session_input
+        .observations
+        .iter()
+        .flat_map(|obs| {
+            obs.profile.samples().iter().map(|s| {
+                (
+                    s.time_s,
+                    WireReport {
+                        epc_serial: obs.epc.serial(),
+                        time_s: s.time_s,
+                        phase_rad: s.phase_rad,
+                    },
+                )
+            })
+        })
+        .collect();
+    reports.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Stream in time order, in chunks like a reader forwards them.
+    for chunk in reports.chunks(64) {
+        let batch: Vec<WireReport> = chunk.iter().map(|(_, r)| *r).collect();
+        client.ingest(session, &batch).expect("ingest");
+    }
+    let FlushReply::Flushed(Some(streamed)) =
+        client.flush_session(session, true).expect("finish session")
+    else {
+        panic!("the session accumulated tags and must localize on finish");
+    };
+    assert_eq!(streamed.result, offline, "wire session output must equal the offline pipeline");
+    println!(
+        "session of {} tags localized: order_x = {:?}",
+        session_input.observations.len(),
+        streamed.result.order_x
+    );
+
+    let (service_stats, server_stats) = client.stats().expect("final stats");
+    println!(
+        "\nserver stats: {} connections, {} requests, {} busy rejections | service: {} requests, \
+         {} geometry hits",
+        server_stats.connections,
+        server_stats.requests,
+        server_stats.busy_rejections,
+        service_stats.requests,
+        service_stats.geometry_hits,
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exits");
+    println!("serving_net demo OK");
+}

@@ -29,7 +29,8 @@ pub mod prelude {
     //! The glob-import surface: `use proptest::prelude::*;`.
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
     };
 }
 
@@ -166,6 +167,98 @@ pub trait Strategy {
     {
         FlatMap { inner: self, f }
     }
+
+    /// Type-erases the strategy (see [`BoxedStrategy`]); what
+    /// [`prop_oneof!`] arms collapse to.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A heap-allocated, type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A uniform choice between same-valued strategies (what [`prop_oneof!`]
+/// builds). Real proptest supports weighted arms; the stand-in picks arms
+/// uniformly.
+#[derive(Debug)]
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms. Panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.0.gen_range(0..self.0.len());
+        self.0[arm].generate(rng)
+    }
+}
+
+pub mod option {
+    //! `Option` strategies: `proptest::option::of`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Generates `None` about a quarter of the time, `Some(element)`
+    /// otherwise (real proptest's default `of` weighting).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.0.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.element.generate(rng))
+            }
+        }
+    }
+}
+
+/// A uniform choice between strategies producing the same value type.
+///
+/// ```ignore
+/// prop_oneof![Just(Message::Ping), (0u32..10).prop_map(Message::Count)]
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
 }
 
 /// See [`Strategy::prop_map`].
