@@ -350,7 +350,18 @@ fn seed_detect(
         return None;
     }
     let (fit, nadir_time_s, nadir_phase) = seed_fit_vzone(&vzone);
-    Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: Some(cost) })
+    // The frozen seed never tracked the winning offset candidate or the
+    // refinement cap (both fields post-date it); it also keeps using the
+    // seed-era equal-count coarse representation below.
+    Some(VZoneDetection {
+        vzone,
+        fit,
+        nadir_time_s,
+        nadir_phase,
+        match_cost: Some(cost),
+        offset_index: None,
+        cap_half_duration_s: 0.0,
+    })
 }
 
 /// The seed's sequential/exact pipeline: per-tag detection with the

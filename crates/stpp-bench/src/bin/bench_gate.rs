@@ -38,7 +38,9 @@ struct PopulationReport {
     tags: usize,
     seed_sequential_exact: ModeReport,
     batch_banded: ModeReport,
+    batch_screened: ModeReport,
     speedup_batch_banded_vs_seed: f64,
+    speedup_screened_vs_banded: f64,
     speedup_serve_warm_vs_cold: f64,
     overhead_net_vs_warm: f64,
 }
@@ -108,9 +110,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if report.schema != "stpp-bench-pipeline/v3" {
+    if report.schema != "stpp-bench-pipeline/v4" {
         eprintln!(
-            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v3` — regenerate the \
+            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v4` — regenerate the \
              report with this tree's bench_json",
             report.schema
         );
@@ -137,6 +139,7 @@ fn main() -> ExitCode {
     };
     let required = [
         "min_speedup_batch_banded_vs_seed",
+        "min_speedup_screened_vs_banded",
         "min_speedup_serve_warm_vs_cold",
         "max_overhead_net_vs_warm",
     ];
@@ -159,6 +162,17 @@ fn main() -> ExitCode {
 
     // Gate on the worst population: the slowest speedup and the largest
     // overhead observed anywhere in the sweep.
+    // The screening win is a batch-scale effect (the lockstep screen's
+    // gains grow with the population while tiny batches are dominated by
+    // per-request fixed costs), so its ratio is gated on the *largest*
+    // population in the report; every other ratio gates on the worst
+    // population as before.
+    let largest = report
+        .populations
+        .iter()
+        .max_by_key(|p| p.tags)
+        .expect("populations checked non-empty above");
+    let worst_screen = largest.speedup_screened_vs_banded * degrade;
     let mut violations: Vec<String> = Vec::new();
     let mut worst_batch = f64::INFINITY;
     let mut worst_warm = f64::INFINITY;
@@ -178,13 +192,28 @@ fn main() -> ExitCode {
                 population.seed_sequential_exact.localized,
             ));
         }
+        // Noise-free exactness guard: lockstep + coarse-to-fine screening
+        // is contractually bit-identical to the banded path, so even a
+        // one-tag difference is a correctness bug, not noise.
+        if population.batch_screened.localized != population.batch_banded.localized {
+            violations.push(format!(
+                "{} tags: batch_screened localized {} tags but batch_banded localized {} — \
+                 screening is changing results",
+                population.tags,
+                population.batch_screened.localized,
+                population.batch_banded.localized,
+            ));
+        }
         eprintln!(
             "bench_gate: {:4} tags | batch-banded {:5.2}x vs seed (seed {:.2} ms, banded {:.2} \
-             ms) | warm {:5.2}x vs cold | net {:5.2}x warm",
+             ms) | screened {:5.2}x vs banded ({:.2} ms) | warm {:5.2}x vs cold | net {:5.2}x \
+             warm",
             population.tags,
             population.speedup_batch_banded_vs_seed,
             population.seed_sequential_exact.localize_ms,
             population.batch_banded.localize_ms,
+            population.speedup_screened_vs_banded,
+            population.batch_screened.localize_ms,
             population.speedup_serve_warm_vs_cold,
             population.overhead_net_vs_warm,
         );
@@ -194,6 +223,14 @@ fn main() -> ExitCode {
     if worst_batch < min_batch {
         violations.push(format!(
             "batch-banded speedup vs seed regressed to {worst_batch:.2}x (threshold {min_batch}x)"
+        ));
+    }
+    let min_screen = limits["min_speedup_screened_vs_banded"];
+    if worst_screen < min_screen {
+        violations.push(format!(
+            "screened speedup vs banded regressed to {worst_screen:.2}x at {} tags (threshold \
+             {min_screen}x)",
+            largest.tags
         ));
     }
     let min_warm = limits["min_speedup_serve_warm_vs_cold"];
@@ -210,8 +247,9 @@ fn main() -> ExitCode {
 
     if violations.is_empty() {
         eprintln!(
-            "bench_gate: PASS (batch {worst_batch:.2}x >= {min_batch}, warm {worst_warm:.2}x >= \
-             {min_warm}, net {worst_net:.2}x <= {max_net})"
+            "bench_gate: PASS (batch {worst_batch:.2}x >= {min_batch}, screen \
+             {worst_screen:.2}x >= {min_screen}, warm {worst_warm:.2}x >= {min_warm}, net \
+             {worst_net:.2}x <= {max_net})"
         );
         ExitCode::SUCCESS
     } else {

@@ -63,8 +63,13 @@ struct PopulationReport {
     sequential_banded: ModeReport,
     /// Parallel batch engine, exact DTW.
     batch_exact: ModeReport,
-    /// Parallel batch engine, banded DTW (the production fast path).
+    /// Parallel batch engine, banded DTW with the PR 4 sequential
+    /// candidate screen (lockstep / coarse-to-fine switches off).
     batch_banded: ModeReport,
+    /// Parallel batch engine, banded DTW plus lockstep screening and the
+    /// coarse-to-fine pre-alignment (the production fast path; output is
+    /// bit-identical to `batch_banded` — the exactness suite pins it).
+    batch_screened: ModeReport,
     /// Serving cold path: a fresh `LocalizationService` per request, so
     /// every request rebuilds its reference banks (per-run behaviour).
     serve_cold: ModeReport,
@@ -77,6 +82,9 @@ struct PopulationReport {
     serve_net: ModeReport,
     /// `seed_sequential_exact.localize_ms / batch_banded.localize_ms`.
     speedup_batch_banded_vs_seed: f64,
+    /// `batch_banded.localize_ms / batch_screened.localize_ms` — the
+    /// lockstep + coarse-to-fine screening win over the PR 4 path.
+    speedup_screened_vs_banded: f64,
     /// `serve_cold.localize_ms / serve_warm.localize_ms`.
     speedup_serve_warm_vs_cold: f64,
     /// `serve_net.localize_ms / serve_warm.localize_ms` — the wire tax.
@@ -113,18 +121,32 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
     let input = Arc::new(StppInput::from_recording(&recording).expect("valid benchmark input"));
     let input_build_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    let exact = StppConfig::default();
-    let banded = StppConfig { dtw_band: Some(BAND), ..StppConfig::default() };
+    // The historical modes pin the PR 4 candidate screen (sequential,
+    // switches off) so their trend lines keep measuring the same
+    // algorithm; `screened` adds the lockstep + coarse-to-fine fast path
+    // on top of the banded batch engine.
+    let legacy =
+        StppConfig { lockstep_screen: false, coarse_prealign: false, ..StppConfig::default() };
+    let exact = legacy;
+    let banded = StppConfig { dtw_band: Some(BAND), ..legacy };
+    let screened = StppConfig {
+        dtw_band: Some(BAND),
+        lockstep_screen: true,
+        coarse_prealign: true,
+        ..StppConfig::default()
+    };
 
     let seed_sequential_exact = time_mode(|| baseline::seed_localize(&input));
     let sequential_exact = time_mode(|| RelativeLocalizer::new(exact).localize(&input));
     let sequential_banded = time_mode(|| RelativeLocalizer::new(banded).localize(&input));
     let batch_exact = time_mode(|| BatchLocalizer::new(exact, threads).localize(&input));
     let batch_banded = time_mode(|| BatchLocalizer::new(banded, threads).localize(&input));
+    let batch_screened = time_mode(|| BatchLocalizer::new(screened, threads).localize(&input));
 
-    // Serving paths, banded config (the production setup): cold constructs
-    // a fresh service per request, warm reuses one long-lived service.
-    let service_config = ServiceConfig { stpp: banded, threads, ..ServiceConfig::default() };
+    // Serving paths, screened config (the production setup): cold
+    // constructs a fresh service per request, warm reuses one long-lived
+    // service.
+    let service_config = ServiceConfig { stpp: screened, threads, ..ServiceConfig::default() };
     let serve_cold = time_mode(|| {
         let service = LocalizationService::new(service_config);
         service.localize(input.clone()).map(|r| r.result)
@@ -161,6 +183,7 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
     handle.join().expect("benchmark server exits");
 
     let speedup = seed_sequential_exact.localize_ms / batch_banded.localize_ms.max(1e-9);
+    let screen_speedup = batch_banded.localize_ms / batch_screened.localize_ms.max(1e-9);
     let serve_speedup = serve_cold.localize_ms / serve_warm.localize_ms.max(1e-9);
     let net_overhead = serve_net.localize_ms / serve_warm.localize_ms.max(1e-9);
     PopulationReport {
@@ -171,10 +194,12 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
         sequential_banded,
         batch_exact,
         batch_banded,
+        batch_screened,
         serve_cold,
         serve_warm,
         serve_net,
         speedup_batch_banded_vs_seed: speedup,
+        speedup_screened_vs_banded: screen_speedup,
         speedup_serve_warm_vs_cold: serve_speedup,
         overhead_net_vs_warm: net_overhead,
     }
@@ -192,7 +217,10 @@ fn main() {
             format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR"))
         });
 
-    let populations: &[usize] = if smoke { &[3, 5] } else { &[5, 15, 30, 100, 300] };
+    // The smoke sweep keeps one tiny population (fast sanity + the small-
+    // batch ratios) and one mid-size population large enough for the
+    // screening win — a batch-scale effect — to rise above fixed costs.
+    let populations: &[usize] = if smoke { &[5, 100] } else { &[5, 15, 30, 100, 300] };
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let mut reports = Vec::new();
@@ -201,14 +229,17 @@ fn main() {
         let report = bench_population(tags, threads);
         eprintln!(
             "  seed {:8.2} ms | seq exact {:8.2} ms | seq banded {:8.2} ms | batch exact \
-             {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x | serve cold {:8.2} ms / warm \
-             {:8.2} ms ({:3.1}x) | net {:8.2} ms ({:3.1}x warm)",
+             {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x | screened {:8.2} ms \
+             ({:4.2}x banded) | serve cold {:8.2} ms / warm {:8.2} ms ({:3.1}x) | net {:8.2} ms \
+             ({:3.1}x warm)",
             report.seed_sequential_exact.localize_ms,
             report.sequential_exact.localize_ms,
             report.sequential_banded.localize_ms,
             report.batch_exact.localize_ms,
             report.batch_banded.localize_ms,
             report.speedup_batch_banded_vs_seed,
+            report.batch_screened.localize_ms,
+            report.speedup_screened_vs_banded,
             report.serve_cold.localize_ms,
             report.serve_warm.localize_ms,
             report.speedup_serve_warm_vs_cold,
@@ -219,7 +250,7 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema: "stpp-bench-pipeline/v3",
+        schema: "stpp-bench-pipeline/v4",
         smoke,
         threads,
         band: BAND,

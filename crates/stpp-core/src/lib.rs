@@ -44,9 +44,10 @@ pub mod vzone;
 
 pub use batch::BatchLocalizer;
 pub use dtw::{
-    dtw_full, dtw_full_banded, dtw_segmented, dtw_segmented_banded, dtw_segmented_cost_only,
-    dtw_segmented_features_into, dtw_segmented_into, dtw_segmented_with_penalty, dtw_subsequence,
-    dtw_subsequence_banded, path_matched_range, DtwResult, DtwScratch, SegmentFeatures,
+    decimated_band, dtw_full, dtw_full_banded, dtw_screen_lockstep, dtw_segmented,
+    dtw_segmented_banded, dtw_segmented_cost_only, dtw_segmented_features_into, dtw_segmented_into,
+    dtw_segmented_with_penalty, dtw_subsequence, dtw_subsequence_banded, path_matched_range,
+    DtwResult, DtwScratch, ScreenOutcome, SegmentFeatures,
 };
 pub use metrics::{kendall_tau, ordering_accuracy, OrderingScore};
 pub use ordering::{gap_metric, order_metric, OrderingEngine, TagVZoneSummary};

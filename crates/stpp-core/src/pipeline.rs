@@ -93,6 +93,16 @@ pub struct StppConfig {
     /// `None` = exact alignment (the default, and the paper's algorithm).
     /// See the [`dtw`](crate::dtw) module docs for the band semantics.
     pub dtw_band: Option<usize>,
+    /// Screen the offset candidates in lockstep
+    /// ([`VZoneDetector::lockstep_screen`]); `false` restores the PR 2
+    /// sequential screen. Results are bit-identical either way (the
+    /// exactness suite pins it), only the work skipped differs.
+    pub lockstep_screen: bool,
+    /// Run the coarse-to-fine (double-window decimated) pre-alignment on
+    /// cold detection scratches to rank the offset candidates before the
+    /// threshold-seeding alignment ([`VZoneDetector::coarse_prealign`]);
+    /// `false` skips the coarse stage. Bit-identical either way.
+    pub coarse_prealign: bool,
 }
 
 impl Default for StppConfig {
@@ -107,6 +117,8 @@ impl Default for StppConfig {
             y_strategy: YOrderingStrategy::Pivot,
             min_reads: 12,
             dtw_band: None,
+            lockstep_screen: true,
+            coarse_prealign: true,
         }
     }
 }
@@ -314,7 +326,9 @@ impl DetectionEngine {
         let dtw_detector = VZoneDetector::new(reference_params)
             .with_window(config.window)
             .with_offset_candidates(config.offset_candidates)
-            .with_dtw_band(config.dtw_band);
+            .with_dtw_band(config.dtw_band)
+            .with_lockstep_screen(config.lockstep_screen)
+            .with_coarse_prealign(config.coarse_prealign);
         Ok(DetectionEngine {
             config,
             dtw_detector,
@@ -344,8 +358,14 @@ impl DetectionEngine {
         let Some(d) = detection else {
             return Ok(None);
         };
+        // Prefer the window-length-normalised representation (fixed ±cap
+        // grid anchored at the fitted bottom) so tags whose refinement
+        // fell back to the quarter-wavelength cap window compare robustly
+        // with their wrap-bounded neighbours; the naive detector carries
+        // no cap and keeps the plain equal-count representation.
         let coarse = d
-            .coarse_representation(self.config.y_segments)
+            .normalized_coarse_representation(self.config.y_segments)
+            .or_else(|| d.coarse_representation(self.config.y_segments))
             .unwrap_or_else(|| vec![d.nadir_phase; self.config.y_segments]);
         Ok(Some(TagVZoneSummary {
             id: obs.id,
@@ -841,6 +861,71 @@ mod tests {
             let batch = crate::batch::BatchLocalizer::new(StppConfig::default(), threads);
             assert_eq!(batch.localize(&input), expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn wrap_boundary_tag_orders_correctly_among_normal_shelf() {
+        // Regression (ROADMAP PR 3 follow-up): a tag whose bottom phase
+        // hugs the 0/2π seam falls back to the quarter-wavelength cap
+        // window in `refine_vzone`, while its neighbours stop at their
+        // first genuine wrap — so the seed-era equal-count coarse
+        // representation mixed window sizes *and* re-wrapped the boundary
+        // tag's segment means across the seam, scattering them to ~0
+        // while the neighbours' sat near 2π. The Y ordering then placed
+        // the farthest tag nearest. The window-length-normalised
+        // representation (fixed ±cap grid, means anchored at the fitted
+        // bottom) must order the shelf correctly.
+        let wl = 0.326f64;
+        let speed = 0.1f64;
+        let d_perps = [0.30f64, 0.31, 0.32];
+        // Choose the hardware offset so the farthest tag's bottom phase
+        // lands just below the seam (2π − 0.02: close enough that the
+        // jitter wraps collapse the plain refinement walk below the
+        // usable minimum and force the cap fallback, far enough that the
+        // fitted bottom stays on a definite side of the seam). The mild
+        // deterministic phase jitter is what makes the plain walk
+        // collapse — the documented failure scenario. With the seed-era
+        // equal-count representation this shelf orders [2, 0, 1]: the
+        // boundary tag's cap-window outer segments unwrap past 2π, are
+        // re-wrapped to ~0–1.5 rad, and drag the farthest tag to the
+        // front of the Y order.
+        let theta_raw = rfid_phys::wrap_phase(std::f64::consts::TAU * 2.0 * 0.32 / wl);
+        let mu = rfid_phys::wrap_phase(std::f64::consts::TAU - 0.02 - theta_raw);
+        let observations: Vec<TagObservations> = d_perps
+            .iter()
+            .enumerate()
+            .map(|(i, &d_perp)| {
+                let tag_x = 0.6 + 0.4 * i as f64;
+                let pairs: Vec<(f64, f64)> = (0..600)
+                    .map(|s| {
+                        let t = s as f64 * 0.05;
+                        let d = ((speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
+                        let jitter = 0.02 * (s as f64 * 7.31 + i as f64).sin();
+                        (t, std::f64::consts::TAU * 2.0 * d / wl + mu + jitter)
+                    })
+                    .collect();
+                TagObservations {
+                    id: i as u64,
+                    epc: rfid_gen2::Epc::from_serial(i as u64),
+                    profile: crate::profile::PhaseProfile::from_pairs(&pairs),
+                }
+            })
+            .collect();
+        let input = StppInput {
+            observations,
+            nominal_speed_mps: speed,
+            wavelength_m: wl,
+            perpendicular_distance_m: Some(0.30),
+        };
+        let result = RelativeLocalizer::with_defaults().localize(&input).expect("localize");
+        assert!(result.undetected.is_empty(), "undetected: {:?}", result.undetected);
+        assert_eq!(result.order_x, vec![0, 1, 2]);
+        assert_eq!(
+            result.order_y,
+            vec![0, 1, 2],
+            "boundary-hugging tag must stay ordered by distance; summaries: {:?}",
+            result.summaries.iter().map(|s| (s.id, s.coarse.clone())).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -24,10 +24,10 @@ use rfid_phys::wrap_phase;
 use serde::{Deserialize, Serialize};
 
 use crate::dtw::{
-    dtw_segmented_cost_only, dtw_segmented_features_into, path_matched_range, DtwScratch,
-    SegmentFeatures,
+    decimated_band, dtw_screen_lockstep, dtw_segmented_cost_only, dtw_segmented_features_into,
+    path_matched_range, DtwScratch, ScreenOutcome, SegmentFeatures,
 };
-use crate::profile::PhaseProfile;
+use crate::profile::{PhaseProfile, PhaseSample};
 use crate::reference::{BankCacheStats, ReferenceBank, ReferenceBankCache, ReferenceProfileParams};
 use crate::segment::SegmentedProfile;
 
@@ -214,6 +214,16 @@ pub struct VZoneDetection {
     /// The DTW matching cost (lower = better match); `None` for the naive
     /// detector.
     pub match_cost: Option<f64>,
+    /// Index of the winning hardware-offset candidate in the detector's
+    /// [`ReferenceBank`] (`None` for the naive detector). Exposed so the
+    /// equivalence suite can assert that every screening strategy agrees
+    /// on the argmin candidate, not just on the end result.
+    pub offset_index: Option<usize>,
+    /// The quarter-wavelength refinement cap
+    /// ([`ReferenceBank::max_half_duration_s`]) the detection was refined
+    /// under, seconds; `0.0` when unknown (naive detector). Feeds the
+    /// window-length-normalised coarse representation.
+    pub cap_half_duration_s: f64,
 }
 
 impl VZoneDetection {
@@ -235,6 +245,89 @@ impl VZoneDetection {
             let slice = &unwrapped[start..end];
             let mean = slice.iter().sum::<f64>() / slice.len() as f64;
             means.push(wrap_phase(mean));
+        }
+        Some(means)
+    }
+
+    /// The **window-length-normalised** coarse representation: `k` means
+    /// over a fixed time grid of `±cap_half_duration_s` around the fitted
+    /// nadir, rather than `k` equal-count slices of whatever window the
+    /// refinement happened to produce.
+    ///
+    /// [`coarse_representation`](Self::coarse_representation) depends on
+    /// the detected window's extent: a tag whose bottom phase hugs the
+    /// 0/2π boundary falls back to the quarter-wavelength cap window,
+    /// while its neighbours stop at their first genuine wrap — so segment
+    /// `i` of one tag averages a different time offset from the nadir
+    /// than segment `i` of the other, and the Y comparison mixes window
+    /// sizes. Here every tag is sampled over the *same* absolute offsets
+    /// (the cap is a per-sweep constant), values are anchored at the
+    /// fitted bottom (`nadir_phase + unwrapped rise`), and bins the
+    /// detected window does not reach are filled from the quadratic fit —
+    /// so representations are directly comparable across window lengths,
+    /// and no per-segment re-wrapping can scatter a boundary-hugging tag's
+    /// means across the 0/2π seam.
+    ///
+    /// Returns `None` when `k` is zero, the V-zone has fewer than `k`
+    /// samples, or no cap is known (naive detector) — callers fall back
+    /// to the plain equal-count representation.
+    pub fn normalized_coarse_representation(&self, k: usize) -> Option<Vec<f64>> {
+        let n = self.vzone.profile.len();
+        let cap = self.cap_half_duration_s;
+        if k == 0 || n < k || cap <= 0.0 || !cap.is_finite() {
+            return None;
+        }
+        let samples = self.vzone.profile.samples();
+        let unwrapped = self.vzone.profile.unwrapped_phases();
+        let bottom = unwrapped.iter().copied().fold(f64::INFINITY, f64::min);
+        if !bottom.is_finite() {
+            return None;
+        }
+        // Anchor the continuous (unwrapped) curve so its minimum sits at
+        // the wrapped bottom phase: levels stay comparable across tags of
+        // one sweep, and no individual mean is re-wrapped.
+        let base = self.nadir_phase;
+        let fit = self.fit.filter(|f| f.is_minimum());
+        let fit_anchor = fit.and_then(|f| f.vertex_value());
+        let t0 = self.nadir_time_s;
+        let mut means = Vec::with_capacity(k);
+        for i in 0..k {
+            let lo_t = t0 - cap + 2.0 * cap * i as f64 / k as f64;
+            let hi_t = t0 - cap + 2.0 * cap * (i + 1) as f64 / k as f64;
+            // Samples are time-ordered: bins resolve by binary search.
+            let start = samples.partition_point(|s| s.time_s < lo_t);
+            let end = if i == k - 1 {
+                samples.partition_point(|s| s.time_s <= hi_t)
+            } else {
+                samples.partition_point(|s| s.time_s < hi_t)
+            };
+            if end > start {
+                let sum: f64 = unwrapped[start..end].iter().map(|u| base + (u - bottom)).sum();
+                means.push(sum / (end - start) as f64);
+            } else if let (Some(f), Some(anchor)) = (fit, fit_anchor) {
+                // The detected window does not reach this bin: evaluate
+                // the detector's own smoother at the bin centre. The fit
+                // opens upward, so the extrapolated rise is non-negative.
+                let mid = (lo_t + hi_t) / 2.0;
+                means.push(base + (f.evaluate(mid) - anchor));
+            } else {
+                // No fit to extrapolate with: carry the nearest sample's
+                // level (the window edge for bins outside the detected
+                // window, the adjacent sample for an interior dropout
+                // gap) so the bin at least sits at a sane level.
+                let mid = (lo_t + hi_t) / 2.0;
+                let right = samples.partition_point(|s| s.time_s < mid);
+                let nearest = if right == 0 {
+                    0
+                } else if right >= n {
+                    n - 1
+                } else if mid - samples[right - 1].time_s <= samples[right].time_s - mid {
+                    right - 1
+                } else {
+                    right
+                };
+                means.push(base + (unwrapped[nearest] - bottom));
+            }
         }
         Some(means)
     }
@@ -462,6 +555,18 @@ pub struct DetectScratch {
     dtw: DtwScratch,
     measured_seg: SegmentedProfile,
     measured_feat: SegmentFeatures,
+    /// Half-resolution decimation of `measured_feat` for the
+    /// coarse-to-fine pre-alignment (rebuilt on cold-scratch detections
+    /// when enabled).
+    measured_coarse: SegmentFeatures,
+    /// Candidate trial order of the current detection.
+    order: Vec<usize>,
+    /// Per-candidate outcomes of the most recent lockstep screen.
+    outcomes: Vec<ScreenOutcome>,
+    /// `(normalised cost, candidate)` pairs that beat the running best.
+    survivors: Vec<(f64, usize)>,
+    /// Per-candidate abandon limits / coarse ranking scores buffer.
+    limits: Vec<f64>,
     /// Reusable buffer for the median-interval selection.
     gaps: Vec<f64>,
     /// Working buffers for V-zone refinement and fitting.
@@ -524,6 +629,25 @@ pub struct VZoneDetector {
     /// for the subsequence band semantics. Too narrow a band can make
     /// short profiles undetectable (the pattern no longer fits).
     pub dtw_band: Option<usize>,
+    /// Screen the offset candidates with the lockstep kernel
+    /// ([`dtw_screen_lockstep`]): one full path-recording alignment seeds
+    /// the abandon threshold, the remaining candidates advance their
+    /// cost-only tables together, and only survivors that beat the best
+    /// are re-aligned with path recording. `false` restores the PR 2
+    /// sequential screen. The selected candidate and the end-to-end
+    /// result are bit-identical either way (pinned by the exactness
+    /// suite).
+    pub lockstep_screen: bool,
+    /// Run the coarse-to-fine (double-window decimated,
+    /// [`SegmentFeatures::decimate_into`]) pre-alignment on cold
+    /// scratches: a beam-raced half-resolution pass over the bank ranks
+    /// the candidates, so the abandon threshold is seeded by the most
+    /// promising candidate's full alignment instead of an arbitrary
+    /// first guess. Warm scratches lead with the previous winner and
+    /// skip the coarse pass entirely. Ranking only affects trial order —
+    /// the selected argmin is order-independent — so results are exact
+    /// either way.
+    pub coarse_prealign: bool,
 }
 
 impl VZoneDetector {
@@ -538,6 +662,8 @@ impl VZoneDetector {
             min_vzone_samples: 5,
             gap_penalty_per_second: 0.5,
             dtw_band: None,
+            lockstep_screen: true,
+            coarse_prealign: true,
         }
     }
 
@@ -556,6 +682,20 @@ impl VZoneDetector {
     /// Overrides the DTW band width (`None` = exact).
     pub fn with_dtw_band(mut self, band: Option<usize>) -> Self {
         self.dtw_band = band;
+        self
+    }
+
+    /// Toggles the lockstep candidate screen (`false` = the PR 2
+    /// sequential screen; the outcome is bit-identical either way).
+    pub fn with_lockstep_screen(mut self, enabled: bool) -> Self {
+        self.lockstep_screen = enabled;
+        self
+    }
+
+    /// Toggles the coarse-to-fine pre-alignment (`false` = no coarse
+    /// stage; the outcome is bit-identical either way).
+    pub fn with_coarse_prealign(mut self, enabled: bool) -> Self {
+        self.coarse_prealign = enabled;
         self
     }
 
@@ -656,7 +796,19 @@ impl VZoneDetector {
         scratch: &mut DetectScratch,
     ) -> Result<Option<VZoneDetection>, DetectError> {
         let DetectScratch {
-            dtw, measured_seg, measured_feat, hint, work_a, work_b, points, ..
+            dtw,
+            measured_seg,
+            measured_feat,
+            measured_coarse,
+            hint,
+            work_a,
+            work_b,
+            points,
+            order,
+            outcomes,
+            survivors,
+            limits,
+            ..
         } = scratch;
         measured_seg.rebuild(measured, self.window);
         if measured_seg.is_empty() {
@@ -664,94 +816,20 @@ impl VZoneDetector {
         }
         measured_feat.refill(measured_seg);
         let samples = measured.samples();
+        let ctx = ScreenCtx { detector: self, bank, measured_seg, measured_feat, samples };
 
-        // Try every offset candidate and keep the best match. The trial
-        // order starts from the previous winner so the early-abandon bound
-        // is tight from the first candidate on; the outcome is order
-        // independent (candidates that lose to the running best are
-        // exactly the ones early abandoning discards, and exact cost ties
-        // resolve to the smaller candidate index).
-        let candidates = bank.patterns.len();
-        let first = hint.filter(|h| *h < candidates).unwrap_or(0);
-        let mut best: Option<(f64, usize, std::ops::Range<usize>)> = None;
-        for step in 0..candidates {
-            let k = if step == 0 {
-                first
-            } else {
-                // Steps 1.. enumerate the remaining candidates in index
-                // order, skipping the one already tried first.
-                let k = step - 1;
-                if k >= first {
-                    k + 1
-                } else {
-                    k
-                }
-            };
-            let pattern = &bank.patterns[k];
-            let n = pattern.features.len();
-            // Screen every candidate after the first with the cost-only
-            // alignment (two rolling rows, no path, early abandoning
-            // against the best so far). Only a candidate that improves on
-            // the best match is re-aligned with path recording — with the
-            // hint, that is typically one full alignment per tag.
-            let cost = match &best {
-                None => None,
-                Some((best_cost, bk, _)) => {
-                    let abandon_above = Some(best_cost * n as f64);
-                    let Some(cost) = dtw_segmented_cost_only(
-                        &pattern.features,
-                        measured_feat,
-                        self.gap_penalty_per_second,
-                        self.dtw_band,
-                        abandon_above,
-                        dtw,
-                    ) else {
-                        continue;
-                    };
-                    let normalised = cost / n.max(1) as f64;
-                    if !(normalised < *best_cost || (normalised == *best_cost && k < *bk)) {
-                        continue;
-                    }
-                    Some(cost)
-                }
-            };
-            let cost = match dtw_segmented_features_into(
-                &pattern.features,
-                measured_feat,
-                true,
-                self.gap_penalty_per_second,
-                self.dtw_band,
-                None,
-                dtw,
-            ) {
-                Some(full_cost) => {
-                    debug_assert!(cost.is_none_or(|c| c == full_cost));
-                    full_cost
-                }
-                None => continue,
-            };
-            let normalised_cost = cost / n.max(1) as f64;
-            // Which measured samples did the pattern's V-zone segments
-            // match? One pass over the warping path.
-            let Some(matched_segs) = path_matched_range(dtw.path(), pattern.vzone_segments.clone())
-            else {
-                continue;
-            };
-            let sample_range = measured_seg.sample_range(matched_segs);
-            if sample_range.is_empty() {
-                continue;
-            }
-            // Reject degenerate matches where the whole pattern collapses
-            // into a sliver of the measured profile (e.g. onto a pause
-            // plateau): the matched span must retain a reasonable fraction
-            // of the pattern duration.
-            let matched_duration = samples[(sample_range.end - 1).min(samples.len() - 1)].time_s
-                - samples[sample_range.start].time_s;
-            if matched_duration < 0.3 * pattern.duration_s {
-                continue;
-            }
-            best = Some((normalised_cost, k, sample_range));
-        }
+        // Find the best-matching offset candidate: the minimum normalised
+        // cost over every candidate that passes the matched-range and
+        // duration filters, ties resolved to the smaller candidate index.
+        // Both screening strategies compute exactly that argmin — the
+        // fast path only changes *which* alignments are provably skipped
+        // — so the detection is bit-identical across the switches (pinned
+        // by the exactness suite).
+        let best = if self.lockstep_screen || self.coarse_prealign {
+            ctx.screen_fast(dtw, *hint, measured_coarse, order, outcomes, survivors, limits)
+        } else {
+            ctx.screen_sequential(dtw, *hint)
+        };
 
         let Some((cost, winner, range)) = best else {
             return Ok(None);
@@ -773,7 +851,299 @@ impl VZoneDetector {
             return Ok(None);
         }
         let (fit, nadir_time_s, nadir_phase) = fit_vzone_with(&vzone, work_a, points)?;
-        Ok(Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: Some(cost) }))
+        Ok(Some(VZoneDetection {
+            vzone,
+            fit,
+            nadir_time_s,
+            nadir_phase,
+            match_cost: Some(cost),
+            offset_index: Some(winner),
+            cap_half_duration_s: bank.max_half_duration_s,
+        }))
+    }
+}
+
+/// The borrowed per-detection state both screening strategies share: the
+/// configured detector, the reference bank, and the measured profile's
+/// representations.
+struct ScreenCtx<'a> {
+    detector: &'a VZoneDetector,
+    bank: &'a ReferenceBank,
+    measured_seg: &'a SegmentedProfile,
+    measured_feat: &'a SegmentFeatures,
+    samples: &'a [PhaseSample],
+}
+
+/// A screening result: `(normalised cost, candidate index, matched
+/// sample range)`.
+type ScreenBest = Option<(f64, usize, std::ops::Range<usize>)>;
+
+impl ScreenCtx<'_> {
+    /// Runs the full path-recording alignment for candidate `k` and
+    /// applies the acceptance filters (V-zone matched range non-empty,
+    /// matched span retains a reasonable fraction of the pattern
+    /// duration) — the shared "accept a candidate" step of both
+    /// screening strategies. Returns the normalised cost and matched
+    /// sample range on success.
+    fn align_candidate(
+        &self,
+        k: usize,
+        dtw: &mut DtwScratch,
+    ) -> Option<(f64, std::ops::Range<usize>)> {
+        let pattern = &self.bank.patterns[k];
+        let n = pattern.features.len();
+        let cost = dtw_segmented_features_into(
+            &pattern.features,
+            self.measured_feat,
+            true,
+            self.detector.gap_penalty_per_second,
+            self.detector.dtw_band,
+            None,
+            dtw,
+        )?;
+        let normalised_cost = cost / n.max(1) as f64;
+        // Which measured samples did the pattern's V-zone segments match?
+        // One pass over the warping path.
+        let matched_segs = path_matched_range(dtw.path(), pattern.vzone_segments.clone())?;
+        let sample_range = self.measured_seg.sample_range(matched_segs);
+        if sample_range.is_empty() {
+            return None;
+        }
+        // Reject degenerate matches where the whole pattern collapses
+        // into a sliver of the measured profile (e.g. onto a pause
+        // plateau): the matched span must retain a reasonable fraction
+        // of the pattern duration.
+        let samples = self.samples;
+        let matched_duration = samples[(sample_range.end - 1).min(samples.len() - 1)].time_s
+            - samples[sample_range.start].time_s;
+        if matched_duration < 0.3 * pattern.duration_s {
+            return None;
+        }
+        Some((normalised_cost, sample_range))
+    }
+
+    /// The PR 2 screening loop (`lockstep_screen` and `coarse_prealign`
+    /// both off): try every offset candidate in hint-first order, screen
+    /// each after the first with a sequential cost-only alignment that
+    /// early-abandons against the best so far, and keep the best match.
+    /// The outcome is order independent (candidates that lose to the
+    /// running best are exactly the ones early abandoning discards, and
+    /// exact cost ties resolve to the smaller candidate index).
+    fn screen_sequential(&self, dtw: &mut DtwScratch, hint: Option<usize>) -> ScreenBest {
+        let candidates = self.bank.patterns.len();
+        let first = hint.filter(|h| *h < candidates).unwrap_or(0);
+        let mut best: ScreenBest = None;
+        for step in 0..candidates {
+            let k = if step == 0 {
+                first
+            } else {
+                // Steps 1.. enumerate the remaining candidates in index
+                // order, skipping the one already tried first.
+                let k = step - 1;
+                if k >= first {
+                    k + 1
+                } else {
+                    k
+                }
+            };
+            let pattern = &self.bank.patterns[k];
+            let n = pattern.features.len();
+            // Screen every candidate after the first with the cost-only
+            // alignment (two rolling rows, no path, early abandoning
+            // against the best so far). Only a candidate that improves on
+            // the best match is re-aligned with path recording — with the
+            // hint, that is typically one full alignment per tag.
+            let screened = match &best {
+                None => None,
+                Some((best_cost, bk, _)) => {
+                    let abandon_above = Some(best_cost * n as f64);
+                    let Some(cost) = dtw_segmented_cost_only(
+                        &pattern.features,
+                        self.measured_feat,
+                        self.detector.gap_penalty_per_second,
+                        self.detector.dtw_band,
+                        abandon_above,
+                        dtw,
+                    ) else {
+                        continue;
+                    };
+                    let normalised = cost / n.max(1) as f64;
+                    if !(normalised < *best_cost || (normalised == *best_cost && k < *bk)) {
+                        continue;
+                    }
+                    Some(normalised)
+                }
+            };
+            if let Some((normalised_cost, sample_range)) = self.align_candidate(k, dtw) {
+                debug_assert!(screened.is_none_or(|s| s == normalised_cost));
+                best = Some((normalised_cost, k, sample_range));
+            }
+        }
+        best
+    }
+
+    /// The screened strategy behind the `lockstep_screen` /
+    /// `coarse_prealign` switches. Three stages:
+    ///
+    /// 1. **Trial order** — the previous winner first (warm scratch;
+    ///    tags of one sweep share the reader's hardware offset). On a
+    ///    cold scratch with `coarse_prealign` on, a double-window
+    ///    decimated pre-alignment pass over the bank ranks every
+    ///    candidate instead: the lockstep kernel races the candidates at
+    ///    half resolution, its shared abandon threshold tightening as
+    ///    any candidate completes, and the surviving scores order the
+    ///    trial sequence. (The ranking only chooses *order*; the argmin
+    ///    is order-independent, so exactness cannot depend on it.)
+    /// 2. **Seed** — one full path-recording alignment of the first
+    ///    acceptable candidate establishes the abandon threshold before
+    ///    any fine screening runs.
+    /// 3. **Fine screen** — the remaining candidates run their cost-only
+    ///    tables against that threshold, in lockstep
+    ///    ([`dtw_screen_lockstep`]) or sequentially; survivors are
+    ///    re-aligned with path recording in ascending `(cost, index)`
+    ///    order so the final argmin (and its warping path) is exactly
+    ///    the sequential strategy's.
+    #[allow(clippy::too_many_arguments)] // scratch-buffer plumbing, internal
+    fn screen_fast(
+        &self,
+        dtw: &mut DtwScratch,
+        hint: Option<usize>,
+        measured_coarse: &mut SegmentFeatures,
+        order: &mut Vec<usize>,
+        outcomes: &mut Vec<ScreenOutcome>,
+        survivors: &mut Vec<(f64, usize)>,
+        limits: &mut Vec<f64>,
+    ) -> ScreenBest {
+        let candidates = self.bank.patterns.len();
+        let use_lockstep = self.detector.lockstep_screen;
+        let use_coarse = self.detector.coarse_prealign;
+        let penalty = self.detector.gap_penalty_per_second;
+        let band = self.detector.dtw_band;
+        let valid_hint = hint.filter(|h| *h < candidates);
+        // One reusable candidate-reference list serves both lockstep
+        // passes (the surrounding buffers all live in the scratch, but a
+        // `Vec<&SegmentFeatures>` cannot — it borrows the bank).
+        let mut refs: Vec<&SegmentFeatures> = Vec::with_capacity(candidates);
+
+        // Stage 1: trial order.
+        order.clear();
+        if use_coarse && valid_hint.is_none() {
+            self.measured_feat.decimate_into(measured_coarse);
+            refs.extend(self.bank.patterns.iter().map(|p| &p.coarse_features));
+            dtw_screen_lockstep(
+                &refs,
+                measured_coarse,
+                penalty,
+                decimated_band(band),
+                None,
+                true,
+                dtw,
+                outcomes,
+            );
+            // Rank by the normalised coarse score (completed cost, or the
+            // row-minimum lower bound where the race cut a candidate
+            // off), ties on the candidate index.
+            limits.clear();
+            limits.extend(
+                outcomes
+                    .iter()
+                    .zip(self.bank.patterns.iter())
+                    .map(|(o, p)| o.lower_bound() / p.coarse_features.len().max(1) as f64),
+            );
+            order.extend(0..candidates);
+            order.sort_by(|&a, &b| limits[a].total_cmp(&limits[b]).then(a.cmp(&b)));
+        } else {
+            let first = valid_hint.unwrap_or(0);
+            order.push(first);
+            order.extend((0..candidates).filter(|k| *k != first));
+        }
+
+        // Stage 2: seed the abandon threshold with the first candidate
+        // that passes the acceptance filters.
+        let mut pos = 0usize;
+        let mut best: ScreenBest = None;
+        while pos < order.len() {
+            let k = order[pos];
+            pos += 1;
+            if let Some((norm, range)) = self.align_candidate(k, dtw) {
+                best = Some((norm, k, range));
+                break;
+            }
+        }
+        let (mut best_norm, mut best_k, mut best_range) = best?;
+        let remaining = &order[pos..];
+        if remaining.is_empty() {
+            return Some((best_norm, best_k, best_range));
+        }
+
+        // Stage 3: fine screen of the remaining candidates against the
+        // seeded threshold. Survivor costs are bit-identical to the full
+        // alignment's, so processing them in ascending (cost, index)
+        // order and re-checking against the tightening best reproduces
+        // the sequential argmin exactly.
+        if use_lockstep {
+            refs.clear();
+            refs.extend(remaining.iter().map(|&k| &self.bank.patterns[k].features));
+            limits.clear();
+            limits.extend(
+                remaining.iter().map(|&k| best_norm * self.bank.patterns[k].features.len() as f64),
+            );
+            dtw_screen_lockstep(
+                &refs,
+                self.measured_feat,
+                penalty,
+                band,
+                Some(limits),
+                false,
+                dtw,
+                outcomes,
+            );
+            survivors.clear();
+            for (&k, outcome) in remaining.iter().zip(outcomes.iter()) {
+                if let Some(cost) = outcome.completed() {
+                    let n = self.bank.patterns[k].features.len();
+                    let norm = cost / n.max(1) as f64;
+                    if norm < best_norm || (norm == best_norm && k < best_k) {
+                        survivors.push((norm, k));
+                    }
+                }
+            }
+            survivors.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for &(norm, k) in survivors.iter() {
+                if !(norm < best_norm || (norm == best_norm && k < best_k)) {
+                    continue;
+                }
+                if let Some((full_norm, range)) = self.align_candidate(k, dtw) {
+                    debug_assert!(full_norm == norm);
+                    (best_norm, best_k, best_range) = (full_norm, k, range);
+                }
+            }
+        } else {
+            for &k in remaining.iter() {
+                let pattern = &self.bank.patterns[k];
+                let n = pattern.features.len();
+                let abandon_above = Some(best_norm * n as f64);
+                let Some(cost) = dtw_segmented_cost_only(
+                    &pattern.features,
+                    self.measured_feat,
+                    penalty,
+                    band,
+                    abandon_above,
+                    dtw,
+                ) else {
+                    continue;
+                };
+                let normalised = cost / n.max(1) as f64;
+                if !(normalised < best_norm || (normalised == best_norm && k < best_k)) {
+                    continue;
+                }
+                if let Some((full_norm, range)) = self.align_candidate(k, dtw) {
+                    debug_assert!(full_norm == normalised);
+                    (best_norm, best_k, best_range) = (full_norm, k, range);
+                }
+            }
+        }
+        Some((best_norm, best_k, best_range))
     }
 }
 
@@ -818,7 +1188,15 @@ impl NaiveUnwrapDetector {
             return Ok(None);
         }
         let (fit, nadir_time_s, nadir_phase) = fit_vzone(&vzone)?;
-        Ok(Some(VZoneDetection { vzone, fit, nadir_time_s, nadir_phase, match_cost: None }))
+        Ok(Some(VZoneDetection {
+            vzone,
+            fit,
+            nadir_time_s,
+            nadir_phase,
+            match_cost: None,
+            offset_index: None,
+            cap_half_duration_s: 0.0,
+        }))
     }
 }
 

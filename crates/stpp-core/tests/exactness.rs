@@ -1,0 +1,349 @@
+//! The exactness suite: a reusable, CI-enforced contract that the
+//! screened detection fast paths (`StppConfig::lockstep_screen`,
+//! `StppConfig::coarse_prealign`) are **bit-identical** to the exact
+//! sequential path — not merely close. Every prior speedup in this repo
+//! (banding, bank caching, worker pools) shipped with the same
+//! guarantee as ad-hoc assertions; this suite turns "fast path == exact
+//! path" into property tests over generated geometries and recordings,
+//! run for every switch combination and thread count.
+//!
+//! The CI `exactness` job runs this suite once per fast-path combination
+//! (`STPP_EXACTNESS_LOCKSTEP` / `STPP_EXACTNESS_COARSE`) with
+//! `PROPTEST_CASES` bumped well above the local default.
+
+mod support;
+
+use proptest::prelude::*;
+use support::{arb_sweep, exact_config, fast_combos, proptest_cases, screened_config};
+
+use stpp_core::{
+    decimated_band, dtw_screen_lockstep, dtw_segmented_cost_only, BatchLocalizer, PhaseProfile,
+    ReferenceProfileParams, ScreenOutcome, SegmentFeatures, SegmentedProfile, StppConfig,
+    VZoneDetector,
+};
+
+/// Builds segment features straight from raw `(time, phase)` pairs.
+fn features_of(pairs: &[(f64, f64)], window: usize) -> SegmentFeatures {
+    SegmentFeatures::from_segmented(&SegmentedProfile::build(
+        &PhaseProfile::from_pairs(pairs),
+        window,
+    ))
+}
+
+proptest! {
+    #![proptest_config(proptest_cases(48))]
+
+    /// The headline contract: for any generated sweep, every fast-path
+    /// combination × thread count produces the **bit-identical**
+    /// end-to-end result (orderings, summaries, undetected set) of the
+    /// exact sequential path.
+    #[test]
+    fn screened_pipeline_is_bit_identical_to_exact_path(spec in arb_sweep()) {
+        let input = spec.input();
+        let base = spec.base_config();
+        let exact = BatchLocalizer::new(exact_config(base), 1).localize(&input);
+        for (lockstep, coarse) in fast_combos() {
+            let config = screened_config(base, lockstep, coarse);
+            for threads in [1usize, 2, 4] {
+                let fast = BatchLocalizer::new(config, threads).localize(&input);
+                prop_assert_eq!(
+                    &exact, &fast,
+                    "lockstep={} coarse={} threads={}", lockstep, coarse, threads
+                );
+            }
+        }
+    }
+
+    /// Per-tag argmin agreement: every screening strategy selects the
+    /// same winning offset candidate (`VZoneDetection::offset_index`)
+    /// and produces the identical detection — on a cold scratch (where
+    /// the coarse pre-alignment ranks the candidates) and on a warm one
+    /// (where the previous winner leads the trial order).
+    #[test]
+    fn screened_detector_agrees_on_argmin_candidate(spec in arb_sweep()) {
+        let input = spec.input();
+        let params = ReferenceProfileParams::new(
+            spec.speed,
+            input.perpendicular_distance_m.unwrap(),
+            support::WAVELENGTH_M,
+        );
+        let exact_detector =
+            VZoneDetector::new(params)
+                .with_dtw_band(spec.band)
+                .with_lockstep_screen(false)
+                .with_coarse_prealign(false);
+        for (lockstep, coarse) in fast_combos() {
+            let fast_detector = VZoneDetector::new(params)
+                .with_dtw_band(spec.band)
+                .with_lockstep_screen(lockstep)
+                .with_coarse_prealign(coarse);
+            // Fresh caches/scratches per strategy; the scratch warms up
+            // across the tag loop, so the first tag exercises the cold
+            // (ranking) path and the rest the warm (hinted) path.
+            let exact_cache = stpp_core::ReferenceBankCache::new();
+            let fast_cache = stpp_core::ReferenceBankCache::new();
+            let mut exact_scratch = stpp_core::DetectScratch::new();
+            let mut fast_scratch = stpp_core::DetectScratch::new();
+            for obs in &input.observations {
+                let expected =
+                    exact_detector.detect_cached(&obs.profile, &exact_cache, &mut exact_scratch);
+                let got =
+                    fast_detector.detect_cached(&obs.profile, &fast_cache, &mut fast_scratch);
+                prop_assert_eq!(
+                    &expected, &got,
+                    "tag {} lockstep={} coarse={}", obs.id, lockstep, coarse
+                );
+                if let Ok(Some(detection)) = got {
+                    prop_assert!(detection.offset_index.is_some());
+                }
+            }
+        }
+    }
+
+    /// Kernel contract: each lane of a lockstep screen behaves exactly
+    /// like a standalone cost-only alignment of the same candidate —
+    /// `Completed` costs are bit-identical, and a lane is `Abandoned`
+    /// or `Infeasible` precisely when the standalone screen returns
+    /// `None` under the same limit. Candidates include empty and
+    /// single-sample profiles; no input may panic.
+    #[test]
+    fn lockstep_lanes_match_standalone_cost_only(
+        candidate_pairs in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..40.0, 0.0f64..std::f64::consts::TAU), 0..40),
+            0..7,
+        ),
+        measured_pairs in proptest::collection::vec(
+            (0.0f64..40.0, 0.0f64..std::f64::consts::TAU), 0..60),
+        window in 1usize..8,
+        penalty in 0.0f64..2.0,
+        band_raw in 0usize..24,
+        limit_scale in 0.0f64..3.0,
+        use_limits in any::<bool>(),
+    ) {
+        let band = if band_raw < 16 { Some(band_raw) } else { None };
+        let candidates: Vec<SegmentFeatures> =
+            candidate_pairs.iter().map(|p| features_of(p, window)).collect();
+        let refs: Vec<&SegmentFeatures> = candidates.iter().collect();
+        let measured = features_of(&measured_pairs, window);
+        // Limits derived from each candidate's own exact cost so all
+        // three outcomes (complete / abandon / infeasible) occur.
+        let mut check = stpp_core::DtwScratch::new();
+        let exact: Vec<Option<f64>> = candidates
+            .iter()
+            .map(|c| dtw_segmented_cost_only(c, &measured, penalty, band, None, &mut check))
+            .collect();
+        let limits: Option<Vec<f64>> = use_limits.then(|| {
+            exact
+                .iter()
+                .map(|e| e.map(|c| c * limit_scale).unwrap_or(1.0))
+                .collect()
+        });
+        let mut scratch = stpp_core::DtwScratch::new();
+        let mut out = Vec::new();
+        dtw_screen_lockstep(
+            &refs,
+            &measured,
+            penalty,
+            band,
+            limits.as_deref(),
+            false,
+            &mut scratch,
+            &mut out,
+        );
+        prop_assert_eq!(out.len(), candidates.len());
+        for (k, outcome) in out.iter().enumerate() {
+            let limit = limits.as_ref().map(|l| l[k]);
+            let standalone =
+                dtw_segmented_cost_only(&candidates[k], &measured, penalty, band, limit, &mut check);
+            match *outcome {
+                ScreenOutcome::Completed(cost) => {
+                    prop_assert_eq!(standalone, Some(cost), "lane {}", k);
+                }
+                ScreenOutcome::Abandoned { lower_bound } => {
+                    prop_assert_eq!(standalone, None, "lane {}", k);
+                    // The pinned pruning guarantee: an abandoned lane's
+                    // exact cost really does exceed its limit — no
+                    // candidate is ever pruned below the exact best.
+                    let limit = limit.expect("abandon requires a limit");
+                    prop_assert!(lower_bound > limit, "lane {}", k);
+                    if let Some(exact_cost) = exact[k] {
+                        prop_assert!(
+                            exact_cost >= lower_bound,
+                            "lane {}: exact {} < lower bound {}", k, exact_cost, lower_bound
+                        );
+                        prop_assert!(exact_cost > limit, "lane {}", k);
+                    }
+                }
+                ScreenOutcome::Infeasible => {
+                    prop_assert_eq!(standalone, None, "lane {}", k);
+                    prop_assert_eq!(exact[k], None, "lane {}", k);
+                }
+            }
+        }
+    }
+
+    /// The coarse-to-fine soundness invariant the pruning stage rests
+    /// on: a decimated (hull ranges, min durations) alignment with zero
+    /// gap penalty and the widened [`decimated_band`] is a lower bound
+    /// on the fine alignment's cost — and a coarse-infeasible candidate
+    /// is fine-infeasible too.
+    #[test]
+    fn coarse_decimated_cost_lower_bounds_fine_cost(
+        ref_pairs in proptest::collection::vec(
+            (0.0f64..40.0, 0.0f64..std::f64::consts::TAU), 0..50),
+        mea_pairs in proptest::collection::vec(
+            (0.0f64..40.0, 0.0f64..std::f64::consts::TAU), 0..70),
+        window in 1usize..8,
+        penalty in 0.0f64..2.0,
+        band_raw in 0usize..24,
+    ) {
+        let band = if band_raw < 16 { Some(band_raw) } else { None };
+        let fine_ref = features_of(&ref_pairs, window);
+        let fine_mea = features_of(&mea_pairs, window);
+        let coarse_ref = fine_ref.decimated();
+        let coarse_mea = fine_mea.decimated();
+        let mut scratch = stpp_core::DtwScratch::new();
+        let fine =
+            dtw_segmented_cost_only(&fine_ref, &fine_mea, penalty, band, None, &mut scratch);
+        let coarse = dtw_segmented_cost_only(
+            &coarse_ref,
+            &coarse_mea,
+            0.0,
+            decimated_band(band),
+            None,
+            &mut scratch,
+        );
+        if let Some(fine_cost) = fine {
+            let coarse_cost = coarse.expect("fine-feasible implies coarse-feasible");
+            // The slack mirrors the detector's pruning inflation: the
+            // bound holds exactly in real arithmetic; the two DPs sum
+            // their terms independently in f64.
+            prop_assert!(
+                coarse_cost <= fine_cost * (1.0 + 1e-9) + 1e-12,
+                "coarse {} > fine {}", coarse_cost, fine_cost
+            );
+        }
+    }
+
+    /// Degenerate all-equal-cost candidates: identical lanes complete
+    /// with identical (bit-equal) costs, none abandons under a limit set
+    /// to exactly that cost, and the detector-level tie resolves to the
+    /// lowest candidate index (covered end-to-end above; pinned here at
+    /// the kernel level).
+    #[test]
+    fn equal_cost_lanes_all_complete_under_their_own_cost(
+        pairs in proptest::collection::vec(
+            (0.0f64..40.0, 0.0f64..std::f64::consts::TAU), 2..50),
+        copies in 2usize..6,
+        window in 1usize..8,
+        penalty in 0.0f64..2.0,
+    ) {
+        let feat = features_of(&pairs, window);
+        let measured = features_of(&pairs, window);
+        let mut scratch = stpp_core::DtwScratch::new();
+        let Some(cost) =
+            dtw_segmented_cost_only(&feat, &measured, penalty, None, None, &mut scratch)
+        else {
+            return Ok(());
+        };
+        let refs: Vec<&SegmentFeatures> = (0..copies).map(|_| &feat).collect();
+        // Limits at exactly the exact cost: abandoning is strictly
+        // greater-than, so every identical lane must still complete.
+        let limits = vec![cost; copies];
+        let mut out = Vec::new();
+        dtw_screen_lockstep(
+            &refs, &measured, penalty, None, Some(&limits), false, &mut scratch, &mut out,
+        );
+        for (k, outcome) in out.iter().enumerate() {
+            prop_assert_eq!(*outcome, ScreenOutcome::Completed(cost), "lane {}", k);
+        }
+    }
+}
+
+/// Empty edge cases must not panic and must report `Infeasible` lanes.
+#[test]
+fn lockstep_screen_handles_empty_inputs() {
+    let mut scratch = stpp_core::DtwScratch::new();
+    let mut out = Vec::new();
+    let empty = SegmentFeatures::default();
+    let nonempty = features_of(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)], 2);
+
+    // No candidates at all.
+    dtw_screen_lockstep(&[], &nonempty, 0.5, None, None, false, &mut scratch, &mut out);
+    assert!(out.is_empty());
+
+    // Empty measured representation: every lane is infeasible.
+    dtw_screen_lockstep(&[&nonempty], &empty, 0.5, None, None, false, &mut scratch, &mut out);
+    assert_eq!(out, vec![ScreenOutcome::Infeasible]);
+
+    // Empty and single-segment candidates mixed with a real one.
+    let single = features_of(&[(0.0, 1.0)], 4);
+    dtw_screen_lockstep(
+        &[&empty, &single, &nonempty],
+        &nonempty,
+        0.5,
+        None,
+        None,
+        false,
+        &mut scratch,
+        &mut out,
+    );
+    assert_eq!(out[0], ScreenOutcome::Infeasible);
+    assert!(matches!(out[1], ScreenOutcome::Completed(_)));
+    assert!(matches!(out[2], ScreenOutcome::Completed(c) if c == 0.0));
+}
+
+/// The tightening mode really does tighten: with a racing bound, a lane
+/// that completes first can abandon a strictly worse lane that would
+/// complete on its own.
+#[test]
+fn tightening_bound_abandons_strictly_worse_lanes() {
+    let good: Vec<(f64, f64)> = (0..24).map(|i| (i as f64, 1.0 + 0.05 * i as f64)).collect();
+    let bad: Vec<(f64, f64)> = (0..24).map(|i| (i as f64, 5.5 - 0.05 * i as f64)).collect();
+    let measured = features_of(&good, 3);
+    let good_feat = features_of(&good, 3);
+    let bad_feat = features_of(&bad, 3);
+    let mut scratch = stpp_core::DtwScratch::new();
+    let mut out = Vec::new();
+    dtw_screen_lockstep(
+        &[&good_feat, &bad_feat],
+        &measured,
+        0.5,
+        None,
+        None,
+        true,
+        &mut scratch,
+        &mut out,
+    );
+    assert_eq!(out[0], ScreenOutcome::Completed(0.0));
+    assert!(
+        matches!(out[1], ScreenOutcome::Abandoned { lower_bound } if lower_bound > 0.0),
+        "worse lane should abandon against the tightened bound, got {:?}",
+        out[1]
+    );
+}
+
+/// A focussed end-to-end determinism check cheap enough to run outside
+/// the property harness: the default (screened) configuration matches
+/// the exact path on a small sweep for several thread counts. Guards the
+/// default config wiring itself, not just explicitly-toggled ones.
+#[test]
+fn default_config_matches_exact_path() {
+    let spec = support::SweepSpec {
+        tags: vec![(0.5, 0.3), (0.9, 0.33), (1.4, 0.28), (1.9, 0.36)],
+        mu: 1.2,
+        speed: 0.1,
+        dt: 0.05,
+        samples: 450,
+        noise: 0.05,
+        dropout: 3,
+        band: Some(10),
+    };
+    let input = spec.input();
+    let exact = BatchLocalizer::new(exact_config(spec.base_config()), 1).localize(&input);
+    let default_cfg = StppConfig { dtw_band: Some(10), ..StppConfig::default() };
+    assert!(default_cfg.lockstep_screen && default_cfg.coarse_prealign);
+    for threads in [1usize, 2, 4] {
+        assert_eq!(exact, BatchLocalizer::new(default_cfg, threads).localize(&input));
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared test-support module for the stpp-core integration suites.
+//!
+//! The exactness and golden suites both need deterministic synthetic
+//! sweeps (geometries + recordings) and a common notion of "which
+//! screening configurations are under test"; keeping the generators here
+//! stops each suite from growing its own slightly-different copy — the
+//! point of a reusable equivalence harness is that the *same* inputs
+//! exercise every path.
+//!
+//! Each integration-test binary compiles its own copy of this module and
+//! uses a different subset of it, hence the file-level `dead_code` allow.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use proptest::ProptestConfig;
+use stpp_core::{PhaseProfile, StppConfig, StppInput, TagObservations};
+
+/// Proptest configuration honouring the `PROPTEST_CASES` environment
+/// variable (the CI exactness matrix bumps it well above the local
+/// default; the vendored proptest does not read it on its own).
+pub fn proptest_cases(default_cases: u32) -> ProptestConfig {
+    let cases =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_cases);
+    ProptestConfig::with_cases(cases)
+}
+
+fn env_flag(name: &str) -> Option<bool> {
+    match std::env::var(name).ok()?.trim() {
+        "1" | "true" | "on" => Some(true),
+        "0" | "false" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// The `(lockstep_screen, coarse_prealign)` fast-path combinations under
+/// test. By default every non-baseline combination is exercised; the CI
+/// matrix pins a single one per job via `STPP_EXACTNESS_LOCKSTEP` /
+/// `STPP_EXACTNESS_COARSE` so a failure names the guilty switch.
+pub fn fast_combos() -> Vec<(bool, bool)> {
+    match (env_flag("STPP_EXACTNESS_LOCKSTEP"), env_flag("STPP_EXACTNESS_COARSE")) {
+        (Some(lockstep), Some(coarse)) => vec![(lockstep, coarse)],
+        (Some(lockstep), None) => vec![(lockstep, false), (lockstep, true)],
+        (None, Some(coarse)) => vec![(false, coarse), (true, coarse)],
+        (None, None) => vec![(true, false), (false, true), (true, true)],
+    }
+}
+
+/// The exact reference configuration: both screening switches off (the
+/// PR 2 sequential path) on top of `base`.
+pub fn exact_config(base: StppConfig) -> StppConfig {
+    StppConfig { lockstep_screen: false, coarse_prealign: false, ..base }
+}
+
+/// `base` with the given fast-path switches applied.
+pub fn screened_config(base: StppConfig, lockstep: bool, coarse: bool) -> StppConfig {
+    StppConfig { lockstep_screen: lockstep, coarse_prealign: coarse, ..base }
+}
+
+/// A deterministic synthetic sweep: one V-shaped phase profile per tag
+/// with a shared hardware offset, optional per-tag perpendicular-distance
+/// spread, deterministic pseudo-noise, and periodic sample dropout.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Per-tag `(x position m, perpendicular distance m)`.
+    pub tags: Vec<(f64, f64)>,
+    /// Shared hardware phase offset, radians.
+    pub mu: f64,
+    /// Reader speed, m/s.
+    pub speed: f64,
+    /// Sampling interval, seconds.
+    pub dt: f64,
+    /// Samples per tag before dropout.
+    pub samples: usize,
+    /// Phase-noise amplitude, radians (deterministic pseudo-noise).
+    pub noise: f64,
+    /// Drop every `dropout`-th sample (`0` = keep everything).
+    pub dropout: usize,
+    /// Sakoe-Chiba band for the segmented DTW (`None` = exact).
+    pub band: Option<usize>,
+}
+
+/// The carrier wavelength every synthetic sweep uses, metres.
+pub const WAVELENGTH_M: f64 = 0.326;
+
+impl SweepSpec {
+    /// Builds the pipeline input for this sweep. Fully deterministic:
+    /// the "noise" is a fixed quasi-random phase jitter derived from the
+    /// sample and tag indices, so the same spec always produces the same
+    /// bits.
+    pub fn input(&self) -> StppInput {
+        let observations: Vec<TagObservations> = self
+            .tags
+            .iter()
+            .enumerate()
+            .map(|(id, &(tag_x, d_perp))| {
+                let pairs: Vec<(f64, f64)> = (0..self.samples)
+                    .filter(|i| self.dropout == 0 || i % self.dropout != 0)
+                    .map(|i| {
+                        let t = i as f64 * self.dt;
+                        let d = ((self.speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
+                        let jitter = self.noise * (i as f64 * 7.31 + id as f64 * 2.17).sin();
+                        (t, std::f64::consts::TAU * 2.0 * d / WAVELENGTH_M + self.mu + jitter)
+                    })
+                    .collect();
+                TagObservations {
+                    id: id as u64,
+                    epc: rfid_gen2::Epc::from_serial(id as u64),
+                    profile: PhaseProfile::from_pairs(&pairs),
+                }
+            })
+            .collect();
+        StppInput {
+            observations,
+            nominal_speed_mps: self.speed,
+            wavelength_m: WAVELENGTH_M,
+            perpendicular_distance_m: Some(
+                self.tags.iter().map(|t| t.1).fold(f64::INFINITY, f64::min),
+            ),
+        }
+    }
+
+    /// The `StppConfig` this sweep's band selects (screening switches
+    /// off; apply [`screened_config`] on top).
+    pub fn base_config(&self) -> StppConfig {
+        exact_config(StppConfig { dtw_band: self.band, ..StppConfig::default() })
+    }
+}
+
+/// Strategy over synthetic sweeps: 3–8 tags spread along the aisle, a
+/// shared hardware offset anywhere on the circle (including the 0/2π
+/// boundary region), mild noise, optional dropout, and either the exact
+/// or a banded alignment.
+pub fn arb_sweep() -> impl Strategy<Value = SweepSpec> {
+    (
+        proptest::collection::vec((0.3f64..2.7, 0.26f64..0.40), 3..8),
+        0.0f64..std::f64::consts::TAU,
+        0.06f64..0.16,
+        (0.03f64..0.07, 380usize..620),
+        (0.0f64..0.25, 0usize..5),
+        0usize..24,
+    )
+        .prop_map(|(tags, mu, speed, (dt, samples), (noise, dropout), band_raw)| SweepSpec {
+            tags,
+            mu,
+            speed,
+            dt,
+            samples,
+            noise,
+            // dropout 0/1 keep everything (i % 1 == 0 would drop all).
+            dropout: if dropout < 2 { 0 } else { dropout },
+            band: if band_raw < 16 { None } else { Some(band_raw - 8) },
+        })
+}

@@ -11,7 +11,8 @@
 //! [`LocalizationService`] — so consecutive conveyor batches reuse the
 //! warm reference banks.
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -96,6 +97,34 @@ struct TagBuffer {
     last_seen_s: f64,
 }
 
+/// One entry of the last-seen min-heap: the tag's last-seen timestamp
+/// *at the time the entry was pushed* (entries go stale when the tag is
+/// read again; [`ServiceSession::flush_quiescent`] refreshes them
+/// lazily). Ordered so the std max-heap pops the **oldest** entry first,
+/// with the EPC as a deterministic tie-breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QuiescenceEntry {
+    seen_s: f64,
+    epc: Epc,
+}
+
+impl Eq for QuiescenceEntry {}
+
+impl Ord for QuiescenceEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: the heap's "greatest" element is the oldest
+        // timestamp (smallest seen_s), so peek()/pop() yield the tag
+        // that has been silent the longest.
+        other.seen_s.total_cmp(&self.seen_s).then_with(|| other.epc.cmp(&self.epc))
+    }
+}
+
+impl PartialOrd for QuiescenceEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A streaming ingestion session (see the module docs).
 #[derive(Debug)]
 pub struct ServiceSession {
@@ -106,6 +135,16 @@ pub struct ServiceSession {
     buffered: usize,
     clock_s: f64,
     active: BTreeMap<Epc, TagBuffer>,
+    /// Last-seen min-heap over the active tags (lazy: an entry may be
+    /// staler than its tag's true `last_seen_s`; it is refreshed when
+    /// popped). Invariant: every active tag has exactly one entry, so a
+    /// flush touches only the heap prefix at or below the quiescence
+    /// cutoff instead of scanning every tag.
+    by_last_seen: BinaryHeap<QuiescenceEntry>,
+    /// Monotonic count of heap entries examined by
+    /// [`flush_quiescent`](Self::flush_quiescent) — the instrumentation
+    /// the flush-cost regression test asserts on.
+    flush_examined: u64,
 }
 
 impl ServiceSession {
@@ -123,6 +162,8 @@ impl ServiceSession {
             buffered: 0,
             clock_s: f64::NEG_INFINITY,
             active: BTreeMap::new(),
+            by_last_seen: BinaryHeap::new(),
+            flush_examined: 0,
         }
     }
 
@@ -174,8 +215,17 @@ impl ServiceSession {
             return Err(IngestError::SessionFull { epc, limit: self.max_samples as u64 });
         }
         self.clock_s = if self.clock_s.is_finite() { self.clock_s.max(time_s) } else { time_s };
-        let buffer =
-            self.active.entry(epc).or_insert(TagBuffer { pairs: Vec::new(), last_seen_s: time_s });
+        use std::collections::btree_map::Entry;
+        let buffer = match self.active.entry(epc) {
+            Entry::Vacant(slot) => {
+                // First read of this tag: give it its single heap entry.
+                // Later reads only advance the map's `last_seen_s`; the
+                // heap entry is refreshed lazily when a flush pops it.
+                self.by_last_seen.push(QuiescenceEntry { seen_s: time_s, epc });
+                slot.insert(TagBuffer { pairs: Vec::new(), last_seen_s: time_s })
+            }
+            Entry::Occupied(slot) => slot.into_mut(),
+        };
         buffer.pairs.push((time_s, phase_rad));
         buffer.last_seen_s = buffer.last_seen_s.max(time_s);
         self.buffered += 1;
@@ -200,21 +250,59 @@ impl ServiceSession {
     /// A batch whose every profile is too short or too noisy surfaces
     /// [`LocalizationError::NoDetections`]; the tags are still consumed
     /// (they have left the reading zone — more reads will never arrive).
+    ///
+    /// Cost: the flush walks the last-seen min-heap only while the top
+    /// entry's recorded timestamp is at or below the quiescence cutoff —
+    /// quiescent tags plus any entries that went stale since the tag was
+    /// last examined (each such entry is refreshed once and not touched
+    /// again until its *new* timestamp passes the cutoff). It never
+    /// scans the full tag population the way the pre-heap implementation
+    /// did, so a portal driving thousands of concurrent tags pays per
+    /// flush only for the tags actually leaving (amortised `O(log n)`
+    /// per examined entry); see [`flush_examined`](Self::flush_examined).
     pub fn flush_quiescent(&mut self) -> Result<Option<LocalizationResponse>, LocalizationError> {
         let clock = self.clock_s;
         if !clock.is_finite() {
             return Ok(None);
         }
-        let quiescent: Vec<Epc> = self
-            .active
-            .iter()
-            .filter(|(_, b)| clock - b.last_seen_s >= self.quiescence_s)
-            .map(|(epc, _)| *epc)
-            .collect();
+        let mut quiescent: Vec<Epc> = Vec::new();
+        while let Some(top) = self.by_last_seen.peek() {
+            // Same predicate as `quiescent_tags`, evaluated on the
+            // recorded timestamp: entries above the cutoff — and, by the
+            // heap order, everything after them — cannot be quiescent.
+            let within_cutoff = clock - top.seen_s >= self.quiescence_s;
+            if !within_cutoff {
+                break;
+            }
+            let entry = self.by_last_seen.pop().expect("peeked entry");
+            self.flush_examined += 1;
+            let Some(buffer) = self.active.get(&entry.epc) else {
+                continue; // tag already flushed earlier; stale entry
+            };
+            if clock - buffer.last_seen_s >= self.quiescence_s {
+                quiescent.push(entry.epc);
+            } else {
+                // The tag was read again after this entry was pushed:
+                // refresh the entry with the true last-seen time.
+                self.by_last_seen
+                    .push(QuiescenceEntry { seen_s: buffer.last_seen_s, epc: entry.epc });
+            }
+        }
         if quiescent.is_empty() {
             return Ok(None);
         }
+        // The heap yields tags in last-seen order; the batch contract
+        // (and the offline pipeline's observation order) is EPC order.
+        quiescent.sort_unstable();
         self.localize_batch(quiescent).map(Some)
+    }
+
+    /// Monotonic count of heap entries [`flush_quiescent`](Self::flush_quiescent)
+    /// has examined over the session's lifetime. Exposed so tests (and
+    /// dashboards) can assert the flush cost tracks the number of
+    /// quiescent tags, not the number of active ones.
+    pub fn flush_examined(&self) -> u64 {
+        self.flush_examined
     }
 
     /// Ends the session, localizing every remaining tag (quiescent or

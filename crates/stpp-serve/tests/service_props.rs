@@ -235,3 +235,61 @@ fn session_rejects_non_finite_samples_at_ingestion() {
     // A session that never accumulated anything finishes empty.
     assert!(session.finish().expect("empty finish").is_none());
 }
+
+#[test]
+fn flush_cost_tracks_quiescent_tags_not_population() {
+    // Regression (ROADMAP PR 3 follow-up): `flush_quiescent` used to
+    // scan every active tag on every call. With the last-seen min-heap a
+    // flush examines only the heap prefix at or below the quiescence
+    // cutoff — the tags actually leaving (plus lazily-refreshed stale
+    // entries) — so a portal with hundreds of live tags pays nothing for
+    // them while they keep being read.
+    let service = LocalizationService::with_defaults();
+    let mut session = service.open_session_with_quiescence(
+        SessionGeometry {
+            nominal_speed_mps: 0.1,
+            wavelength_m: 0.326,
+            perpendicular_distance_m: Some(0.3),
+        },
+        2.0,
+    );
+    // Three tags whose reads stop early (they will be the quiescent set)…
+    for id in 0..3u64 {
+        for i in 0..20 {
+            let t = i as f64 * 0.05;
+            session
+                .ingest_sample(rfid_gen2::Epc::from_serial(id), t, 1.0 + 0.01 * i as f64)
+                .expect("finite");
+        }
+    }
+    // …and a large population still being read at the current clock.
+    const ACTIVE: u64 = 400;
+    for id in 100..100 + ACTIVE {
+        for (k, t) in [49.0f64, 50.0].into_iter().enumerate() {
+            session
+                .ingest_sample(rfid_gen2::Epc::from_serial(id), t, 1.0 + 0.1 * k as f64)
+                .expect("finite");
+        }
+    }
+    assert_eq!(session.pending_tags(), 3 + ACTIVE as usize);
+    assert_eq!(session.quiescent_tags(), 3);
+    assert_eq!(session.flush_examined(), 0);
+
+    // Flushing releases exactly the three quiescent tags and examines
+    // only their heap entries — not the 400 active ones. (The tiny
+    // profiles cannot localize; the error is expected and the tags are
+    // consumed regardless.)
+    match session.flush_quiescent() {
+        Ok(Some(_)) | Err(stpp_core::LocalizationError::NoDetections) => {}
+        other => panic!("unexpected flush outcome: {other:?}"),
+    }
+    let first = session.flush_examined();
+    assert!(first <= 3, "flush examined {first} entries for 3 quiescent tags");
+    assert_eq!(session.pending_tags(), ACTIVE as usize);
+
+    // A repeat flush with nothing quiescent examines nothing at all —
+    // the pre-heap implementation rescanned all 400 tags here.
+    assert!(session.flush_quiescent().expect("no error").is_none());
+    assert_eq!(session.flush_examined(), first);
+    assert_eq!(session.pending_tags(), ACTIVE as usize);
+}
