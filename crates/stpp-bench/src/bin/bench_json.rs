@@ -14,10 +14,16 @@
 //! cargo run --release -p stpp-bench --bin bench_json            # full run
 //! cargo run --release -p stpp-bench --bin bench_json -- --smoke # tiny CI run
 //! cargo run --release -p stpp-bench --bin bench_json -- --out p.json
+//! cargo run --release -p stpp-bench --bin bench_json -- \
+//!     --scenario scenarios/portal.json --scenario scenarios/shelf.json
 //! ```
 //!
 //! The `--smoke` mode exists so CI can prove the harness still builds,
 //! runs, and emits valid JSON without paying for the 300-tag populations.
+//! `--scenario FILE` (repeatable) replaces the synthetic population sweep
+//! with workloads built from declarative scenario files, so a deployment
+//! described once for the scenario harness can be benchmarked through the
+//! identical mode matrix.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,6 +56,9 @@ struct ModeReport {
 
 #[derive(Serialize)]
 struct PopulationReport {
+    /// Scenario name when the input came from `--scenario`, else `None`
+    /// (synthetic benchmark population). The gate ignores this field.
+    scenario: Option<String>,
     tags: usize,
     /// Time to build the `StppInput` from the recording (profile
     /// extraction + closed-form closest-approach geometry), milliseconds.
@@ -120,6 +129,29 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
     let t = Instant::now();
     let input = Arc::new(StppInput::from_recording(&recording).expect("valid benchmark input"));
     let input_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    bench_input(None, input, input_build_ms, threads)
+}
+
+/// Benchmarks one workload built from a declarative scenario file: the
+/// seeded simulation replaces the synthetic recording, everything after
+/// the `StppInput` is the same mode matrix.
+fn bench_scenario(path: &str, threads: usize) -> PopulationReport {
+    let spec = stpp_scenario::ScenarioSpec::load(std::path::Path::new(path))
+        .unwrap_or_else(|e| panic!("scenario {path} must parse: {e}"));
+    let t = Instant::now();
+    let built = stpp_scenario::build_scenario(&spec)
+        .unwrap_or_else(|e| panic!("scenario {path} must build: {e}"));
+    let input_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    bench_input(Some(spec.name), built.input, input_build_ms, threads)
+}
+
+fn bench_input(
+    scenario: Option<String>,
+    input: Arc<StppInput>,
+    input_build_ms: f64,
+    threads: usize,
+) -> PopulationReport {
+    let tags = input.observations.len();
 
     // The historical modes pin the PR 4 candidate screen (sequential,
     // switches off) so their trend lines keep measuring the same
@@ -187,6 +219,7 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
     let serve_speedup = serve_cold.localize_ms / serve_warm.localize_ms.max(1e-9);
     let net_overhead = serve_net.localize_ms / serve_warm.localize_ms.max(1e-9);
     PopulationReport {
+        scenario,
         tags,
         input_build_ms,
         seed_sequential_exact,
@@ -208,6 +241,12 @@ fn bench_population(tags: usize, threads: usize) -> PopulationReport {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let scenario_files: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--scenario")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -224,9 +263,24 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let mut reports = Vec::new();
-    for &tags in populations {
-        eprintln!("benchmarking {tags} tags…");
-        let report = bench_population(tags, threads);
+    let mut bench_jobs: Vec<Box<dyn FnOnce() -> PopulationReport>> = Vec::new();
+    if scenario_files.is_empty() {
+        for &tags in populations {
+            bench_jobs.push(Box::new(move || {
+                eprintln!("benchmarking {tags} tags…");
+                bench_population(tags, threads)
+            }));
+        }
+    } else {
+        for path in scenario_files {
+            bench_jobs.push(Box::new(move || {
+                eprintln!("benchmarking scenario {path}…");
+                bench_scenario(&path, threads)
+            }));
+        }
+    }
+    for job in bench_jobs {
+        let report = job();
         eprintln!(
             "  seed {:8.2} ms | seq exact {:8.2} ms | seq banded {:8.2} ms | batch exact \
              {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x | screened {:8.2} ms \

@@ -1,0 +1,69 @@
+//! The checked-in scenario ports of the golden fixtures are the *same
+//! workloads*, not lookalikes: building `scenarios/{portal,shelf,
+//! conveyor}.json` through the scenario engine must reproduce the
+//! golden fixture inputs bit-identically, and the expectations pinned
+//! in the scenario files must match the fixtures' expected orderings.
+//! This weld is what lets the scenario suite subsume the fixture suite
+//! without either drifting from the other.
+
+use serde::Deserialize;
+use stpp_core::StppInput;
+use stpp_scenario::{build_scenario, ScenarioSpec};
+
+#[derive(Debug, Deserialize)]
+struct GoldenFixture {
+    name: String,
+    input: StppInput,
+    expected_order_x: Vec<u64>,
+    expected_order_y: Vec<u64>,
+    expected_undetected: Vec<u64>,
+}
+
+fn fixture(name: &str) -> GoldenFixture {
+    let path = format!("{}/tests/fixtures/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("corrupt {path}: {e:?}"))
+}
+
+fn scenario(name: &str) -> ScenarioSpec {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../../scenarios/{name}.json"));
+    ScenarioSpec::load(&path).unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()))
+}
+
+#[test]
+fn scenario_ports_rebuild_the_golden_inputs_bit_identically() {
+    for name in ["portal", "shelf", "conveyor"] {
+        let fixture = fixture(name);
+        assert_eq!(fixture.name, name);
+        let built = build_scenario(&scenario(name))
+            .unwrap_or_else(|e| panic!("{name} scenario must build: {e}"));
+        assert_eq!(
+            *built.input, fixture.input,
+            "{name}: the scenario port no longer reproduces the golden fixture input"
+        );
+    }
+}
+
+#[test]
+fn scenario_pins_match_the_fixture_expectations() {
+    for name in ["portal", "shelf", "conveyor"] {
+        let fixture = fixture(name);
+        let spec = scenario(name);
+        assert_eq!(
+            spec.expectations.order_x.as_deref(),
+            Some(&fixture.expected_order_x[..]),
+            "{name}: pinned order_x drifted from the fixture"
+        );
+        assert_eq!(
+            spec.expectations.order_y.as_deref(),
+            Some(&fixture.expected_order_y[..]),
+            "{name}: pinned order_y drifted from the fixture"
+        );
+        assert_eq!(
+            spec.expectations.undetected.as_deref(),
+            Some(&fixture.expected_undetected[..]),
+            "{name}: pinned undetected set drifted from the fixture"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Scenario runner CLI.
+//!
+//! ```text
+//! scenario_run [--mode pipeline|service|wire|all] [--threads N] [--record] <file>...
+//! ```
+//!
+//! Runs every scenario file and prints each run's report; exits
+//! non-zero if any expectation fails (or any run cannot complete). The
+//! default `all` mode executes clean scenarios through every runner and
+//! impairment-carrying scenarios through the wire runner only (the
+//! other runners have no wire to impair).
+//!
+//! `--record` re-pins a scenario's expected orderings from a pipeline
+//! run and rewrites the file in canonical form — the declarative
+//! successor of the golden-fixture `--regenerate` flow.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stpp_scenario::{run_scenario, RunMode, RunOptions, ScenarioSpec};
+
+struct Args {
+    modes: Option<Vec<RunMode>>,
+    threads: Option<usize>,
+    record: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut modes = None;
+    let mut threads = None;
+    let mut record = false;
+    let mut files = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let value = argv.next().ok_or("--mode needs a value")?;
+                modes = Some(match value.as_str() {
+                    "pipeline" => vec![RunMode::Pipeline],
+                    "service" => vec![RunMode::Service],
+                    "wire" => vec![RunMode::Wire],
+                    "all" => return Err("pass --mode only to narrow; `all` is the default".into()),
+                    other => return Err(format!("unknown mode `{other}`")),
+                });
+            }
+            "--threads" => {
+                let value = argv.next().ok_or("--threads needs a value")?;
+                threads =
+                    Some(value.parse().map_err(|_| format!("bad thread count `{value}`"))?);
+            }
+            "--record" => record = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: scenario_run [--mode pipeline|service|wire] [--threads N] [--record] <file>..."
+                        .into(),
+                )
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("no scenario files given".into());
+    }
+    Ok(Args { modes, threads, record, files })
+}
+
+fn record(spec: &ScenarioSpec, path: &PathBuf, threads: Option<usize>) -> Result<(), String> {
+    let report = run_scenario(spec, &RunOptions { mode: RunMode::Pipeline, threads })
+        .map_err(|e| e.to_string())?;
+    let mut pinned = spec.clone();
+    pinned.expectations.order_x = Some(report.outcome.order_x.clone());
+    pinned.expectations.order_y = Some(report.outcome.order_y.clone());
+    pinned.expectations.undetected = Some(report.outcome.undetected.clone());
+    std::fs::write(path, pinned.to_json()).map_err(|e| e.to_string())?;
+    println!(
+        "recorded {}: order_x={:?} order_y={:?} undetected={:?}",
+        path.display(),
+        report.outcome.order_x,
+        report.outcome.order_y,
+        report.outcome.undetected
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut all_passed = true;
+    for file in &args.files {
+        let spec = match ScenarioSpec::load(file) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{}: {e}", file.display());
+                all_passed = false;
+                continue;
+            }
+        };
+
+        if args.record {
+            if let Err(e) = record(&spec, file, args.threads) {
+                eprintln!("{}: {e}", file.display());
+                all_passed = false;
+            }
+            continue;
+        }
+
+        let modes = args.modes.clone().unwrap_or_else(|| {
+            if spec.impairments.is_some() {
+                // Impairments only exist on the wire.
+                vec![RunMode::Wire]
+            } else {
+                vec![RunMode::Pipeline, RunMode::Service, RunMode::Wire]
+            }
+        });
+
+        for mode in modes {
+            match run_scenario(&spec, &RunOptions { mode, threads: args.threads }) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if !report.passed() {
+                        all_passed = false;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{} [{mode}]: run failed: {e}", file.display());
+                    all_passed = false;
+                }
+            }
+        }
+    }
+
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,179 @@
+//! The chaos proxy: a wire-level impairment layer between the scenario
+//! runner's client and a spawned [`StppServer`](stpp_serve::StppServer).
+//!
+//! The proxy listens on its own loopback port and forwards each
+//! connection to the real server. The client→server direction is
+//! frame-aware — it reads whole protocol frames (header + payload) and
+//! can delay them, hold them so frames on *other* connections overtake
+//! them, tear the connection mid-frame, or churn (cleanly close) it.
+//! The server→client direction is an unimpaired byte pump, so responses
+//! always arrive intact once the server produced them. The server
+//! itself is never modified: every impairment a scenario can express is
+//! something a hostile network could do to the real deployment.
+//!
+//! Truncation and churn both kill the proxied connection, which the
+//! runner observes as a transport error and answers by reconnecting —
+//! the same discipline a real reader-side client needs.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stpp_serve::proto::{HEADER_LEN, MAX_FRAME_PAYLOAD};
+
+use crate::spec::ImpairmentSpec;
+
+/// How long a "reordered" frame is held before forwarding. Long enough
+/// for a frame on another connection to overtake it, short enough not
+/// to dominate the run.
+const REORDER_HOLD: Duration = Duration::from_millis(25);
+
+/// A running chaos proxy. Dropping the handle leaves the threads
+/// running; call [`shutdown`](ChaosProxy::shutdown) for a clean stop.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Spawns a proxy on an ephemeral loopback port forwarding to
+    /// `upstream`, impairing traffic as `spec` directs (`spec.seed`
+    /// drives the probabilistic impairments).
+    pub fn spawn(upstream: SocketAddr, spec: &ImpairmentSpec) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let spec = *spec;
+
+        let acceptor = thread::spawn(move || {
+            let mut connection_index: u64 = 0;
+            for incoming in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = incoming else { break };
+                connection_index += 1;
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                spawn_pumps(client, server, spec, connection_index);
+            }
+        });
+
+        Ok(ChaosProxy { addr, stop, acceptor: Some(acceptor) })
+    }
+
+    /// The proxy's listen address — point the client here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the acceptor thread.
+    /// In-flight connection pumps drain on their own as both ends close.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn spawn_pumps(client: TcpStream, server: TcpStream, spec: ImpairmentSpec, connection: u64) {
+    let client_reader = match client.try_clone() {
+        Ok(stream) => stream,
+        Err(_) => return,
+    };
+    let server_reader = match server.try_clone() {
+        Ok(stream) => stream,
+        Err(_) => return,
+    };
+    // Client → server: frame-aware, impaired.
+    thread::spawn(move || forward_requests(client_reader, server, spec, connection));
+    // Server → client: plain byte pump; responses are never impaired.
+    thread::spawn(move || {
+        let mut from = server_reader;
+        let mut to = client;
+        let _ = std::io::copy(&mut from, &mut to);
+        let _ = to.shutdown(Shutdown::Both);
+        let _ = from.shutdown(Shutdown::Both);
+    });
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` on clean EOF before the
+/// first byte, `Err` on anything else mid-read.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn forward_requests(
+    mut client: TcpStream,
+    mut server: TcpStream,
+    spec: ImpairmentSpec,
+    connection: u64,
+) {
+    // Derive a per-connection stream so every connection sees its own
+    // reproducible impairment pattern.
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(spec.seed.wrapping_mul(0x9e37_79b9).wrapping_add(connection));
+    let mut frame_index: u64 = 0;
+
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        match read_full(&mut client, &mut header) {
+            Ok(true) => {}
+            _ => break,
+        }
+        let payload_len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+        if payload_len > MAX_FRAME_PAYLOAD {
+            break;
+        }
+        let mut payload = vec![0u8; payload_len];
+        if payload_len > 0 && !matches!(read_full(&mut client, &mut payload), Ok(true)) {
+            break;
+        }
+        frame_index += 1;
+
+        if spec.delay.seconds > 0.0 {
+            thread::sleep(spec.delay.as_std());
+        }
+        if spec.reorder_rate > 0.0 && rng.gen_bool(spec.reorder_rate) {
+            thread::sleep(REORDER_HOLD);
+        }
+        if spec.truncate_every >= 2 && frame_index.is_multiple_of(spec.truncate_every) {
+            // Tear the connection mid-frame: the server sees a truncated
+            // payload, the client loses its in-flight request.
+            let _ = server.write_all(&header);
+            let _ = server.write_all(&payload[..payload_len / 2]);
+            break;
+        }
+        if spec.churn_every >= 2 && frame_index.is_multiple_of(spec.churn_every) {
+            // Drop the whole frame and close cleanly.
+            break;
+        }
+        if server.write_all(&header).and_then(|()| server.write_all(&payload)).is_err() {
+            break;
+        }
+    }
+
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+}

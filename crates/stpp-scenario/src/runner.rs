@@ -1,0 +1,534 @@
+//! The deterministic scenario runner.
+//!
+//! One scenario can be executed three ways — [`RunMode::Pipeline`]
+//! straight through [`BatchLocalizer`], [`RunMode::Service`] through an
+//! in-process [`LocalizationService`], and [`RunMode::Wire`] over TCP
+//! against a spawned [`StppServer`] (optionally behind the chaos
+//! proxy). All three produce the same [`RunOutcome`] for a clean
+//! scenario: the localization results are bit-identical by the
+//! pipeline's determinism guarantee, and the runner *asserts* that
+//! guarantee by failing hard if any repeated request drifts.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stpp_core::{metrics, BatchLocalizer, StppConfig, StppResult};
+use stpp_serve::proto::{read_frame, write_frame};
+use stpp_serve::{
+    ClientError, LocalizationRequest, LocalizationService, LocalizeReply, Request, Response,
+    ServerConfig, ServiceConfig, StppClient, StppServer,
+};
+
+use crate::build::{build_scenario, BuiltScenario};
+use crate::chaos::ChaosProxy;
+use crate::error::ScenarioError;
+use crate::report::{
+    CheckResult, LatencySummary, RunMode, RunOutcome, RunReport, ServiceObservations,
+};
+use crate::spec::{Expectations, ImpairmentSpec, ScenarioSpec};
+
+/// How long the runner waits before retrying a `Busy` rejection.
+const BUSY_RETRY_PAUSE: Duration = Duration::from_millis(10);
+/// Attempt cap per request: a scenario whose impairments make progress
+/// impossible fails with [`RunError::RetriesExhausted`] instead of
+/// hanging CI.
+const MAX_ATTEMPTS_PER_REQUEST: u64 = 500;
+
+/// Options for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Which executor to use.
+    pub mode: RunMode,
+    /// Detection thread-count override (`None` = executor default). Any
+    /// value yields the same outcome; the determinism suite pins that.
+    pub threads: Option<usize>,
+}
+
+impl RunOptions {
+    /// Options for the given mode with default threads.
+    pub fn mode(mode: RunMode) -> RunOptions {
+        RunOptions { mode, threads: None }
+    }
+}
+
+/// A runner failure — the run could not be completed (distinct from a
+/// completed run whose expectations failed; that is a [`RunReport`]
+/// with failing checks).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The scenario itself is invalid or would not build.
+    Scenario(ScenarioError),
+    /// The pipeline rejected the recorded input.
+    Localization(String),
+    /// A wire-mode client failure that is not a retryable transport
+    /// error (for example a typed rejection).
+    Client(String),
+    /// Spawning the server or proxy failed.
+    Io(String),
+    /// A request exceeded the attempt cap (impairments too harsh for
+    /// progress).
+    RetriesExhausted {
+        /// The attempt cap that was hit.
+        attempts: u64,
+    },
+    /// Two repetitions of the same request produced different results —
+    /// the pipeline's bit-identical guarantee was violated.
+    NonDeterministic {
+        /// Which request drifted.
+        request: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Scenario(e) => write!(f, "scenario error: {e}"),
+            RunError::Localization(e) => write!(f, "localization rejected: {e}"),
+            RunError::Client(e) => write!(f, "client error: {e}"),
+            RunError::Io(e) => write!(f, "i/o error: {e}"),
+            RunError::RetriesExhausted { attempts } => {
+                write!(f, "request exceeded {attempts} attempts without being admitted")
+            }
+            RunError::NonDeterministic { request } => {
+                write!(f, "request {request} produced a different result than request 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ScenarioError> for RunError {
+    fn from(e: ScenarioError) -> Self {
+        RunError::Scenario(e)
+    }
+}
+
+/// What one executed request contributed.
+struct RequestSample {
+    result: StppResult,
+    latency_s: f64,
+    geometry_cache_hit: bool,
+    bank_builds: u64,
+}
+
+struct Tally {
+    samples: Vec<RequestSample>,
+    busy_responses: u64,
+    transport_errors: u64,
+    drills_run: u64,
+}
+
+impl Tally {
+    fn new() -> Tally {
+        Tally { samples: Vec::new(), busy_responses: 0, transport_errors: 0, drills_run: 0 }
+    }
+}
+
+/// Runs a scenario in the given mode and evaluates its expectations.
+///
+/// A completed run always returns `Ok` — failed expectations live in
+/// the report's checks, so the caller can render *why*. `Err` means the
+/// run itself could not finish.
+pub fn run_scenario(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunReport, RunError> {
+    let built = build_scenario(spec)?;
+    let tally = match opts.mode {
+        RunMode::Pipeline => run_pipeline(spec, &built, opts)?,
+        RunMode::Service => run_service(spec, &built, opts)?,
+        RunMode::Wire => run_wire(spec, &built, opts)?,
+    };
+    finish(spec, &built, opts.mode, tally)
+}
+
+fn run_pipeline(
+    spec: &ScenarioSpec,
+    built: &BuiltScenario,
+    opts: &RunOptions,
+) -> Result<Tally, RunError> {
+    let localizer = BatchLocalizer::new(StppConfig::default(), opts.threads.unwrap_or(1));
+    let mut tally = Tally::new();
+    for i in 0..spec.schedule.requests {
+        pace(spec, i);
+        let started = Instant::now();
+        let result =
+            localizer.localize(&built.input).map_err(|e| RunError::Localization(e.to_string()))?;
+        tally.samples.push(RequestSample {
+            result,
+            latency_s: started.elapsed().as_secs_f64(),
+            geometry_cache_hit: false,
+            bank_builds: 0,
+        });
+    }
+    Ok(tally)
+}
+
+fn run_service(
+    spec: &ScenarioSpec,
+    built: &BuiltScenario,
+    opts: &RunOptions,
+) -> Result<Tally, RunError> {
+    let service = LocalizationService::new(service_config(spec));
+    let mut tally = Tally::new();
+    for i in 0..spec.schedule.requests {
+        pace(spec, i);
+        let started = Instant::now();
+        let response = service
+            .localize_request(LocalizationRequest {
+                input: Arc::clone(&built.input),
+                threads: opts.threads,
+            })
+            .map_err(|e| RunError::Localization(e.to_string()))?;
+        tally.samples.push(RequestSample {
+            result: response.result,
+            latency_s: started.elapsed().as_secs_f64(),
+            geometry_cache_hit: response.metrics.geometry_cache_hit,
+            bank_builds: response.metrics.bank_cache.builds,
+        });
+    }
+    Ok(tally)
+}
+
+fn run_wire(
+    spec: &ScenarioSpec,
+    built: &BuiltScenario,
+    opts: &RunOptions,
+) -> Result<Tally, RunError> {
+    let service = LocalizationService::new(service_config(spec));
+    let server = StppServer::bind(
+        ("127.0.0.1", 0),
+        service,
+        ServerConfig { queue_depth: spec.server.queue_depth as usize },
+    )
+    .map_err(|e| RunError::Io(e.to_string()))?;
+    let handle = server.spawn().map_err(|e| RunError::Io(e.to_string()))?;
+    let server_addr = handle.addr();
+
+    let proxy = match &spec.impairments {
+        Some(imp) => {
+            Some(ChaosProxy::spawn(server_addr, imp).map_err(|e| RunError::Io(e.to_string()))?)
+        }
+        None => None,
+    };
+    let client_addr = proxy.as_ref().map(|p| p.addr()).unwrap_or(server_addr);
+
+    // The run proper, kept fallible-but-contained so the server and
+    // proxy are always torn down before returning.
+    let run = (|| -> Result<Tally, RunError> {
+        let mut client =
+            StppClient::connect(client_addr).map_err(|e| RunError::Io(e.to_string()))?;
+        let mut tally = Tally::new();
+        for i in 0..spec.schedule.requests {
+            pace(spec, i);
+            let started = Instant::now();
+            let response =
+                localize_with_retries(&mut client, client_addr, built, opts, &mut tally)?;
+            tally.samples.push(RequestSample {
+                result: response.result,
+                latency_s: started.elapsed().as_secs_f64(),
+                geometry_cache_hit: response.metrics.geometry_cache_hit,
+                bank_builds: response.metrics.bank_cache.builds,
+            });
+        }
+        if let Some(imp) = &spec.impairments {
+            run_drills(imp, server_addr, client_addr, &mut client, built, opts, &mut tally)?;
+        }
+        Ok(tally)
+    })();
+
+    // Teardown: always stop the server via a direct connection (the
+    // proxy may be impaired), then the proxy.
+    if let Ok(mut direct) = StppClient::connect(server_addr) {
+        let _ = direct.shutdown();
+    }
+    let _ = handle.join();
+    if let Some(proxy) = proxy {
+        proxy.shutdown();
+    }
+
+    run
+}
+
+/// One localize call with `Busy` retries and transport-error
+/// reconnects, against whatever `addr` the run is pointed at.
+fn localize_with_retries(
+    client: &mut StppClient,
+    addr: std::net::SocketAddr,
+    built: &BuiltScenario,
+    opts: &RunOptions,
+    tally: &mut Tally,
+) -> Result<stpp_serve::LocalizationResponse, RunError> {
+    for _ in 0..MAX_ATTEMPTS_PER_REQUEST {
+        match client.localize(&built.input, opts.threads) {
+            Ok(LocalizeReply::Localized(response)) => return Ok(response),
+            Ok(LocalizeReply::Busy { .. }) => {
+                tally.busy_responses += 1;
+                std::thread::sleep(BUSY_RETRY_PAUSE);
+            }
+            Err(ClientError::Proto(_)) => {
+                // A torn or churned connection: reconnect and resubmit.
+                tally.transport_errors += 1;
+                *client = StppClient::connect(addr).map_err(|e| RunError::Io(e.to_string()))?;
+            }
+            Err(other) => return Err(RunError::Client(other.to_string())),
+        }
+    }
+    Err(RunError::RetriesExhausted { attempts: MAX_ATTEMPTS_PER_REQUEST })
+}
+
+/// Queue-overfill drills: each drill occupies an admission slot with a
+/// raw `Pause` frame on a *direct* (unimpaired) connection, probes the
+/// main path until a request gets through, then reaps the `Paused`
+/// response. With `queue_depth` sized down this forces real `Busy`
+/// rejections through the public machinery — the server is never
+/// special-cased.
+#[allow(clippy::too_many_arguments)]
+fn run_drills(
+    imp: &ImpairmentSpec,
+    server_addr: std::net::SocketAddr,
+    client_addr: std::net::SocketAddr,
+    client: &mut StppClient,
+    built: &BuiltScenario,
+    opts: &RunOptions,
+    tally: &mut Tally,
+) -> Result<(), RunError> {
+    for _ in 0..imp.pause_drills {
+        let mut drill =
+            std::net::TcpStream::connect(server_addr).map_err(|e| RunError::Io(e.to_string()))?;
+        write_frame(&mut drill, &Request::Pause { seconds: imp.pause_hold.seconds })
+            .map_err(|e| RunError::Io(e.to_string()))?;
+        // While the drill holds its slot, the main path must still make
+        // progress (absorbing `Busy` along the way). The probe repeats
+        // the same input, so its result joins the determinism check even
+        // though it is not a scheduled request.
+        let response = localize_with_retries(client, client_addr, built, opts, tally)?;
+        if let Some(first) = tally.samples.first() {
+            if response.result != first.result {
+                return Err(RunError::NonDeterministic { request: tally.samples.len() as u64 });
+            }
+        }
+        match read_frame::<_, Response>(&mut drill) {
+            Ok(Some(Response::Paused)) | Ok(Some(Response::Busy { .. })) => {}
+            Ok(other) => {
+                return Err(RunError::Client(format!("drill got unexpected frame: {other:?}")))
+            }
+            Err(e) => return Err(RunError::Io(e.to_string())),
+        }
+        tally.drills_run += 1;
+    }
+    Ok(())
+}
+
+fn service_config(spec: &ScenarioSpec) -> ServiceConfig {
+    ServiceConfig { pool_workers: spec.server.pool_workers as usize, ..ServiceConfig::default() }
+}
+
+fn pace(spec: &ScenarioSpec, request_index: u64) {
+    if request_index > 0 && spec.schedule.gap.seconds > 0.0 {
+        std::thread::sleep(spec.schedule.gap.as_std());
+    }
+}
+
+fn finish(
+    spec: &ScenarioSpec,
+    built: &BuiltScenario,
+    mode: RunMode,
+    tally: Tally,
+) -> Result<RunReport, RunError> {
+    let first = tally.samples.first().expect("schedule guarantees at least one request");
+    for (i, sample) in tally.samples.iter().enumerate().skip(1) {
+        if sample.result != first.result {
+            return Err(RunError::NonDeterministic { request: i as u64 });
+        }
+    }
+
+    let result = &first.result;
+    // In the tag-moving case a tag placed further back on the belt
+    // (larger layout X) passes the antenna later, and STPP orders tags
+    // by passing time — so the detected order is reversed before
+    // comparing against the ascending-X ground truth (same convention
+    // as the airport conveyor app).
+    let detected_x: Vec<u64> = match spec.deployment {
+        crate::spec::DeploymentSpec::Conveyor { .. } => {
+            result.order_x.iter().rev().copied().collect()
+        }
+        crate::spec::DeploymentSpec::AntennaSweep { .. } => result.order_x.clone(),
+    };
+    let accuracy_x = metrics::ordering_accuracy(&detected_x, &built.truth_x);
+    let accuracy_y = metrics::ordering_accuracy(&result.order_y, &built.truth_y);
+    let outcome = RunOutcome {
+        requests: tally.samples.len() as u64,
+        tags: built.input.observations.len() as u64,
+        localized: result.localized_count() as u64,
+        order_x: result.order_x.clone(),
+        order_y: result.order_y.clone(),
+        undetected: result.undetected.clone(),
+        accuracy_x,
+        accuracy_y,
+        busy_responses: tally.busy_responses,
+        transport_errors: tally.transport_errors,
+        drills_run: tally.drills_run,
+    };
+
+    let n = tally.samples.len() as f64;
+    let latency = LatencySummary {
+        max_seconds: tally.samples.iter().map(|s| s.latency_s).fold(0.0, f64::max),
+        mean_seconds: tally.samples.iter().map(|s| s.latency_s).sum::<f64>() / n,
+    };
+
+    let service = match mode {
+        RunMode::Pipeline => None,
+        RunMode::Service | RunMode::Wire => Some(ServiceObservations {
+            geometry_hits: tally.samples.iter().filter(|s| s.geometry_cache_hit).count() as u64,
+            cold_builds: first.bank_builds,
+            warm_builds: tally.samples.iter().skip(1).map(|s| s.bank_builds).sum(),
+        }),
+    };
+
+    let checks = evaluate(&spec.expectations, &outcome, &latency, service.as_ref(), mode);
+
+    Ok(RunReport { scenario: spec.name.clone(), mode, outcome, latency, service, checks })
+}
+
+fn evaluate(
+    exp: &Expectations,
+    outcome: &RunOutcome,
+    latency: &LatencySummary,
+    service: Option<&ServiceObservations>,
+    mode: RunMode,
+) -> Vec<CheckResult> {
+    let mut checks = Vec::new();
+    let skipped =
+        |name: &str| CheckResult::pass(name, format!("skipped (not applicable in {mode} mode)"));
+
+    let pin = |name: &str, expected: &Option<Vec<u64>>, actual: &[u64]| -> Option<CheckResult> {
+        expected.as_ref().map(|expected| {
+            if expected == actual {
+                CheckResult::pass(name, format!("{actual:?} matches the pinned ordering"))
+            } else {
+                CheckResult::fail(name, format!("got {actual:?}, pinned {expected:?}"))
+            }
+        })
+    };
+    checks.extend(pin("order_x", &exp.order_x, &outcome.order_x));
+    checks.extend(pin("order_y", &exp.order_y, &outcome.order_y));
+    checks.extend(pin("undetected", &exp.undetected, &outcome.undetected));
+
+    let floor = |name: &str, observed: f64, required: Option<f64>| -> Option<CheckResult> {
+        required.map(|required| {
+            if observed >= required {
+                CheckResult::pass(name, format!("{observed:.3} ≥ floor {required:.3}"))
+            } else {
+                CheckResult::fail(name, format!("{observed:.3} < floor {required:.3}"))
+            }
+        })
+    };
+    checks.extend(floor("min_accuracy_x", outcome.accuracy_x, exp.min_accuracy_x));
+    checks.extend(floor("min_accuracy_y", outcome.accuracy_y, exp.min_accuracy_y));
+
+    if let Some(ceiling) = exp.max_request_latency {
+        let observed = latency.max_seconds;
+        checks.push(if observed <= ceiling.seconds {
+            CheckResult::pass(
+                "max_request_latency",
+                format!(
+                    "slowest request {:.1}ms ≤ ceiling {:.1}ms",
+                    observed * 1e3,
+                    ceiling.seconds * 1e3
+                ),
+            )
+        } else {
+            CheckResult::fail(
+                "max_request_latency",
+                format!(
+                    "slowest request {:.1}ms > ceiling {:.1}ms",
+                    observed * 1e3,
+                    ceiling.seconds * 1e3
+                ),
+            )
+        });
+    }
+
+    if let Some(ceiling) = exp.max_busy_rate {
+        let attempts = outcome.requests + outcome.busy_responses;
+        let rate = if attempts > 0 { outcome.busy_responses as f64 / attempts as f64 } else { 0.0 };
+        checks.push(if rate <= ceiling {
+            CheckResult::pass("max_busy_rate", format!("{rate:.3} ≤ ceiling {ceiling:.3}"))
+        } else {
+            CheckResult::fail("max_busy_rate", format!("{rate:.3} > ceiling {ceiling:.3}"))
+        });
+    }
+
+    if let Some(min) = exp.min_busy_responses {
+        checks.push(if mode != RunMode::Wire {
+            skipped("min_busy_responses")
+        } else if outcome.busy_responses >= min {
+            CheckResult::pass(
+                "min_busy_responses",
+                format!("{} ≥ floor {min}", outcome.busy_responses),
+            )
+        } else {
+            CheckResult::fail(
+                "min_busy_responses",
+                format!("{} < floor {min}", outcome.busy_responses),
+            )
+        });
+    }
+
+    if let Some(max) = exp.max_transport_errors {
+        checks.push(if outcome.transport_errors <= max {
+            CheckResult::pass(
+                "max_transport_errors",
+                format!("{} ≤ ceiling {max}", outcome.transport_errors),
+            )
+        } else {
+            CheckResult::fail(
+                "max_transport_errors",
+                format!("{} > ceiling {max}", outcome.transport_errors),
+            )
+        });
+    }
+
+    if let Some(min) = exp.min_transport_errors {
+        checks.push(if mode != RunMode::Wire {
+            skipped("min_transport_errors")
+        } else if outcome.transport_errors >= min {
+            CheckResult::pass(
+                "min_transport_errors",
+                format!("{} ≥ floor {min}", outcome.transport_errors),
+            )
+        } else {
+            CheckResult::fail(
+                "min_transport_errors",
+                format!("{} < floor {min}", outcome.transport_errors),
+            )
+        });
+    }
+
+    if exp.warm_zero_builds {
+        checks.push(match service {
+            None => skipped("warm_zero_builds"),
+            Some(s) if s.warm_builds == 0 => CheckResult::pass(
+                "warm_zero_builds",
+                format!("cold request built {} banks, warm requests built 0", s.cold_builds),
+            ),
+            Some(s) => CheckResult::fail(
+                "warm_zero_builds",
+                format!("warm requests built {} banks (expected 0)", s.warm_builds),
+            ),
+        });
+    }
+
+    if let Some(min) = exp.min_geometry_hits {
+        checks.push(match service {
+            None => skipped("min_geometry_hits"),
+            Some(s) if s.geometry_hits >= min => {
+                CheckResult::pass("min_geometry_hits", format!("{} ≥ floor {min}", s.geometry_hits))
+            }
+            Some(s) => {
+                CheckResult::fail("min_geometry_hits", format!("{} < floor {min}", s.geometry_hits))
+            }
+        });
+    }
+
+    checks
+}

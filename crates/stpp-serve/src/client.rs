@@ -7,12 +7,14 @@
 //! surfaces in the return types — [`LocalizeReply::Busy`] is a normal
 //! outcome the caller is forced to consider, not an error to forget.
 
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use stpp_core::{LocalizationError, StppInput};
 
 use crate::proto::{
-    read_frame, write_frame, ProtoError, Request, Response, ServerStats, WireReport,
+    encode_localize_request_into, read_frame, write_frame, ProtoError, Request, Response,
+    ServerStats, WireReport,
 };
 use crate::service::{LocalizationResponse, ServiceStats};
 use crate::session::{IngestError, SessionGeometry};
@@ -87,6 +89,10 @@ pub enum FlushReply {
 #[derive(Debug)]
 pub struct StppClient {
     stream: TcpStream,
+    /// Reused encode buffer for [`localize`](Self::localize): the frame
+    /// is serialized straight from the borrowed input, so repeated calls
+    /// with same-sized batches stop allocating after warm-up.
+    scratch: Vec<u8>,
 }
 
 impl StppClient {
@@ -94,7 +100,7 @@ impl StppClient {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<StppClient, ClientError> {
         let stream = TcpStream::connect(addr).map_err(ProtoError::from)?;
         let _ = stream.set_nodelay(true);
-        Ok(StppClient { stream })
+        Ok(StppClient { stream, scratch: Vec::new() })
     }
 
     /// Sends one raw request frame and reads the matching response frame.
@@ -108,14 +114,23 @@ impl StppClient {
     }
 
     /// Localizes one batch on the server.
+    ///
+    /// The request frame is encoded from the borrowed `input` into a
+    /// buffer owned by the client — no clone of the observations, and no
+    /// per-call allocation once the buffer has grown to the batch size.
     pub fn localize(
         &mut self,
         input: &StppInput,
         threads: Option<usize>,
     ) -> Result<LocalizeReply, ClientError> {
-        let request =
-            Request::Localize { input: input.clone(), threads: threads.map(|t| t as u64) };
-        match self.request(&request)? {
+        encode_localize_request_into(input, threads.map(|t| t as u64), &mut self.scratch)?;
+        self.stream.write_all(&self.scratch).map_err(ProtoError::from)?;
+        self.stream.flush().map_err(ProtoError::from)?;
+        let response = match read_frame::<_, Response>(&mut self.stream)? {
+            Some(response) => response,
+            None => return Err(ClientError::Proto(ProtoError::Truncated)),
+        };
+        match response {
             Response::Localized { response } => Ok(LocalizeReply::Localized(response)),
             Response::Busy { depth } => Ok(LocalizeReply::Busy { depth }),
             Response::Rejected { error } => Err(ClientError::Rejected(error)),

@@ -471,6 +471,107 @@ pub fn decode_frame<T: Deserialize>(bytes: &[u8]) -> Result<(T, usize), ProtoErr
     Ok((message, end))
 }
 
+/// Encodes a [`Request::Localize`] frame directly from a *borrowed*
+/// input into a reusable buffer, byte-identical to
+/// [`encode_frame`]`(&Request::Localize { input: input.clone(), .. })`
+/// but without cloning the observations or materialising the
+/// intermediate `Value` tree. High-volume clients (the scenario
+/// harness's wire runner, bench loops) call this once per request with
+/// the same scratch buffer, so steady-state encoding allocates nothing.
+///
+/// The byte-equality with the derive-based encoding is pinned by
+/// proptest; if a field is ever added to [`StppInput`] the test fails
+/// before the wire can desync.
+pub fn encode_localize_request_into(
+    input: &StppInput,
+    threads: Option<u64>,
+    buf: &mut Vec<u8>,
+) -> Result<(), ProtoError> {
+    fn push_key(buf: &mut Vec<u8>, key: &str) {
+        buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        buf.extend_from_slice(key.as_bytes());
+    }
+    fn push_map(buf: &mut Vec<u8>, entries: u32) {
+        buf.push(TAG_MAP);
+        buf.extend_from_slice(&entries.to_le_bytes());
+    }
+    fn push_seq(buf: &mut Vec<u8>, items: u32) {
+        buf.push(TAG_SEQ);
+        buf.extend_from_slice(&items.to_le_bytes());
+    }
+    fn push_u64(buf: &mut Vec<u8>, n: u64) {
+        buf.push(TAG_U64);
+        buf.extend_from_slice(&n.to_le_bytes());
+    }
+    fn push_f64(buf: &mut Vec<u8>, x: f64) {
+        buf.push(TAG_F64);
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+
+    buf.clear();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    // Payload length; patched once the payload is written.
+    buf.extend_from_slice(&0u32.to_le_bytes());
+
+    // Request::Localize { input, threads } — a struct variant encodes as
+    // a one-entry map from the variant name to its field map, fields in
+    // declaration order (mirrors the serde derive exactly).
+    push_map(buf, 1);
+    push_key(buf, "Localize");
+    push_map(buf, 2);
+    push_key(buf, "input");
+    push_map(buf, 4);
+    push_key(buf, "observations");
+    push_seq(buf, input.observations.len() as u32);
+    for obs in &input.observations {
+        push_map(buf, 3);
+        push_key(buf, "id");
+        push_u64(buf, obs.id);
+        push_key(buf, "epc");
+        push_map(buf, 1);
+        push_key(buf, "words");
+        let words = obs.epc.words();
+        push_seq(buf, words.len() as u32);
+        for word in words {
+            push_u64(buf, word as u64);
+        }
+        push_key(buf, "profile");
+        push_map(buf, 1);
+        push_key(buf, "samples");
+        let samples = obs.profile.samples();
+        push_seq(buf, samples.len() as u32);
+        for sample in samples {
+            push_map(buf, 2);
+            push_key(buf, "time_s");
+            push_f64(buf, sample.time_s);
+            push_key(buf, "phase_rad");
+            push_f64(buf, sample.phase_rad);
+        }
+    }
+    push_key(buf, "nominal_speed_mps");
+    push_f64(buf, input.nominal_speed_mps);
+    push_key(buf, "wavelength_m");
+    push_f64(buf, input.wavelength_m);
+    push_key(buf, "perpendicular_distance_m");
+    match input.perpendicular_distance_m {
+        Some(x) => push_f64(buf, x),
+        None => buf.push(TAG_NULL),
+    }
+    push_key(buf, "threads");
+    match threads {
+        Some(t) => push_u64(buf, t),
+        None => buf.push(TAG_NULL),
+    }
+
+    let payload_len = buf.len() - HEADER_LEN;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(ProtoError::FrameTooLarge { len: payload_len as u64 });
+    }
+    buf[6..HEADER_LEN].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
+}
+
 /// Writes one frame to a stream.
 pub fn write_frame<W: Write, T: Serialize>(writer: &mut W, message: &T) -> Result<(), ProtoError> {
     writer.write_all(&encode_frame(message)?)?;

@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use stpp_core::{PhaseProfile, RelativeLocalizer, StppInput, TagObservations};
-use stpp_serve::proto::{decode_frame, encode_frame, Request, Response, ServerStats, WireReport};
+use stpp_serve::proto::{
+    decode_frame, encode_frame, encode_localize_request_into, Request, Response, ServerStats,
+    WireReport,
+};
 use stpp_serve::{
     LocalizationService, LocalizeReply, ProtoError, ServerConfig, ServiceConfig, SessionGeometry,
     StppClient, StppServer,
@@ -127,6 +130,21 @@ proptest! {
     }
 
     #[test]
+    fn borrowed_localize_encoding_matches_owned(
+        input in arb_input(),
+        threads in prop::option::of(any::<u64>()),
+    ) {
+        // The hand-rolled borrowed encoder must stay byte-identical to
+        // the derive-based path; a new `StppInput` field breaks this
+        // test before it can desync the wire.
+        let owned =
+            encode_frame(&Request::Localize { input: input.clone(), threads }).expect("encode");
+        let mut borrowed = Vec::new();
+        encode_localize_request_into(&input, threads, &mut borrowed).expect("encode borrowed");
+        prop_assert_eq!(borrowed, owned);
+    }
+
+    #[test]
     fn truncated_frames_yield_typed_errors_not_panics(
         request in arb_request(),
         cut in 0.0f64..1.0,
@@ -157,6 +175,45 @@ proptest! {
         // flip a float bit (still a valid frame), the rest must map to a
         // typed error.
         let _ = decode_frame::<Request>(&frame);
+    }
+}
+
+#[test]
+fn borrowed_localize_encoding_reuses_its_buffer() {
+    // Regression for the carried-over `input.clone()` in
+    // `StppClient::localize`: encoding a large batch repeatedly into the
+    // same scratch buffer must not reallocate after the first call. The
+    // buffer's capacity and base pointer are observable proxies — any
+    // per-call growth (e.g. from rebuilding an owned request) would move
+    // or grow the allocation.
+    let observations: Vec<TagObservations> = (0..64)
+        .map(|id| {
+            let pairs: Vec<(f64, f64)> =
+                (0..512).map(|k| (k as f64 * 1e-3, (id * 7 + k) as f64 * 1e-2)).collect();
+            TagObservations {
+                id: id as u64,
+                epc: rfid_gen2::Epc::from_serial(id as u64),
+                profile: PhaseProfile::from_pairs(&pairs),
+            }
+        })
+        .collect();
+    let input = StppInput {
+        observations,
+        nominal_speed_mps: 0.5,
+        wavelength_m: 0.326,
+        perpendicular_distance_m: Some(0.8),
+    };
+
+    let mut buf = Vec::new();
+    encode_localize_request_into(&input, Some(2), &mut buf).expect("warm-up encode");
+    let warm_len = buf.len();
+    let warm_capacity = buf.capacity();
+    let warm_ptr = buf.as_ptr();
+    for _ in 0..8 {
+        encode_localize_request_into(&input, Some(2), &mut buf).expect("steady-state encode");
+        assert_eq!(buf.len(), warm_len);
+        assert_eq!(buf.capacity(), warm_capacity, "steady-state encode grew the buffer");
+        assert_eq!(buf.as_ptr(), warm_ptr, "steady-state encode reallocated the buffer");
     }
 }
 

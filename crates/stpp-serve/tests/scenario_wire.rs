@@ -1,0 +1,43 @@
+//! The wire server under the scenario harness: the checked-in portal
+//! scenario must pass over a clean TCP connection with an outcome
+//! identical to the in-process pipeline, and the checked-in chaos
+//! scenario must pass *through* the impairment proxy — truncated
+//! frames, churned connections, and queue-overfill drills included —
+//! while still recovering the exact pinned ordering. This is the
+//! server's end-to-end robustness contract, driven from its own test
+//! suite so a server regression fails here, not only in the scenario
+//! crate.
+
+use stpp_scenario::{run_scenario, RunMode, RunOptions, ScenarioSpec};
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../../scenarios/{name}.json"));
+    ScenarioSpec::load(&path).unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()))
+}
+
+#[test]
+fn portal_scenario_passes_on_a_clean_wire() {
+    let spec = load("portal");
+    let wire = run_scenario(&spec, &RunOptions::mode(RunMode::Wire)).expect("wire run completes");
+    assert!(wire.passed(), "clean wire run failed:\n{}", wire.render());
+    let pipeline =
+        run_scenario(&spec, &RunOptions::mode(RunMode::Pipeline)).expect("pipeline run completes");
+    assert_eq!(
+        wire.outcome, pipeline.outcome,
+        "the wire must be transparent: same outcome as the in-process pipeline"
+    );
+}
+
+#[test]
+fn chaos_scenario_passes_through_the_impairment_proxy() {
+    let spec = load("chaos_wire");
+    assert!(spec.impairments.is_some(), "chaos_wire must declare impairments");
+    let report =
+        run_scenario(&spec, &RunOptions::mode(RunMode::Wire)).expect("chaos run completes");
+    assert!(report.passed(), "chaos run failed:\n{}", report.render());
+    // The scenario's floors guarantee the chaos actually happened; spot
+    // check the outcome so a silently disabled proxy cannot pass.
+    assert!(report.outcome.transport_errors >= 1, "impairments did not fire: {:?}", report.outcome);
+    assert!(report.outcome.busy_responses >= 1, "drills did not fire: {:?}", report.outcome);
+}

@@ -19,4 +19,5 @@ pub use stpp_apps as apps;
 pub use stpp_baselines as baselines;
 pub use stpp_core as core;
 pub use stpp_experiments as experiments;
+pub use stpp_scenario as scenario;
 pub use stpp_serve as serve;
