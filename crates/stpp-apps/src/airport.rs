@@ -17,7 +17,10 @@ use rfid_geometry::{Point3, TagLayout};
 use rfid_reader::{ConveyorParams, ReaderSimulation, ScenarioBuilder, SweepRecording};
 use serde::{Deserialize, Serialize};
 use stpp_core::{ordering_accuracy, LocalizationError, RelativeLocalizer, StppConfig, StppInput};
-use stpp_serve::{ClientError, LocalizationService, RequestMetrics, ServiceConfig, StppClient};
+use stpp_serve::{
+    ClientError, LocalizationService, RequestMetrics, ResilientError, RetryPolicy, ServiceConfig,
+    StppClient,
+};
 
 /// The airport's traffic periods, with the bag-gap statistics the paper
 /// reports.
@@ -236,25 +239,28 @@ impl BaggageSimulation {
     /// the wire: the portal forwards the batch to a shared
     /// [`StppServer`](stpp_serve::StppServer) instead of owning a
     /// localization process. A [`LocalizeReply::Busy`](stpp_serve::LocalizeReply::Busy) backpressure
-    /// rejection is retried with a short pause — a portal must order
-    /// every batch eventually, backpressure only delays it — and
-    /// transport failures surface as [`ClientError`].
+    /// rejection is retried under the default [`RetryPolicy`] budget — a
+    /// portal must order every batch eventually, backpressure only delays
+    /// it, but a server saturated for the whole budget yields a typed
+    /// [`ResilientError::BudgetExhausted`] instead of blocking the belt
+    /// forever; transport failures surface as
+    /// [`ResilientError::Fatal`].
     pub fn order_batch_with_client(
         &self,
         client: &mut StppClient,
         batch: &BaggageBatch,
         recording: &SweepRecording,
-    ) -> Result<(BatchResult, Option<RequestMetrics>), ClientError> {
+    ) -> Result<(BatchResult, Option<RequestMetrics>), ResilientError> {
         let started = std::time::Instant::now();
         let Ok(input) = self.portal_input(recording) else {
             let latency = started.elapsed().as_secs_f64();
             return Ok((Self::score_batch(batch, None, latency), None));
         };
-        let response = client.localize_retrying(&input, None, std::time::Duration::from_millis(5));
+        let response = client.localize_retrying(&input, None, &RetryPolicy::default());
         let latency = started.elapsed().as_secs_f64();
         let (order_x, metrics) = match response {
             Ok(r) => (Some(r.result.order_x), Some(r.metrics)),
-            Err(ClientError::Rejected(_)) => (None, None),
+            Err(ResilientError::Fatal(ClientError::Rejected(_))) => (None, None),
             Err(e) => return Err(e),
         };
         Ok((Self::score_batch(batch, order_x, latency), metrics))
@@ -268,7 +274,7 @@ impl BaggageSimulation {
         period: TrafficPeriod,
         batches: usize,
         seed: u64,
-    ) -> Result<Vec<(BatchResult, Option<RequestMetrics>)>, ClientError> {
+    ) -> Result<Vec<(BatchResult, Option<RequestMetrics>)>, ResilientError> {
         (0..batches)
             .filter_map(|i| {
                 let batch_seed = Self::batch_seed(seed, i);

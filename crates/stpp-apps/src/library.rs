@@ -17,7 +17,10 @@ use rfid_geometry::{Point3, TagLayout};
 use rfid_reader::{AntennaSweepParams, ReaderSimulation, ScenarioBuilder, SweepRecording};
 use serde::{Deserialize, Serialize};
 use stpp_core::{RelativeLocalizer, StppConfig, StppInput};
-use stpp_serve::{ClientError, LocalizationService, RequestMetrics, ServiceConfig, StppClient};
+use stpp_serve::{
+    ClientError, LocalizationService, RequestMetrics, ResilientError, RetryPolicy, ServiceConfig,
+    StppClient,
+};
 
 /// Parameters of the bookshelf generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -253,21 +256,23 @@ impl MisplacedBookExperiment {
     /// the cart's reader forwards each shelf sweep to a shared
     /// [`StppServer`](stpp_serve::StppServer), so every cart in the
     /// library rides one warm bank registry. [`LocalizeReply::Busy`](stpp_serve::LocalizeReply::Busy)
-    /// backpressure is retried with a short pause (the librarian's sweep
-    /// can wait); transport failures surface as [`ClientError`].
+    /// backpressure is retried under the default [`RetryPolicy`] budget
+    /// (the librarian's sweep can wait — but not forever: exhausting the
+    /// budget yields a typed [`ResilientError::BudgetExhausted`]);
+    /// transport failures surface as [`ResilientError::Fatal`].
     pub fn detect_with_client(
         &self,
         client: &mut StppClient,
         shelf: &Bookshelf,
         recording: &SweepRecording,
-    ) -> Result<(MisplacementOutcome, Option<RequestMetrics>), ClientError> {
+    ) -> Result<(MisplacementOutcome, Option<RequestMetrics>), ResilientError> {
         let Ok(input) = self.sweep_input(recording) else {
             return Ok((Self::assess(shelf, &[]), None));
         };
-        let response = client.localize_retrying(&input, None, std::time::Duration::from_millis(5));
+        let response = client.localize_retrying(&input, None, &RetryPolicy::default());
         let (order_x, metrics) = match response {
             Ok(r) => (r.result.order_x.clone(), Some(r.metrics)),
-            Err(ClientError::Rejected(_)) => (Vec::new(), None),
+            Err(ResilientError::Fatal(ClientError::Rejected(_))) => (Vec::new(), None),
             Err(e) => return Err(e),
         };
         Ok((Self::assess(shelf, &order_x), metrics))

@@ -158,6 +158,7 @@ mod tests {
             channel: None,
             schedule: ScheduleSpec::default(),
             server: ServerSpec::default(),
+            client: None,
             impairments: None,
             expectations: Default::default(),
         }

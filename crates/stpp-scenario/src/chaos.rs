@@ -5,7 +5,9 @@
 //! connection to the real server. The client→server direction is
 //! frame-aware — it reads whole protocol frames (header + payload) and
 //! can delay them, hold them so frames on *other* connections overtake
-//! them, tear the connection mid-frame, or churn (cleanly close) it.
+//! them, tear the connection mid-frame, churn (cleanly close) it,
+//! blackhole a frame while leaving the connection open, or stall
+//! mid-frame between header and payload.
 //! The server→client direction is an unimpaired byte pump, so responses
 //! always arrive intact once the server produced them. The server
 //! itself is never modified: every impairment a scenario can express is
@@ -168,6 +170,25 @@ fn forward_requests(
         if spec.churn_every >= 2 && frame_index.is_multiple_of(spec.churn_every) {
             // Drop the whole frame and close cleanly.
             break;
+        }
+        if spec.blackhole_every >= 2 && frame_index.is_multiple_of(spec.blackhole_every) {
+            // Swallow the frame but keep both sockets open: the client
+            // gets no response and no connection reset, so only its own
+            // deadline can rescue it.
+            continue;
+        }
+        if spec.stall_every >= 2 && frame_index.is_multiple_of(spec.stall_every) {
+            // Forward the header, then stall mid-frame before the
+            // payload — the server blocks in a half-read frame exactly
+            // as long as the stall lasts.
+            if server.write_all(&header).is_err() {
+                break;
+            }
+            thread::sleep(spec.stall.as_std());
+            if server.write_all(&payload).is_err() {
+                break;
+            }
+            continue;
         }
         if server.write_all(&header).and_then(|()| server.write_all(&payload)).is_err() {
             break;

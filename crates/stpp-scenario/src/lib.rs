@@ -50,6 +50,6 @@ pub use report::{
 };
 pub use runner::{run_scenario, RunError, RunOptions};
 pub use spec::{
-    ChannelSpec, DeploymentSpec, DurationSpec, Expectations, ImpairmentSpec, LayoutSpec,
-    MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerSpec, TagPosition,
+    ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, ImpairmentSpec,
+    LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerSpec, TagPosition,
 };

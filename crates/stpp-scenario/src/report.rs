@@ -54,8 +54,20 @@ pub struct RunOutcome {
     pub accuracy_y: f64,
     /// `Busy` responses observed (main requests and drills).
     pub busy_responses: u64,
-    /// Transport errors observed (torn or churned connections).
+    /// Transport errors observed (torn or churned connections, failed
+    /// reconnects).
     pub transport_errors: u64,
+    /// Retried attempts the wire client performed (after `Busy`,
+    /// timeouts, or transport failures).
+    pub retries: u64,
+    /// Deadline expiries the wire client observed.
+    pub timeouts: u64,
+    /// Times the wire client's circuit breaker opened.
+    pub circuit_opens: u64,
+    /// Reconnects the wire client performed after losing a connection.
+    pub reconnects: u64,
+    /// Server kill-and-restart cycles the run orchestrated.
+    pub server_restarts: u64,
     /// Queue-overfill drills completed.
     pub drills_run: u64,
 }
@@ -151,6 +163,11 @@ impl RunReport {
             out,
             "  busy={} transport_errors={} drills={}",
             o.busy_responses, o.transport_errors, o.drills_run
+        );
+        let _ = writeln!(
+            out,
+            "  retries={} timeouts={} circuit_opens={} reconnects={} server_restarts={}",
+            o.retries, o.timeouts, o.circuit_opens, o.reconnects, o.server_restarts
         );
         let _ = writeln!(
             out,

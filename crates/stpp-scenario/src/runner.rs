@@ -10,13 +10,13 @@
 //! guarantee by failing hard if any repeated request drifts.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use stpp_core::{metrics, BatchLocalizer, StppConfig, StppResult};
 use stpp_serve::proto::{read_frame, write_frame};
 use stpp_serve::{
-    ClientError, LocalizationRequest, LocalizationService, LocalizeReply, Request, Response,
-    ServerConfig, ServiceConfig, StppClient, StppServer,
+    LocalizationRequest, LocalizationService, Request, ResilientClient, ResilientError, Response,
+    RetryPolicy, ServerConfig, ServiceConfig, StppClient, StppServer,
 };
 
 use crate::build::{build_scenario, BuiltScenario};
@@ -25,14 +25,13 @@ use crate::error::ScenarioError;
 use crate::report::{
     CheckResult, LatencySummary, RunMode, RunOutcome, RunReport, ServiceObservations,
 };
-use crate::spec::{Expectations, ImpairmentSpec, ScenarioSpec};
+use crate::spec::{ClientSpec, Expectations, ImpairmentSpec, ScenarioSpec};
 
-/// How long the runner waits before retrying a `Busy` rejection.
-const BUSY_RETRY_PAUSE: Duration = Duration::from_millis(10);
-/// Attempt cap per request: a scenario whose impairments make progress
-/// impossible fails with [`RunError::RetriesExhausted`] instead of
-/// hanging CI.
-const MAX_ATTEMPTS_PER_REQUEST: u64 = 500;
+/// Circuit-open waits per request before the runner gives up: the
+/// resilient client already bounds each call by its own attempt budget,
+/// so this only caps how many cooldown cycles a single request may ride
+/// out.
+const MAX_CIRCUIT_WAITS_PER_REQUEST: u64 = 32;
 
 /// Options for one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,16 +111,35 @@ struct RequestSample {
     bank_builds: u64,
 }
 
+#[derive(Default)]
 struct Tally {
     samples: Vec<RequestSample>,
     busy_responses: u64,
     transport_errors: u64,
+    retries: u64,
+    timeouts: u64,
+    circuit_opens: u64,
+    reconnects: u64,
+    server_restarts: u64,
     drills_run: u64,
 }
 
 impl Tally {
     fn new() -> Tally {
-        Tally { samples: Vec::new(), busy_responses: 0, transport_errors: 0, drills_run: 0 }
+        Tally::default()
+    }
+
+    /// Absorbs the wire client's resilience counters. `transport_errors`
+    /// keeps its historical meaning (any failure that cost a
+    /// connection), so it sums transport and connect failures.
+    fn absorb(&mut self, client: &ResilientClient) {
+        let c = client.counters();
+        self.busy_responses = c.busy;
+        self.transport_errors = c.transport_failures + c.connect_failures;
+        self.retries = c.retries;
+        self.timeouts = c.timeouts;
+        self.circuit_opens = c.circuit_opens;
+        self.reconnects = c.reconnects;
     }
 }
 
@@ -193,15 +211,12 @@ fn run_wire(
     built: &BuiltScenario,
     opts: &RunOptions,
 ) -> Result<Tally, RunError> {
+    let server_config = server_config(spec);
     let service = LocalizationService::new(service_config(spec));
-    let server = StppServer::bind(
-        ("127.0.0.1", 0),
-        service,
-        ServerConfig { queue_depth: spec.server.queue_depth as usize },
-    )
-    .map_err(|e| RunError::Io(e.to_string()))?;
-    let handle = server.spawn().map_err(|e| RunError::Io(e.to_string()))?;
-    let server_addr = handle.addr();
+    let server = StppServer::bind(("127.0.0.1", 0), service, server_config)
+        .map_err(|e| RunError::Io(e.to_string()))?;
+    let mut handle = Some(server.spawn().map_err(|e| RunError::Io(e.to_string()))?);
+    let server_addr = handle.as_ref().expect("just spawned").addr();
 
     let proxy = match &spec.impairments {
         Some(imp) => {
@@ -211,36 +226,55 @@ fn run_wire(
     };
     let client_addr = proxy.as_ref().map(|p| p.addr()).unwrap_or(server_addr);
 
+    let client_spec = spec.client.unwrap_or_default();
+    let mut client = resilient_client(client_addr, &client_spec);
+    let kill_after = spec.impairments.as_ref().map(|imp| imp.kill_after_requests).unwrap_or(0);
+
     // The run proper, kept fallible-but-contained so the server and
     // proxy are always torn down before returning.
     let run = (|| -> Result<Tally, RunError> {
-        let mut client =
-            StppClient::connect(client_addr).map_err(|e| RunError::Io(e.to_string()))?;
         let mut tally = Tally::new();
         for i in 0..spec.schedule.requests {
             pace(spec, i);
             let started = Instant::now();
-            let response =
-                localize_with_retries(&mut client, client_addr, built, opts, &mut tally)?;
+            let response = localize_resilient(&mut client, &client_spec, built, opts)?;
             tally.samples.push(RequestSample {
                 result: response.result,
                 latency_s: started.elapsed().as_secs_f64(),
                 geometry_cache_hit: response.metrics.geometry_cache_hit,
                 bank_builds: response.metrics.bank_cache.builds,
             });
+            if kill_after > 0 && i + 1 == kill_after {
+                // Crash drill: hard-kill the server mid-run and rebind a
+                // fresh one on the same address. The client must notice
+                // the dead connection, reconnect, and carry on — the
+                // golden orderings stay pinned across the restart.
+                if let Some(old) = handle.take() {
+                    let _ = old.kill();
+                }
+                let service = LocalizationService::new(service_config(spec));
+                let server = StppServer::bind(server_addr, service, server_config)
+                    .map_err(|e| RunError::Io(e.to_string()))?;
+                handle = Some(server.spawn().map_err(|e| RunError::Io(e.to_string()))?);
+                tally.server_restarts += 1;
+            }
         }
         if let Some(imp) = &spec.impairments {
-            run_drills(imp, server_addr, client_addr, &mut client, built, opts, &mut tally)?;
+            run_drills(imp, server_addr, &mut client, &client_spec, built, opts, &mut tally)?;
         }
+        tally.absorb(&client);
         Ok(tally)
     })();
 
-    // Teardown: always stop the server via a direct connection (the
-    // proxy may be impaired), then the proxy.
+    // Teardown: drain the server via a direct connection (the proxy may
+    // be impaired) so in-flight work finishes before the thread joins,
+    // then stop the proxy.
     if let Ok(mut direct) = StppClient::connect(server_addr) {
-        let _ = direct.shutdown();
+        let _ = direct.drain();
     }
-    let _ = handle.join();
+    if let Some(handle) = handle.take() {
+        let _ = handle.join();
+    }
     if let Some(proxy) = proxy {
         proxy.shutdown();
     }
@@ -248,31 +282,45 @@ fn run_wire(
     run
 }
 
-/// One localize call with `Busy` retries and transport-error
-/// reconnects, against whatever `addr` the run is pointed at.
-fn localize_with_retries(
-    client: &mut StppClient,
-    addr: std::net::SocketAddr,
+/// Builds the wire client the scenario's `client` block describes.
+fn resilient_client(addr: std::net::SocketAddr, spec: &ClientSpec) -> ResilientClient {
+    let policy = RetryPolicy {
+        max_attempts: spec.attempts as u32,
+        base_backoff: spec.base_backoff.as_std(),
+        max_backoff: spec.max_backoff.as_std(),
+        jitter: spec.jitter,
+        seed: spec.seed,
+        deadline: spec.deadline.as_std(),
+    };
+    ResilientClient::new(addr, policy)
+        .with_circuit(spec.circuit_threshold as u32, spec.circuit_cooldown.as_std())
+}
+
+/// One localize call through the resilient client. Retries, `Busy`
+/// absorption, reconnects, and deadlines all live inside the client; the
+/// runner only decides what each terminal outcome means for the run. An
+/// open circuit is ridden out (bounded cooldown waits) so a scenario can
+/// pin `circuit_opens` and still finish.
+fn localize_resilient(
+    client: &mut ResilientClient,
+    client_spec: &ClientSpec,
     built: &BuiltScenario,
     opts: &RunOptions,
-    tally: &mut Tally,
 ) -> Result<stpp_serve::LocalizationResponse, RunError> {
-    for _ in 0..MAX_ATTEMPTS_PER_REQUEST {
+    for _ in 0..MAX_CIRCUIT_WAITS_PER_REQUEST {
         match client.localize(&built.input, opts.threads) {
-            Ok(LocalizeReply::Localized(response)) => return Ok(response),
-            Ok(LocalizeReply::Busy { .. }) => {
-                tally.busy_responses += 1;
-                std::thread::sleep(BUSY_RETRY_PAUSE);
+            Ok(response) => return Ok(response),
+            Err(ResilientError::CircuitOpen { .. }) => {
+                // Let the cooldown elapse, then the half-open probe runs.
+                std::thread::sleep(client_spec.circuit_cooldown.as_std());
             }
-            Err(ClientError::Proto(_)) => {
-                // A torn or churned connection: reconnect and resubmit.
-                tally.transport_errors += 1;
-                *client = StppClient::connect(addr).map_err(|e| RunError::Io(e.to_string()))?;
+            Err(ResilientError::BudgetExhausted { attempts, .. }) => {
+                return Err(RunError::RetriesExhausted { attempts: attempts as u64 })
             }
-            Err(other) => return Err(RunError::Client(other.to_string())),
+            Err(ResilientError::Fatal(e)) => return Err(RunError::Client(e.to_string())),
         }
     }
-    Err(RunError::RetriesExhausted { attempts: MAX_ATTEMPTS_PER_REQUEST })
+    Err(RunError::RetriesExhausted { attempts: MAX_CIRCUIT_WAITS_PER_REQUEST })
 }
 
 /// Queue-overfill drills: each drill occupies an admission slot with a
@@ -285,8 +333,8 @@ fn localize_with_retries(
 fn run_drills(
     imp: &ImpairmentSpec,
     server_addr: std::net::SocketAddr,
-    client_addr: std::net::SocketAddr,
-    client: &mut StppClient,
+    client: &mut ResilientClient,
+    client_spec: &ClientSpec,
     built: &BuiltScenario,
     opts: &RunOptions,
     tally: &mut Tally,
@@ -300,7 +348,7 @@ fn run_drills(
         // progress (absorbing `Busy` along the way). The probe repeats
         // the same input, so its result joins the determinism check even
         // though it is not a scheduled request.
-        let response = localize_with_retries(client, client_addr, built, opts, tally)?;
+        let response = localize_resilient(client, client_spec, built, opts)?;
         if let Some(first) = tally.samples.first() {
             if response.result != first.result {
                 return Err(RunError::NonDeterministic { request: tally.samples.len() as u64 });
@@ -320,6 +368,10 @@ fn run_drills(
 
 fn service_config(spec: &ScenarioSpec) -> ServiceConfig {
     ServiceConfig { pool_workers: spec.server.pool_workers as usize, ..ServiceConfig::default() }
+}
+
+fn server_config(spec: &ScenarioSpec) -> ServerConfig {
+    ServerConfig { queue_depth: spec.server.queue_depth as usize, ..ServerConfig::default() }
 }
 
 fn pace(spec: &ScenarioSpec, request_index: u64) {
@@ -366,6 +418,11 @@ fn finish(
         accuracy_y,
         busy_responses: tally.busy_responses,
         transport_errors: tally.transport_errors,
+        retries: tally.retries,
+        timeouts: tally.timeouts,
+        circuit_opens: tally.circuit_opens,
+        reconnects: tally.reconnects,
+        server_restarts: tally.server_restarts,
         drills_run: tally.drills_run,
     };
 
@@ -529,6 +586,37 @@ fn evaluate(
             }
         });
     }
+
+    // Resilience counters only move on the wire: floors are skipped in
+    // the in-process modes (which can never retry), while ceilings are
+    // checked everywhere — a non-wire mode exceeding zero would mean the
+    // counters leaked into paths that must not have them.
+    let wire_floor = |name: &str, observed: u64, required: Option<u64>| -> Option<CheckResult> {
+        required.map(|min| {
+            if mode != RunMode::Wire {
+                skipped(name)
+            } else if observed >= min {
+                CheckResult::pass(name, format!("{observed} ≥ floor {min}"))
+            } else {
+                CheckResult::fail(name, format!("{observed} < floor {min}"))
+            }
+        })
+    };
+    let ceiling = |name: &str, observed: u64, required: Option<u64>| -> Option<CheckResult> {
+        required.map(|max| {
+            if observed <= max {
+                CheckResult::pass(name, format!("{observed} ≤ ceiling {max}"))
+            } else {
+                CheckResult::fail(name, format!("{observed} > ceiling {max}"))
+            }
+        })
+    };
+    checks.extend(wire_floor("min_retries", outcome.retries, exp.min_retries));
+    checks.extend(ceiling("max_retries", outcome.retries, exp.max_retries));
+    checks.extend(wire_floor("min_timeouts", outcome.timeouts, exp.min_timeouts));
+    checks.extend(ceiling("max_timeouts", outcome.timeouts, exp.max_timeouts));
+    checks.extend(wire_floor("min_circuit_opens", outcome.circuit_opens, exp.min_circuit_opens));
+    checks.extend(ceiling("max_circuit_opens", outcome.circuit_opens, exp.max_circuit_opens));
 
     checks
 }

@@ -213,6 +213,24 @@ pub struct ImpairmentSpec {
     /// Cleanly close the proxied connection every Nth request frame per
     /// connection; `0` disables, minimum active value 2.
     pub churn_every: u64,
+    /// Blackhole (swallow without forwarding) every Nth request frame
+    /// per connection — the connection stays open and the server never
+    /// sees the frame, so only the client's deadline can save the call;
+    /// `0` disables, minimum active value 2.
+    pub blackhole_every: u64,
+    /// Stall mid-frame every Nth request frame per connection: the
+    /// header is forwarded, then the proxy sleeps [`stall`](Self::stall)
+    /// before forwarding the payload (stall-then-resume — the request
+    /// eventually completes unless the stall outlives a deadline); `0`
+    /// disables, minimum active value 2.
+    pub stall_every: u64,
+    /// How long each [`stall_every`](Self::stall_every) stall lasts.
+    pub stall: DurationSpec,
+    /// Kill the server abruptly after this many completed requests and
+    /// restart a fresh one on the same address — the crash-recovery
+    /// drill. `0` disables. The restarted server has cold caches and no
+    /// sessions, exactly like a real crash.
+    pub kill_after_requests: u64,
     /// Number of queue-overfill drills: each occupies an admission slot
     /// with `Pause` and then probes with localize calls expecting
     /// `Busy`.
@@ -229,8 +247,52 @@ impl Default for ImpairmentSpec {
             reorder_rate: 0.0,
             truncate_every: 0,
             churn_every: 0,
+            blackhole_every: 0,
+            stall_every: 0,
+            stall: DurationSpec { seconds: 0.05 },
+            kill_after_requests: 0,
             pause_drills: 0,
             pause_hold: DurationSpec { seconds: 0.3 },
+        }
+    }
+}
+
+/// The wire runner's client-side resilience policy — the knobs of the
+/// [`RetryPolicy`](stpp_serve::RetryPolicy) and circuit breaker its
+/// [`ResilientClient`](stpp_serve::ResilientClient) runs under. Absent
+/// (`client` omitted from the scenario), the defaults below apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientSpec {
+    /// Attempt budget per logical call, `[1, 1000]`.
+    pub attempts: u64,
+    /// Backoff before the second attempt (doubles per retry).
+    pub base_backoff: DurationSpec,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: DurationSpec,
+    /// Jitter fraction, `[0, 1]` (deterministic, seeded).
+    pub jitter: f64,
+    /// Per-request deadline (socket read/write/connect timeout).
+    pub deadline: DurationSpec,
+    /// Consecutive transport-level failures that open the circuit,
+    /// `[1, 1000]`.
+    pub circuit_threshold: u64,
+    /// Cooldown before an open circuit admits a half-open probe.
+    pub circuit_cooldown: DurationSpec,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ClientSpec {
+    fn default() -> Self {
+        ClientSpec {
+            attempts: 16,
+            base_backoff: DurationSpec { seconds: 0.01 },
+            max_backoff: DurationSpec { seconds: 0.25 },
+            jitter: 0.25,
+            deadline: DurationSpec { seconds: 2.0 },
+            circuit_threshold: 5,
+            circuit_cooldown: DurationSpec { seconds: 0.25 },
+            seed: 0,
         }
     }
 }
@@ -264,6 +326,21 @@ pub struct Expectations {
     pub warm_zero_builds: bool,
     /// Floor on geometry-cache hits across the run.
     pub min_geometry_hits: Option<u64>,
+    /// Floor on client retry attempts (beyond each call's first) — a
+    /// fault scenario asserts its chaos actually forced retries.
+    pub min_retries: Option<u64>,
+    /// Ceiling on client retry attempts — recovery must stay cheap.
+    pub max_retries: Option<u64>,
+    /// Floor on deadline expiries (blackhole scenarios assert the
+    /// deadline fired).
+    pub min_timeouts: Option<u64>,
+    /// Ceiling on deadline expiries.
+    pub max_timeouts: Option<u64>,
+    /// Floor on circuit-open transitions.
+    pub min_circuit_opens: Option<u64>,
+    /// Ceiling on circuit-open transitions (a recovering run must not
+    /// flap).
+    pub max_circuit_opens: Option<u64>,
 }
 
 /// One complete declarative scenario.
@@ -284,6 +361,8 @@ pub struct ScenarioSpec {
     pub schedule: ScheduleSpec,
     /// Server sizing (service and wire runners).
     pub server: ServerSpec,
+    /// Wire-client resilience policy (`None` = defaults).
+    pub client: Option<ClientSpec>,
     /// Wire impairments (`None` = clean wire).
     pub impairments: Option<ImpairmentSpec>,
     /// End-of-run expectations.
@@ -703,6 +782,40 @@ fn parse_impairments(value: &Value, path: &str) -> Result<ImpairmentSpec, Scenar
             Some((v, p)) => every(v, p)?,
             None => defaults.churn_every,
         },
+        blackhole_every: match fields.optional("blackhole_every") {
+            Some((v, p)) => every(v, p)?,
+            None => defaults.blackhole_every,
+        },
+        stall_every: match fields.optional("stall_every") {
+            Some((v, p)) => every(v, p)?,
+            None => defaults.stall_every,
+        },
+        stall: match fields.optional("stall") {
+            Some((v, p)) => {
+                let d = duration_at(v, &p)?;
+                if d.seconds > 1.0 {
+                    return Err(ScenarioError::InvalidValue {
+                        path: p,
+                        reason: "mid-frame stalls above 1s would stall the run".to_string(),
+                    });
+                }
+                d
+            }
+            None => defaults.stall,
+        },
+        kill_after_requests: match fields.optional("kill_after_requests") {
+            Some((v, p)) => {
+                let n = u64_at(v, &p)?;
+                if n > 1000 {
+                    return Err(ScenarioError::InvalidValue {
+                        path: p,
+                        reason: format!("{n} is above the cap of 1000"),
+                    });
+                }
+                n
+            }
+            None => defaults.kill_after_requests,
+        },
         pause_drills: match fields.optional("pause_drills") {
             Some((v, p)) => {
                 let n = u64_at(v, &p)?;
@@ -728,6 +841,78 @@ fn parse_impairments(value: &Value, path: &str) -> Result<ImpairmentSpec, Scenar
                 d
             }
             None => defaults.pause_hold,
+        },
+    };
+    fields.finish()?;
+    Ok(spec)
+}
+
+fn parse_client(value: &Value, path: &str) -> Result<ClientSpec, ScenarioError> {
+    let mut fields = Fields::new(value, path)?;
+    let defaults = ClientSpec::default();
+    let bounded = |v: &Value, p: String, hi: u64| -> Result<u64, ScenarioError> {
+        let n = u64_at(v, &p)?;
+        if n == 0 || n > hi {
+            return Err(ScenarioError::InvalidValue {
+                path: p,
+                reason: format!("{n} is outside [1, {hi}]"),
+            });
+        }
+        Ok(n)
+    };
+    let capped_duration = |v: &Value, p: String, cap: f64| -> Result<DurationSpec, ScenarioError> {
+        let d = duration_at(v, &p)?;
+        if d.seconds > cap {
+            return Err(ScenarioError::InvalidValue {
+                path: p,
+                reason: format!("{} is above the cap of {cap}s", d.seconds),
+            });
+        }
+        Ok(d)
+    };
+    let spec = ClientSpec {
+        attempts: match fields.optional("attempts") {
+            Some((v, p)) => bounded(v, p, 1000)?,
+            None => defaults.attempts,
+        },
+        base_backoff: match fields.optional("base_backoff") {
+            Some((v, p)) => capped_duration(v, p, 10.0)?,
+            None => defaults.base_backoff,
+        },
+        max_backoff: match fields.optional("max_backoff") {
+            Some((v, p)) => capped_duration(v, p, 30.0)?,
+            None => defaults.max_backoff,
+        },
+        jitter: match fields.optional("jitter") {
+            Some((v, p)) => unit_fraction_at(v, &p)?,
+            None => defaults.jitter,
+        },
+        deadline: match fields.optional("deadline") {
+            Some((v, p)) => {
+                let d = capped_duration(v, p.clone(), 60.0)?;
+                if d.seconds <= 0.0 {
+                    return Err(ScenarioError::InvalidValue {
+                        path: p,
+                        reason: "the deadline must be positive — a zero deadline would fail \
+                                 every call before it starts"
+                            .to_string(),
+                    });
+                }
+                d
+            }
+            None => defaults.deadline,
+        },
+        circuit_threshold: match fields.optional("circuit_threshold") {
+            Some((v, p)) => bounded(v, p, 1000)?,
+            None => defaults.circuit_threshold,
+        },
+        circuit_cooldown: match fields.optional("circuit_cooldown") {
+            Some((v, p)) => capped_duration(v, p, 60.0)?,
+            None => defaults.circuit_cooldown,
+        },
+        seed: match fields.optional("seed") {
+            Some((v, p)) => u64_at(v, &p)?,
+            None => defaults.seed,
         },
     };
     fields.finish()?;
@@ -785,6 +970,30 @@ fn parse_expectations(value: &Value, path: &str) -> Result<Expectations, Scenari
             Some((v, p)) => Some(u64_at(v, &p)?),
             None => None,
         },
+        min_retries: match fields.optional("min_retries") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
+        max_retries: match fields.optional("max_retries") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
+        min_timeouts: match fields.optional("min_timeouts") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
+        max_timeouts: match fields.optional("max_timeouts") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
+        min_circuit_opens: match fields.optional("min_circuit_opens") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
+        max_circuit_opens: match fields.optional("max_circuit_opens") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
     };
     fields.finish()?;
     Ok(expectations)
@@ -829,6 +1038,10 @@ impl ScenarioSpec {
             server: match fields.optional("server") {
                 Some((v, p)) => parse_server(v, &p)?,
                 None => ServerSpec::default(),
+            },
+            client: match fields.optional("client") {
+                Some((v, p)) => Some(parse_client(v, &p)?),
+                None => None,
             },
             impairments: match fields.optional("impairments") {
                 Some((v, p)) => Some(parse_impairments(v, &p)?),
@@ -878,6 +1091,21 @@ impl ScenarioSpec {
                 ("pool_workers".to_string(), Value::U64(self.server.pool_workers)),
             ]),
         ));
+        if let Some(client) = &self.client {
+            root.push((
+                "client".to_string(),
+                Value::Map(vec![
+                    ("attempts".to_string(), Value::U64(client.attempts)),
+                    ("base_backoff".to_string(), Value::Str(client.base_backoff.render())),
+                    ("max_backoff".to_string(), Value::Str(client.max_backoff.render())),
+                    ("jitter".to_string(), Value::F64(client.jitter)),
+                    ("deadline".to_string(), Value::Str(client.deadline.render())),
+                    ("circuit_threshold".to_string(), Value::U64(client.circuit_threshold)),
+                    ("circuit_cooldown".to_string(), Value::Str(client.circuit_cooldown.render())),
+                    ("seed".to_string(), Value::U64(client.seed)),
+                ]),
+            ));
+        }
         if let Some(imp) = &self.impairments {
             root.push((
                 "impairments".to_string(),
@@ -887,6 +1115,10 @@ impl ScenarioSpec {
                     ("reorder_rate".to_string(), Value::F64(imp.reorder_rate)),
                     ("truncate_every".to_string(), Value::U64(imp.truncate_every)),
                     ("churn_every".to_string(), Value::U64(imp.churn_every)),
+                    ("blackhole_every".to_string(), Value::U64(imp.blackhole_every)),
+                    ("stall_every".to_string(), Value::U64(imp.stall_every)),
+                    ("stall".to_string(), Value::Str(imp.stall.render())),
+                    ("kill_after_requests".to_string(), Value::U64(imp.kill_after_requests)),
                     ("pause_drills".to_string(), Value::U64(imp.pause_drills)),
                     ("pause_hold".to_string(), Value::Str(imp.pause_hold.render())),
                 ]),
@@ -1033,6 +1265,24 @@ fn expectations_value(expectations: &Expectations) -> Value {
     }
     if let Some(n) = expectations.min_geometry_hits {
         entries.push(("min_geometry_hits".to_string(), Value::U64(n)));
+    }
+    if let Some(n) = expectations.min_retries {
+        entries.push(("min_retries".to_string(), Value::U64(n)));
+    }
+    if let Some(n) = expectations.max_retries {
+        entries.push(("max_retries".to_string(), Value::U64(n)));
+    }
+    if let Some(n) = expectations.min_timeouts {
+        entries.push(("min_timeouts".to_string(), Value::U64(n)));
+    }
+    if let Some(n) = expectations.max_timeouts {
+        entries.push(("max_timeouts".to_string(), Value::U64(n)));
+    }
+    if let Some(n) = expectations.min_circuit_opens {
+        entries.push(("min_circuit_opens".to_string(), Value::U64(n)));
+    }
+    if let Some(n) = expectations.max_circuit_opens {
+        entries.push(("max_circuit_opens".to_string(), Value::U64(n)));
     }
     Value::Map(entries)
 }

@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use proptest::ProptestConfig;
 use stpp_scenario::{
-    ChannelSpec, DeploymentSpec, DurationSpec, Expectations, ImpairmentSpec, LayoutSpec,
-    MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerSpec, TagPosition,
+    ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, ImpairmentSpec,
+    LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerSpec, TagPosition,
 };
 
 /// Proptest configuration honouring the `PROPTEST_CASES` environment
@@ -134,11 +134,13 @@ fn arb_impairments() -> impl Strategy<Value = ImpairmentSpec> {
     (
         (any::<u64>(), arb_duration(1.0), 0.0f64..1.0),
         (arb_every(), arb_every(), 0u64..17, arb_duration(2.0)),
+        (arb_every(), arb_every(), arb_duration(1.0), 0u64..1001),
     )
         .prop_map(
             |(
                 (seed, delay, reorder_rate),
                 (truncate_every, churn_every, pause_drills, pause_hold),
+                (blackhole_every, stall_every, stall, kill_after_requests),
             )| {
                 ImpairmentSpec {
                     seed,
@@ -146,9 +148,37 @@ fn arb_impairments() -> impl Strategy<Value = ImpairmentSpec> {
                     reorder_rate,
                     truncate_every,
                     churn_every,
+                    blackhole_every,
+                    stall_every,
+                    stall,
+                    kill_after_requests,
                     pause_drills,
                     pause_hold,
                 }
+            },
+        )
+}
+
+fn arb_client() -> impl Strategy<Value = ClientSpec> {
+    (
+        (1u64..1001, arb_duration(10.0), arb_duration(30.0), 0.0f64..1.0),
+        ((0.001f64..60.0).prop_map(|seconds| DurationSpec { seconds }), 1u64..1001),
+        (arb_duration(60.0), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (attempts, base_backoff, max_backoff, jitter),
+                (deadline, circuit_threshold),
+                (circuit_cooldown, seed),
+            )| ClientSpec {
+                attempts,
+                base_backoff,
+                max_backoff,
+                jitter,
+                deadline,
+                circuit_threshold,
+                circuit_cooldown,
+                seed,
             },
         )
 }
@@ -173,6 +203,16 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
             any::<bool>(),
             prop::option::of(any::<u64>()),
         ),
+        (
+            prop::option::of(any::<u64>()),
+            prop::option::of(any::<u64>()),
+            prop::option::of(any::<u64>()),
+        ),
+        (
+            prop::option::of(any::<u64>()),
+            prop::option::of(any::<u64>()),
+            prop::option::of(any::<u64>()),
+        ),
     )
         .prop_map(
             |(
@@ -185,6 +225,8 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
                     warm_zero_builds,
                     min_geometry_hits,
                 ),
+                (min_retries, max_retries, min_timeouts),
+                (max_timeouts, min_circuit_opens, max_circuit_opens),
             )| Expectations {
                 order_x,
                 order_y,
@@ -198,6 +240,12 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
                 min_transport_errors,
                 warm_zero_builds,
                 min_geometry_hits,
+                min_retries,
+                max_retries,
+                min_timeouts,
+                max_timeouts,
+                min_circuit_opens,
+                max_circuit_opens,
             },
         )
 }
@@ -213,6 +261,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         (
             (1u64..10_001, arb_duration(5.0)),
             (1u64..4097, 1u64..65),
+            prop::option::of(arb_client()),
             prop::option::of(arb_impairments()),
             arb_expectations(),
         ),
@@ -220,7 +269,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         .prop_map(
             |(
                 ((name, seed), (layout, phase_offset_jitter_rad), deployment, channel),
-                ((requests, gap), (queue_depth, pool_workers), impairments, expectations),
+                ((requests, gap), (queue_depth, pool_workers), client, impairments, expectations),
             )| ScenarioSpec {
                 name,
                 seed,
@@ -229,6 +278,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 channel,
                 schedule: ScheduleSpec { requests, gap },
                 server: ServerSpec { queue_depth, pool_workers },
+                client,
                 impairments,
                 expectations,
             },

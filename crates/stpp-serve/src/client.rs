@@ -8,16 +8,23 @@
 //! outcome the caller is forced to consider, not an error to forget.
 
 use std::io::Write;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use stpp_core::{LocalizationError, StppInput};
 
 use crate::proto::{
-    encode_localize_request_into, read_frame, write_frame, ProtoError, Request, Response,
-    ServerStats, WireReport,
+    encode_localize_request_into, read_frame, write_frame, HealthReport, ProtoError, Request,
+    Response, ServerStats, WireReport,
 };
+use crate::retry::{FailureKind, ResilientError, RetryPolicy};
 use crate::service::{LocalizationResponse, ServiceStats};
 use crate::session::{IngestError, SessionGeometry};
+
+/// Default socket read/write timeout for a plain [`StppClient::connect`].
+/// Generous — it exists so that *no* call path can block forever on a
+/// wedged peer, not to pace retries (that's [`RetryPolicy::deadline`]).
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Errors a client call can produce.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,11 +103,40 @@ pub struct StppClient {
 }
 
 impl StppClient {
-    /// Connects to a server.
+    /// Connects to a server with the [`DEFAULT_IO_TIMEOUT`] on reads and
+    /// writes, so no call on the returned client can block forever.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<StppClient, ClientError> {
         let stream = TcpStream::connect(addr).map_err(ProtoError::from)?;
         let _ = stream.set_nodelay(true);
-        Ok(StppClient { stream, scratch: Vec::new() })
+        let client = StppClient { stream, scratch: Vec::new() };
+        client.set_io_timeout(Some(DEFAULT_IO_TIMEOUT))?;
+        Ok(client)
+    }
+
+    /// Connects with an explicit connect deadline and I/O timeout.
+    /// `io_timeout = None` removes the socket timeouts entirely (the
+    /// caller takes responsibility for bounding the call some other way).
+    pub fn connect_with(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> Result<StppClient, ClientError> {
+        let stream =
+            TcpStream::connect_timeout(&addr, connect_timeout).map_err(ProtoError::from)?;
+        let _ = stream.set_nodelay(true);
+        let client = StppClient { stream, scratch: Vec::new() };
+        client.set_io_timeout(io_timeout)?;
+        Ok(client)
+    }
+
+    /// Sets the socket read/write timeout for every subsequent call.
+    /// A timed-out call surfaces as [`ClientError::Proto`] with an
+    /// [`std::io::ErrorKind::WouldBlock`]/`TimedOut` kind, and the
+    /// connection should be considered desynced.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout).map_err(ProtoError::from)?;
+        self.stream.set_write_timeout(timeout).map_err(ProtoError::from)?;
+        Ok(())
     }
 
     /// Sends one raw request frame and reads the matching response frame.
@@ -138,23 +174,35 @@ impl StppClient {
         }
     }
 
-    /// [`localize`](Self::localize), retrying [`LocalizeReply::Busy`]
-    /// with a fixed pause until the request is admitted. For callers
+    /// [`localize`](Self::localize), absorbing [`LocalizeReply::Busy`]
+    /// under `policy`'s attempt budget and backoff schedule. For callers
     /// that must process every batch (portals, shelf carts) and treat
-    /// backpressure as delay, never loss. Typed rejections and transport
-    /// failures still surface as [`ClientError`].
+    /// backpressure as delay — but *bounded* delay: a server that stays
+    /// saturated for the whole budget yields a typed
+    /// [`ResilientError::BudgetExhausted`] instead of spinning forever.
+    /// The policy's deadline is propagated to the socket timeouts for
+    /// the duration of the call. Typed rejections and transport failures
+    /// surface as [`ResilientError::Fatal`] (no reconnection here — use
+    /// [`ResilientClient`](crate::ResilientClient) for that).
     pub fn localize_retrying(
         &mut self,
         input: &StppInput,
         threads: Option<usize>,
-        pause: std::time::Duration,
-    ) -> Result<LocalizationResponse, ClientError> {
-        loop {
+        policy: &RetryPolicy,
+    ) -> Result<LocalizationResponse, ResilientError> {
+        self.set_io_timeout(Some(policy.deadline))?;
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
             match self.localize(input, threads)? {
                 LocalizeReply::Localized(response) => return Ok(response),
-                LocalizeReply::Busy { .. } => std::thread::sleep(pause),
+                LocalizeReply::Busy { .. } => {
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(policy.backoff_for(attempt));
+                    }
+                }
             }
         }
+        Err(ResilientError::BudgetExhausted { attempts, last: FailureKind::Busy })
     }
 
     /// Opens a server-side streaming session; returns its id.
@@ -207,6 +255,36 @@ impl StppClient {
         match self.request(&Request::Pause { seconds })? {
             Response::Paused => Ok(true),
             Response::Busy { .. } => Ok(false),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's liveness/health report (uptime, queue depth,
+    /// active sessions, reap count). Control-plane: never rejected Busy.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.request(&Request::Health)? {
+            Response::Health { report } => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to drain: stop accepting connections, finish
+    /// in-flight work, flush quiescent sessions, then exit its serve
+    /// loop cleanly.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Drain)? {
+            Response::Draining => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends the poison drill frame. The server's handler panics on it
+    /// deliberately; panic isolation must convert that into a typed
+    /// [`Response::InternalError`] whose reason is returned here, with
+    /// the connection still usable afterwards.
+    pub fn poison(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Poison)? {
+            Response::InternalError { reason } => Ok(reason),
             other => Err(unexpected(other)),
         }
     }

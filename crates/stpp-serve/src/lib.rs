@@ -61,13 +61,17 @@
 pub mod client;
 pub mod pool;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod service;
 pub mod session;
 
 pub use client::{ClientError, FlushReply, LocalizeReply, StppClient};
 pub use pool::WorkerPool;
-pub use proto::{ProtoError, Request, Response, ServerStats, WireReport};
+pub use proto::{HealthReport, ProtoError, Request, Response, ServerStats, WireReport};
+pub use retry::{
+    FailureKind, ResilienceCounters, ResilientClient, ResilientError, ResilientSession, RetryPolicy,
+};
 pub use server::{ServerConfig, ServerHandle, StppServer};
 pub use service::{
     GeometryKey, LocalizationRequest, LocalizationResponse, LocalizationService, RequestMetrics,

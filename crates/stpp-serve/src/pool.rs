@@ -122,6 +122,7 @@ impl WorkerPool {
             failed: AtomicBool::new(false),
             progress: Mutex::new(DetectProgress {
                 pending_jobs: fanout,
+                panicked: false,
                 results: Vec::with_capacity(tags),
                 bank_stats: BankCacheStats::default(),
             }),
@@ -134,6 +135,13 @@ impl WorkerPool {
         let mut progress = task.progress.lock().expect("detect task poisoned");
         while progress.pending_jobs > 0 {
             progress = task.done.wait(progress).expect("detect task poisoned");
+        }
+        if progress.panicked {
+            // Re-raise in the requesting thread: the pool workers stay
+            // alive, and the caller's own isolation (the server converts
+            // this into a typed `InternalError` frame) takes over.
+            drop(progress);
+            panic!("detection job panicked in the worker pool");
         }
         let bank_stats = progress.bank_stats;
         type SlotResult = Result<Option<TagVZoneSummary>, LocalizationError>;
@@ -171,6 +179,11 @@ struct DetectTask {
 
 struct DetectProgress {
     pending_jobs: usize,
+    /// Set when a claim-loop detection panicked; [`WorkerPool::detect`]
+    /// re-raises the panic in the *calling* thread so the server's
+    /// panic-isolation layer (not the pool worker) decides what to do
+    /// with it.
+    panicked: bool,
     results: Vec<(usize, Result<Option<TagVZoneSummary>, LocalizationError>)>,
     bank_stats: BankCacheStats,
 }
@@ -178,16 +191,34 @@ struct DetectProgress {
 /// The claim loop one pool job runs: grab observation indices from the
 /// task cursor until exhausted (or a failure is recorded), detecting each
 /// into the worker's long-lived scratch.
+///
+/// A panicking detection must not strand the request: `pending_jobs` is
+/// decremented on every exit path (the waiter would otherwise block on
+/// the condvar forever), the panic is recorded for the waiter to
+/// re-raise, and the worker's scratch is rebuilt because an unwound
+/// detection may have left it inconsistent.
 fn run_claim_loop(task: &DetectTask, scratch: &mut DetectScratch) {
     let tags = task.request.observation_count();
     let stats_before = scratch.bank_stats();
     let mut out = Vec::new();
+    let mut panicked = false;
     while !task.failed.load(Ordering::Relaxed) {
         let i = task.cursor.fetch_add(1, Ordering::Relaxed);
         if i >= tags {
             break;
         }
-        let result = task.request.detect_slot(i, scratch);
+        let detection = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            task.request.detect_slot(i, scratch)
+        }));
+        let result = match detection {
+            Ok(result) => result,
+            Err(_) => {
+                task.failed.store(true, Ordering::Relaxed);
+                panicked = true;
+                *scratch = DetectScratch::new();
+                break;
+            }
+        };
         if result.is_err() {
             task.failed.store(true, Ordering::Relaxed);
         }
@@ -196,6 +227,7 @@ fn run_claim_loop(task: &DetectTask, scratch: &mut DetectScratch) {
     let delta = scratch.bank_stats().since(stats_before);
     let mut progress = task.progress.lock().expect("detect task poisoned");
     progress.results.append(&mut out);
+    progress.panicked |= panicked;
     progress.bank_stats.hits += delta.hits;
     progress.bank_stats.misses += delta.misses;
     progress.bank_stats.builds += delta.builds;
@@ -220,7 +252,13 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared.job_ready.wait(state).expect("worker pool poisoned");
             }
         };
-        job(&mut scratch);
+        // Last-resort isolation for arbitrary submitted jobs: a panic
+        // must not kill the worker (the pool would silently shrink). The
+        // scratch may be mid-update when the unwind happens, so it is
+        // rebuilt.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&mut scratch))).is_err() {
+            scratch = DetectScratch::new();
+        }
         shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -330,5 +368,24 @@ mod tests {
         let pool = WorkerPool::new(3);
         assert_eq!(pool.workers(), 3);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn pool_workers_survive_a_panicking_job() {
+        let pool = WorkerPool::new(1);
+        // A panicking job must neither kill the single worker nor poison
+        // its scratch for later requests.
+        pool.submit(Box::new(|_scratch| panic!("deliberate job panic")));
+        let input = synthetic_input(3);
+        let sequential = RelativeLocalizer::with_defaults().localize(&input).expect("sequential");
+        let request = Arc::new(
+            RelativeLocalizer::with_defaults()
+                .prepare_shared(input, ReferenceBankCache::shared())
+                .expect("prepare"),
+        );
+        let (per_tag, _) = pool.detect(&request, 1);
+        let result = request.assemble(per_tag.expect("detect")).expect("assemble");
+        assert_eq!(result, sequential);
+        assert!(pool.jobs_executed() >= 1, "panicked job still counts as executed");
     }
 }

@@ -167,6 +167,37 @@ pub enum Request {
     /// Stop accepting new connections. In-flight connections finish their
     /// current exchanges.
     Shutdown,
+    /// Graceful drain: stop accepting connections, let in-flight work
+    /// finish, flush every open session's quiescent tags server-side,
+    /// then exit the serve loop cleanly (control plane).
+    Drain,
+    /// Fetch the liveness/health report (control plane: answered even
+    /// when the admission queue is full).
+    Health,
+    /// Deliberately panic inside the request handler — a drill proving
+    /// panic isolation converts a poisoned request into a typed
+    /// [`Response::InternalError`] instead of killing the connection
+    /// thread (control plane).
+    Poison,
+}
+
+/// The server's liveness report, answered to [`Request::Health`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Seconds since the server started serving.
+    pub uptime_seconds: f64,
+    /// Whether a drain is in progress (new connections are refused).
+    pub draining: bool,
+    /// Detection requests currently admitted (queued or executing).
+    pub in_flight: u64,
+    /// The admission bound.
+    pub queue_depth: u64,
+    /// Streaming sessions currently open.
+    pub sessions_open: u64,
+    /// Idle sessions reaped by the TTL sweep so far.
+    pub sessions_reaped: u64,
+    /// Request frames handled so far.
+    pub requests: u64,
 }
 
 /// Server-level counters reported by [`Response::Stats`].
@@ -187,6 +218,11 @@ pub struct ServerStats {
     pub connections: u64,
     /// Request frames handled so far.
     pub requests: u64,
+    /// Idle sessions reaped by the TTL sweep so far.
+    pub sessions_reaped: u64,
+    /// Requests whose handler panicked and was converted into a typed
+    /// [`Response::InternalError`].
+    pub internal_errors: u64,
 }
 
 /// A server-to-client frame.
@@ -254,6 +290,19 @@ pub enum Response {
     Paused,
     /// The server acknowledged [`Request::Shutdown`].
     ShuttingDown,
+    /// The server acknowledged [`Request::Drain`] and is winding down.
+    Draining,
+    /// The liveness report.
+    Health {
+        /// The report.
+        report: HealthReport,
+    },
+    /// The request handler panicked; panic isolation caught it, the
+    /// connection survives, and this frame carries the panic message.
+    InternalError {
+        /// The panic payload, best-effort rendered.
+        reason: String,
+    },
 }
 
 // ---------------------------------------------------------------------------

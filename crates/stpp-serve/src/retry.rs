@@ -1,0 +1,667 @@
+//! Client-side fault tolerance: retry budgets, deadlines, and a circuit
+//! breaker.
+//!
+//! A live portal cannot hang because the localization server restarted
+//! or the network blackholed a frame. This module gives every client
+//! call path a **bounded** failure mode:
+//!
+//! * [`RetryPolicy`] — an attempt budget with capped exponential backoff
+//!   and *seeded, deterministic* jitter (a pure function of
+//!   `(seed, attempt)`, so two runs with the same seed sleep the same
+//!   schedule), plus a per-request deadline that is propagated to the
+//!   socket's read/write timeouts — no call can block longer than the
+//!   deadline per attempt, and no call can retry past the budget.
+//! * [`ResilientClient`] — wraps [`StppClient`] with the policy:
+//!   reconnects on transport errors, classifies failures
+//!   ([`FailureKind`]), and opens a **circuit** after a configurable
+//!   number of consecutive transport/timeout failures so a dead server
+//!   is answered with an immediate typed [`ResilientError::CircuitOpen`]
+//!   instead of a hammering reconnect loop. After a cooldown the circuit
+//!   goes half-open and a single probe is allowed through; success
+//!   closes it again.
+//! * [`ResilientSession`] — a streaming session that buffers its
+//!   un-flushed reports client-side; if the server restarts (or reaps
+//!   the idle session), the next operation reopens a fresh session and
+//!   replays the buffer, so a crash mid-stream degrades into delay, not
+//!   data loss. Delivery is at-least-once: a flush whose response was
+//!   lost in flight may re-deliver those tags from the replay buffer.
+//!
+//! `Busy` backpressure is deliberately *not* a circuit failure — a busy
+//! server is alive and shedding load exactly as designed; only
+//! transport, timeout, and connect failures count toward opening the
+//! circuit.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use stpp_core::StppInput;
+
+use crate::client::{ClientError, FlushReply, LocalizeReply, StppClient};
+use crate::proto::{HealthReport, ProtoError, WireReport};
+use crate::service::LocalizationResponse;
+use crate::session::SessionGeometry;
+
+/// The splitmix64 mixing function — a bijection on `u64`, used for the
+/// deterministic backoff jitter and the server's non-sequential session
+/// ids. Distinct inputs always map to distinct outputs, and the output
+/// bits are well mixed even for sequential inputs.
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps 64 mixed bits onto a uniform `[0, 1)` fraction.
+fn unit_fraction(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A bounded retry discipline (see the module docs).
+///
+/// The backoff for attempt `n` is `base_backoff * 2^n`, capped at
+/// `max_backoff`, then shrunk by up to `jitter` of itself using a
+/// deterministic per-attempt fraction derived from `seed`. The schedule
+/// is therefore always `<= max_backoff` and identical across runs with
+/// the same seed — both properties are pinned by proptest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per logical call (including the first); the
+    /// budget. Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Hard ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is multiplied by a
+    /// deterministic factor drawn from `[1 - jitter, 1]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+    /// Per-request deadline, propagated to the socket's connect, read,
+    /// and write timeouts — the longest any single attempt may block.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.25,
+            seed: 0,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep after failed attempt `attempt` (0-based).
+    /// Pure in `(self, attempt)`: deterministic for a fixed seed, and
+    /// never above [`max_backoff`](Self::max_backoff).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_secs_f64();
+        let cap = self.max_backoff.as_secs_f64().max(base);
+        let exponential = base * 2f64.powi(attempt.min(62) as i32);
+        let capped = exponential.min(cap);
+        let jitter = if self.jitter.is_finite() { self.jitter.clamp(0.0, 1.0) } else { 0.0 };
+        let fraction = unit_fraction(splitmix64(self.seed ^ splitmix64(attempt as u64)));
+        Duration::from_secs_f64(capped * (1.0 - jitter * fraction))
+    }
+}
+
+/// How an attempt failed — the classification driving retry and circuit
+/// decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The server rejected the request with typed backpressure. The
+    /// server is alive; retryable, but never a circuit failure.
+    Busy,
+    /// The socket deadline fired before the response arrived.
+    Timeout,
+    /// The connection tore, desynced, or produced a malformed frame.
+    Transport,
+    /// Establishing a connection failed (refused, unreachable, or the
+    /// connect deadline fired).
+    Connect,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FailureKind::Busy => "busy",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Transport => "transport",
+            FailureKind::Connect => "connect",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A resilient call's terminal failure. Retryable failures never escape
+/// the retry loop as themselves — they either succeed on a later
+/// attempt or surface as one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResilientError {
+    /// The circuit is open: the last `consecutive_failures` attempts all
+    /// failed at the transport level, and the cooldown has not elapsed.
+    /// The call was rejected immediately without touching the network.
+    CircuitOpen {
+        /// Consecutive transport/timeout/connect failures recorded when
+        /// the circuit opened.
+        consecutive_failures: u32,
+    },
+    /// The attempt budget ran out without a success.
+    BudgetExhausted {
+        /// The budget that was spent.
+        attempts: u32,
+        /// How the final attempt failed.
+        last: FailureKind,
+    },
+    /// A non-retryable failure (a typed rejection, an unexpected frame).
+    Fatal(ClientError),
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientError::CircuitOpen { consecutive_failures } => {
+                write!(f, "circuit open after {consecutive_failures} consecutive failures")
+            }
+            ResilientError::BudgetExhausted { attempts, last } => {
+                write!(f, "retry budget of {attempts} attempts exhausted (last failure: {last})")
+            }
+            ResilientError::Fatal(e) => write!(f, "fatal client error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilientError {}
+
+impl From<ClientError> for ResilientError {
+    fn from(e: ClientError) -> Self {
+        ResilientError::Fatal(e)
+    }
+}
+
+/// Monotonic counters a [`ResilientClient`] keeps about its own
+/// behaviour — what the scenario harness pins bounds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceCounters {
+    /// Call attempts made (network operations, including the first of
+    /// each call).
+    pub attempts: u64,
+    /// Attempts beyond the first of each logical call.
+    pub retries: u64,
+    /// `Busy` backpressure responses absorbed.
+    pub busy: u64,
+    /// Attempts that ended with the socket deadline firing.
+    pub timeouts: u64,
+    /// Attempts that ended with a torn/desynced connection.
+    pub transport_failures: u64,
+    /// Attempts that could not establish a connection at all.
+    pub connect_failures: u64,
+    /// Times a fresh connection was established after the first.
+    pub reconnects: u64,
+    /// Times the circuit transitioned to open.
+    pub circuit_opens: u64,
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy)]
+enum Circuit {
+    /// Normal operation; counts consecutive circuit-relevant failures.
+    Closed { failures: u32 },
+    /// Failing fast; `since` starts the cooldown clock.
+    Open { since: Instant, failures: u32 },
+    /// Cooldown elapsed; exactly one probe attempt is in flight.
+    HalfOpen { failures: u32 },
+}
+
+/// What one attempt produced, before retry classification.
+enum Attempt<T> {
+    Done(T),
+    Retry(FailureKind),
+    Fatal(ClientError),
+}
+
+/// A [`StppClient`] wrapped in the full resilience discipline (see the
+/// module docs): retry budget, deterministic backoff, deadlines,
+/// reconnection, and a circuit breaker.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    circuit_threshold: u32,
+    circuit_cooldown: Duration,
+    client: Option<StppClient>,
+    ever_connected: bool,
+    circuit: Circuit,
+    counters: ResilienceCounters,
+}
+
+impl ResilientClient {
+    /// Creates a resilient client for `addr`. No connection is made
+    /// until the first call, so constructing one against a dead server
+    /// is free. Circuit defaults: 5 consecutive failures open it, 1 s
+    /// cooldown before a half-open probe.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            addr,
+            policy: RetryPolicy { max_attempts: policy.max_attempts.max(1), ..policy },
+            circuit_threshold: 5,
+            circuit_cooldown: Duration::from_secs(1),
+            client: None,
+            ever_connected: false,
+            circuit: Circuit::Closed { failures: 0 },
+            counters: ResilienceCounters::default(),
+        }
+    }
+
+    /// Overrides the circuit breaker: `threshold` consecutive
+    /// transport-level failures open it (clamped to at least 1), and a
+    /// half-open probe is allowed after `cooldown`.
+    pub fn with_circuit(mut self, threshold: u32, cooldown: Duration) -> ResilientClient {
+        self.circuit_threshold = threshold.max(1);
+        self.circuit_cooldown = cooldown;
+        self
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The policy this client retries under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// A snapshot of the resilience counters.
+    pub fn counters(&self) -> ResilienceCounters {
+        self.counters
+    }
+
+    /// Whether the circuit is currently open (failing fast).
+    pub fn circuit_open(&self) -> bool {
+        matches!(self.circuit, Circuit::Open { .. })
+    }
+
+    /// Localizes one batch with the full resilience discipline.
+    pub fn localize(
+        &mut self,
+        input: &StppInput,
+        threads: Option<usize>,
+    ) -> Result<LocalizationResponse, ResilientError> {
+        self.call(|client| match client.localize(input, threads) {
+            Ok(LocalizeReply::Localized(response)) => Attempt::Done(response),
+            Ok(LocalizeReply::Busy { .. }) => Attempt::Retry(FailureKind::Busy),
+            Err(e) => Attempt::Fatal(e),
+        })
+    }
+
+    /// Opens a server-side streaming session; returns its id. Prefer
+    /// [`ResilientSession`] for a session that survives restarts.
+    pub fn open_session(
+        &mut self,
+        geometry: SessionGeometry,
+        quiescence_s: Option<f64>,
+    ) -> Result<u64, ResilientError> {
+        self.call(|client| match client.open_session(geometry, quiescence_s) {
+            Ok(id) => Attempt::Done(id),
+            Err(e) => Attempt::Fatal(e),
+        })
+    }
+
+    /// Ingests reports into a session. [`ClientError::UnknownSession`]
+    /// surfaces as [`ResilientError::Fatal`] — [`ResilientSession`]
+    /// turns it into a reopen-and-replay.
+    pub fn ingest(&mut self, session: u64, reports: &[WireReport]) -> Result<u64, ResilientError> {
+        self.call(|client| match client.ingest(session, reports) {
+            Ok(pending) => Attempt::Done(pending),
+            Err(e) => Attempt::Fatal(e),
+        })
+    }
+
+    /// Flushes a session (quiescent tags, or everything with `finish`),
+    /// absorbing `Busy` under the retry budget.
+    pub fn flush_session(
+        &mut self,
+        session: u64,
+        finish: bool,
+    ) -> Result<Option<LocalizationResponse>, ResilientError> {
+        self.call(|client| match client.flush_session(session, finish) {
+            Ok(FlushReply::Flushed(outcome)) => Attempt::Done(outcome),
+            Ok(FlushReply::Busy { .. }) => Attempt::Retry(FailureKind::Busy),
+            Err(e) => Attempt::Fatal(e),
+        })
+    }
+
+    /// Fetches the server's health report.
+    pub fn health(&mut self) -> Result<HealthReport, ResilientError> {
+        self.call(|client| match client.health() {
+            Ok(report) => Attempt::Done(report),
+            Err(e) => Attempt::Fatal(e),
+        })
+    }
+
+    /// One call under the policy: circuit gate, (re)connect with the
+    /// deadline, classify the outcome, back off, repeat until success,
+    /// a fatal error, or budget exhaustion.
+    fn call<T>(
+        &mut self,
+        mut op: impl FnMut(&mut StppClient) -> Attempt<T>,
+    ) -> Result<T, ResilientError> {
+        let mut last = FailureKind::Transport;
+        for attempt in 0..self.policy.max_attempts {
+            // Circuit gate. An open circuit fails fast until the
+            // cooldown elapses, then admits exactly one probe.
+            if let Circuit::Open { since, failures } = self.circuit {
+                if since.elapsed() < self.circuit_cooldown {
+                    return Err(ResilientError::CircuitOpen { consecutive_failures: failures });
+                }
+                self.circuit = Circuit::HalfOpen { failures };
+            }
+
+            self.counters.attempts += 1;
+            if attempt > 0 {
+                self.counters.retries += 1;
+            }
+
+            // Ensure a live connection, under the connect deadline.
+            if self.client.is_none() {
+                match StppClient::connect_with(
+                    self.addr,
+                    self.policy.deadline,
+                    Some(self.policy.deadline),
+                ) {
+                    Ok(client) => {
+                        if self.ever_connected {
+                            self.counters.reconnects += 1;
+                        }
+                        self.ever_connected = true;
+                        self.client = Some(client);
+                    }
+                    Err(_) => {
+                        last = FailureKind::Connect;
+                        self.counters.connect_failures += 1;
+                        self.record_circuit_failure();
+                        self.backoff(attempt);
+                        continue;
+                    }
+                }
+            }
+            let client = self.client.as_mut().expect("connection ensured above");
+
+            match op(client) {
+                Attempt::Done(value) => {
+                    self.circuit = Circuit::Closed { failures: 0 };
+                    return Ok(value);
+                }
+                Attempt::Retry(kind) => {
+                    // Busy: the server is alive; pace, don't trip the
+                    // circuit.
+                    debug_assert_eq!(kind, FailureKind::Busy);
+                    last = kind;
+                    self.counters.busy += 1;
+                    self.backoff(attempt);
+                }
+                Attempt::Fatal(ClientError::Proto(proto)) => {
+                    // The connection state is unknowable after any
+                    // protocol-level failure: drop it and reconnect.
+                    self.client = None;
+                    last = if is_timeout(&proto) {
+                        self.counters.timeouts += 1;
+                        FailureKind::Timeout
+                    } else {
+                        self.counters.transport_failures += 1;
+                        FailureKind::Transport
+                    };
+                    self.record_circuit_failure();
+                    self.backoff(attempt);
+                }
+                Attempt::Fatal(e) => return Err(ResilientError::Fatal(e)),
+            }
+        }
+        Err(ResilientError::BudgetExhausted { attempts: self.policy.max_attempts, last })
+    }
+
+    fn backoff(&self, attempt: u32) {
+        let pause = self.policy.backoff_for(attempt);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+    }
+
+    fn record_circuit_failure(&mut self) {
+        match self.circuit {
+            Circuit::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.circuit_threshold {
+                    self.circuit = Circuit::Open { since: Instant::now(), failures };
+                    self.counters.circuit_opens += 1;
+                } else {
+                    self.circuit = Circuit::Closed { failures };
+                }
+            }
+            Circuit::HalfOpen { failures } => {
+                // The probe failed: reopen and restart the cooldown.
+                self.circuit =
+                    Circuit::Open { since: Instant::now(), failures: failures.saturating_add(1) };
+                self.counters.circuit_opens += 1;
+            }
+            Circuit::Open { .. } => unreachable!("open circuit is gated before any attempt"),
+        }
+    }
+}
+
+/// Whether a protocol error is the socket deadline firing (as opposed to
+/// a torn or malformed stream).
+fn is_timeout(proto: &ProtoError) -> bool {
+    matches!(
+        proto,
+        ProtoError::Io { kind: std::io::ErrorKind::WouldBlock, .. }
+            | ProtoError::Io { kind: std::io::ErrorKind::TimedOut, .. }
+    )
+}
+
+/// A streaming session that survives server restarts and idle reaping
+/// (see the module docs). Reports are buffered client-side until the
+/// server confirms flushing the tags they belong to; any session-level
+/// failure (restarted server, reaped session, torn connection) abandons
+/// the server-side session and replays the buffer into a fresh one.
+#[derive(Debug)]
+pub struct ResilientSession {
+    client: ResilientClient,
+    geometry: SessionGeometry,
+    quiescence_s: Option<f64>,
+    session: Option<u64>,
+    /// Reports not yet confirmed flushed, in ingestion order.
+    buffered: Vec<WireReport>,
+    /// Prefix of `buffered` known ingested into the *current* server
+    /// session.
+    acked: usize,
+    /// Times the session was reopened and replayed.
+    reopens: u64,
+}
+
+impl ResilientSession {
+    /// Opens a resilient session through `client`. The server-side
+    /// session is created lazily on first use, so this cannot fail.
+    pub fn open(
+        client: ResilientClient,
+        geometry: SessionGeometry,
+        quiescence_s: Option<f64>,
+    ) -> ResilientSession {
+        ResilientSession {
+            client,
+            geometry,
+            quiescence_s,
+            session: None,
+            buffered: Vec::new(),
+            acked: 0,
+            reopens: 0,
+        }
+    }
+
+    /// The underlying resilient client (for counters).
+    pub fn client(&self) -> &ResilientClient {
+        &self.client
+    }
+
+    /// Times the server-side session had to be reopened and replayed.
+    pub fn reopens(&self) -> u64 {
+        self.reopens
+    }
+
+    /// Reports currently buffered client-side (not yet confirmed
+    /// flushed).
+    pub fn buffered_reports(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Ingests reports, replaying through a fresh session if the server
+    /// lost the current one. Returns the server's pending-tag count.
+    pub fn ingest(&mut self, reports: &[WireReport]) -> Result<u64, ResilientError> {
+        self.buffered.extend_from_slice(reports);
+        self.sync()
+    }
+
+    /// Flushes the session: quiescent tags only, or everything with
+    /// `finish` (which also ends the session). Tags the server confirms
+    /// flushed leave the replay buffer. At-least-once: if a flush
+    /// response is lost in flight, the tags are re-delivered by replay.
+    pub fn flush(&mut self, finish: bool) -> Result<Option<LocalizationResponse>, ResilientError> {
+        self.sync()?;
+        let session = self.session.expect("sync ensures a session");
+        match self.client.flush_session(session, finish) {
+            Ok(outcome) => {
+                if finish {
+                    self.session = None;
+                    self.buffered.clear();
+                    self.acked = 0;
+                } else if let Some(response) = &outcome {
+                    self.forget_flushed(response);
+                }
+                Ok(outcome)
+            }
+            Err(e) if session_lost(&e) => {
+                // The server lost the session (restart, reap, or a torn
+                // exchange whose true outcome is unknown). Reopen,
+                // replay, and flush again.
+                self.session = None;
+                self.acked = 0;
+                self.sync()?;
+                let session = self.session.expect("sync ensures a session");
+                let outcome = self.client.flush_session(session, finish)?;
+                if finish {
+                    self.session = None;
+                    self.buffered.clear();
+                    self.acked = 0;
+                } else if let Some(response) = &outcome {
+                    self.forget_flushed(response);
+                }
+                Ok(outcome)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Ensures a live server-side session holding every buffered report:
+    /// opens one if needed and pushes the unacked suffix, replaying from
+    /// scratch whenever the server answers `UnknownSession`.
+    fn sync(&mut self) -> Result<u64, ResilientError> {
+        loop {
+            if self.session.is_none() {
+                let id = self.client.open_session(self.geometry, self.quiescence_s)?;
+                self.session = Some(id);
+                self.acked = 0;
+            }
+            let session = self.session.expect("opened above");
+            if self.acked >= self.buffered.len() {
+                return Ok(0);
+            }
+            let pending = self.buffered[self.acked..].to_vec();
+            match self.client.ingest(session, &pending) {
+                Ok(count) => {
+                    self.acked = self.buffered.len();
+                    return Ok(count);
+                }
+                Err(e) if session_lost(&e) => {
+                    self.session = None;
+                    self.acked = 0;
+                    self.reopens += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drops buffered reports belonging to tags the server confirmed
+    /// flushed (localized or undetected — either way they left the
+    /// server session and will never be flushed again).
+    fn forget_flushed(&mut self, response: &LocalizationResponse) {
+        let flushed: std::collections::HashSet<u64> = response
+            .result
+            .order_x
+            .iter()
+            .chain(response.result.undetected.iter())
+            .copied()
+            .collect();
+        self.buffered.retain(|report| !flushed.contains(&report.epc_serial));
+        self.acked = self.buffered.len();
+    }
+}
+
+/// Whether a resilient failure means the server-side session is gone (or
+/// in an unknowable state) and must be reopened and replayed.
+fn session_lost(e: &ResilientError) -> bool {
+    matches!(
+        e,
+        ResilientError::Fatal(ClientError::UnknownSession { .. })
+            | ResilientError::BudgetExhausted { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(45),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(40));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(45));
+        assert_eq!(policy.backoff_for(30), Duration::from_millis(45));
+    }
+
+    #[test]
+    fn jitter_only_shrinks_and_is_deterministic() {
+        let policy = RetryPolicy { jitter: 0.5, seed: 42, ..RetryPolicy::default() };
+        let twin = RetryPolicy { jitter: 0.5, seed: 42, ..RetryPolicy::default() };
+        for attempt in 0..24 {
+            let backoff = policy.backoff_for(attempt);
+            assert_eq!(backoff, twin.backoff_for(attempt), "attempt {attempt}");
+            assert!(backoff <= policy.max_backoff, "attempt {attempt}");
+        }
+        // A different seed produces a different schedule somewhere.
+        let other = RetryPolicy { jitter: 0.5, seed: 43, ..RetryPolicy::default() };
+        assert!((0..24).any(|a| policy.backoff_for(a) != other.backoff_for(a)));
+    }
+
+    #[test]
+    fn splitmix64_is_injective_on_a_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)), "collision at {i}");
+        }
+    }
+}

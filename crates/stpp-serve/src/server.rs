@@ -18,28 +18,58 @@
 //! microseconds instead of its request silently queueing without bound.
 //! With `queue_depth > pool_workers`, admitted requests beyond the worker
 //! count wait inside the pool's job queue; the admission bound caps that
-//! wait list. Control-plane frames (stats, session ingestion, open,
-//! shutdown) bypass admission — they stay responsive under full load.
+//! wait list. Control-plane frames (stats, health, session ingestion,
+//! open, drain, shutdown) bypass admission — they stay responsive under
+//! full load.
 //!
 //! ## Sessions
 //!
-//! Streaming sessions live server-side, keyed by the id returned from
-//! [`Request::OpenSession`]; ingestion is cheap and unthrottled, flushes
-//! run detection and are admission-controlled like any localize call.
+//! Streaming sessions live server-side, keyed by a **non-sequential**
+//! id (a seeded splitmix64 of a private counter — ids are unique but not
+//! guessable from one another, so a client cannot stumble into a
+//! neighbour's session by off-by-one). Ingestion is cheap and
+//! unthrottled; flushes run detection and are admission-controlled like
+//! any localize call. A session idle longer than
+//! [`ServerConfig::session_ttl`] is reaped by a background sweep
+//! (counted in [`ServerStats::sessions_reaped`]); clients that outlive a
+//! reap see the typed [`Response::UnknownSession`] and reopen.
+//!
+//! ## Fault tolerance
+//!
+//! * **I/O timeouts** — every connection socket gets
+//!   [`ServerConfig::io_timeout`] on reads and writes, so a wedged or
+//!   vanished peer can hold a connection thread for at most the timeout,
+//!   never forever.
+//! * **Panic isolation** — the request handler runs under
+//!   [`std::panic::catch_unwind`]; a poisoned request produces a typed
+//!   [`Response::InternalError`] frame (counted in
+//!   [`ServerStats::internal_errors`]) and the connection keeps serving.
+//!   The [`Request::Poison`] drill frame exists to prove it.
+//! * **Graceful drain** — [`Request::Drain`] stops the acceptor,
+//!   acknowledges with [`Response::Draining`], waits for in-flight work
+//!   to finish, flushes every open session's quiescent tags, and returns
+//!   from [`StppServer::serve`] cleanly. [`Request::Health`] reports
+//!   uptime, queue depth, session counts, and drain state at any time.
 
 use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rfid_gen2::Epc;
 
-use crate::proto::{read_frame, write_frame, Request, Response, ServerStats};
+use crate::proto::{read_frame, write_frame, HealthReport, Request, Response, ServerStats};
+use crate::retry::splitmix64;
 use crate::service::{LocalizationRequest, LocalizationService};
 use crate::session::ServiceSession;
+
+/// How long a drain waits for in-flight work before giving up and
+/// returning anyway (a wedged detection must not make drain hang).
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
 
 /// Configuration of a [`StppServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,28 +78,62 @@ pub struct ServerConfig {
     /// executing); beyond this, requests are rejected with
     /// [`Response::Busy`]. Clamped to at least 1.
     pub queue_depth: usize,
+    /// Read/write timeout applied to every connection socket; `None`
+    /// disables it (a wedged peer can then hold its connection thread
+    /// indefinitely — only for trusted loopback tests).
+    pub io_timeout: Option<Duration>,
+    /// Idle time after which a streaming session is reaped by the
+    /// background sweep; `None` disables reaping.
+    pub session_ttl: Option<Duration>,
+    /// Seed for the non-sequential session ids.
+    pub session_seed: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { queue_depth: 32 }
+        ServerConfig {
+            queue_depth: 32,
+            io_timeout: Some(Duration::from_secs(30)),
+            session_ttl: Some(Duration::from_secs(600)),
+            session_seed: 0,
+        }
     }
+}
+
+/// A server-side session slot plus its idle clock.
+struct SessionEntry {
+    inner: Mutex<Option<ServiceSession>>,
+    /// Milliseconds since server start of the last touch, for the TTL
+    /// sweep.
+    last_touch_ms: AtomicU64,
 }
 
 /// State shared by the acceptor and every connection thread.
 struct ServerState {
     service: Arc<LocalizationService>,
     queue_depth: usize,
-    sessions: Mutex<HashMap<u64, Arc<Mutex<Option<ServiceSession>>>>>,
+    io_timeout: Option<Duration>,
+    session_ttl: Option<Duration>,
+    session_seed: u64,
+    started: Instant,
+    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
     next_session: AtomicU64,
     in_flight: AtomicUsize,
     busy_rejections: AtomicU64,
     requests: AtomicU64,
     connections: AtomicU64,
+    sessions_reaped: AtomicU64,
+    internal_errors: AtomicU64,
     shutdown: AtomicBool,
+    draining: AtomicBool,
+    /// Live connection sockets, so [`ServerHandle::kill`] can tear them
+    /// down abruptly (the crash drill).
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
 }
 
-/// An RAII admission slot; dropping it releases the slot.
+/// An RAII admission slot; dropping it releases the slot — including
+/// when a panic unwinds through the handler.
 struct AdmissionSlot<'a>(&'a ServerState);
 
 impl Drop for AdmissionSlot<'_> {
@@ -95,6 +159,10 @@ impl ServerState {
         }
     }
 
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
     fn server_stats(&self) -> ServerStats {
         ServerStats {
             in_flight: self.in_flight.load(Ordering::SeqCst) as u64,
@@ -104,6 +172,49 @@ impl ServerState {
             pool_workers: self.service.pool_workers() as u64,
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
+            sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn health(&self) -> HealthReport {
+        HealthReport {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            draining: self.draining.load(Ordering::SeqCst),
+            in_flight: self.in_flight.load(Ordering::SeqCst) as u64,
+            queue_depth: self.queue_depth as u64,
+            sessions_open: self.sessions.lock().expect("session table poisoned").len() as u64,
+            sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Removes every session idle longer than the TTL; returns the count.
+    fn reap_idle_sessions(&self, ttl: Duration) -> u64 {
+        let now_ms = self.uptime_ms();
+        let ttl_ms = ttl.as_millis() as u64;
+        let mut table = self.sessions.lock().expect("session table poisoned");
+        let before = table.len();
+        table.retain(|_, entry| {
+            now_ms.saturating_sub(entry.last_touch_ms.load(Ordering::Relaxed)) <= ttl_ms
+        });
+        let reaped = (before - table.len()) as u64;
+        if reaped > 0 {
+            self.sessions_reaped.fetch_add(reaped, Ordering::Relaxed);
+        }
+        reaped
+    }
+
+    /// Drains every remaining session's quiescent tags (drain-time
+    /// best-effort flush; outcomes have no client to go to).
+    fn flush_all_sessions(&self) {
+        let entries: Vec<Arc<SessionEntry>> =
+            self.sessions.lock().expect("session table poisoned").drain().map(|(_, e)| e).collect();
+        for entry in entries {
+            let mut guard = entry.inner.lock().expect("session poisoned");
+            if let Some(active) = guard.as_mut() {
+                let _ = active.flush_quiescent();
+            }
         }
     }
 }
@@ -119,6 +230,7 @@ pub struct StppServer {
 pub struct ServerHandle {
     addr: SocketAddr,
     thread: JoinHandle<std::io::Result<()>>,
+    state: Arc<ServerState>,
 }
 
 impl ServerHandle {
@@ -128,8 +240,26 @@ impl ServerHandle {
     }
 
     /// Waits for the server to stop (a client must send
-    /// [`Request::Shutdown`] for that to happen).
+    /// [`Request::Shutdown`] or [`Request::Drain`] for that to happen).
     pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("server thread panicked")
+    }
+
+    /// Kills the server abruptly — the crash drill. Every live
+    /// connection socket is torn down mid-whatever-it-was-doing, the
+    /// acceptor stops, and open sessions are lost exactly as a real
+    /// crash would lose them. The listener port is freed on return, so a
+    /// replacement server can bind the same address immediately.
+    pub fn kill(self) -> std::io::Result<()> {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        wake_acceptor(self.addr);
+        let conns: Vec<TcpStream> = {
+            let mut table = self.state.conns.lock().expect("connection table poisoned");
+            table.drain().map(|(_, s)| s).collect()
+        };
+        for stream in conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
         self.thread.join().expect("server thread panicked")
     }
 }
@@ -148,13 +278,22 @@ impl StppServer {
             state: Arc::new(ServerState {
                 service,
                 queue_depth: config.queue_depth.max(1),
+                io_timeout: config.io_timeout,
+                session_ttl: config.session_ttl,
+                session_seed: config.session_seed,
+                started: Instant::now(),
                 sessions: Mutex::new(HashMap::new()),
                 next_session: AtomicU64::new(0),
                 in_flight: AtomicUsize::new(0),
                 busy_rejections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
+                sessions_reaped: AtomicU64::new(0),
+                internal_errors: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                conns: Mutex::new(HashMap::new()),
+                next_conn: AtomicU64::new(0),
             }),
         })
     }
@@ -164,11 +303,16 @@ impl StppServer {
         self.listener.local_addr()
     }
 
-    /// Serves connections until a client sends [`Request::Shutdown`].
-    /// Each connection runs on its own thread; this call blocks on the
-    /// acceptor.
+    /// Serves connections until a client sends [`Request::Shutdown`] or
+    /// [`Request::Drain`]. Each connection runs on its own thread; this
+    /// call blocks on the acceptor. A drain additionally waits for
+    /// in-flight work (bounded by an internal grace period) and flushes
+    /// every open session before returning.
     pub fn serve(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
+        if let Some(ttl) = self.state.session_ttl {
+            spawn_session_reaper(Arc::clone(&self.state), ttl);
+        }
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -176,6 +320,15 @@ impl StppServer {
             let stream = stream?;
             let state = self.state.clone();
             thread::spawn(move || handle_connection(&state, stream, local_addr));
+        }
+        if self.state.draining.load(Ordering::SeqCst) {
+            // Finish in-flight work (bounded), then flush what sessions
+            // still hold, so a drained server exits with nothing queued.
+            let deadline = Instant::now() + DRAIN_GRACE;
+            while self.state.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(2));
+            }
+            self.state.flush_all_sessions();
         }
         Ok(())
     }
@@ -185,48 +338,95 @@ impl StppServer {
     /// tests use.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
         let thread = thread::spawn(move || self.serve());
-        Ok(ServerHandle { addr, thread })
+        Ok(ServerHandle { addr, thread, state })
     }
+}
+
+/// Background sweep removing idle sessions. Exits when the server shuts
+/// down; ticks often enough that a session outlives its TTL by at most
+/// ~a quarter of it (floor 10 ms, cap 250 ms so shutdown lag stays
+/// small).
+fn spawn_session_reaper(state: Arc<ServerState>, ttl: Duration) {
+    let tick = (ttl / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
+    thread::spawn(move || {
+        while !state.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(tick);
+            state.reap_idle_sessions(ttl);
+        }
+    });
+}
+
+/// Connects to the (possibly wildcard-bound) acceptor once so a blocked
+/// `accept` observes the shutdown flag.
+fn wake_acceptor(local_addr: SocketAddr) {
+    let mut wake_addr = local_addr;
+    if wake_addr.ip().is_unspecified() {
+        wake_addr.set_ip(match wake_addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
 }
 
 /// The per-connection request/response loop. Any protocol error tears the
 /// connection down (the peer is misbehaving or gone); the server itself
-/// keeps serving.
+/// keeps serving. A handler panic does *not* tear it down — it is caught
+/// and answered with [`Response::InternalError`].
 fn handle_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
     state.connections.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(state.io_timeout);
+    let _ = stream.set_write_timeout(state.io_timeout);
     let mut reader = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     };
+    // Register the socket so a kill() can cut this connection loose even
+    // while it blocks in read.
+    let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        state.conns.lock().expect("connection table poisoned").insert(conn_id, clone);
+    }
     let mut writer = BufWriter::new(stream);
     loop {
         let request = match read_frame::<_, Request>(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => break, // clean disconnect
-            Err(_) => break,   // malformed or gone peer: drop the connection
+            Err(_) => break,   // malformed, timed out, or gone peer
         };
         state.requests.fetch_add(1, Ordering::Relaxed);
-        let is_shutdown = matches!(request, Request::Shutdown);
-        let response = handle_request(state, request);
+        let ends_server = matches!(request, Request::Shutdown | Request::Drain);
+        // Panic isolation: a poisoned request must answer with a typed
+        // frame, not kill this thread mid-exchange. Admission slots are
+        // RAII, so an unwinding handler still releases its slot.
+        let response = catch_unwind(AssertUnwindSafe(|| handle_request(state, request)))
+            .unwrap_or_else(|panic| {
+                state.internal_errors.fetch_add(1, Ordering::Relaxed);
+                Response::InternalError { reason: panic_reason(panic.as_ref()) }
+            });
         if write_frame(&mut writer, &response).is_err() {
             break;
         }
-        if is_shutdown {
-            // Wake the blocked acceptor so `serve` observes the flag. A
-            // wildcard bind address (0.0.0.0 / ::) is not connectable on
-            // every platform; rewrite it to the matching loopback.
-            let mut wake_addr = local_addr;
-            if wake_addr.ip().is_unspecified() {
-                wake_addr.set_ip(match wake_addr {
-                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-                });
-            }
-            let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
+        if ends_server {
+            // Wake the blocked acceptor so `serve` observes the flag.
+            wake_acceptor(local_addr);
             break;
         }
+    }
+    state.conns.lock().expect("connection table poisoned").remove(&conn_id);
+}
+
+/// Best-effort rendering of a panic payload for the wire.
+fn panic_reason(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "handler panicked".to_string()
     }
 }
 
@@ -250,19 +450,23 @@ fn handle_request(state: &ServerState, request: Request) -> Response {
                 Some(q) => state.service.open_session_with_quiescence(geometry, q),
                 None => state.service.open_session(geometry),
             };
-            let id = state.next_session.fetch_add(1, Ordering::Relaxed) + 1;
-            state
-                .sessions
-                .lock()
-                .expect("session table poisoned")
-                .insert(id, Arc::new(Mutex::new(Some(session_handle))));
+            // A seeded splitmix64 of a private counter: unique (the mix
+            // is a bijection) but non-sequential, so one session id
+            // reveals nothing about its neighbours.
+            let counter = state.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+            let id = splitmix64(state.session_seed ^ counter);
+            let entry = Arc::new(SessionEntry {
+                inner: Mutex::new(Some(session_handle)),
+                last_touch_ms: AtomicU64::new(state.uptime_ms()),
+            });
+            state.sessions.lock().expect("session table poisoned").insert(id, entry);
             Response::SessionOpened { session: id }
         }
         Request::IngestReports { session, reports } => {
-            let Some(slot) = lookup_session(state, session) else {
+            let Some(entry) = lookup_session(state, session) else {
                 return Response::UnknownSession { session };
             };
-            let mut guard = slot.lock().expect("session poisoned");
+            let mut guard = entry.inner.lock().expect("session poisoned");
             let Some(active) = guard.as_mut() else {
                 return Response::UnknownSession { session };
             };
@@ -283,10 +487,10 @@ fn handle_request(state: &ServerState, request: Request) -> Response {
             let Some(_slot) = state.try_admit() else {
                 return Response::Busy { depth: state.queue_depth as u64 };
             };
-            let Some(slot) = lookup_session(state, session) else {
+            let Some(entry) = lookup_session(state, session) else {
                 return Response::UnknownSession { session };
             };
-            let mut guard = slot.lock().expect("session poisoned");
+            let mut guard = entry.inner.lock().expect("session poisoned");
             if guard.is_none() {
                 return Response::UnknownSession { session };
             }
@@ -305,6 +509,7 @@ fn handle_request(state: &ServerState, request: Request) -> Response {
         Request::Stats => {
             Response::Stats { service: state.service.stats(), server: state.server_stats() }
         }
+        Request::Health => Response::Health { report: state.health() },
         Request::Pause { seconds } => {
             let Some(_slot) = state.try_admit() else {
                 return Response::Busy { depth: state.queue_depth as u64 };
@@ -317,9 +522,23 @@ fn handle_request(state: &ServerState, request: Request) -> Response {
             state.shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown
         }
+        Request::Drain => {
+            state.draining.store(true, Ordering::SeqCst);
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::Draining
+        }
+        Request::Poison => {
+            // The drill: panic on purpose so tests (and operators) can
+            // verify panic isolation end to end.
+            panic!("poison drill: deliberate handler panic");
+        }
     }
 }
 
-fn lookup_session(state: &ServerState, session: u64) -> Option<Arc<Mutex<Option<ServiceSession>>>> {
-    state.sessions.lock().expect("session table poisoned").get(&session).cloned()
+fn lookup_session(state: &ServerState, session: u64) -> Option<Arc<SessionEntry>> {
+    let entry = state.sessions.lock().expect("session table poisoned").get(&session).cloned();
+    if let Some(entry) = &entry {
+        entry.last_touch_ms.store(state.uptime_ms(), Ordering::Relaxed);
+    }
+    entry
 }

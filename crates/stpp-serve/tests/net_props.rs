@@ -359,8 +359,12 @@ fn overfilled_admission_queue_returns_typed_busy() {
     // client polls Stats (control plane, never throttled) until the
     // pause is in flight, so the rejection is deterministic.
     let service = LocalizationService::with_defaults();
-    let server =
-        StppServer::bind("127.0.0.1:0", service, ServerConfig { queue_depth: 1 }).expect("bind");
+    let server = StppServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig { queue_depth: 1, ..ServerConfig::default() },
+    )
+    .expect("bind");
     let handle = server.spawn().expect("spawn");
     let addr = handle.addr();
 

@@ -83,8 +83,12 @@ fn main() {
 
     // One long-lived server for the remaining drills.
     let service = LocalizationService::with_defaults();
-    let server = StppServer::bind("127.0.0.1:0", service, ServerConfig { queue_depth: 1 })
-        .expect("bind server");
+    let server = StppServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig { queue_depth: 1, ..ServerConfig::default() },
+    )
+    .expect("bind server");
     let handle = server.spawn().expect("spawn server");
 
     // 2. Ordered output: distinct batches on one connection come back in
