@@ -31,6 +31,13 @@ struct ModeReport {
     localized: usize,
 }
 
+/// One point of the serve_net concurrency sweep.
+#[derive(Debug, Deserialize)]
+struct ConnectionSweep {
+    connections: usize,
+    speedup_async_vs_blocking: f64,
+}
+
 /// The slice of a population report the gate needs (extra JSON fields are
 /// ignored by the deserializer).
 #[derive(Debug, Deserialize)]
@@ -43,6 +50,7 @@ struct PopulationReport {
     speedup_screened_vs_banded: f64,
     speedup_serve_warm_vs_cold: f64,
     overhead_net_vs_warm: f64,
+    serve_net_connections: Option<Vec<ConnectionSweep>>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -110,9 +118,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if report.schema != "stpp-bench-pipeline/v4" {
+    if report.schema != "stpp-bench-pipeline/v5" {
         eprintln!(
-            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v4` — regenerate the \
+            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v5` — regenerate the \
              report with this tree's bench_json",
             report.schema
         );
@@ -142,6 +150,7 @@ fn main() -> ExitCode {
         "min_speedup_screened_vs_banded",
         "min_speedup_serve_warm_vs_cold",
         "max_overhead_net_vs_warm",
+        "min_speedup_async_vs_blocking_64conn",
     ];
     let mut limits = HashMap::new();
     for key in required {
@@ -245,11 +254,41 @@ fn main() -> ExitCode {
             .push(format!("wire overhead vs warm grew to {worst_net:.2}x (threshold {max_net}x)"));
     }
 
+    // The async-core concurrency floor: at 64 concurrent connections the
+    // readiness core must serve the sweep workload at least as fast as
+    // the thread-per-connection core. The sweep rides the smallest
+    // population, so exactly one population carries it.
+    let min_async = limits["min_speedup_async_vs_blocking_64conn"];
+    let async_64 = report
+        .populations
+        .iter()
+        .filter_map(|p| p.serve_net_connections.as_ref())
+        .flatten()
+        .find(|s| s.connections == 64)
+        .map(|s| s.speedup_async_vs_blocking * degrade);
+    match async_64 {
+        None => violations.push(
+            "report has no 64-connection serve_net sweep — regenerate with this tree's \
+             bench_json"
+                .to_string(),
+        ),
+        Some(ratio) => {
+            eprintln!("bench_gate: serve_net x64 | async {ratio:5.2}x vs blocking");
+            if ratio < min_async {
+                violations.push(format!(
+                    "async core at 64 connections regressed to {ratio:.2}x the blocking core \
+                     (threshold {min_async}x)"
+                ));
+            }
+        }
+    }
+
     if violations.is_empty() {
+        let async_64 = async_64.expect("no violations means the sweep was present");
         eprintln!(
             "bench_gate: PASS (batch {worst_batch:.2}x >= {min_batch}, screen \
              {worst_screen:.2}x >= {min_screen}, warm {worst_warm:.2}x >= {min_warm}, net \
-             {worst_net:.2}x <= {max_net})"
+             {worst_net:.2}x <= {max_net}, async x64 {async_64:.2}x >= {min_async})"
         );
         ExitCode::SUCCESS
     } else {

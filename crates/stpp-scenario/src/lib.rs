@@ -51,5 +51,6 @@ pub use report::{
 pub use runner::{run_scenario, RunError, RunOptions};
 pub use spec::{
     ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, ImpairmentSpec,
-    LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerSpec, TagPosition,
+    LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerCoreSpec,
+    ServerSpec, StormSpec, TagPosition,
 };

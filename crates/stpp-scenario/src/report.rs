@@ -70,6 +70,10 @@ pub struct RunOutcome {
     pub server_restarts: u64,
     /// Queue-overfill drills completed.
     pub drills_run: u64,
+    /// Storm connections fully served (every trickled request answered
+    /// with the deterministic result). Zero when the scenario declares
+    /// no storm, so clean cross-mode outcome equality is unaffected.
+    pub storm_connections: u64,
 }
 
 /// Wall-clock summary over the successful localize requests.
@@ -161,8 +165,8 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
-            "  busy={} transport_errors={} drills={}",
-            o.busy_responses, o.transport_errors, o.drills_run
+            "  busy={} transport_errors={} drills={} storm_connections={}",
+            o.busy_responses, o.transport_errors, o.drills_run, o.storm_connections
         );
         let _ = writeln!(
             out,

@@ -13,10 +13,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use stpp_core::{metrics, BatchLocalizer, StppConfig, StppResult};
-use stpp_serve::proto::{read_frame, write_frame};
+use stpp_serve::proto::{encode_localize_request_into, read_frame, write_frame};
 use stpp_serve::{
     LocalizationRequest, LocalizationService, Request, ResilientClient, ResilientError, Response,
-    RetryPolicy, ServerConfig, ServiceConfig, StppClient, StppServer,
+    RetryPolicy, ServerConfig, ServerCore, ServiceConfig, StppClient, StppServer,
 };
 
 use crate::build::{build_scenario, BuiltScenario};
@@ -25,7 +25,9 @@ use crate::error::ScenarioError;
 use crate::report::{
     CheckResult, LatencySummary, RunMode, RunOutcome, RunReport, ServiceObservations,
 };
-use crate::spec::{ClientSpec, Expectations, ImpairmentSpec, ScenarioSpec};
+use crate::spec::{
+    ClientSpec, Expectations, ImpairmentSpec, ScenarioSpec, ServerCoreSpec, StormSpec,
+};
 
 /// Circuit-open waits per request before the runner gives up: the
 /// resilient client already bounds each call by its own attempt budget,
@@ -122,6 +124,7 @@ struct Tally {
     reconnects: u64,
     server_restarts: u64,
     drills_run: u64,
+    storm_connections: u64,
 }
 
 impl Tally {
@@ -262,7 +265,12 @@ fn run_wire(
         if let Some(imp) = &spec.impairments {
             run_drills(imp, server_addr, &mut client, &client_spec, built, opts, &mut tally)?;
         }
+        // `absorb` *assigns* the client counters, so the storm (which
+        // adds its own `Busy` observations) must run after it.
         tally.absorb(&client);
+        if let Some(storm) = &spec.storm {
+            run_storm(storm, server_addr, built, opts, &mut tally)?;
+        }
         Ok(tally)
     })();
 
@@ -366,12 +374,144 @@ fn run_drills(
     Ok(())
 }
 
+/// Attempts each storm connection gets per request before the run is
+/// declared stuck: every `Busy` rejection, torn connection, or
+/// over-limit rejection costs one.
+const MAX_STORM_ATTEMPTS_PER_REQUEST: u64 = 500;
+
+/// The connection storm: `connections` raw TCP clients, each trickling
+/// its `Localize` frames `chunk_bytes` at a time (exercising the
+/// server's incremental decoder), straight at the server address — any
+/// chaos proxy is bypassed, because the storm probes the server core,
+/// not the wire impairments. A `Busy` rejection is counted and retried
+/// on the same connection; a torn or over-limit connection reconnects.
+/// A connection counts as served only when every one of its requests
+/// came back `Localized` with the run's deterministic result.
+fn run_storm(
+    storm: &StormSpec,
+    server_addr: std::net::SocketAddr,
+    built: &BuiltScenario,
+    opts: &RunOptions,
+    tally: &mut Tally,
+) -> Result<(), RunError> {
+    use std::io::Write as _;
+
+    let mut frame = Vec::new();
+    encode_localize_request_into(&built.input, opts.threads.map(|t| t as u64), &mut frame)
+        .map_err(|e| RunError::Client(e.to_string()))?;
+    let frame = &frame[..];
+    let expected = &tally.samples.first().expect("storm runs after the schedule").result;
+    let sample_count = tally.samples.len() as u64;
+    let chunk = storm.chunk_bytes.max(1) as usize;
+    let gap = storm.chunk_gap.as_std();
+
+    let connect = || -> std::io::Result<std::net::TcpStream> {
+        let stream = std::net::TcpStream::connect(server_addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        Ok(stream)
+    };
+    let trickle = |stream: &mut std::net::TcpStream| -> std::io::Result<()> {
+        for (i, piece) in frame.chunks(chunk).enumerate() {
+            if i > 0 && gap > std::time::Duration::ZERO {
+                std::thread::sleep(gap);
+            }
+            stream.write_all(piece)?;
+        }
+        stream.flush()
+    };
+
+    // One OS thread per storm connection — the *client* side is allowed
+    // to burn threads; the point is that the server side must not.
+    let results: Vec<Result<(bool, u64), RunError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..storm.connections)
+            .map(|_| {
+                scope.spawn(|| -> Result<(bool, u64), RunError> {
+                    let mut busy = 0u64;
+                    let mut stream = None;
+                    for _ in 0..storm.requests_per_connection {
+                        let mut served = false;
+                        for _ in 0..MAX_STORM_ATTEMPTS_PER_REQUEST {
+                            let conn = match stream.as_mut() {
+                                Some(conn) => conn,
+                                None => match connect() {
+                                    Ok(conn) => stream.insert(conn),
+                                    Err(_) => {
+                                        std::thread::sleep(std::time::Duration::from_millis(2));
+                                        continue;
+                                    }
+                                },
+                            };
+                            let reply = trickle(conn).map_err(|e| e.to_string()).and_then(|()| {
+                                read_frame::<_, Response>(conn).map_err(|e| e.to_string())
+                            });
+                            match reply {
+                                Ok(Some(Response::Localized { response })) => {
+                                    if &response.result != expected {
+                                        return Err(RunError::NonDeterministic {
+                                            request: sample_count,
+                                        });
+                                    }
+                                    served = true;
+                                    break;
+                                }
+                                Ok(Some(Response::Busy { .. })) => {
+                                    busy += 1;
+                                    std::thread::sleep(std::time::Duration::from_millis(2));
+                                }
+                                Ok(Some(Response::TooManyConnections { .. }))
+                                | Ok(None)
+                                | Err(_) => {
+                                    // Over the connection cap or torn
+                                    // mid-exchange: drop and reconnect.
+                                    stream = None;
+                                    std::thread::sleep(std::time::Duration::from_millis(2));
+                                }
+                                Ok(Some(other)) => {
+                                    return Err(RunError::Client(format!(
+                                        "storm got unexpected frame: {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                        if !served {
+                            return Ok((false, busy));
+                        }
+                    }
+                    Ok((true, busy))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("storm thread panicked")).collect()
+    });
+
+    for result in results {
+        let (served, busy) = result?;
+        tally.busy_responses += busy;
+        if served {
+            tally.storm_connections += 1;
+        }
+    }
+    Ok(())
+}
+
 fn service_config(spec: &ScenarioSpec) -> ServiceConfig {
     ServiceConfig { pool_workers: spec.server.pool_workers as usize, ..ServiceConfig::default() }
 }
 
 fn server_config(spec: &ScenarioSpec) -> ServerConfig {
-    ServerConfig { queue_depth: spec.server.queue_depth as usize, ..ServerConfig::default() }
+    let mut config =
+        ServerConfig { queue_depth: spec.server.queue_depth as usize, ..ServerConfig::default() };
+    if let Some(core) = spec.server.core {
+        config.core = match core {
+            ServerCoreSpec::Blocking => ServerCore::Blocking,
+            ServerCoreSpec::Async => ServerCore::Async,
+        };
+    }
+    if let Some(max) = spec.server.max_connections {
+        config.max_connections = max as usize;
+    }
+    config
 }
 
 fn pace(spec: &ScenarioSpec, request_index: u64) {
@@ -424,6 +564,7 @@ fn finish(
         reconnects: tally.reconnects,
         server_restarts: tally.server_restarts,
         drills_run: tally.drills_run,
+        storm_connections: tally.storm_connections,
     };
 
     let n = tally.samples.len() as f64;
@@ -617,6 +758,11 @@ fn evaluate(
     checks.extend(ceiling("max_timeouts", outcome.timeouts, exp.max_timeouts));
     checks.extend(wire_floor("min_circuit_opens", outcome.circuit_opens, exp.min_circuit_opens));
     checks.extend(ceiling("max_circuit_opens", outcome.circuit_opens, exp.max_circuit_opens));
+    checks.extend(wire_floor(
+        "min_storm_connections",
+        outcome.storm_connections,
+        exp.min_storm_connections,
+    ));
 
     checks
 }

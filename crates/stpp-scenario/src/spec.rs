@@ -179,6 +179,16 @@ impl Default for ScheduleSpec {
     }
 }
 
+/// Which accept/read/write engine the wire runner's server uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCoreSpec {
+    /// Thread-per-connection blocking I/O.
+    Blocking,
+    /// Readiness loop over epoll (thread count independent of
+    /// connection count).
+    Async,
+}
+
 /// Server sizing for the service and wire runners.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerSpec {
@@ -186,11 +196,47 @@ pub struct ServerSpec {
     pub queue_depth: u64,
     /// Persistent detection-pool workers.
     pub pool_workers: u64,
+    /// Accept/read/write engine override; `None` keeps the server
+    /// default (which honours the `STPP_SERVER_CORE` environment
+    /// variable, so un-pinned scenarios follow the CI matrix).
+    pub core: Option<ServerCoreSpec>,
+    /// Concurrent-connection cap override; a connection accepted at the
+    /// cap gets the typed `TooManyConnections` frame. `None` keeps the
+    /// server default.
+    pub max_connections: Option<u64>,
 }
 
 impl Default for ServerSpec {
     fn default() -> Self {
-        ServerSpec { queue_depth: 32, pool_workers: 2 }
+        ServerSpec { queue_depth: 32, pool_workers: 2, core: None, max_connections: None }
+    }
+}
+
+/// A wire-only connection storm: many concurrent raw connections, each
+/// trickling its request frames a few bytes at a time (exercising the
+/// server's incremental decoder), directly against the server address
+/// (the chaos proxy, if any, is bypassed — the storm probes the server
+/// core, not the wire impairments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormSpec {
+    /// Concurrent storm connections, `[1, 256]`.
+    pub connections: u64,
+    /// Localize requests each connection performs, `[1, 100]`.
+    pub requests_per_connection: u64,
+    /// Bytes written per trickle chunk, `[1, 1048576]`.
+    pub chunk_bytes: u64,
+    /// Pause between consecutive chunks (capped at 100ms).
+    pub chunk_gap: DurationSpec,
+}
+
+impl Default for StormSpec {
+    fn default() -> Self {
+        StormSpec {
+            connections: 8,
+            requests_per_connection: 1,
+            chunk_bytes: 2048,
+            chunk_gap: DurationSpec { seconds: 0.001 },
+        }
     }
 }
 
@@ -341,6 +387,9 @@ pub struct Expectations {
     /// Ceiling on circuit-open transitions (a recovering run must not
     /// flap).
     pub max_circuit_opens: Option<u64>,
+    /// Floor on storm connections fully served (every trickled request
+    /// answered `Localized` with the deterministic result).
+    pub min_storm_connections: Option<u64>,
 }
 
 /// One complete declarative scenario.
@@ -361,6 +410,8 @@ pub struct ScenarioSpec {
     pub schedule: ScheduleSpec,
     /// Server sizing (service and wire runners).
     pub server: ServerSpec,
+    /// Connection storm (`None` = no storm; wire runner only).
+    pub storm: Option<StormSpec>,
     /// Wire-client resilience policy (`None` = defaults).
     pub client: Option<ClientSpec>,
     /// Wire impairments (`None` = clean wire).
@@ -733,8 +784,71 @@ fn parse_server(value: &Value, path: &str) -> Result<ServerSpec, ScenarioError> 
         Some((v, p)) => bounded(v, p, 64)?,
         None => 2,
     };
+    let core = match fields.optional("core") {
+        Some((v, p)) => Some(match str_at(v, &p)? {
+            "blocking" => ServerCoreSpec::Blocking,
+            "async" => ServerCoreSpec::Async,
+            other => {
+                return Err(ScenarioError::InvalidValue {
+                    path: p,
+                    reason: format!(
+                        "`{other}` is not a server core (expected `blocking` or `async`)"
+                    ),
+                })
+            }
+        }),
+        None => None,
+    };
+    let max_connections = match fields.optional("max_connections") {
+        Some((v, p)) => Some(bounded(v, p, 65536)?),
+        None => None,
+    };
     fields.finish()?;
-    Ok(ServerSpec { queue_depth, pool_workers })
+    Ok(ServerSpec { queue_depth, pool_workers, core, max_connections })
+}
+
+fn parse_storm(value: &Value, path: &str) -> Result<StormSpec, ScenarioError> {
+    let mut fields = Fields::new(value, path)?;
+    let defaults = StormSpec::default();
+    let bounded = |v: &Value, p: String, hi: u64| -> Result<u64, ScenarioError> {
+        let n = u64_at(v, &p)?;
+        if n == 0 || n > hi {
+            return Err(ScenarioError::InvalidValue {
+                path: p,
+                reason: format!("{n} is outside [1, {hi}]"),
+            });
+        }
+        Ok(n)
+    };
+    let spec = StormSpec {
+        connections: {
+            let (v, p) = fields.required("connections")?;
+            bounded(v, p, 256)?
+        },
+        requests_per_connection: match fields.optional("requests_per_connection") {
+            Some((v, p)) => bounded(v, p, 100)?,
+            None => defaults.requests_per_connection,
+        },
+        chunk_bytes: match fields.optional("chunk_bytes") {
+            Some((v, p)) => bounded(v, p, 1 << 20)?,
+            None => defaults.chunk_bytes,
+        },
+        chunk_gap: match fields.optional("chunk_gap") {
+            Some((v, p)) => {
+                let d = duration_at(v, &p)?;
+                if d.seconds > 0.1 {
+                    return Err(ScenarioError::InvalidValue {
+                        path: p,
+                        reason: "per-chunk gaps above 100ms would stall the run".to_string(),
+                    });
+                }
+                d
+            }
+            None => defaults.chunk_gap,
+        },
+    };
+    fields.finish()?;
+    Ok(spec)
 }
 
 fn parse_impairments(value: &Value, path: &str) -> Result<ImpairmentSpec, ScenarioError> {
@@ -994,6 +1108,10 @@ fn parse_expectations(value: &Value, path: &str) -> Result<Expectations, Scenari
             Some((v, p)) => Some(u64_at(v, &p)?),
             None => None,
         },
+        min_storm_connections: match fields.optional("min_storm_connections") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
     };
     fields.finish()?;
     Ok(expectations)
@@ -1038,6 +1156,10 @@ impl ScenarioSpec {
             server: match fields.optional("server") {
                 Some((v, p)) => parse_server(v, &p)?,
                 None => ServerSpec::default(),
+            },
+            storm: match fields.optional("storm") {
+                Some((v, p)) => Some(parse_storm(v, &p)?),
+                None => None,
             },
             client: match fields.optional("client") {
                 Some((v, p)) => Some(parse_client(v, &p)?),
@@ -1084,13 +1206,35 @@ impl ScenarioSpec {
                 ("gap".to_string(), Value::Str(self.schedule.gap.render())),
             ]),
         ));
-        root.push((
-            "server".to_string(),
-            Value::Map(vec![
-                ("queue_depth".to_string(), Value::U64(self.server.queue_depth)),
-                ("pool_workers".to_string(), Value::U64(self.server.pool_workers)),
-            ]),
-        ));
+        let mut server = vec![
+            ("queue_depth".to_string(), Value::U64(self.server.queue_depth)),
+            ("pool_workers".to_string(), Value::U64(self.server.pool_workers)),
+        ];
+        if let Some(core) = self.server.core {
+            let name = match core {
+                ServerCoreSpec::Blocking => "blocking",
+                ServerCoreSpec::Async => "async",
+            };
+            server.push(("core".to_string(), Value::Str(name.to_string())));
+        }
+        if let Some(max) = self.server.max_connections {
+            server.push(("max_connections".to_string(), Value::U64(max)));
+        }
+        root.push(("server".to_string(), Value::Map(server)));
+        if let Some(storm) = &self.storm {
+            root.push((
+                "storm".to_string(),
+                Value::Map(vec![
+                    ("connections".to_string(), Value::U64(storm.connections)),
+                    (
+                        "requests_per_connection".to_string(),
+                        Value::U64(storm.requests_per_connection),
+                    ),
+                    ("chunk_bytes".to_string(), Value::U64(storm.chunk_bytes)),
+                    ("chunk_gap".to_string(), Value::Str(storm.chunk_gap.render())),
+                ]),
+            ));
+        }
         if let Some(client) = &self.client {
             root.push((
                 "client".to_string(),
@@ -1284,6 +1428,9 @@ fn expectations_value(expectations: &Expectations) -> Value {
     if let Some(n) = expectations.max_circuit_opens {
         entries.push(("max_circuit_opens".to_string(), Value::U64(n)));
     }
+    if let Some(n) = expectations.min_storm_connections {
+        entries.push(("min_storm_connections".to_string(), Value::U64(n)));
+    }
     Value::Map(entries)
 }
 
@@ -1403,6 +1550,37 @@ mod tests {
             }
             other => panic!("wrong deployment: {other:?}"),
         }
+    }
+
+    #[test]
+    fn server_core_and_storm_knobs_parse_and_round_trip() {
+        let text = minimal().replace(
+            "\"seed\": 7",
+            r#""seed": 7,
+            "server": { "queue_depth": 4, "core": "async", "max_connections": 128 },
+            "storm": { "connections": 64, "chunk_bytes": 512, "chunk_gap": "2ms" },
+            "expectations": { "min_storm_connections": 64 }"#,
+        );
+        let spec = ScenarioSpec::from_json(&text).expect("parses");
+        assert_eq!(spec.server.queue_depth, 4);
+        assert_eq!(spec.server.core, Some(ServerCoreSpec::Async));
+        assert_eq!(spec.server.max_connections, Some(128));
+        let storm = spec.storm.expect("storm block");
+        assert_eq!(storm.connections, 64);
+        assert_eq!(storm.requests_per_connection, 1); // default
+        assert_eq!(storm.chunk_bytes, 512);
+        assert_eq!(storm.chunk_gap.seconds, 0.002);
+        assert_eq!(spec.expectations.min_storm_connections, Some(64));
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("canonical form parses");
+        assert_eq!(spec, back);
+
+        let bad = minimal().replace("\"seed\": 7", r#""seed": 7, "server": { "core": "fibers" }"#);
+        assert!(matches!(ScenarioSpec::from_json(&bad), Err(ScenarioError::InvalidValue { .. })));
+        let bad = minimal().replace("\"seed\": 7", r#""seed": 7, "storm": {}"#);
+        assert_eq!(
+            ScenarioSpec::from_json(&bad),
+            Err(ScenarioError::MissingField { path: "storm.connections".to_string() })
+        );
     }
 
     #[test]

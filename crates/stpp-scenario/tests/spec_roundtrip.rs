@@ -14,7 +14,8 @@ use proptest::prelude::*;
 use proptest::ProptestConfig;
 use stpp_scenario::{
     ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, ImpairmentSpec,
-    LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerSpec, TagPosition,
+    LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerCoreSpec,
+    ServerSpec, StormSpec, TagPosition,
 };
 
 /// Proptest configuration honouring the `PROPTEST_CASES` environment
@@ -183,6 +184,32 @@ fn arb_client() -> impl Strategy<Value = ClientSpec> {
         )
 }
 
+fn arb_server() -> impl Strategy<Value = ServerSpec> {
+    (
+        1u64..4097,
+        1u64..65,
+        prop::option::of(prop_oneof![Just(ServerCoreSpec::Blocking), Just(ServerCoreSpec::Async)]),
+        prop::option::of(1u64..65537),
+    )
+        .prop_map(|(queue_depth, pool_workers, core, max_connections)| ServerSpec {
+            queue_depth,
+            pool_workers,
+            core,
+            max_connections,
+        })
+}
+
+fn arb_storm() -> impl Strategy<Value = StormSpec> {
+    (1u64..257, 1u64..101, 1u64..(1u64 << 20) + 1, arb_duration(0.1)).prop_map(
+        |(connections, requests_per_connection, chunk_bytes, chunk_gap)| StormSpec {
+            connections,
+            requests_per_connection,
+            chunk_bytes,
+            chunk_gap,
+        },
+    )
+}
+
 fn arb_ids() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(any::<u64>(), 0..8)
 }
@@ -212,6 +239,7 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
             prop::option::of(any::<u64>()),
             prop::option::of(any::<u64>()),
             prop::option::of(any::<u64>()),
+            prop::option::of(any::<u64>()),
         ),
     )
         .prop_map(
@@ -226,7 +254,7 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
                     min_geometry_hits,
                 ),
                 (min_retries, max_retries, min_timeouts),
-                (max_timeouts, min_circuit_opens, max_circuit_opens),
+                (max_timeouts, min_circuit_opens, max_circuit_opens, min_storm_connections),
             )| Expectations {
                 order_x,
                 order_y,
@@ -246,6 +274,7 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
                 max_timeouts,
                 min_circuit_opens,
                 max_circuit_opens,
+                min_storm_connections,
             },
         )
 }
@@ -260,7 +289,8 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         ),
         (
             (1u64..10_001, arb_duration(5.0)),
-            (1u64..4097, 1u64..65),
+            arb_server(),
+            prop::option::of(arb_storm()),
             prop::option::of(arb_client()),
             prop::option::of(arb_impairments()),
             arb_expectations(),
@@ -269,7 +299,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         .prop_map(
             |(
                 ((name, seed), (layout, phase_offset_jitter_rad), deployment, channel),
-                ((requests, gap), (queue_depth, pool_workers), client, impairments, expectations),
+                ((requests, gap), server, storm, client, impairments, expectations),
             )| ScenarioSpec {
                 name,
                 seed,
@@ -277,7 +307,8 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 deployment,
                 channel,
                 schedule: ScheduleSpec { requests, gap },
-                server: ServerSpec { queue_depth, pool_workers },
+                server,
+                storm,
                 client,
                 impairments,
                 expectations,

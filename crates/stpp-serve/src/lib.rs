@@ -61,6 +61,7 @@
 pub mod client;
 pub mod pool;
 pub mod proto;
+mod reactor;
 pub mod retry;
 pub mod server;
 pub mod service;
@@ -72,7 +73,7 @@ pub use proto::{HealthReport, ProtoError, Request, Response, ServerStats, WireRe
 pub use retry::{
     FailureKind, ResilienceCounters, ResilientClient, ResilientError, ResilientSession, RetryPolicy,
 };
-pub use server::{ServerConfig, ServerHandle, StppServer};
+pub use server::{ServerConfig, ServerCore, ServerHandle, StppServer};
 pub use service::{
     GeometryKey, LocalizationRequest, LocalizationResponse, LocalizationService, RequestMetrics,
     ServiceConfig, ServiceStats,

@@ -1,0 +1,717 @@
+//! The readiness-based async server core ([`ServerCore::Async`]).
+//!
+//! One reactor thread multiplexes every connection over epoll (the
+//! vendored [`mini_reactor`]): non-blocking sockets, a per-connection
+//! framing state machine (reading → dispatched → writing), and a coarse
+//! timer wheel driving session TTL reaping, idle-connection deadlines,
+//! and opt-in wall-clock quiescence flushes — all centralized in the
+//! reactor tick instead of per-purpose background threads.
+//!
+//! ## State machine
+//!
+//! A connection is always in exactly one of three phases, mirroring the
+//! blocking core's strict request/response alternation:
+//!
+//! 1. **Reading** — read interest armed; incoming chunks feed the
+//!    connection's [`FrameDecoder`] until one complete request frame is
+//!    out. The read buffer is bounded by one frame (itself capped by the
+//!    protocol's payload limit) plus one read chunk.
+//! 2. **Dispatched** — interest parked; the request runs on one of a
+//!    **fixed-size** set of dispatch threads (sized from the admission
+//!    queue depth — never from the connection count), through the *same*
+//!    request handler as the blocking core, panic isolation included.
+//!    The completed response returns to the reactor over a wake pipe.
+//! 3. **Writing** — the response sits in the connection's resumable
+//!    [`FrameWriter`]; `WouldBlock` parks the remainder until the
+//!    socket's next writable event. Once drained, leftover pipelined
+//!    bytes are decoded or read interest is re-armed.
+//!
+//! Because admission ([`Response::Busy`]), session bookkeeping, and all
+//! counters live in the shared request handler, the two cores answer
+//! **bit-identically** — the parity suites assert it.
+//!
+//! ## Backpressure and limits
+//!
+//! Detection admission is unchanged (the handler's queue-depth bound).
+//! Additionally the reactor enforces [`ServerConfig::max_connections`]:
+//! a connection accepted at the limit is answered with the typed
+//! [`Response::TooManyConnections`] frame and closed. Dispatch threads
+//! number `queue_depth + 2`: every admitted request can execute
+//! concurrently (so `Pause`-style load drills behave exactly like the
+//! blocking core) and the spare threads keep control-plane frames and
+//! fast `Busy` rejections flowing while the queue is full.
+//!
+//! [`ServerCore::Async`]: crate::ServerCore::Async
+//! [`ServerConfig::max_connections`]: crate::ServerConfig::max_connections
+//! [`FrameDecoder`]: crate::proto::FrameDecoder
+//! [`FrameWriter`]: crate::proto::FrameWriter
+//! [`Response::Busy`]: crate::Response::Busy
+//! [`Response::TooManyConnections`]: crate::Response::TooManyConnections
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mini_reactor::{Event, Interest, Poller};
+
+use crate::proto::{encode_frame, FrameDecoder, FrameWriter, Request, Response};
+use crate::server::{handle_request, panic_reason, ServerState, DRAIN_GRACE};
+
+/// Poll token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Poll token of the wake-pipe read end.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Reactor tick: the poll timeout, and therefore the timer wheel's
+/// resolution floor.
+const TICK: Duration = Duration::from_millis(10);
+/// Per-read chunk size (also the slack on the bounded read buffer).
+const READ_CHUNK: usize = 16 * 1024;
+/// How long a plain (non-drain) shutdown waits for the final response
+/// flush before closing everything anyway.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+
+/// Work shipped from the reactor to the dispatch threads.
+enum Job {
+    /// One decoded request from connection `conn`.
+    Request {
+        /// Reactor-side connection id (the poll token).
+        conn: u64,
+        /// The decoded request frame.
+        request: Request,
+    },
+    /// A timer-initiated wall-clock quiescence flush for a session.
+    WallclockFlush {
+        /// The session id.
+        session: u64,
+    },
+}
+
+/// A finished response travelling back to the reactor.
+struct Completion {
+    conn: u64,
+    response: Response,
+}
+
+/// What the timer wheel fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Timer {
+    /// Periodic session-TTL reap (the blocking core's reaper thread,
+    /// folded into the reactor tick).
+    ReapSessions,
+    /// Periodic idle/stuck-connection scan (the blocking core's socket
+    /// read/write timeouts, folded into the reactor tick).
+    ScanIdleConnections,
+    /// Periodic wall-clock quiescence scan over open sessions.
+    ScanSessionQuiescence,
+}
+
+/// A single-level hashed timer wheel: `SLOTS` buckets of `TICK`-sized
+/// time, entries hashed by deadline tick. Far-future entries park in
+/// their slot and survive cursor passes until their deadline arrives
+/// (the classic wrap-around rule), so the wheel has no horizon limit.
+struct TimerWheel {
+    slots: Vec<Vec<(Instant, Timer)>>,
+    start: Instant,
+    /// Last tick index the cursor has fully processed.
+    cursor: u64,
+}
+
+const WHEEL_SLOTS: usize = 256;
+
+impl TimerWheel {
+    fn new(now: Instant) -> TimerWheel {
+        TimerWheel { slots: vec![Vec::new(); WHEEL_SLOTS], start: now, cursor: 0 }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.start).as_millis() / TICK.as_millis()) as u64
+    }
+
+    /// Schedules `timer` to fire once `deadline` passes. A deadline in
+    /// the past fires on the next [`advance`](Self::advance).
+    ///
+    /// The slot tick is the deadline rounded **up** to a tick boundary:
+    /// by the time the cursor processes that slot, `now` is at or past
+    /// the boundary and therefore past the deadline, so the entry fires
+    /// on its first pass. Rounding down instead would park any
+    /// fraction-of-a-tick deadline as a false wrap-around — delaying it
+    /// a full wheel rotation (`WHEEL_SLOTS × TICK`, seconds).
+    fn schedule(&mut self, deadline: Instant, timer: Timer) {
+        let since = deadline.saturating_duration_since(self.start);
+        let tick = (since.as_millis().div_ceil(TICK.as_millis()) as u64).max(self.cursor + 1);
+        self.slots[(tick % WHEEL_SLOTS as u64) as usize].push((deadline, timer));
+    }
+
+    /// Fires every entry whose deadline is at or before `now`,
+    /// appending them to `fired`.
+    fn advance(&mut self, now: Instant, fired: &mut Vec<Timer>) {
+        let target = self.tick_of(now);
+        while self.cursor < target {
+            self.cursor += 1;
+            let slot = &mut self.slots[(self.cursor % WHEEL_SLOTS as u64) as usize];
+            slot.retain(|(deadline, timer)| {
+                if *deadline <= now {
+                    fired.push(*timer);
+                    false
+                } else {
+                    true // parked by wrap-around; fires on a later pass
+                }
+            });
+        }
+    }
+}
+
+/// Framing phase of one connection (see the module docs).
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    writer: FrameWriter,
+    /// The interest currently registered with the poller.
+    interest: Interest,
+    /// A request from this connection is on a dispatch thread.
+    in_dispatch: bool,
+    /// This connection carried `Shutdown`/`Drain`: close it (and let the
+    /// reactor exit) once its final response is flushed.
+    ends_server: bool,
+    /// Last observed progress (read bytes, wrote bytes, or completed a
+    /// request) — the idle-deadline clock.
+    last_activity: Instant,
+}
+
+/// The dispatch-thread body: pull jobs, run the shared request handler
+/// under panic isolation, hand completions back over the wake pipe.
+fn dispatch_loop(
+    state: Arc<ServerState>,
+    jobs: Arc<Mutex<Receiver<Job>>>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    wake: Arc<UnixStream>,
+) {
+    loop {
+        let job = match jobs.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // reactor gone
+        };
+        match job {
+            Job::Request { conn, request } => {
+                let response = catch_unwind(AssertUnwindSafe(|| handle_request(&state, request)))
+                    .unwrap_or_else(|panic| {
+                        state.internal_errors.fetch_add(1, Ordering::Relaxed);
+                        Response::InternalError { reason: panic_reason(panic.as_ref()) }
+                    });
+                completions
+                    .lock()
+                    .expect("completion queue poisoned")
+                    .push(Completion { conn, response });
+                // A full pipe means the reactor already has wakeups
+                // pending — dropping the byte is safe.
+                let _ = (&*wake).write(&[1u8]);
+            }
+            Job::WallclockFlush { session } => {
+                let entry =
+                    state.sessions.lock().expect("session table poisoned").get(&session).cloned();
+                let Some(entry) = entry else { continue };
+                let flushed = catch_unwind(AssertUnwindSafe(|| {
+                    let mut guard = entry.inner.lock().expect("session poisoned");
+                    if let Some(active) = guard.as_mut() {
+                        // Outcome is discarded (no client asked); the
+                        // localized batch still warmed the service cache
+                        // and left the session, exactly like a drain-time
+                        // flush.
+                        let _ = active.flush_quiescent();
+                        true
+                    } else {
+                        false
+                    }
+                }))
+                .unwrap_or(false);
+                if flushed {
+                    state.wallclock_flushes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Everything the reactor loop mutates, bundled so helper methods can
+/// borrow it coherently.
+struct Reactor {
+    state: Arc<ServerState>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    job_tx: Sender<Job>,
+    /// Requests dispatched whose completions have not yet come back.
+    outstanding: usize,
+}
+
+impl Reactor {
+    /// Re-registers a connection's poll interest if it changed.
+    fn set_interest(&mut self, id: u64, interest: Interest) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            if conn.interest != interest {
+                conn.interest = interest;
+                let _ = self.poller.reregister(conn.stream.as_raw_fd(), id, interest);
+            }
+        }
+    }
+
+    /// Removes a connection entirely (poller, kill table, gauge).
+    fn teardown(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.state.conns.lock().expect("connection table poisoned").remove(&id);
+            self.state.close_connection();
+        }
+    }
+
+    /// Hands a decoded request to the dispatch threads and parks the
+    /// connection until the response comes back.
+    fn start_dispatch(&mut self, id: u64, request: Request) {
+        self.state.requests.fetch_add(1, Ordering::Relaxed);
+        let ends_server = matches!(request, Request::Shutdown | Request::Drain);
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.in_dispatch = true;
+            conn.ends_server = ends_server;
+        }
+        self.set_interest(id, Interest::NONE);
+        self.outstanding += 1;
+        // Send cannot fail while the dispatch threads hold the receiver.
+        let _ = self.job_tx.send(Job::Request { conn: id, request });
+    }
+
+    /// Drives a connection's read side: pull available bytes, decode at
+    /// most one request (strict alternation), dispatch it.
+    fn drive_read(&mut self, id: u64) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            if conn.in_dispatch || !conn.writer.is_empty() {
+                return; // not in the reading phase
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed. Mid-frame bytes mean truncation; both
+                    // ways the connection is done (blocking-core parity:
+                    // clean EOF and protocol errors each end the loop).
+                    self.teardown(id);
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.decoder.push(&chunk[..n]);
+                    match conn.decoder.next_frame::<Request>() {
+                        Ok(Some(request)) => {
+                            self.start_dispatch(id, request);
+                            return;
+                        }
+                        Ok(None) => continue, // need more bytes
+                        Err(_) => {
+                            // Malformed peer: tear the connection down,
+                            // exactly like the blocking read loop.
+                            self.teardown(id);
+                            return;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.teardown(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drives a connection's write side; once drained, closes an
+    /// `ends_server` connection or returns to the reading phase.
+    fn drive_write(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        match conn.writer.write_to(&mut conn.stream) {
+            Ok(true) => {
+                conn.last_activity = Instant::now();
+                if conn.ends_server {
+                    // The Shutdown/Drain acknowledgement reached the
+                    // wire; this exchange (and soon the server) is done.
+                    self.teardown(id);
+                    return;
+                }
+                // Back to reading. A pipelined request may already sit
+                // decoded-but-unread in the buffer.
+                match self.conns.get_mut(&id).expect("checked above").decoder.next_frame() {
+                    Ok(Some(request)) => self.start_dispatch(id, request),
+                    Ok(None) => self.set_interest(id, Interest::READABLE),
+                    Err(_) => self.teardown(id),
+                }
+            }
+            Ok(false) => {
+                conn.last_activity = Instant::now();
+                self.set_interest(id, Interest::WRITABLE);
+            }
+            Err(_) => self.teardown(id),
+        }
+    }
+
+    /// Routes one completed response back onto its connection.
+    fn on_completion(&mut self, completion: Completion) {
+        self.outstanding -= 1;
+        let Some(conn) = self.conns.get_mut(&completion.conn) else {
+            return; // connection died while its request was in flight
+        };
+        conn.in_dispatch = false;
+        conn.last_activity = Instant::now();
+        if conn.writer.enqueue(&completion.response).is_err() {
+            // Response too large to frame — unreachable for real
+            // responses, but fail closed like a write error.
+            self.teardown(completion.conn);
+            return;
+        }
+        self.drive_write(completion.conn);
+    }
+
+    /// Accepts as many pending connections as the backlog holds.
+    fn drive_accept(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        continue; // late knock during shutdown: just close
+                    }
+                    if !self.state.try_open_connection() {
+                        reject_over_limit(stream, self.state.max_connections);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        self.state.close_connection();
+                        continue;
+                    }
+                    let id = self.state.next_conn.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        // The kill() crash drill tears live sockets down
+                        // through this table, same as the blocking core.
+                        self.state
+                            .conns
+                            .lock()
+                            .expect("connection table poisoned")
+                            .insert(id, clone);
+                    }
+                    if self.poller.register(stream.as_raw_fd(), id, Interest::READABLE).is_err() {
+                        self.state.conns.lock().expect("connection table poisoned").remove(&id);
+                        self.state.close_connection();
+                        continue;
+                    }
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            writer: FrameWriter::new(),
+                            interest: Interest::READABLE,
+                            in_dispatch: false,
+                            ends_server: false,
+                            last_activity: Instant::now(),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept failure; retry next tick
+            }
+        }
+    }
+
+    /// Tears down connections that have made no progress for longer than
+    /// the configured I/O timeout (the readiness analogue of the
+    /// blocking core's socket read/write timeouts). Connections whose
+    /// request is executing are exempt — the blocking core has no socket
+    /// deadline running during the handler either.
+    fn scan_idle_connections(&mut self, timeout: Duration, now: Instant) {
+        let stale: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                !conn.in_dispatch && now.duration_since(conn.last_activity) > timeout
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            self.teardown(id);
+        }
+    }
+
+    /// Queues wall-clock quiescence flushes for sessions untouched for
+    /// at least `period`.
+    fn scan_session_quiescence(&mut self, period: Duration) {
+        let now_ms = self.state.uptime_ms();
+        let period_ms = period.as_millis() as u64;
+        let due: Vec<u64> = {
+            let table = self.state.sessions.lock().expect("session table poisoned");
+            table
+                .iter()
+                .filter(|(_, entry)| {
+                    let last = entry
+                        .last_touch_ms
+                        .load(Ordering::Relaxed)
+                        .max(entry.last_flush_ms.load(Ordering::Relaxed));
+                    now_ms.saturating_sub(last) >= period_ms
+                })
+                .map(|(id, entry)| {
+                    // Pre-stamp so the next scan does not re-queue the
+                    // same flush while this one waits for a thread.
+                    entry.last_flush_ms.store(now_ms, Ordering::Relaxed);
+                    *id
+                })
+                .collect()
+        };
+        for session in due {
+            let _ = self.job_tx.send(Job::WallclockFlush { session });
+        }
+    }
+
+    /// Whether every `Shutdown`/`Drain` acknowledgement has left the
+    /// process (the triggering connection is gone once its final frame
+    /// flushed).
+    fn final_frames_flushed(&self) -> bool {
+        !self.conns.values().any(|c| c.ends_server)
+    }
+}
+
+/// Answers an over-limit connection with the typed rejection frame and
+/// closes it. The socket is still in blocking mode (fresh from
+/// `accept`), so bound the write with a short timeout.
+fn reject_over_limit(stream: TcpStream, limit: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut stream = stream;
+    if let Ok(frame) = encode_frame(&Response::TooManyConnections { limit: limit as u64 }) {
+        let _ = stream.write_all(&frame);
+    }
+}
+
+/// The readiness serve loop. Exits like the blocking core: after a
+/// `Shutdown`/`Drain` request (drain additionally finishes in-flight
+/// work, grace-bounded, and flushes every open session), or after
+/// `ServerHandle::kill` raises the shutdown flag.
+pub(crate) fn serve_async(listener: TcpListener, state: Arc<ServerState>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+
+    // The wake pipe: dispatch threads push completions, then write one
+    // byte here to pull the reactor out of `poller.wait`.
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READABLE)?;
+
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let (job_tx, job_rx) = channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let wake_tx = Arc::new(wake_tx);
+    // Fixed-size dispatch set: every admissible request plus slack for
+    // control-plane frames and fast Busy rejections. Independent of the
+    // connection count by construction.
+    let dispatch_threads = state.queue_depth + 2;
+    for _ in 0..dispatch_threads {
+        let state = Arc::clone(&state);
+        let job_rx = Arc::clone(&job_rx);
+        let completions = Arc::clone(&completions);
+        let wake_tx = Arc::clone(&wake_tx);
+        std::thread::spawn(move || dispatch_loop(state, job_rx, completions, wake_tx));
+    }
+
+    let now = Instant::now();
+    let mut wheel = TimerWheel::new(now);
+    if let Some(ttl) = state.session_ttl {
+        wheel.schedule(now + reap_tick(ttl), Timer::ReapSessions);
+    }
+    if let Some(io_timeout) = state.io_timeout {
+        wheel.schedule(now + reap_tick(io_timeout), Timer::ScanIdleConnections);
+    }
+    if let Some(period) = state.wallclock_quiescence {
+        wheel.schedule(now + quiescence_tick(period), Timer::ScanSessionQuiescence);
+    }
+
+    let mut reactor = Reactor {
+        state: Arc::clone(&state),
+        poller,
+        conns: HashMap::new(),
+        job_tx,
+        outstanding: 0,
+    };
+    let mut events: Vec<Event> = Vec::new();
+    let mut fired: Vec<Timer> = Vec::new();
+    let mut shutdown_seen: Option<Instant> = None;
+
+    loop {
+        // Exit check: shutdown raised, in-flight work settled (drain
+        // waits longer than plain shutdown), final acks on the wire.
+        if state.shutdown.load(Ordering::SeqCst) {
+            let seen = *shutdown_seen.get_or_insert_with(Instant::now);
+            let grace =
+                if state.draining.load(Ordering::SeqCst) { DRAIN_GRACE } else { SHUTDOWN_GRACE };
+            let grace_expired = Instant::now().duration_since(seen) >= grace;
+            let settled = reactor.outstanding == 0 && reactor.final_frames_flushed();
+            if settled || grace_expired {
+                break;
+            }
+        }
+
+        reactor.poller.wait(&mut events, Some(TICK))?;
+        for event in events.clone() {
+            match event.token {
+                TOKEN_LISTENER => reactor.drive_accept(&listener),
+                TOKEN_WAKE => {
+                    // Drain the pipe, then the completion queue.
+                    let mut sink = [0u8; 64];
+                    while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                    let batch: Vec<Completion> =
+                        completions.lock().expect("completion queue poisoned").drain(..).collect();
+                    for completion in batch {
+                        reactor.on_completion(completion);
+                    }
+                }
+                id => {
+                    let Some(conn) = reactor.conns.get(&id) else { continue };
+                    if event.error || (event.hangup && conn.in_dispatch) {
+                        // Errored peer, or one that fully closed while
+                        // its request runs: the response has nowhere to
+                        // go (blocking core: the write would fail).
+                        reactor.teardown(id);
+                        continue;
+                    }
+                    if event.writable {
+                        reactor.drive_write(id);
+                    }
+                    if event.readable {
+                        reactor.drive_read(id);
+                    }
+                }
+            }
+        }
+        // Also sweep completions opportunistically: a wake byte may have
+        // been dropped on a full pipe.
+        if reactor.outstanding > 0 {
+            let batch: Vec<Completion> =
+                completions.lock().expect("completion queue poisoned").drain(..).collect();
+            for completion in batch {
+                reactor.on_completion(completion);
+            }
+        }
+
+        let now = Instant::now();
+        fired.clear();
+        wheel.advance(now, &mut fired);
+        for timer in fired.clone() {
+            match timer {
+                Timer::ReapSessions => {
+                    let ttl = state.session_ttl.expect("reap timer implies ttl");
+                    state.reap_idle_sessions(ttl);
+                    wheel.schedule(now + reap_tick(ttl), Timer::ReapSessions);
+                }
+                Timer::ScanIdleConnections => {
+                    let io_timeout = state.io_timeout.expect("idle timer implies timeout");
+                    reactor.scan_idle_connections(io_timeout, now);
+                    wheel.schedule(now + reap_tick(io_timeout), Timer::ScanIdleConnections);
+                }
+                Timer::ScanSessionQuiescence => {
+                    let period = state.wallclock_quiescence.expect("timer implies period");
+                    reactor.scan_session_quiescence(period);
+                    wheel.schedule(now + quiescence_tick(period), Timer::ScanSessionQuiescence);
+                }
+            }
+        }
+    }
+
+    if state.draining.load(Ordering::SeqCst) {
+        // Same tail as the blocking core's drain: admitted work has
+        // finished (or the grace expired); flush what sessions remain.
+        state.flush_all_sessions();
+    }
+    Ok(())
+}
+
+/// Sweep cadence for TTL/idle scans — a quarter of the deadline,
+/// clamped, matching the blocking core's reaper thread.
+fn reap_tick(deadline: Duration) -> Duration {
+    (deadline / 4).clamp(Duration::from_millis(10), Duration::from_millis(250))
+}
+
+/// Scan cadence for wall-clock quiescence: fine-grained enough that a
+/// flush lands within ~a quarter period of its deadline.
+fn quiescence_tick(period: Duration) -> Duration {
+    (period / 4).clamp(Duration::from_millis(10), Duration::from_millis(250))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_wheel_fires_in_order_and_not_early() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.schedule(t0 + Duration::from_millis(30), Timer::ReapSessions);
+        wheel.schedule(t0 + Duration::from_millis(90), Timer::ScanIdleConnections);
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(15), &mut fired);
+        assert!(fired.is_empty(), "nothing is due at 15ms");
+        wheel.advance(t0 + Duration::from_millis(45), &mut fired);
+        assert_eq!(fired, vec![Timer::ReapSessions]);
+        fired.clear();
+        wheel.advance(t0 + Duration::from_millis(200), &mut fired);
+        assert_eq!(fired, vec![Timer::ScanIdleConnections]);
+    }
+
+    #[test]
+    fn timer_wheel_wraparound_parks_far_deadlines() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        // Beyond one full wheel revolution (256 slots × 10ms = 2.56s).
+        let far = t0 + Duration::from_millis(5_000);
+        wheel.schedule(far, Timer::ScanSessionQuiescence);
+        let mut fired = Vec::new();
+        // The cursor passes the entry's slot many times before the
+        // deadline; the entry must survive every pass.
+        wheel.advance(t0 + Duration::from_millis(3_000), &mut fired);
+        assert!(fired.is_empty(), "far deadline must not fire early");
+        wheel.advance(t0 + Duration::from_millis(5_010), &mut fired);
+        assert_eq!(fired, vec![Timer::ScanSessionQuiescence]);
+    }
+
+    #[test]
+    fn timer_wheel_fractional_tick_deadline_fires_on_first_slot_pass() {
+        // Regression: a deadline that is not a whole multiple of TICK
+        // (e.g. the 12.5ms reap cadence of a 50ms TTL) used to land in
+        // the slot of its *floor* tick, fail the `deadline <= now`
+        // check on the cursor's pass, and park for a full wheel
+        // rotation (2.56s) — so short session TTLs never reaped on an
+        // idle server. Rounding the slot tick up fixes it.
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.schedule(t0 + Duration::from_micros(12_500), Timer::ReapSessions);
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(10), &mut fired);
+        assert!(fired.is_empty(), "12.5ms deadline must not fire at 10ms");
+        wheel.advance(t0 + Duration::from_millis(20), &mut fired);
+        assert_eq!(fired, vec![Timer::ReapSessions], "must fire on the first pass after 12.5ms");
+    }
+
+    #[test]
+    fn timer_wheel_past_deadline_fires_on_next_advance() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(500), &mut fired);
+        // Scheduled "in the past" relative to the cursor.
+        wheel.schedule(t0 + Duration::from_millis(100), Timer::ReapSessions);
+        wheel.advance(t0 + Duration::from_millis(520), &mut fired);
+        assert_eq!(fired, vec![Timer::ReapSessions]);
+    }
+}

@@ -69,7 +69,41 @@ use crate::session::ServiceSession;
 
 /// How long a drain waits for in-flight work before giving up and
 /// returning anyway (a wedged detection must not make drain hang).
-const DRAIN_GRACE: Duration = Duration::from_secs(10);
+pub(crate) const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// Which accept/read/write engine a [`StppServer`] runs.
+///
+/// Both cores speak the same protocol through the same request-handler
+/// dispatch, so responses are **bit-identical** and
+/// every typed error and counter behaves the same; they differ only in
+/// how connections are multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerCore {
+    /// Thread-per-connection blocking I/O: simple, sturdy, capped at
+    /// thread-count connection scale.
+    #[default]
+    Blocking,
+    /// Readiness loop over epoll (the vendored `mini-reactor`):
+    /// non-blocking sockets, per-connection framing state machines,
+    /// bounded read/write buffers, and a fixed-size dispatch thread set —
+    /// thread count is independent of connection count.
+    Async,
+}
+
+impl ServerCore {
+    /// The core [`ServerConfig::default`] selects: the
+    /// `STPP_SERVER_CORE` environment variable (`blocking` / `async`)
+    /// when set, otherwise [`ServerCore::Blocking`]. Lets whole test
+    /// suites re-run against the readiness core without code changes —
+    /// the CI `async-core` job sets the variable and re-drives the
+    /// resilience and scenario suites.
+    pub fn from_env() -> ServerCore {
+        match std::env::var("STPP_SERVER_CORE").as_deref() {
+            Ok("async") => ServerCore::Async,
+            _ => ServerCore::Blocking,
+        }
+    }
+}
 
 /// Configuration of a [`StppServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,13 +114,36 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Read/write timeout applied to every connection socket; `None`
     /// disables it (a wedged peer can then hold its connection thread
-    /// indefinitely — only for trusted loopback tests).
+    /// indefinitely — only for trusted loopback tests). The async core
+    /// enforces the same bound as an idle/stuck-write deadline in its
+    /// reactor tick.
     pub io_timeout: Option<Duration>,
-    /// Idle time after which a streaming session is reaped by the
-    /// background sweep; `None` disables reaping.
+    /// Idle time after which a streaming session is reaped; `None`
+    /// disables reaping. The blocking core sweeps from a background
+    /// thread, the async core from its reactor timer wheel — same
+    /// cadence, same [`ServerStats::sessions_reaped`] counter.
     pub session_ttl: Option<Duration>,
     /// Seed for the non-sequential session ids.
     pub session_seed: u64,
+    /// Maximum concurrently open connections. A connection accepted at
+    /// the limit is answered with the typed
+    /// [`Response::TooManyConnections`] frame and closed (counted in
+    /// [`ServerStats::connection_rejections`]); established connections
+    /// are unaffected. Clamped to at least 1.
+    pub max_connections: usize,
+    /// Which accept/read/write engine to run (see [`ServerCore`]).
+    pub core: ServerCore,
+    /// Wall-clock quiescence flushing for streaming sessions (async core
+    /// only; opt-in). When set, a session untouched for this long has
+    /// its quiescent tags flushed server-side from the reactor timer
+    /// wheel — so a portal whose report *stream* stalls still gets its
+    /// finished tags localized, even though the session's report-clock
+    /// never advances. Flush outcomes are counted in
+    /// [`ServerStats::wallclock_flushes`]; results surface through the
+    /// warm service cache on the client's next flush. `None` (the
+    /// default) keeps flushing purely client-driven, matching the
+    /// blocking core exactly.
+    pub wallclock_quiescence: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -96,40 +153,72 @@ impl Default for ServerConfig {
             io_timeout: Some(Duration::from_secs(30)),
             session_ttl: Some(Duration::from_secs(600)),
             session_seed: 0,
+            max_connections: 1024,
+            core: ServerCore::from_env(),
+            wallclock_quiescence: None,
         }
     }
 }
 
 /// A server-side session slot plus its idle clock.
-struct SessionEntry {
-    inner: Mutex<Option<ServiceSession>>,
+pub(crate) struct SessionEntry {
+    pub(crate) inner: Mutex<Option<ServiceSession>>,
     /// Milliseconds since server start of the last touch, for the TTL
-    /// sweep.
-    last_touch_ms: AtomicU64,
+    /// sweep and the async core's wall-clock quiescence timers.
+    pub(crate) last_touch_ms: AtomicU64,
+    /// Milliseconds since server start of the last wall-clock quiescence
+    /// flush, so the reactor's scan neither re-queues a flush already in
+    /// flight nor lets flushing reset the TTL idle clock.
+    pub(crate) last_flush_ms: AtomicU64,
 }
 
-/// State shared by the acceptor and every connection thread.
-struct ServerState {
-    service: Arc<LocalizationService>,
-    queue_depth: usize,
-    io_timeout: Option<Duration>,
-    session_ttl: Option<Duration>,
-    session_seed: u64,
-    started: Instant,
-    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
-    next_session: AtomicU64,
-    in_flight: AtomicUsize,
-    busy_rejections: AtomicU64,
-    requests: AtomicU64,
-    connections: AtomicU64,
-    sessions_reaped: AtomicU64,
-    internal_errors: AtomicU64,
-    shutdown: AtomicBool,
-    draining: AtomicBool,
+/// State shared by the acceptor and every connection thread (blocking
+/// core) or the reactor and its dispatch threads (async core).
+pub(crate) struct ServerState {
+    pub(crate) service: Arc<LocalizationService>,
+    pub(crate) queue_depth: usize,
+    pub(crate) io_timeout: Option<Duration>,
+    pub(crate) session_ttl: Option<Duration>,
+    pub(crate) session_seed: u64,
+    pub(crate) max_connections: usize,
+    pub(crate) wallclock_quiescence: Option<Duration>,
+    pub(crate) started: Instant,
+    pub(crate) sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    pub(crate) next_session: AtomicU64,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) busy_rejections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) connections_open: AtomicU64,
+    pub(crate) connection_rejections: AtomicU64,
+    pub(crate) wallclock_flushes: AtomicU64,
+    pub(crate) sessions_reaped: AtomicU64,
+    pub(crate) internal_errors: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Live connection sockets, so [`ServerHandle::kill`] can tear them
     /// down abruptly (the crash drill).
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
+    pub(crate) conns: Mutex<HashMap<u64, TcpStream>>,
+    pub(crate) next_conn: AtomicU64,
+}
+
+/// An RAII connection-gauge increment; dropping it marks the connection
+/// closed however the serving loop exits.
+pub(crate) struct ConnGauge<'a>(&'a ServerState);
+
+impl<'a> ConnGauge<'a> {
+    /// Claims a connection slot, or counts + reports the rejection.
+    pub(crate) fn try_open(state: &'a ServerState) -> Option<ConnGauge<'a>> {
+        // `then`, not `then_some`: an eagerly built gauge would run its
+        // Drop (a decrement) on the rejection path.
+        state.try_open_connection().then(|| ConnGauge(state))
+    }
+}
+
+impl Drop for ConnGauge<'_> {
+    fn drop(&mut self) {
+        self.0.close_connection();
+    }
 }
 
 /// An RAII admission slot; dropping it releases the slot — including
@@ -143,6 +232,31 @@ impl Drop for AdmissionSlot<'_> {
 }
 
 impl ServerState {
+    /// Claims a connection slot against [`ServerConfig::max_connections`],
+    /// counting the rejection when full. The blocking core wraps this in
+    /// the RAII [`ConnGauge`]; the reactor pairs it manually with
+    /// [`close_connection`](Self::close_connection) because its
+    /// connections live in a map, not a stack frame.
+    pub(crate) fn try_open_connection(&self) -> bool {
+        let opened = self
+            .connections_open
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.max_connections as u64).then_some(n + 1)
+            })
+            .is_ok();
+        if opened {
+            self.connections.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.connection_rejections.fetch_add(1, Ordering::Relaxed);
+        }
+        opened
+    }
+
+    /// Releases a slot claimed by [`try_open_connection`](Self::try_open_connection).
+    pub(crate) fn close_connection(&self) {
+        self.connections_open.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// Tries to occupy one admission slot.
     fn try_admit(&self) -> Option<AdmissionSlot<'_>> {
         let admitted = self
@@ -159,7 +273,7 @@ impl ServerState {
         }
     }
 
-    fn uptime_ms(&self) -> u64 {
+    pub(crate) fn uptime_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
     }
 
@@ -174,6 +288,9 @@ impl ServerState {
             requests: self.requests.load(Ordering::Relaxed),
             sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
             internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::SeqCst),
+            connection_rejections: self.connection_rejections.load(Ordering::Relaxed),
+            wallclock_flushes: self.wallclock_flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -186,11 +303,13 @@ impl ServerState {
             sessions_open: self.sessions.lock().expect("session table poisoned").len() as u64,
             sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::SeqCst),
+            connection_rejections: self.connection_rejections.load(Ordering::Relaxed),
         }
     }
 
     /// Removes every session idle longer than the TTL; returns the count.
-    fn reap_idle_sessions(&self, ttl: Duration) -> u64 {
+    pub(crate) fn reap_idle_sessions(&self, ttl: Duration) -> u64 {
         let now_ms = self.uptime_ms();
         let ttl_ms = ttl.as_millis() as u64;
         let mut table = self.sessions.lock().expect("session table poisoned");
@@ -207,7 +326,7 @@ impl ServerState {
 
     /// Drains every remaining session's quiescent tags (drain-time
     /// best-effort flush; outcomes have no client to go to).
-    fn flush_all_sessions(&self) {
+    pub(crate) fn flush_all_sessions(&self) {
         let entries: Vec<Arc<SessionEntry>> =
             self.sessions.lock().expect("session table poisoned").drain().map(|(_, e)| e).collect();
         for entry in entries {
@@ -222,6 +341,7 @@ impl ServerState {
 /// A bound, not-yet-serving STPP TCP server (see the module docs).
 pub struct StppServer {
     listener: TcpListener,
+    core: ServerCore,
     state: Arc<ServerState>,
 }
 
@@ -275,12 +395,15 @@ impl StppServer {
         let listener = TcpListener::bind(addr)?;
         Ok(StppServer {
             listener,
+            core: config.core,
             state: Arc::new(ServerState {
                 service,
                 queue_depth: config.queue_depth.max(1),
                 io_timeout: config.io_timeout,
                 session_ttl: config.session_ttl,
                 session_seed: config.session_seed,
+                max_connections: config.max_connections.max(1),
+                wallclock_quiescence: config.wallclock_quiescence,
                 started: Instant::now(),
                 sessions: Mutex::new(HashMap::new()),
                 next_session: AtomicU64::new(0),
@@ -288,6 +411,9 @@ impl StppServer {
                 busy_rejections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
+                connections_open: AtomicU64::new(0),
+                connection_rejections: AtomicU64::new(0),
+                wallclock_flushes: AtomicU64::new(0),
                 sessions_reaped: AtomicU64::new(0),
                 internal_errors: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
@@ -298,17 +424,31 @@ impl StppServer {
         })
     }
 
+    /// The core this server will run (from its configuration).
+    pub fn core(&self) -> ServerCore {
+        self.core
+    }
+
     /// The bound address.
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
     /// Serves connections until a client sends [`Request::Shutdown`] or
-    /// [`Request::Drain`]. Each connection runs on its own thread; this
-    /// call blocks on the acceptor. A drain additionally waits for
-    /// in-flight work (bounded by an internal grace period) and flushes
-    /// every open session before returning.
+    /// [`Request::Drain`]; blocks until then. Which engine multiplexes
+    /// the connections is [`ServerConfig::core`]: thread-per-connection
+    /// blocking I/O, or the epoll readiness loop. A drain additionally
+    /// waits for in-flight work (bounded by an internal grace period)
+    /// and flushes every open session before returning.
     pub fn serve(self) -> std::io::Result<()> {
+        match self.core {
+            ServerCore::Blocking => self.serve_blocking(),
+            ServerCore::Async => crate::reactor::serve_async(self.listener, self.state),
+        }
+    }
+
+    /// The thread-per-connection blocking engine.
+    fn serve_blocking(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
         if let Some(ttl) = self.state.session_ttl {
             spawn_session_reaper(Arc::clone(&self.state), ttl);
@@ -376,7 +516,18 @@ fn wake_acceptor(local_addr: SocketAddr) {
 /// keeps serving. A handler panic does *not* tear it down — it is caught
 /// and answered with [`Response::InternalError`].
 fn handle_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
-    state.connections.fetch_add(1, Ordering::Relaxed);
+    let Some(_gauge) = ConnGauge::try_open(state) else {
+        // Over the connection limit: answer with the typed rejection and
+        // close. Best-effort — a peer that vanished mid-handshake just
+        // sees the close.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let mut writer = BufWriter::new(stream);
+        let _ = write_frame(
+            &mut writer,
+            &Response::TooManyConnections { limit: state.max_connections as u64 },
+        );
+        return;
+    };
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(state.io_timeout);
     let _ = stream.set_write_timeout(state.io_timeout);
@@ -420,7 +571,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream, local_addr: SocketA
 }
 
 /// Best-effort rendering of a panic payload for the wire.
-fn panic_reason(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_reason(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -430,7 +581,10 @@ fn panic_reason(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn handle_request(state: &ServerState, request: Request) -> Response {
+/// The single request dispatch **both** cores run — one `match`, so the
+/// readiness core cannot drift from the blocking core's responses,
+/// typed errors, admission (`Busy`) semantics, or counters.
+pub(crate) fn handle_request(state: &ServerState, request: Request) -> Response {
     match request {
         Request::Localize { input, threads } => {
             let Some(_slot) = state.try_admit() else {
@@ -458,6 +612,7 @@ fn handle_request(state: &ServerState, request: Request) -> Response {
             let entry = Arc::new(SessionEntry {
                 inner: Mutex::new(Some(session_handle)),
                 last_touch_ms: AtomicU64::new(state.uptime_ms()),
+                last_flush_ms: AtomicU64::new(state.uptime_ms()),
             });
             state.sessions.lock().expect("session table poisoned").insert(id, entry);
             Response::SessionOpened { session: id }

@@ -15,8 +15,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use stpp_core::{PhaseProfile, RelativeLocalizer, StppInput, TagObservations};
 use stpp_serve::proto::{
-    decode_frame, encode_frame, encode_localize_request_into, Request, Response, ServerStats,
-    WireReport,
+    decode_frame, encode_frame, encode_localize_request_into, FrameDecoder, Request, Response,
+    ServerStats, WireReport,
 };
 use stpp_serve::{
     LocalizationService, LocalizeReply, ProtoError, ServerConfig, ServiceConfig, SessionGeometry,
@@ -175,6 +175,150 @@ proptest! {
         // flip a float bit (still a valid frame), the rest must map to a
         // typed error.
         let _ = decode_frame::<Request>(&frame);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental decoding: the async core's framing state machine
+// ---------------------------------------------------------------------------
+
+/// Whole-buffer reference decode: every frame in `bytes`, or the first
+/// typed error.
+fn decode_all_whole(mut bytes: &[u8]) -> Result<Vec<Request>, String> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let (request, consumed) = decode_frame::<Request>(bytes).map_err(|e| format!("{e:?}"))?;
+        out.push(request);
+        bytes = &bytes[consumed..];
+    }
+    Ok(out)
+}
+
+/// Incremental decode, fed in the chunks delimited by `splits`
+/// (positions into `bytes`); `finish` asserts no partial frame remains.
+fn decode_all_incremental(bytes: &[u8], splits: &[usize]) -> Result<Vec<Request>, String> {
+    let mut decoder = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut consumed = 0;
+    for &split in splits {
+        decoder.push(&bytes[consumed..split]);
+        consumed = split;
+        while let Some(request) = decoder.next_frame::<Request>().map_err(|e| format!("{e:?}"))? {
+            out.push(request);
+        }
+    }
+    decoder.push(&bytes[consumed..]);
+    while let Some(request) = decoder.next_frame::<Request>().map_err(|e| format!("{e:?}"))? {
+        out.push(request);
+    }
+    decoder.finish().map_err(|e| format!("{e:?}"))?;
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The async core's incremental [`FrameDecoder`] must be a pure
+    /// re-chunking of the whole-buffer decode: same frames out for
+    /// byte-by-byte feeding and for arbitrary chunk boundaries.
+    #[test]
+    fn incremental_decode_is_chunking_invariant(
+        requests in prop::collection::vec(arb_request(), 1..4),
+        raw_splits in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let mut bytes = Vec::new();
+        for request in &requests {
+            bytes.extend_from_slice(&encode_frame(request).expect("encode"));
+        }
+        let whole = decode_all_whole(&bytes).expect("valid frames decode");
+        prop_assert_eq!(&whole, &requests);
+
+        // Byte-by-byte: the worst-case trickle.
+        let every_byte: Vec<usize> = (1..bytes.len()).collect();
+        prop_assert_eq!(
+            decode_all_incremental(&bytes, &every_byte).expect("byte-by-byte"),
+            whole.clone()
+        );
+
+        // Arbitrary chunk boundaries.
+        let mut splits: Vec<usize> =
+            raw_splits.iter().map(|ix| ix.index(bytes.len() + 1)).collect();
+        splits.sort_unstable();
+        prop_assert_eq!(
+            decode_all_incremental(&bytes, &splits).expect("chunked"),
+            whole
+        );
+    }
+
+    /// Corrupted streams must yield the *same* typed error (or the same
+    /// successfully re-interpreted frames — some flips only touch float
+    /// payload bits) from the incremental decoder as from the
+    /// whole-buffer decode, at any chunking.
+    #[test]
+    fn incremental_decode_errors_match_whole_buffer_errors(
+        requests in prop::collection::vec(arb_request(), 1..3),
+        offset in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = Vec::new();
+        for request in &requests {
+            bytes.extend_from_slice(&encode_frame(request).expect("encode"));
+        }
+        let i = offset.index(bytes.len());
+        bytes[i] ^= xor;
+
+        let whole = decode_all_whole(&bytes);
+        let every_byte: Vec<usize> = (1..bytes.len()).collect();
+        prop_assert_eq!(
+            decode_all_incremental(&bytes, &every_byte),
+            whole.clone(),
+            "byte-by-byte must agree with whole-buffer on corrupted input"
+        );
+        prop_assert_eq!(
+            decode_all_incremental(&bytes, &[]),
+            whole,
+            "single-push must agree with whole-buffer on corrupted input"
+        );
+    }
+
+    /// A strict prefix of a valid stream decodes the complete frames and
+    /// flags the tail as a typed truncation — never a panic, never a
+    /// phantom frame.
+    #[test]
+    fn incremental_decode_flags_truncated_tails(
+        requests in prop::collection::vec(arb_request(), 1..3),
+        cut in 0.0f64..1.0,
+    ) {
+        let mut bytes = Vec::new();
+        for request in &requests {
+            bytes.extend_from_slice(&encode_frame(request).expect("encode"));
+        }
+        let len = (((bytes.len() - 1) as f64) * cut) as usize;
+        let prefix = &bytes[..len];
+
+        let mut decoder = FrameDecoder::new();
+        decoder.push(prefix);
+        let mut decoded = 0usize;
+        loop {
+            match decoder.next_frame::<Request>() {
+                Ok(Some(request)) => {
+                    prop_assert_eq!(&request, &requests[decoded]);
+                    decoded += 1;
+                }
+                Ok(None) => break,
+                // A cut can land so that the tail *starts* looking like a
+                // frame but dies in the header; any typed error is fine.
+                Err(_) => return Ok(()),
+            }
+        }
+        if decoder.buffered() > 0 {
+            prop_assert!(decoder.finish().is_err(), "a partial tail must flag truncation");
+        } else {
+            // The cut landed exactly on a frame boundary: everything fed
+            // decoded cleanly (0..=all of the frames).
+            prop_assert!(decoder.finish().is_ok());
+            prop_assert!(decoded <= requests.len());
+        }
     }
 }
 

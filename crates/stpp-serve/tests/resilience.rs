@@ -240,6 +240,8 @@ fn drain_finishes_cleanly_and_health_reports_sane_numbers() {
     assert!(health.uptime_seconds >= 0.0);
     assert_eq!(health.sessions_open, 0);
     assert!(health.requests >= 1, "the localize must be counted");
+    assert!(health.connections_open >= 1, "this very connection must be in the gauge");
+    assert_eq!(health.connection_rejections, 0, "nobody hit the connection limit here");
 
     client.drain().expect("drain acknowledged");
     handle.join().expect("drained server exits cleanly");

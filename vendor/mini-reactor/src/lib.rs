@@ -1,0 +1,317 @@
+//! A minimal readiness reactor over Linux `epoll`.
+//!
+//! Vendored stand-in for the poll layer of crates like `mio`: the build
+//! environment has no crates.io access, so this crate carries the thin
+//! FFI itself — raw `epoll_create1`/`epoll_ctl`/`epoll_wait`
+//! declarations against the C library the Rust standard library already
+//! links. Everything above the three syscalls is safe Rust: the
+//! [`Poller`] owns its epoll file descriptor, registrations are keyed by
+//! caller-chosen `u64` tokens, and [`Poller::wait`] translates raw event
+//! masks into a plain [`Event`] struct.
+//!
+//! The reactor is **level-triggered** (epoll's default): a socket that
+//! still has unread bytes keeps reporting readable, so callers may read
+//! *some* of the available data per tick without losing wakeups — the
+//! property the serving layer's bounded per-connection read buffers rely
+//! on.
+//!
+//! ```
+//! use mini_reactor::{Event, Interest, Poller};
+//! use std::io::Write;
+//! use std::os::fd::AsRawFd;
+//! use std::os::unix::net::UnixStream;
+//!
+//! let (mut a, b) = UnixStream::pair().unwrap();
+//! let poller = Poller::new().unwrap();
+//! poller.register(b.as_raw_fd(), 7, Interest::READABLE).unwrap();
+//! a.write_all(b"hi").unwrap();
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, Some(std::time::Duration::from_secs(5))).unwrap();
+//! assert!(events.iter().any(|e: &Event| e.token == 7 && e.readable));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::c_int;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. On x86-64 Linux the struct is
+/// packed (no padding between the 32-bit mask and the 64-bit data
+/// word); other architectures use natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// The kernel's `struct epoll_event` (naturally aligned variant).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[allow(unsafe_code)]
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+}
+
+/// Which readiness directions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor becomes readable (or the peer hangs up).
+    pub readable: bool,
+    /// Wake when the descriptor becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable-only interest.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Writable-only interest.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Both directions.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+
+    /// Neither direction: the registration stays armed but only reports
+    /// the unmaskable conditions (hangup on full close, errors) — how a
+    /// reactor parks a connection whose request is being handled.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+
+    fn mask(self) -> u32 {
+        let mut mask = 0;
+        if self.readable {
+            // RDHUP rides along so a half-closed peer still wakes the
+            // read path (which then observes EOF).
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable (data pending, or EOF/hangup — a read
+    /// will not block).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer hung up (connection closed or half-closed).
+    pub hangup: bool,
+    /// The descriptor is in an error state; the next I/O call surfaces
+    /// the specific error.
+    pub error: bool,
+}
+
+/// A readiness poller: an owned epoll instance plus the three-call API
+/// ([`register`](Poller::register) / [`reregister`](Poller::reregister) /
+/// [`deregister`](Poller::deregister)) and a blocking
+/// [`wait`](Poller::wait).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    /// Creates a new epoll instance (close-on-exec).
+    #[allow(unsafe_code)]
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // the only failure mode and is converted to an io::Error below.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: fd is a freshly created, otherwise unowned descriptor.
+        Ok(Poller { epfd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    #[allow(unsafe_code)]
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+        let ptr = match event {
+            Some(ev) => ev as *mut EpollEvent,
+            None => std::ptr::null_mut(),
+        };
+        // SAFETY: `ptr` is either null (EPOLL_CTL_DEL ignores it) or a
+        // valid, live &mut EpollEvent for the duration of the call.
+        let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers a descriptor under `token` with the given interest.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest.mask(), data: token };
+        self.ctl(EPOLL_CTL_ADD, fd, Some(&mut ev))
+    }
+
+    /// Changes an existing registration's token and/or interest.
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest.mask(), data: token };
+        self.ctl(EPOLL_CTL_MOD, fd, Some(&mut ev))
+    }
+
+    /// Removes a registration. Safe to call for descriptors about to be
+    /// closed (closing also deregisters, but only once every duplicate
+    /// of the descriptor is gone — explicit beats implicit here).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registered descriptor is ready or the
+    /// timeout elapses, filling `events` (cleared first) and returning
+    /// the event count. `None` blocks indefinitely; `EINTR` is retried.
+    #[allow(unsafe_code)]
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout waits ~1ms, not 0 (busy loop).
+            Some(d) => {
+                let whole = d.as_millis();
+                let ms = whole + u128::from(d.as_nanos() > whole * 1_000_000);
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        };
+        const CAPACITY: usize = 64;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let count = loop {
+            // SAFETY: `raw` is a live, writable buffer of CAPACITY
+            // epoll_event slots; the kernel writes at most CAPACITY.
+            let rc = unsafe {
+                epoll_wait(self.epfd.as_raw_fd(), raw.as_mut_ptr(), CAPACITY as c_int, timeout_ms)
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in raw.iter().take(count) {
+            let mask = ev.events;
+            events.push(Event {
+                token: ev.data,
+                readable: mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                writable: mask & EPOLLOUT != 0,
+                hangup: mask & (EPOLLHUP | EPOLLRDHUP) != 0,
+                error: mask & EPOLLERR != 0,
+            });
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    fn wait_for(poller: &Poller, token: u64) -> Event {
+        let mut events = Vec::new();
+        for _ in 0..100 {
+            poller.wait(&mut events, Some(Duration::from_millis(100))).unwrap();
+            if let Some(ev) = events.iter().find(|e| e.token == token) {
+                return *ev;
+            }
+        }
+        panic!("token {token} never became ready");
+    }
+
+    #[test]
+    fn readable_after_peer_write() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 42, Interest::READABLE).unwrap();
+        // Not readable yet: a short wait returns no event for the token.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(!events.iter().any(|e| e.token == 42 && e.readable));
+        a.write_all(b"ping").unwrap();
+        let ev = wait_for(&poller, 42);
+        assert!(ev.readable);
+        assert!(!ev.hangup);
+    }
+
+    #[test]
+    fn writable_reported_and_hangup_on_close() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::BOTH).unwrap();
+        // A fresh socket with an empty send buffer is writable.
+        assert!(wait_for(&poller, 1).writable);
+        drop(a);
+        let ev = wait_for(&poller, 1);
+        assert!(ev.hangup, "peer close must surface as hangup: {ev:?}");
+        assert!(ev.readable, "hangup implies a read will not block");
+    }
+
+    #[test]
+    fn reregister_switches_interest_and_deregister_silences() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 5, Interest::WRITABLE).unwrap();
+        assert!(wait_for(&poller, 5).writable);
+        // Readable-only: no pending data, so no events for the token.
+        poller.reregister(b.as_raw_fd(), 5, Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(!events.iter().any(|e| e.token == 5));
+        a.write_all(b"x").unwrap();
+        assert!(wait_for(&poller, 5).readable);
+        poller.deregister(b.as_raw_fd()).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        // Keep the peer alive until the end so nothing hangs up early.
+        let mut buf = [0u8; 1];
+        let _ = (&b).read(&mut buf);
+        drop(a);
+    }
+
+    #[test]
+    fn level_triggered_readiness_persists_until_drained() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 9, Interest::READABLE).unwrap();
+        a.write_all(b"abcd").unwrap();
+        assert!(wait_for(&poller, 9).readable);
+        // Read only part of the pending data: still readable (level).
+        let mut two = [0u8; 2];
+        (&b).read_exact(&mut two).unwrap();
+        assert!(wait_for(&poller, 9).readable);
+        let mut rest = [0u8; 2];
+        (&b).read_exact(&mut rest).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(!events.iter().any(|e| e.token == 9), "drained socket must go quiet");
+    }
+}
