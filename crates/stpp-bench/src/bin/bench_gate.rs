@@ -53,10 +53,25 @@ struct PopulationReport {
     serve_net_connections: Option<Vec<ConnectionSweep>>,
 }
 
+/// One point of the fleet sweep the gate needs.
+#[derive(Debug, Deserialize)]
+struct FleetPoint {
+    shards: usize,
+    localized: usize,
+}
+
+/// The slice of the fleet sweep the gate needs.
+#[derive(Debug, Deserialize)]
+struct FleetReport {
+    points: Vec<FleetPoint>,
+    speedup_fleet2_vs_single: f64,
+}
+
 #[derive(Debug, Deserialize)]
 struct BenchReport {
     schema: String,
     populations: Vec<PopulationReport>,
+    fleet: Option<FleetReport>,
 }
 
 /// Parses the `[thresholds]` section of a minimal TOML file: `key =
@@ -118,9 +133,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if report.schema != "stpp-bench-pipeline/v5" {
+    if report.schema != "stpp-bench-pipeline/v6" {
         eprintln!(
-            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v5` — regenerate the \
+            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v6` — regenerate the \
              report with this tree's bench_json",
             report.schema
         );
@@ -151,6 +166,7 @@ fn main() -> ExitCode {
         "min_speedup_serve_warm_vs_cold",
         "max_overhead_net_vs_warm",
         "min_speedup_async_vs_blocking_64conn",
+        "min_speedup_fleet2_vs_single",
     ];
     let mut limits = HashMap::new();
     for key in required {
@@ -283,16 +299,63 @@ fn main() -> ExitCode {
         }
     }
 
+    // The fleet floor: a 2-shard fleet must serve the concurrent
+    // multi-geometry workload at least as fast as a single server (the
+    // aggregate warm-capacity win sharding exists for), and routing must
+    // not change results — the localized count is bit-identical across
+    // shard counts or the fleet is broken, not noisy.
+    let min_fleet = limits["min_speedup_fleet2_vs_single"];
+    let fleet2 = match &report.fleet {
+        None => {
+            violations.push(
+                "report has no fleet sweep — regenerate with this tree's bench_json".to_string(),
+            );
+            None
+        }
+        Some(fleet) => {
+            if let Some(first) = fleet.points.first() {
+                for point in &fleet.points[1..] {
+                    if point.localized != first.localized {
+                        violations.push(format!(
+                            "fleet of {} localized {} tags but fleet of {} localized {} — \
+                             routing is changing results",
+                            point.shards, point.localized, first.shards, first.localized,
+                        ));
+                    }
+                }
+            }
+            let ratio = fleet.speedup_fleet2_vs_single * degrade;
+            eprintln!("bench_gate: fleet x2 | {ratio:5.2}x vs single server");
+            if ratio < min_fleet {
+                violations.push(format!(
+                    "2-shard fleet regressed to {ratio:.2}x the single server (threshold \
+                     {min_fleet}x)"
+                ));
+            }
+            Some(ratio)
+        }
+    };
+
     if violations.is_empty() {
         let async_64 = async_64.expect("no violations means the sweep was present");
+        let fleet2 = fleet2.expect("no violations means the fleet sweep was present");
         eprintln!(
             "bench_gate: PASS (batch {worst_batch:.2}x >= {min_batch}, screen \
              {worst_screen:.2}x >= {min_screen}, warm {worst_warm:.2}x >= {min_warm}, net \
-             {worst_net:.2}x <= {max_net}, async x64 {async_64:.2}x >= {min_async})"
+             {worst_net:.2}x <= {max_net}, async x64 {async_64:.2}x >= {min_async}, fleet x2 \
+             {fleet2:.2}x >= {min_fleet})"
         );
         ExitCode::SUCCESS
     } else {
+        // On GitHub Actions, surface each violation as an inline `::error`
+        // annotation (stdout is the annotation channel); the plain stderr
+        // line is the fallback everywhere else — and is kept on CI too,
+        // so raw logs stay greppable.
+        let on_actions = std::env::var_os("GITHUB_ACTIONS").is_some();
         for violation in &violations {
+            if on_actions {
+                println!("::error title=bench_gate::{violation}");
+            }
             eprintln!("bench_gate: FAIL: {violation}");
         }
         ExitCode::FAILURE

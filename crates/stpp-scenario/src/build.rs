@@ -158,6 +158,7 @@ mod tests {
             channel: None,
             schedule: ScheduleSpec::default(),
             server: ServerSpec::default(),
+            fleet: None,
             storm: None,
             client: None,
             impairments: None,

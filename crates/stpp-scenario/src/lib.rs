@@ -50,7 +50,7 @@ pub use report::{
 };
 pub use runner::{run_scenario, RunError, RunOptions};
 pub use spec::{
-    ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, ImpairmentSpec,
+    ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, FleetSpec, ImpairmentSpec,
     LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerCoreSpec,
     ServerSpec, StormSpec, TagPosition,
 };

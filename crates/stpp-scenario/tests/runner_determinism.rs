@@ -27,6 +27,7 @@ fn small_spec() -> ScenarioSpec {
         channel: None,
         schedule: ScheduleSpec { requests: 2, gap: DurationSpec::ZERO },
         server: ServerSpec::default(),
+        fleet: None,
         storm: None,
         client: None,
         impairments: None,

@@ -1,0 +1,419 @@
+//! Sharded fleet serving: consistent-hash routing of geometry keys
+//! across N [`StppServer`](crate::StppServer) processes.
+//!
+//! One `StppServer` is a ceiling: one admission queue, one worker pool,
+//! one warm bank registry. A fleet splits the geometry space instead —
+//! every [`GeometryKey`] is owned by exactly one shard, chosen by a
+//! **stable seeded hash ring with virtual nodes** ([`ShardRouter`]), so
+//! each geometry's reference banks are built (and stay warm) on exactly
+//! one server no matter how many clients are routing.
+//!
+//! The pieces:
+//!
+//! * [`ShardRouter`] — the ring. Deterministic from `(members, seed,
+//!   vnodes)`: the same placement on every client and every server, with
+//!   no per-process hash randomness. Virtual nodes keep shard loads
+//!   balanced; removing a member remaps *only* that member's keys
+//!   (consistent hashing's minimal-disruption property — both pinned by
+//!   property tests).
+//! * [`FleetClient`] — the multiplexer. Owns one
+//!   [`ResilientClient`] per shard, so every shard gets its *own* retry
+//!   budget, circuit breaker, reconnect state, and `Busy` backpressure
+//!   pacing: a saturated or crashed shard trips its own circuit without
+//!   affecting traffic to healthy shards. Requests are routed by
+//!   geometry key; a server-side [`Response::Redirect`] bounce (a
+//!   misdirected request hitting a fleet-configured server) is followed
+//!   transparently and counted.
+//! * Shard-aware session placement — [`FleetClient::open_session`] pins
+//!   a streaming [`ResilientSession`] to the shard owning its
+//!   [`SessionGeometry`] (via [`GeometryKey::for_session`]), on a
+//!   dedicated connection. The session's at-least-once replay then
+//!   targets that same shard across crashes and restarts.
+//! * [`FleetHealth`] — the fleet view of the per-shard
+//!   [`Health`](crate::Request::Health) control-plane frame: per-shard
+//!   reports plus fleet-level aggregates (open sessions, in-flight work,
+//!   responsive/draining shard counts).
+//!
+//! Routing changes *where* a request is served, never *what* it
+//! computes: responses stay bit-identical to the in-process pipeline,
+//! which the fleet integration suite and the `fleet` scenarios assert.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use stpp_core::{StppConfig, StppInput};
+
+use crate::client::ClientError;
+use crate::proto::{HealthReport, Response};
+use crate::retry::{
+    splitmix64, ResilienceCounters, ResilientClient, ResilientError, ResilientSession, RetryPolicy,
+};
+use crate::service::{GeometryKey, LocalizationResponse};
+use crate::session::SessionGeometry;
+
+/// Virtual nodes per shard a [`ShardRouter::new`] ring places. Enough
+/// that shard loads stay within a small factor of each other over random
+/// key sets (pinned by the balance property test) while keeping the ring
+/// tiny (`shards * 64` entries, binary-searched).
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Salt mixed into ring-point hashing so ring positions and key
+/// positions are drawn from unrelated streams of the same mixer.
+const RING_SALT: u64 = 0x5319_7155_7e3d_9d25;
+/// Salt for key lookups (see [`RING_SALT`]).
+const KEY_SALT: u64 = 0x27d4_eb2f_1656_67c5;
+
+/// A server's identity inside a sharded fleet, carried in
+/// [`ServerConfig::shard`](crate::ServerConfig::shard). A server so
+/// configured builds the same [`ShardRouter`] as every client and
+/// answers any [`Localize`](crate::Request::Localize) /
+/// [`OpenSession`](crate::Request::OpenSession) whose geometry it does
+/// not own with [`Response::Redirect`] naming the owner — a misdirected
+/// request is bounced, never served cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// This server's shard index in `0..shards`.
+    pub index: u32,
+    /// Total number of shards in the fleet.
+    pub shards: u32,
+    /// The ring seed every member (and every client) shares.
+    pub seed: u64,
+    /// Virtual nodes per shard ([`DEFAULT_VNODES`] is the usual choice).
+    pub vnodes: u32,
+}
+
+impl ShardIdentity {
+    /// The identity of shard `index` in a fleet of `shards` under `seed`,
+    /// with the default virtual-node count.
+    pub fn new(index: u32, shards: u32, seed: u64) -> ShardIdentity {
+        ShardIdentity { index, shards, seed, vnodes: DEFAULT_VNODES as u32 }
+    }
+
+    /// Builds the router this identity implies (identical on every
+    /// member and client by construction).
+    pub fn router(&self) -> ShardRouter {
+        ShardRouter::with_vnodes(self.shards as usize, self.seed, self.vnodes as usize)
+    }
+}
+
+/// A stable seeded consistent-hash ring over shard members (see the
+/// module docs). Construction is deterministic: same members, seed, and
+/// vnode count ⇒ bit-identical placement, on any process, forever.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    members: Vec<u32>,
+    seed: u64,
+    /// `(ring position, member)` sorted by position; a key is owned by
+    /// the first entry at or after its own position (wrapping).
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardRouter {
+    /// A ring over shards `0..shards` with [`DEFAULT_VNODES`] virtual
+    /// nodes each. `shards` is clamped to at least 1.
+    pub fn new(shards: usize, seed: u64) -> ShardRouter {
+        ShardRouter::with_vnodes(shards, seed, DEFAULT_VNODES)
+    }
+
+    /// [`new`](Self::new) with an explicit virtual-node count (clamped
+    /// to at least 1).
+    pub fn with_vnodes(shards: usize, seed: u64, vnodes: usize) -> ShardRouter {
+        let members: Vec<u32> = (0..shards.max(1) as u32).collect();
+        ShardRouter::for_members(&members, seed, vnodes)
+    }
+
+    /// A ring over an explicit member set. A member's virtual-node
+    /// positions depend only on `(member, seed, vnodes)` — not on which
+    /// *other* members are present — which is exactly what makes removal
+    /// minimally disruptive: dropping member `m` leaves every other
+    /// member's ring points untouched, so only keys `m` owned remap.
+    pub fn for_members(members: &[u32], seed: u64, vnodes: usize) -> ShardRouter {
+        let members: Vec<u32> = if members.is_empty() { vec![0] } else { members.to_vec() };
+        let vnodes = vnodes.max(1);
+        let mut ring = Vec::with_capacity(members.len() * vnodes);
+        for &member in &members {
+            for vnode in 0..vnodes as u64 {
+                let point =
+                    splitmix64(seed ^ RING_SALT ^ splitmix64(((member as u64) << 32) | vnode));
+                ring.push((point, member));
+            }
+        }
+        // Position ties (astronomically unlikely) resolve by member
+        // index so the ring order is still total and deterministic.
+        ring.sort_unstable();
+        ShardRouter { members, seed, ring }
+    }
+
+    /// The member set this ring routes over.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The seed the ring was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard owning a geometry key.
+    pub fn shard_for(&self, key: &GeometryKey) -> u32 {
+        self.shard_for_bits(key.routing_bits())
+    }
+
+    /// The shard owning an already-hashed key (successor scan on the
+    /// ring, wrapping past the top).
+    pub fn shard_for_bits(&self, bits: u64) -> u32 {
+        let position = splitmix64(self.seed ^ KEY_SALT ^ bits);
+        let at = self.ring.partition_point(|&(point, _)| point < position);
+        self.ring[if at == self.ring.len() { 0 } else { at }].1
+    }
+}
+
+/// Fleet-level aggregation of per-shard [`HealthReport`]s (the latent
+/// gap `Health` left: N shards, N separate reports, no fleet view).
+/// Counter fields are sums over the shards that answered; `per_shard`
+/// keeps the individual reports (`None` where the probe failed) so a
+/// caller can still tell *which* shard is the problem.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetHealth {
+    /// Total shards in the fleet.
+    pub shards: u64,
+    /// Shards whose health probe answered.
+    pub responsive: u64,
+    /// Responsive shards currently draining.
+    pub draining: u64,
+    /// Detection requests in flight across the fleet.
+    pub in_flight: u64,
+    /// Sum of per-shard admission bounds (the fleet's aggregate
+    /// detection capacity).
+    pub queue_depth: u64,
+    /// Streaming sessions open across the fleet.
+    pub sessions_open: u64,
+    /// Sessions reaped across the fleet.
+    pub sessions_reaped: u64,
+    /// Requests served across the fleet.
+    pub requests: u64,
+    /// Connections open across the fleet.
+    pub connections_open: u64,
+    /// Connections refused across the fleet.
+    pub connection_rejections: u64,
+    /// The individual reports, indexed by shard.
+    pub per_shard: Vec<Option<HealthReport>>,
+}
+
+/// The multiplexing fleet client (see the module docs): one
+/// [`ResilientClient`] per shard, geometry-keyed routing, transparent
+/// redirect following, shard-pinned sessions, and fleet health.
+#[derive(Debug)]
+pub struct FleetClient {
+    config: StppConfig,
+    router: ShardRouter,
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    circuit: Option<(u32, Duration)>,
+    shards: Vec<ResilientClient>,
+    redirects: u64,
+    /// Localize responses served, per shard.
+    served: Vec<u64>,
+}
+
+impl FleetClient {
+    /// Builds a fleet client over one address per shard (shard `i` is
+    /// `addrs[i]`), routing on the ring `(addrs.len(), seed)` with
+    /// default virtual nodes. `config` must be the fleet's shared
+    /// [`StppConfig`] — geometry keys derive from it, so a client
+    /// configured differently from the servers would mis-route (and be
+    /// bounced by [`Response::Redirect`], which this client follows and
+    /// counts). Every shard gets its own [`ResilientClient`] under a
+    /// copy of `policy`; no connection is made until first use.
+    pub fn new(
+        addrs: Vec<SocketAddr>,
+        config: StppConfig,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> FleetClient {
+        let router = ShardRouter::new(addrs.len(), seed);
+        let shards = addrs.iter().map(|&addr| ResilientClient::new(addr, policy)).collect();
+        let served = vec![0; addrs.len()];
+        FleetClient { config, router, addrs, policy, circuit: None, shards, redirects: 0, served }
+    }
+
+    /// Overrides every shard circuit breaker (current and future
+    /// session connections included): `threshold` consecutive failures
+    /// open a shard's circuit, half-open probe after `cooldown`.
+    pub fn with_circuit(mut self, threshold: u32, cooldown: Duration) -> FleetClient {
+        self.circuit = Some((threshold, cooldown));
+        self.shards = self
+            .addrs
+            .iter()
+            .map(|&addr| ResilientClient::new(addr, self.policy).with_circuit(threshold, cooldown))
+            .collect();
+        self
+    }
+
+    /// The ring this client routes on.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `input`'s geometry.
+    pub fn shard_for(&self, input: &StppInput) -> u32 {
+        self.router.shard_for(&GeometryKey::for_request(&self.config, input))
+    }
+
+    /// Localizes one batch on the shard owning its geometry, with the
+    /// owning shard's full resilience discipline (retry budget, backoff,
+    /// circuit, reconnects, `Busy` pacing). Returns the serving shard
+    /// alongside the response.
+    pub fn localize(
+        &mut self,
+        input: &StppInput,
+        threads: Option<usize>,
+    ) -> Result<(u32, LocalizationResponse), ResilientError> {
+        let owner = self.shard_for(input);
+        self.localize_on(owner, input, threads)
+    }
+
+    /// Localizes on an explicit shard, following server-side
+    /// [`Response::Redirect`] bounces (each counted in
+    /// [`redirects`](Self::redirects)) until an owner serves the
+    /// request. The deliberate-misroute drills use this; normal callers
+    /// want [`localize`](Self::localize).
+    pub fn localize_on(
+        &mut self,
+        shard: u32,
+        input: &StppInput,
+        threads: Option<usize>,
+    ) -> Result<(u32, LocalizationResponse), ResilientError> {
+        let mut at = shard as usize % self.shards.len();
+        // One bounce reaches the owner; the bound only trips if servers
+        // disagree with each other about ownership (a misconfigured
+        // fleet), which must surface as an error rather than a spin.
+        for _ in 0..self.shards.len().max(2) {
+            match self.shards[at].localize(input, threads) {
+                Ok(response) => {
+                    self.served[at] += 1;
+                    return Ok((at as u32, response));
+                }
+                Err(ResilientError::Fatal(ClientError::Redirected { shard })) => {
+                    self.redirects += 1;
+                    let next = shard as usize;
+                    if next >= self.shards.len() || next == at {
+                        return Err(ResilientError::Fatal(ClientError::Unexpected {
+                            frame: format!("{:?}", Response::Redirect { shard }),
+                        }));
+                    }
+                    at = next;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ResilientError::Fatal(ClientError::Unexpected {
+            frame: "redirect loop across fleet".to_string(),
+        }))
+    }
+
+    /// Opens a streaming session **pinned to the shard owning its
+    /// geometry** (via [`GeometryKey::for_session`], which agrees with
+    /// the key of every batch the session will flush). The session rides
+    /// its own dedicated [`ResilientClient`] to that shard — under this
+    /// fleet's policy and circuit settings — so its at-least-once replay
+    /// after a crash targets the same shard, whose warm bank registry
+    /// already holds the session's geometry. Returns the owning shard
+    /// alongside the session.
+    pub fn open_session(
+        &self,
+        geometry: SessionGeometry,
+        quiescence_s: Option<f64>,
+    ) -> (u32, ResilientSession) {
+        let owner = self.router.shard_for(&GeometryKey::for_session(&self.config, &geometry));
+        let mut client = ResilientClient::new(self.addrs[owner as usize], self.policy);
+        if let Some((threshold, cooldown)) = self.circuit {
+            client = client.with_circuit(threshold, cooldown);
+        }
+        (owner, ResilientSession::open(client, geometry, quiescence_s))
+    }
+
+    /// Probes every shard's `Health` control-plane frame and aggregates
+    /// the answers into one [`FleetHealth`]. A shard that fails its
+    /// probe (crashed, unreachable, circuit open) contributes `None` to
+    /// `per_shard` and nothing to the sums — the fleet view degrades,
+    /// it does not error.
+    pub fn health(&mut self) -> FleetHealth {
+        let mut fleet = FleetHealth {
+            shards: self.shards.len() as u64,
+            per_shard: Vec::with_capacity(self.shards.len()),
+            ..FleetHealth::default()
+        };
+        for shard in &mut self.shards {
+            let report = shard.health().ok();
+            if let Some(report) = &report {
+                fleet.responsive += 1;
+                fleet.draining += u64::from(report.draining);
+                fleet.in_flight += report.in_flight;
+                fleet.queue_depth += report.queue_depth;
+                fleet.sessions_open += report.sessions_open;
+                fleet.sessions_reaped += report.sessions_reaped;
+                fleet.requests += report.requests;
+                fleet.connections_open += report.connections_open;
+                fleet.connection_rejections += report.connection_rejections;
+            }
+            fleet.per_shard.push(report);
+        }
+        fleet
+    }
+
+    /// Redirect bounces followed so far.
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Localize responses served, per shard.
+    pub fn served(&self) -> &[u64] {
+        &self.served
+    }
+
+    /// Number of distinct shards that have served at least one localize.
+    pub fn shards_used(&self) -> u64 {
+        self.served.iter().filter(|&&n| n > 0).count() as u64
+    }
+
+    /// One shard's resilience counters.
+    pub fn shard_counters(&self, shard: usize) -> ResilienceCounters {
+        self.shards[shard].counters()
+    }
+
+    /// One shard's resilient client (for drills and direct control-plane
+    /// calls).
+    pub fn shard_client(&mut self, shard: usize) -> &mut ResilientClient {
+        &mut self.shards[shard]
+    }
+
+    /// The fleet's resilience counters: the field-wise sum over every
+    /// shard client (session connections, which ride their own clients,
+    /// are not included).
+    pub fn counters(&self) -> ResilienceCounters {
+        let mut total = ResilienceCounters::default();
+        for shard in &self.shards {
+            let c = shard.counters();
+            total.attempts += c.attempts;
+            total.retries += c.retries;
+            total.busy += c.busy;
+            total.timeouts += c.timeouts;
+            total.transport_failures += c.transport_failures;
+            total.connect_failures += c.connect_failures;
+            total.reconnects += c.reconnects;
+            total.circuit_opens += c.circuit_opens;
+        }
+        total
+    }
+}

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fleet;
 pub mod pool;
 pub mod proto;
 mod reactor;
@@ -68,6 +69,7 @@ pub mod service;
 pub mod session;
 
 pub use client::{ClientError, FlushReply, LocalizeReply, StppClient};
+pub use fleet::{FleetClient, FleetHealth, ShardIdentity, ShardRouter};
 pub use pool::WorkerPool;
 pub use proto::{HealthReport, ProtoError, Request, Response, ServerStats, WireReport};
 pub use retry::{

@@ -326,6 +326,19 @@ pub enum Response {
         /// The server's connection limit, for client-side pacing.
         limit: u64,
     },
+    /// Shard-routing bounce: this server is part of a sharded fleet and
+    /// the request's geometry key is owned by a *different* shard, so it
+    /// refuses to serve the request cold and names the owner instead.
+    /// Only servers configured with a
+    /// [`ShardIdentity`](crate::fleet::ShardIdentity) ever emit it; a
+    /// [`FleetClient`](crate::fleet::FleetClient) follows the bounce
+    /// transparently. A compatible protocol extension: the enum encoding
+    /// is tagged by variant name, so decoders that predate the variant
+    /// only fail if they actually receive one.
+    Redirect {
+        /// The shard index that owns the request's geometry.
+        shard: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------

@@ -133,6 +133,14 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Which accept/read/write engine to run (see [`ServerCore`]).
     pub core: ServerCore,
+    /// This server's place in a sharded fleet; `None` (the default)
+    /// serves every geometry. When set, the server builds the same
+    /// consistent-hash ring as every [`FleetClient`](crate::fleet::FleetClient)
+    /// and answers [`Request::Localize`] / [`Request::OpenSession`]
+    /// frames whose geometry key belongs to a *different* shard with
+    /// [`Response::Redirect`] naming the owner — a misdirected request
+    /// is bounced before admission instead of building cold banks here.
+    pub shard: Option<crate::fleet::ShardIdentity>,
     /// Wall-clock quiescence flushing for streaming sessions (async core
     /// only; opt-in). When set, a session untouched for this long has
     /// its quiescent tags flushed server-side from the reactor timer
@@ -155,6 +163,7 @@ impl Default for ServerConfig {
             session_seed: 0,
             max_connections: 1024,
             core: ServerCore::from_env(),
+            shard: None,
             wallclock_quiescence: None,
         }
     }
@@ -181,6 +190,9 @@ pub(crate) struct ServerState {
     pub(crate) session_ttl: Option<Duration>,
     pub(crate) session_seed: u64,
     pub(crate) max_connections: usize,
+    /// The fleet ring plus this server's own shard index, when sharded
+    /// (built once at bind from [`ServerConfig::shard`]).
+    pub(crate) shard: Option<(crate::fleet::ShardRouter, u32)>,
     pub(crate) wallclock_quiescence: Option<Duration>,
     pub(crate) started: Instant,
     pub(crate) sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
@@ -308,6 +320,14 @@ impl ServerState {
         }
     }
 
+    /// When this server is a fleet member and `key` belongs to a
+    /// different shard, the owner to redirect to.
+    fn misdirected(&self, key: crate::service::GeometryKey) -> Option<u64> {
+        let (router, me) = self.shard.as_ref()?;
+        let owner = router.shard_for(&key);
+        (owner != *me).then_some(owner as u64)
+    }
+
     /// Removes every session idle longer than the TTL; returns the count.
     pub(crate) fn reap_idle_sessions(&self, ttl: Duration) -> u64 {
         let now_ms = self.uptime_ms();
@@ -403,6 +423,7 @@ impl StppServer {
                 session_ttl: config.session_ttl,
                 session_seed: config.session_seed,
                 max_connections: config.max_connections.max(1),
+                shard: config.shard.map(|identity| (identity.router(), identity.index)),
                 wallclock_quiescence: config.wallclock_quiescence,
                 started: Instant::now(),
                 sessions: Mutex::new(HashMap::new()),
@@ -587,6 +608,13 @@ pub(crate) fn panic_reason(panic: &(dyn std::any::Any + Send)) -> String {
 pub(crate) fn handle_request(state: &ServerState, request: Request) -> Response {
     match request {
         Request::Localize { input, threads } => {
+            // Ownership gate before admission: a bounced request must
+            // neither occupy a detection slot nor build banks here.
+            let key =
+                crate::service::GeometryKey::for_request(&state.service.config().stpp, &input);
+            if let Some(owner) = state.misdirected(key) {
+                return Response::Redirect { shard: owner };
+            }
             let Some(_slot) = state.try_admit() else {
                 return Response::Busy { depth: state.queue_depth as u64 };
             };
@@ -600,6 +628,13 @@ pub(crate) fn handle_request(state: &ServerState, request: Request) -> Response 
             }
         }
         Request::OpenSession { geometry, quiescence_s } => {
+            // Sessions are pinned to the shard owning their geometry —
+            // every batch the session flushes resolves to the same key.
+            let key =
+                crate::service::GeometryKey::for_session(&state.service.config().stpp, &geometry);
+            if let Some(owner) = state.misdirected(key) {
+                return Response::Redirect { shard: owner };
+            }
             let session_handle = match quiescence_s {
                 Some(q) => state.service.open_session_with_quiescence(geometry, q),
                 None => state.service.open_session(geometry),

@@ -26,6 +26,7 @@ use stpp_core::{
 };
 
 use crate::pool::WorkerPool;
+use crate::retry::splitmix64;
 use crate::session::{ServiceSession, SessionGeometry};
 
 /// Configuration of a [`LocalizationService`].
@@ -99,6 +100,47 @@ impl GeometryKey {
             offset_candidates: config.offset_candidates,
             periods: config.reference_periods,
         }
+    }
+
+    /// Derives the key a streaming session's flush batches will resolve
+    /// to under `config`. A [`ServiceSession`] builds its batches as an
+    /// [`StppInput`] carrying exactly the [`SessionGeometry`] fields, so
+    /// this agrees with [`for_request`](Self::for_request) on every batch
+    /// the session ever flushes — the shard-placement guarantee a
+    /// [`FleetClient`](crate::fleet::FleetClient) relies on when pinning
+    /// a session to the shard owning its geometry.
+    pub fn for_session(config: &StppConfig, geometry: &SessionGeometry) -> GeometryKey {
+        GeometryKey {
+            speed_bits: geometry.nominal_speed_mps.to_bits(),
+            wavelength_bits: geometry.wavelength_m.to_bits(),
+            perpendicular_bits: geometry
+                .perpendicular_distance_m
+                .filter(|d| d.is_finite() && *d > 0.0)
+                .unwrap_or(config.perpendicular_distance_m)
+                .to_bits(),
+            window: config.window,
+            offset_candidates: config.offset_candidates,
+            periods: config.reference_periods,
+        }
+    }
+
+    /// A stable 64-bit mix of every field of the key, for consistent-hash
+    /// placement. Deterministic across processes and runs (no
+    /// [`std::hash::RandomState`] involved), so client and server agree
+    /// on ownership by construction.
+    pub fn routing_bits(&self) -> u64 {
+        let mut acc = 0x9e37_79b9_7f4a_7c15;
+        for word in [
+            self.speed_bits,
+            self.wavelength_bits,
+            self.perpendicular_bits,
+            self.window as u64,
+            self.offset_candidates as u64,
+            self.periods as u64,
+        ] {
+            acc = splitmix64(acc ^ word);
+        }
+        acc
     }
 }
 

@@ -1,0 +1,322 @@
+//! Fleet serving integration tests: the consistent-hash ring's contract
+//! (determinism, balance, minimal disruption — all property-tested), the
+//! `Redirect` bounce for misdirected requests, multi-shard routing with
+//! bit-identical results, shard-pinned session replay through a shard
+//! kill, and `FleetHealth` degradation.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use stpp_core::{PhaseProfile, RelativeLocalizer, StppConfig, StppInput, TagObservations};
+use stpp_serve::{
+    ClientError, FleetClient, GeometryKey, LocalizationService, RetryPolicy, ServerConfig,
+    ServerHandle, SessionGeometry, ShardIdentity, ShardRouter, StppClient, StppServer, WireReport,
+};
+
+fn synthetic_input(tag_xs: &[f64], d_perp: f64, mu: f64) -> StppInput {
+    let wavelength = 0.326f64;
+    let speed = 0.1f64;
+    let observations: Vec<TagObservations> = tag_xs
+        .iter()
+        .enumerate()
+        .map(|(id, &tag_x)| {
+            let pairs: Vec<(f64, f64)> = (0..600)
+                .map(|i| {
+                    let t = i as f64 * 0.05;
+                    let d = ((speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
+                    (t, std::f64::consts::TAU * 2.0 * d / wavelength + mu)
+                })
+                .collect();
+            TagObservations {
+                id: id as u64,
+                epc: rfid_gen2::Epc::from_serial(id as u64),
+                profile: PhaseProfile::from_pairs(&pairs),
+            }
+        })
+        .collect();
+    StppInput {
+        observations,
+        nominal_speed_mps: speed,
+        wavelength_m: wavelength,
+        perpendicular_distance_m: Some(d_perp),
+    }
+}
+
+fn fleet_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        jitter: 0.0,
+        seed: 0,
+        deadline: Duration::from_secs(2),
+    }
+}
+
+/// Spawns an `n`-shard fleet on ephemeral localhost ports, every member
+/// configured with its [`ShardIdentity`] so misdirected requests bounce.
+fn spawn_fleet(n: u32, seed: u64) -> (Vec<Option<ServerHandle>>, Vec<SocketAddr>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for index in 0..n {
+        let service = LocalizationService::with_defaults();
+        let config =
+            ServerConfig { shard: Some(ShardIdentity::new(index, n, seed)), ..Default::default() };
+        let server = StppServer::bind("127.0.0.1:0", service, config).expect("bind shard");
+        let handle = server.spawn().expect("spawn shard");
+        addrs.push(handle.addr());
+        handles.push(Some(handle));
+    }
+    (handles, addrs)
+}
+
+fn shutdown_fleet(handles: Vec<Option<ServerHandle>>, addrs: &[SocketAddr]) {
+    for (handle, &addr) in handles.into_iter().zip(addrs) {
+        if let Some(handle) = handle {
+            let mut direct = StppClient::connect(addr).expect("connect for shutdown");
+            direct.shutdown().expect("shutdown");
+            handle.join().expect("shard exits");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same (shards, seed, vnodes) ⇒ the same placement for every key,
+    /// across independently constructed rings. No per-process hash
+    /// randomness may leak in — client and server must agree forever.
+    #[test]
+    fn ring_placement_is_deterministic(
+        shards in 1usize..9,
+        seed in any::<u64>(),
+        vnodes in 1usize..129,
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let a = ShardRouter::with_vnodes(shards, seed, vnodes);
+        let b = ShardRouter::with_vnodes(shards, seed, vnodes);
+        for &key in &keys {
+            prop_assert_eq!(a.shard_for_bits(key), b.shard_for_bits(key));
+            prop_assert!((a.shard_for_bits(key) as usize) < shards);
+        }
+    }
+
+    /// With the default virtual-node count, shard loads over a large
+    /// random key set stay within a constant factor of fair share — no
+    /// shard starves and none is crushed.
+    #[test]
+    fn ring_load_is_balanced(shards in 2usize..9, seed in any::<u64>()) {
+        const KEYS: u64 = 4096;
+        let router = ShardRouter::new(shards, seed);
+        let mut load = vec![0u64; shards];
+        for key in 0..KEYS {
+            // Well-mixed key positions, as routing_bits produces.
+            load[router.shard_for_bits(key.wrapping_mul(0x9e37_79b9_7f4a_7c15)) as usize] += 1;
+        }
+        let fair = KEYS / shards as u64;
+        for (shard, &n) in load.iter().enumerate() {
+            prop_assert!(
+                n >= fair / 3 && n <= fair * 3,
+                "shard {} holds {} of {} keys (fair share {})", shard, n, KEYS, fair
+            );
+        }
+    }
+
+    /// Consistent hashing's point: removing one member remaps *only*
+    /// the keys that member owned. Everyone else's keys stay put.
+    #[test]
+    fn removing_a_member_only_remaps_its_own_keys(
+        shards in 2usize..9,
+        seed in any::<u64>(),
+        removed_index in any::<prop::sample::Index>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..256),
+    ) {
+        let members: Vec<u32> = (0..shards as u32).collect();
+        let removed = members[removed_index.index(members.len())];
+        let survivors: Vec<u32> = members.iter().copied().filter(|&m| m != removed).collect();
+        let before = ShardRouter::for_members(&members, seed, 64);
+        let after = ShardRouter::for_members(&survivors, seed, 64);
+        for &key in &keys {
+            let owner = before.shard_for_bits(key);
+            if owner != removed {
+                prop_assert_eq!(
+                    after.shard_for_bits(key), owner,
+                    "key {} moved off surviving shard {}", key, owner
+                );
+            } else {
+                prop_assert!(after.shard_for_bits(key) != removed);
+            }
+        }
+    }
+}
+
+/// A request sent straight at the wrong shard is bounced with a typed
+/// `Redirect` naming the owner — and costs the wrong shard no cold
+/// bank build.
+#[test]
+fn misdirected_request_is_bounced_not_served_cold() {
+    let seed = 42;
+    let (handles, addrs) = spawn_fleet(2, seed);
+    let config = StppConfig::default();
+    let input = synthetic_input(&[0.5, 0.9], 0.3, 0.0);
+    let router = ShardRouter::new(2, seed);
+    let owner = router.shard_for(&GeometryKey::for_request(&config, &input));
+    let wrong = 1 - owner as usize;
+
+    let mut client = StppClient::connect(addrs[wrong]).expect("connect wrong shard");
+    match client.localize(&input, None) {
+        Err(ClientError::Redirected { shard }) => assert_eq!(shard, owner as u64),
+        other => panic!("expected a Redirect bounce, got {other:?}"),
+    }
+    // The bounce must not have touched the wrong shard's service: no
+    // request served, no geometry registered, no banks built.
+    let (service_stats, _server_stats) = client.stats().expect("stats");
+    assert_eq!(service_stats.requests, 0, "a bounced request must not be served");
+    assert_eq!(service_stats.geometry_misses, 0, "a bounced request must not register geometry");
+
+    // Sessions bounce identically.
+    let geometry = SessionGeometry {
+        nominal_speed_mps: input.nominal_speed_mps,
+        wavelength_m: input.wavelength_m,
+        perpendicular_distance_m: input.perpendicular_distance_m,
+    };
+    match client.open_session(geometry, None) {
+        Err(ClientError::Redirected { shard }) => assert_eq!(shard, owner as u64),
+        other => panic!("expected a session Redirect bounce, got {other:?}"),
+    }
+
+    // The owner serves the same request without complaint.
+    let mut right = StppClient::connect(addrs[owner as usize]).expect("connect owner");
+    right.localize(&input, None).expect("owner serves");
+
+    shutdown_fleet(handles, &addrs);
+}
+
+/// The fleet client spreads a multi-geometry workload across shards,
+/// every response bit-identical to the in-process pipeline, with zero
+/// redirects (client and servers agree on ownership) — and a deliberate
+/// misroute is followed transparently to the same bit-identical result.
+#[test]
+fn fleet_routes_multi_geometry_workload_bit_identically() {
+    let seed = 7;
+    let (handles, addrs) = spawn_fleet(2, seed);
+    let mut fleet = FleetClient::new(addrs.clone(), StppConfig::default(), fleet_policy(), seed);
+
+    let offline = RelativeLocalizer::with_defaults();
+    let perps = [0.28, 0.31, 0.34, 0.37, 0.40, 0.43];
+    let mut owners = Vec::new();
+    for &d_perp in &perps {
+        let input = synthetic_input(&[0.5, 0.9, 1.3], d_perp, 0.2);
+        let reference = offline.localize(&input).expect("offline reference");
+        for _ in 0..2 {
+            let (shard, response) = fleet.localize(&input, None).expect("fleet localize");
+            assert_eq!(shard, fleet.shard_for(&input), "served by the ring owner");
+            assert_eq!(response.result, reference, "fleet response must be bit-identical");
+        }
+        owners.push(fleet.shard_for(&input));
+    }
+    assert!(fleet.shards_used() >= 2, "workload must actually spread: owners {owners:?}");
+    assert_eq!(fleet.redirects(), 0, "agreeing client and servers never bounce");
+
+    // Deliberate misroute drill: aim at the wrong shard, let the bounce
+    // steer the request home.
+    let input = synthetic_input(&[0.5, 0.9, 1.3], perps[0], 0.2);
+    let reference = offline.localize(&input).expect("offline reference");
+    let owner = fleet.shard_for(&input);
+    let (served_by, response) = fleet.localize_on(1 - owner, &input, None).expect("misroute");
+    assert_eq!(served_by, owner, "the bounce must land on the owner");
+    assert_eq!(response.result, reference, "a bounced request still serves bit-identically");
+    assert_eq!(fleet.redirects(), 1, "exactly one bounce");
+
+    shutdown_fleet(handles, &addrs);
+}
+
+/// A session opened through the fleet is pinned to the shard owning its
+/// geometry; killing that shard mid-stream and restarting it on the same
+/// address replays the buffered reports into the same shard, and the
+/// final flush matches the offline pipeline bit-for-bit.
+#[test]
+fn fleet_session_replays_into_the_owning_shard_after_a_kill() {
+    let seed = 13;
+    let shards = 2u32;
+    let (mut handles, addrs) = spawn_fleet(shards, seed);
+    let fleet = FleetClient::new(addrs.clone(), StppConfig::default(), fleet_policy(), seed);
+
+    let input = synthetic_input(&[0.6, 1.1, 1.7], 0.3, 0.8);
+    let offline = RelativeLocalizer::with_defaults().localize(&input).expect("offline");
+    let geometry = SessionGeometry {
+        nominal_speed_mps: input.nominal_speed_mps,
+        wavelength_m: input.wavelength_m,
+        perpendicular_distance_m: input.perpendicular_distance_m,
+    };
+
+    let (owner, mut session) = fleet.open_session(geometry, None);
+    let expected_owner = ShardRouter::new(shards as usize, seed)
+        .shard_for(&GeometryKey::for_session(&StppConfig::default(), &geometry));
+    assert_eq!(owner, expected_owner, "the session must be pinned to the ring owner");
+    assert_eq!(session.client().addr(), addrs[owner as usize]);
+
+    let samples_per_tag = input.observations[0].profile.len();
+    let kill_at = samples_per_tag / 2;
+    for i in 0..samples_per_tag {
+        if i == kill_at {
+            // Kill exactly the owning shard; restart it on the same
+            // address with the same identity.
+            handles[owner as usize].take().expect("live owner").kill().expect("kill");
+            let service = LocalizationService::with_defaults();
+            let config = ServerConfig {
+                shard: Some(ShardIdentity::new(owner, shards, seed)),
+                ..Default::default()
+            };
+            let server =
+                StppServer::bind(addrs[owner as usize], service, config).expect("rebind owner");
+            handles[owner as usize] = Some(server.spawn().expect("respawn owner"));
+        }
+        let reports: Vec<WireReport> = input
+            .observations
+            .iter()
+            .map(|obs| {
+                let s = obs.profile.samples()[i];
+                WireReport {
+                    epc_serial: obs.epc.serial(),
+                    time_s: s.time_s,
+                    phase_rad: s.phase_rad,
+                }
+            })
+            .collect();
+        session.ingest(&reports).expect("ingest survives the shard kill");
+    }
+    let response =
+        session.flush(true).expect("final flush").expect("a finished session yields a batch");
+    assert_eq!(response.result, offline, "replayed fleet session must match offline");
+    assert!(session.reopens() >= 1, "the kill must have forced a replay");
+
+    shutdown_fleet(handles, &addrs);
+}
+
+/// A dead shard degrades the fleet health view instead of erroring it:
+/// the survivors' counters still aggregate, and the dead shard reports
+/// `None`.
+#[test]
+fn fleet_health_degrades_when_a_shard_dies() {
+    let seed = 3;
+    let (mut handles, addrs) = spawn_fleet(2, seed);
+    let policy = RetryPolicy { max_attempts: 2, ..fleet_policy() };
+    let mut fleet = FleetClient::new(addrs.clone(), StppConfig::default(), policy, seed);
+
+    let healthy = fleet.health();
+    assert_eq!(healthy.shards, 2);
+    assert_eq!(healthy.responsive, 2);
+    assert_eq!(healthy.draining, 0);
+    assert!(healthy.per_shard.iter().all(Option::is_some));
+
+    handles[1].take().expect("live shard").kill().expect("kill shard 1");
+    let degraded = fleet.health();
+    assert_eq!(degraded.shards, 2);
+    assert_eq!(degraded.responsive, 1);
+    assert!(degraded.per_shard[0].is_some(), "survivor still reports");
+    assert!(degraded.per_shard[1].is_none(), "dead shard degrades to None");
+
+    shutdown_fleet(handles, &addrs);
+}
