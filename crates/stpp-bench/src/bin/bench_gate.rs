@@ -67,11 +67,20 @@ struct FleetReport {
     speedup_fleet2_vs_single: f64,
 }
 
+/// The slice of the streaming time-to-first-result sweep the gate needs.
+#[derive(Debug, Deserialize)]
+struct StreamingReport {
+    reports: usize,
+    first_result_reports: usize,
+    speedup_first_result_vs_batch: f64,
+}
+
 #[derive(Debug, Deserialize)]
 struct BenchReport {
     schema: String,
     populations: Vec<PopulationReport>,
     fleet: Option<FleetReport>,
+    streaming: Option<StreamingReport>,
 }
 
 /// Parses the `[thresholds]` section of a minimal TOML file: `key =
@@ -133,9 +142,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if report.schema != "stpp-bench-pipeline/v6" {
+    if report.schema != "stpp-bench-pipeline/v7" {
         eprintln!(
-            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v6` — regenerate the \
+            "bench_gate: report schema `{}` is not `stpp-bench-pipeline/v7` — regenerate the \
              report with this tree's bench_json",
             report.schema
         );
@@ -167,6 +176,7 @@ fn main() -> ExitCode {
         "max_overhead_net_vs_warm",
         "min_speedup_async_vs_blocking_64conn",
         "min_speedup_fleet2_vs_single",
+        "min_speedup_first_result_vs_batch",
     ];
     let mut limits = HashMap::new();
     for key in required {
@@ -336,14 +346,54 @@ fn main() -> ExitCode {
         }
     };
 
+    // The streaming floor: the first provisional estimate must land
+    // before batch-at-quiescence could produce *any* ordering on the
+    // conveyor workload — the whole point of incremental detection. A
+    // first result that needed the entire stream is equally a
+    // regression (streaming degenerated into batch), and that check is
+    // noise-free.
+    let min_ttfr = limits["min_speedup_first_result_vs_batch"];
+    let ttfr = match &report.streaming {
+        None => {
+            violations.push(
+                "report has no streaming sweep — regenerate with this tree's bench_json"
+                    .to_string(),
+            );
+            None
+        }
+        Some(streaming) => {
+            if streaming.first_result_reports >= streaming.reports {
+                violations.push(format!(
+                    "streaming needed {} of {} reports for its first provisional estimate — \
+                     incremental detection degenerated into batch",
+                    streaming.first_result_reports, streaming.reports,
+                ));
+            }
+            let ratio = streaming.speedup_first_result_vs_batch * degrade;
+            eprintln!(
+                "bench_gate: streaming | first result {ratio:5.2}x earlier than batch at \
+                 quiescence ({} of {} reports)",
+                streaming.first_result_reports, streaming.reports,
+            );
+            if ratio < min_ttfr {
+                violations.push(format!(
+                    "streaming first result regressed to {ratio:.2}x batch-at-quiescence \
+                     (threshold {min_ttfr}x)"
+                ));
+            }
+            Some(ratio)
+        }
+    };
+
     if violations.is_empty() {
         let async_64 = async_64.expect("no violations means the sweep was present");
         let fleet2 = fleet2.expect("no violations means the fleet sweep was present");
+        let ttfr = ttfr.expect("no violations means the streaming sweep was present");
         eprintln!(
             "bench_gate: PASS (batch {worst_batch:.2}x >= {min_batch}, screen \
              {worst_screen:.2}x >= {min_screen}, warm {worst_warm:.2}x >= {min_warm}, net \
              {worst_net:.2}x <= {max_net}, async x64 {async_64:.2}x >= {min_async}, fleet x2 \
-             {fleet2:.2}x >= {min_fleet})"
+             {fleet2:.2}x >= {min_fleet}, streaming first result {ttfr:.2}x >= {min_ttfr})"
         );
         ExitCode::SUCCESS
     } else {

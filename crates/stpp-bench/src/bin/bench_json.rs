@@ -42,7 +42,7 @@ use stpp_core::{
 };
 use stpp_serve::{
     FleetClient, GeometryKey, LocalizationService, LocalizeReply, RetryPolicy, ServerConfig,
-    ServerCore, ServiceConfig, ShardIdentity, ShardRouter, StppClient, StppServer,
+    ServerCore, ServiceConfig, SessionGeometry, ShardIdentity, ShardRouter, StppClient, StppServer,
 };
 
 /// Band width used by the banded modes (segments of slack each warping
@@ -99,8 +99,14 @@ const FLEET_QUEUE_DEPTH: usize = 2;
 /// one-core CI runner: the win is a deterministic difference in work
 /// per request (cold rebuild vs warm lookup), not a scheduling effect.
 const FLEET_CACHED_GEOMETRIES: usize = FLEET_VARIANTS / 2;
+/// Reports ingested between provisional polls in the streaming
+/// time-to-first-result sweep (matches the checked-in streaming
+/// scenario's `poll_every_reports`).
+const STREAMING_POLL_EVERY: usize = 25;
+/// Timed repetitions of the streaming sweep; minima are reported.
+const STREAMING_REPS: usize = 5;
 
-#[derive(Serialize)]
+#[derive(Debug, Serialize)]
 struct ModeReport {
     /// Minimum wall-clock time over the repetitions, milliseconds.
     localize_ms: f64,
@@ -228,6 +234,37 @@ struct FleetReport {
     speedup_fleet2_vs_single: f64,
 }
 
+/// The streaming time-to-first-result sweep: the conveyor workload's
+/// report stream replayed into a [`stpp_serve::ServiceSession`],
+/// measuring how long the session takes to surface its first
+/// provisional estimate versus ingesting the whole stream and
+/// localizing at quiescence.
+#[derive(Serialize)]
+struct StreamingReport {
+    /// Scenario file the workload came from.
+    scenario: String,
+    /// Tag population of the workload.
+    tags: usize,
+    /// Reports in the replayed stream.
+    reports: usize,
+    /// Reports ingested when the first provisional estimate appeared
+    /// (deterministic in the workload — asserted stable across reps).
+    first_result_reports: usize,
+    /// Wall-clock from session open to the first provisional poll that
+    /// returned at least one estimated tag, milliseconds (minimum over
+    /// the repetitions). Includes the ingest + incremental-DTW work of
+    /// the stream prefix and every intermediate poll.
+    ttfr_streaming_ms: f64,
+    /// Wall-clock to ingest the whole stream and produce the final
+    /// batch result, milliseconds (minimum over the repetitions) — the
+    /// earliest a non-streaming consumer can see *any* ordering.
+    batch_quiescence_ms: f64,
+    /// `batch_quiescence_ms / ttfr_streaming_ms` — above 1.0 means the
+    /// first provisional answer landed before batch-at-quiescence
+    /// could. The gate floors this.
+    speedup_first_result_vs_batch: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: &'static str,
@@ -240,26 +277,38 @@ struct BenchReport {
     /// The fleet sweep (always present: the gate floors its 2-shard
     /// speedup in smoke and full runs alike).
     fleet: FleetReport,
+    /// The streaming time-to-first-result sweep (always present: the
+    /// gate floors its first-result speedup in smoke and full runs
+    /// alike).
+    streaming: StreamingReport,
 }
 
-fn time_mode<F: FnMut() -> Result<StppResult, LocalizationError>>(mut run: F) -> ModeReport {
+/// Times a mode over [`REPS`] repetitions. A localize failure is a
+/// harness or workload bug, never a benchmark result: it propagates so
+/// `main` exits non-zero instead of recording `localized = 0` as if the
+/// mode had silently dropped every tag (which would trip the gate's
+/// quality guards with a misleading message — or worse, pass if every
+/// mode failed identically).
+fn time_mode<F: FnMut() -> Result<StppResult, LocalizationError>>(
+    mut run: F,
+) -> Result<ModeReport, LocalizationError> {
     let mut best_ms = f64::INFINITY;
     let mut localized = 0usize;
     for _ in 0..REPS {
         let t = Instant::now();
-        let result = run();
+        let result = run()?;
         let ms = t.elapsed().as_secs_f64() * 1e3;
         best_ms = best_ms.min(ms);
-        localized = result.map(|r| r.localized_count()).unwrap_or(0);
+        localized = result.localized_count();
     }
-    ModeReport { localize_ms: best_ms, localized }
+    Ok(ModeReport { localize_ms: best_ms, localized })
 }
 
 fn bench_population(
     tags: usize,
     threads: usize,
     sweep_connections: Option<&[usize]>,
-) -> PopulationReport {
+) -> Result<PopulationReport, LocalizationError> {
     let recording = benchmark_recording(tags, 0.06, 21);
     let t = Instant::now();
     let input = Arc::new(StppInput::from_recording(&recording).expect("valid benchmark input"));
@@ -274,7 +323,7 @@ fn bench_scenario(
     path: &str,
     threads: usize,
     sweep_connections: Option<&[usize]>,
-) -> PopulationReport {
+) -> Result<PopulationReport, LocalizationError> {
     let spec = stpp_scenario::ScenarioSpec::load(std::path::Path::new(path))
         .unwrap_or_else(|e| panic!("scenario {path} must parse: {e}"));
     let t = Instant::now();
@@ -290,7 +339,7 @@ fn bench_input(
     input_build_ms: f64,
     threads: usize,
     sweep_connections: Option<&[usize]>,
-) -> PopulationReport {
+) -> Result<PopulationReport, LocalizationError> {
     let tags = input.observations.len();
 
     // The historical modes pin the PR 4 candidate screen (sequential,
@@ -308,12 +357,12 @@ fn bench_input(
         ..StppConfig::default()
     };
 
-    let seed_sequential_exact = time_mode(|| baseline::seed_localize(&input));
-    let sequential_exact = time_mode(|| RelativeLocalizer::new(exact).localize(&input));
-    let sequential_banded = time_mode(|| RelativeLocalizer::new(banded).localize(&input));
-    let batch_exact = time_mode(|| BatchLocalizer::new(exact, threads).localize(&input));
-    let batch_banded = time_mode(|| BatchLocalizer::new(banded, threads).localize(&input));
-    let batch_screened = time_mode(|| BatchLocalizer::new(screened, threads).localize(&input));
+    let seed_sequential_exact = time_mode(|| baseline::seed_localize(&input))?;
+    let sequential_exact = time_mode(|| RelativeLocalizer::new(exact).localize(&input))?;
+    let sequential_banded = time_mode(|| RelativeLocalizer::new(banded).localize(&input))?;
+    let batch_exact = time_mode(|| BatchLocalizer::new(exact, threads).localize(&input))?;
+    let batch_banded = time_mode(|| BatchLocalizer::new(banded, threads).localize(&input))?;
+    let batch_screened = time_mode(|| BatchLocalizer::new(screened, threads).localize(&input))?;
 
     // Serving paths, screened config (the production setup): cold
     // constructs a fresh service per request, warm reuses one long-lived
@@ -322,7 +371,7 @@ fn bench_input(
     let serve_cold = time_mode(|| {
         let service = LocalizationService::new(service_config);
         service.localize(input.clone()).map(|r| r.result)
-    });
+    })?;
     let warm_service = LocalizationService::new(service_config);
     warm_service.localize(input.clone()).expect("warm-up request");
     let serve_warm = time_mode(|| {
@@ -332,7 +381,7 @@ fn bench_input(
             "warm serving request must build zero banks"
         );
         Ok(response.result)
-    });
+    })?;
 
     // Networked serving: the same warm service behind `StppServer`,
     // driven over localhost TCP (measures the full wire tax: request
@@ -350,7 +399,7 @@ fn bench_input(
             Ok(response.result)
         }
         LocalizeReply::Busy { .. } => unreachable!("idle benchmark server cannot be busy"),
-    });
+    })?;
     client.shutdown().expect("shutdown benchmark server");
     handle.join().expect("benchmark server exits");
 
@@ -361,7 +410,7 @@ fn bench_input(
     let screen_speedup = batch_banded.localize_ms / batch_screened.localize_ms.max(1e-9);
     let serve_speedup = serve_cold.localize_ms / serve_warm.localize_ms.max(1e-9);
     let net_overhead = serve_net.localize_ms / serve_warm.localize_ms.max(1e-9);
-    PopulationReport {
+    Ok(PopulationReport {
         scenario,
         tags,
         input_build_ms,
@@ -379,7 +428,7 @@ fn bench_input(
         speedup_serve_warm_vs_cold: serve_speedup,
         overhead_net_vs_warm: net_overhead,
         serve_net_connections,
-    }
+    })
 }
 
 /// Spawns one sweep server with a pre-warmed service on the given core.
@@ -720,6 +769,110 @@ fn sweep_fleet(input: &Arc<StppInput>) -> FleetReport {
     }
 }
 
+/// Measures the streaming time-to-first-result sweep on the checked-in
+/// conveyor streaming scenario. The streaming and batch repetitions
+/// interleave rep by rep (same drift-cancelling discipline as the other
+/// sweeps), and every finished session re-asserts bit-identity against
+/// the batch reference — streaming moves *when* the first answer
+/// appears, never what the final answer is.
+fn sweep_streaming(threads: usize) -> StreamingReport {
+    let path = format!("{}/../../scenarios/streaming_conveyor.json", env!("CARGO_MANIFEST_DIR"));
+    let spec = stpp_scenario::ScenarioSpec::load(std::path::Path::new(&path))
+        .unwrap_or_else(|e| panic!("streaming scenario {path} must parse: {e}"));
+    let built = stpp_scenario::build_scenario(&spec)
+        .unwrap_or_else(|e| panic!("streaming scenario {path} must build: {e}"));
+    let geometry = SessionGeometry {
+        nominal_speed_mps: built.input.nominal_speed_mps,
+        wavelength_m: built.input.wavelength_m,
+        perpendicular_distance_m: built.input.perpendicular_distance_m,
+    };
+    let screened = StppConfig {
+        dtw_band: Some(BAND),
+        lockstep_screen: true,
+        coarse_prealign: true,
+        ..StppConfig::default()
+    };
+    let service_config = ServiceConfig { stpp: screened, threads, ..ServiceConfig::default() };
+    let service = LocalizationService::new(service_config);
+    // Warm-up + reference: one batch request builds the geometry's banks
+    // (sessions share them through the session geometry key) and pins
+    // the result every finished session must reproduce.
+    let reference = service.localize(built.input.clone()).expect("streaming warm-up").result;
+
+    let total = built.reports.len();
+    let mut ttfr_ms = f64::INFINITY;
+    let mut batch_ms = f64::INFINITY;
+    let mut first_result_reports = 0usize;
+    for _ in 0..STREAMING_REPS {
+        // Streaming: replay in arrival order, polling a provisional
+        // ordering every [`STREAMING_POLL_EVERY`] reports; the clock
+        // stops at the first poll that carries an estimate. The rest of
+        // the stream still flows in so the finished session can
+        // re-assert bit-identity.
+        let mut session = service.open_session(geometry).expect("open streaming session");
+        let t = Instant::now();
+        let mut first_at = None;
+        for (i, report) in built.reports.iter().enumerate() {
+            session.ingest(report).expect("ingest streamed report");
+            if first_at.is_none()
+                && ((i + 1) % STREAMING_POLL_EVERY == 0 || i + 1 == total)
+                && session.provisional().tags_estimated > 0
+            {
+                first_at = Some((t.elapsed().as_secs_f64() * 1e3, i + 1));
+            }
+        }
+        let (ms, at) = first_at.expect("the conveyor stream must surface a provisional estimate");
+        if first_result_reports == 0 {
+            first_result_reports = at;
+        } else {
+            assert_eq!(
+                first_result_reports, at,
+                "the first provisional estimate must appear at a deterministic report index"
+            );
+        }
+        ttfr_ms = ttfr_ms.min(ms);
+        let response = session
+            .finish()
+            .expect("finish streaming session")
+            .expect("streaming session saw reports");
+        assert_eq!(
+            response.result, reference,
+            "finished streaming session must be bit-identical to the batch path"
+        );
+
+        // Batch at quiescence: the same stream with no polls, localized
+        // once at the end — the earliest any non-streaming consumer can
+        // see an ordering.
+        let mut session = service.open_session(geometry).expect("open batch session");
+        let t = Instant::now();
+        for report in &built.reports {
+            session.ingest(report).expect("ingest batched report");
+        }
+        let response =
+            session.finish().expect("finish batch session").expect("batch session saw reports");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            response.result, reference,
+            "batch-at-quiescence session must be bit-identical to the batch path"
+        );
+        batch_ms = batch_ms.min(ms);
+    }
+    let speedup = batch_ms / ttfr_ms.max(1e-9);
+    eprintln!(
+        "  streaming: first result after {first_result_reports}/{total} reports in {ttfr_ms:8.2} \
+         ms | batch at quiescence {batch_ms:8.2} ms | first result {speedup:.2}x earlier"
+    );
+    StreamingReport {
+        scenario: spec.name,
+        tags: built.input.observations.len(),
+        reports: total,
+        first_result_reports,
+        ttfr_streaming_ms: ttfr_ms,
+        batch_quiescence_ms: batch_ms,
+        speedup_first_result_vs_batch: speedup,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -755,7 +908,8 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let mut reports = Vec::new();
-    let mut bench_jobs: Vec<Box<dyn FnOnce() -> PopulationReport>> = Vec::new();
+    let mut bench_jobs: Vec<Box<dyn FnOnce() -> Result<PopulationReport, LocalizationError>>> =
+        Vec::new();
     if scenario_files.is_empty() {
         // The connection sweep rides the smallest population only: the
         // per-request work is cheapest there, so the sweep isolates the
@@ -778,7 +932,15 @@ fn main() {
         }
     }
     for job in bench_jobs {
-        let report = job();
+        // A localize failure means the harness benchmarked nothing real;
+        // fail the run loudly instead of writing a report full of zeros.
+        let report = match job() {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench_json: localization failed while benchmarking: {e}");
+                std::process::exit(1);
+            }
+        };
         eprintln!(
             "  seed {:8.2} ms | seq exact {:8.2} ms | seq banded {:8.2} ms | batch exact \
              {:8.2} ms | batch banded {:8.2} ms | speedup {:4.1}x | screened {:8.2} ms \
@@ -811,15 +973,56 @@ fn main() {
         Arc::new(StppInput::from_recording(&fleet_recording).expect("valid fleet input"));
     let fleet = sweep_fleet(&fleet_input);
 
+    // The streaming sweep also rides its own workload (the checked-in
+    // conveyor streaming scenario) in smoke and full modes alike: the
+    // gate floors its first-result speedup over batch-at-quiescence.
+    eprintln!("benchmarking streaming time-to-first-result…");
+    let streaming = sweep_streaming(threads);
+
     let report = BenchReport {
-        schema: "stpp-bench-pipeline/v6",
+        schema: "stpp-bench-pipeline/v7",
         smoke,
         threads,
         band: BAND,
         populations: reports,
         fleet,
+        streaming,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write benchmark report");
     eprintln!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the silent-failure bug where `time_mode`
+    /// swallowed localize errors as `localized = 0`: a workload poisoned
+    /// with an invalid geometry must surface the error to the caller
+    /// (and from there fail the whole run), not masquerade as a mode
+    /// that localized zero tags.
+    #[test]
+    fn time_mode_propagates_localize_errors_from_a_poisoned_config() {
+        let recording = benchmark_recording(3, 0.06, 21);
+        let mut poisoned = StppInput::from_recording(&recording).expect("valid benchmark input");
+        poisoned.wavelength_m = f64::NAN;
+        let result =
+            time_mode(|| RelativeLocalizer::new(StppConfig::default()).localize(&poisoned));
+        assert!(
+            matches!(result, Err(LocalizationError::InvalidGeometry(_))),
+            "poisoned geometry must propagate as InvalidGeometry, got {result:?}"
+        );
+    }
+
+    /// The happy path still reports a real localized count.
+    #[test]
+    fn time_mode_reports_the_localized_count() {
+        let recording = benchmark_recording(3, 0.06, 21);
+        let input = StppInput::from_recording(&recording).expect("valid benchmark input");
+        let report = time_mode(|| RelativeLocalizer::new(StppConfig::default()).localize(&input))
+            .expect("clean workload localizes");
+        assert!(report.localized > 0, "benchmark workload must localize tags");
+        assert!(report.localize_ms.is_finite());
+    }
 }

@@ -201,6 +201,17 @@ impl SegmentFeatures {
         }
     }
 
+    /// Appends one segment given its phase range `[lo, hi]` and raw time
+    /// interval, applying the same `1e-3` duration floor as
+    /// [`refill`](Self::refill). This is the raw-triple entry streaming
+    /// callers (and property tests) use to grow a representation segment
+    /// by segment.
+    pub fn push(&mut self, lo: f64, hi: f64, interval_s: f64) {
+        self.lo.push(lo);
+        self.hi.push(hi);
+        self.dur.push(interval_s.max(1e-3));
+    }
+
     /// Number of segments.
     pub fn len(&self) -> usize {
         self.lo.len()
@@ -869,6 +880,161 @@ pub fn dtw_segmented_cost_only(
         }
     }
     Some(total)
+}
+
+/// Append-only, column-major evaluation of the cost-only segmented
+/// subsequence DTW — the streaming counterpart of
+/// [`dtw_segmented_cost_only`].
+///
+/// The batch kernel walks the DP table row by row (one row per
+/// *reference* segment) and needs the complete measured representation up
+/// front. Every cell, though, is a pure function of its three
+/// predecessors, so the same table can be filled **column by column**
+/// (one column per *measured* segment) while the measured profile is
+/// still arriving: the tracker keeps the most recent column
+/// (`n = reference.len()` values) and folds each newly completed measured
+/// segment into it in `O(n)`. Because the subsequence alignment may end
+/// at any measured column, the minimum over the last-row entry of every
+/// appended column — maintained as a running minimum — *is* the optimal
+/// subsequence cost over the measured prefix seen so far.
+///
+/// Cell values, the three-way minimum, and the running best are computed
+/// with exactly the arithmetic (operand order included) of
+/// [`dtw_segmented_cost_only`], so after `j` appends [`best`](Self::best)
+/// is **bit-identical** to a batch cost-only alignment against the first
+/// `j` measured segments — property-tested in this module. Two batch
+/// features intentionally have no incremental counterpart:
+///
+/// * **Banding** (`band = Some(_)`): the subsequence band prunes cells by
+///   their distance from a diagonal whose slope depends on the *final*
+///   measured length, which is unknown mid-stream. The incremental kernel
+///   is therefore always exact (`band = None` semantics) — which is also
+///   the V-zone detector's default.
+/// * **Early abandoning**: there is no competing candidate cost to
+///   abandon against while streaming; callers simply stop appending when
+///   they lose interest in a lane.
+#[derive(Debug, Default, Clone)]
+pub struct IncrementalDtwCost {
+    /// The accumulated-cost column of the most recently appended measured
+    /// segment (`col[i] = acc[i][j]`), length `reference.len()`.
+    col: Vec<f64>,
+    /// Number of measured segments appended since the last reset.
+    appended: usize,
+    /// Running minimum over the last-row entries of all appended columns.
+    best: f64,
+}
+
+impl IncrementalDtwCost {
+    /// Creates an empty incremental alignment.
+    pub fn new() -> Self {
+        IncrementalDtwCost { col: Vec::new(), appended: 0, best: f64::INFINITY }
+    }
+
+    /// Discards all appended measured segments, keeping the column
+    /// allocation for reuse.
+    pub fn reset(&mut self) {
+        self.col.clear();
+        self.appended = 0;
+        self.best = f64::INFINITY;
+    }
+
+    /// Number of measured segments appended since the last reset.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// The optimal subsequence cost over the measured segments appended
+    /// so far: bit-identical to [`dtw_segmented_cost_only`] (with
+    /// `band = None`, no abandon limit) against the same measured prefix.
+    /// `None` before the first append.
+    pub fn best(&self) -> Option<f64> {
+        if self.best.is_finite() {
+            Some(self.best)
+        } else {
+            None
+        }
+    }
+
+    /// Appends one measured segment — its phase range `[m_lo, m_hi]` and
+    /// raw time interval (the `1e-3` floor of
+    /// [`SegmentFeatures::refill`] is applied here, so callers pass
+    /// [`Segment::time_interval`](crate::segment::Segment::time_interval)
+    /// directly) — and returns the updated [`best`](Self::best).
+    ///
+    /// `reference` must be the same representation on every append of one
+    /// stream (checked by length in debug builds); `reset` before
+    /// switching references.
+    pub fn append(
+        &mut self,
+        reference: &SegmentFeatures,
+        gap_penalty_per_second: f64,
+        m_lo: f64,
+        m_hi: f64,
+        m_interval_s: f64,
+    ) -> Option<f64> {
+        let n = reference.len();
+        if n == 0 {
+            return None;
+        }
+        let penalty = gap_penalty_per_second.max(0.0);
+        let m_dur = m_interval_s.max(1e-3);
+        let cell = |i: usize| -> f64 {
+            let (r_lo, r_hi, r_dur) = (reference.lo[i], reference.hi[i], reference.dur[i]);
+            let gap = if r_lo > m_hi {
+                r_lo - m_hi
+            } else if m_lo > r_hi {
+                m_lo - r_hi
+            } else {
+                0.0
+            };
+            r_dur.min(m_dur) * gap
+        };
+        if self.appended == 0 {
+            // First measured column: row 0 is a free subsequence start
+            // (pure cell cost); rows below can only arrive from above.
+            self.col.clear();
+            self.col.reserve(n);
+            let mut above = cell(0);
+            self.col.push(above);
+            for i in 1..n {
+                let v = cell(i) + (above + penalty * reference.dur[i]);
+                self.col.push(v);
+                above = v;
+            }
+        } else {
+            debug_assert_eq!(self.col.len(), n, "reference changed between appends");
+            let pl = penalty * m_dur;
+            // `diag` carries the previous column's row `i − 1` value: read
+            // each old slot before overwriting it.
+            let mut diag = self.col[0];
+            let mut above = cell(0);
+            self.col[0] = above;
+            for i in 1..n {
+                let left = self.col[i];
+                let up = above + penalty * reference.dur[i];
+                let left_cost = left + pl;
+                // Same preference order as the batch kernel: diagonal,
+                // then up, then left (ties keep the earlier move).
+                let mut best = diag;
+                if up < best {
+                    best = up;
+                }
+                if left_cost < best {
+                    best = left_cost;
+                }
+                let v = cell(i) + best;
+                diag = left;
+                self.col[i] = v;
+                above = v;
+            }
+        }
+        self.appended += 1;
+        let last = self.col[n - 1];
+        if last < self.best {
+            self.best = last;
+        }
+        self.best()
+    }
 }
 
 /// Per-candidate outcome of a [`dtw_screen_lockstep`] pass.
@@ -1581,5 +1747,91 @@ mod tests {
         // The matched sample range must be (mostly) inside the embedded V.
         assert!(sample_range.start >= 25, "start = {}", sample_range.start);
         assert!(sample_range.end <= 76, "end = {}", sample_range.end);
+    }
+
+    /// The first `j` segments of a representation, as the batch kernel
+    /// would see them.
+    fn features_prefix(f: &SegmentFeatures, j: usize) -> SegmentFeatures {
+        SegmentFeatures { lo: f.lo[..j].to_vec(), hi: f.hi[..j].to_vec(), dur: f.dur[..j].to_vec() }
+    }
+
+    fn synthetic_v_features(samples: usize, dt: f64, center_s: f64) -> SegmentFeatures {
+        let pairs: Vec<(f64, f64)> = (0..samples)
+            .map(|i| {
+                let t = i as f64 * dt;
+                (t, rfid_phys::wrap_phase((t - center_s).abs() * 2.0 + 0.4))
+            })
+            .collect();
+        let profile = PhaseProfile::from_pairs(&pairs);
+        SegmentFeatures::from_segmented(&SegmentedProfile::build(&profile, 5))
+    }
+
+    #[test]
+    fn incremental_cost_is_bit_identical_to_batch_at_every_prefix() {
+        let reference = synthetic_v_features(60, 0.02, 0.6);
+        let measured = synthetic_v_features(300, 0.017, 2.6);
+        assert!(reference.len() > 1 && measured.len() > reference.len());
+        let mut scratch = DtwScratch::new();
+        for penalty in [0.0, 0.5, 2.0] {
+            let mut inc = IncrementalDtwCost::new();
+            for j in 0..measured.len() {
+                let got = inc.append(
+                    &reference,
+                    penalty,
+                    measured.lo[j],
+                    measured.hi[j],
+                    measured.dur[j],
+                );
+                assert_eq!(inc.appended(), j + 1);
+                let prefix = features_prefix(&measured, j + 1);
+                let want =
+                    dtw_segmented_cost_only(&reference, &prefix, penalty, None, None, &mut scratch);
+                assert_eq!(
+                    want.map(f64::to_bits),
+                    got.map(f64::to_bits),
+                    "penalty {penalty}, prefix {}",
+                    j + 1
+                );
+                assert_eq!(got.map(f64::to_bits), inc.best().map(f64::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_cost_handles_single_segment_reference() {
+        let mut reference = SegmentFeatures::default();
+        reference.push(1.0, 2.0, 0.1);
+        let measured = synthetic_v_features(120, 0.02, 1.2);
+        let mut scratch = DtwScratch::new();
+        let mut inc = IncrementalDtwCost::new();
+        for j in 0..measured.len() {
+            let got = inc.append(&reference, 0.5, measured.lo[j], measured.hi[j], measured.dur[j]);
+            let prefix = features_prefix(&measured, j + 1);
+            let want = dtw_segmented_cost_only(&reference, &prefix, 0.5, None, None, &mut scratch);
+            assert_eq!(want.map(f64::to_bits), got.map(f64::to_bits), "prefix {}", j + 1);
+        }
+    }
+
+    #[test]
+    fn incremental_cost_reset_allows_reuse_and_empty_reference_is_none() {
+        let reference = synthetic_v_features(60, 0.02, 0.6);
+        let measured = synthetic_v_features(150, 0.02, 1.5);
+        let mut inc = IncrementalDtwCost::new();
+        assert_eq!(inc.best(), None);
+        for j in 0..measured.len() {
+            inc.append(&reference, 0.5, measured.lo[j], measured.hi[j], measured.dur[j]);
+        }
+        let first = inc.best();
+        assert!(first.is_some());
+        inc.reset();
+        assert_eq!(inc.best(), None);
+        assert_eq!(inc.appended(), 0);
+        for j in 0..measured.len() {
+            inc.append(&reference, 0.5, measured.lo[j], measured.hi[j], measured.dur[j]);
+        }
+        assert_eq!(inc.best().map(f64::to_bits), first.map(f64::to_bits), "reset must replay");
+        // An empty reference can never produce a cost.
+        let mut empty = IncrementalDtwCost::new();
+        assert_eq!(empty.append(&SegmentFeatures::default(), 0.5, 0.0, 1.0, 0.1), None);
     }
 }

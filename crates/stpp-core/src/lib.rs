@@ -40,6 +40,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod reference;
 pub mod segment;
+pub mod streaming;
 pub mod vzone;
 
 pub use batch::BatchLocalizer;
@@ -47,7 +48,7 @@ pub use dtw::{
     decimated_band, dtw_full, dtw_full_banded, dtw_screen_lockstep, dtw_segmented,
     dtw_segmented_banded, dtw_segmented_cost_only, dtw_segmented_features_into, dtw_segmented_into,
     dtw_segmented_with_penalty, dtw_subsequence, dtw_subsequence_banded, path_matched_range,
-    DtwResult, DtwScratch, ScreenOutcome, SegmentFeatures,
+    DtwResult, DtwScratch, IncrementalDtwCost, ScreenOutcome, SegmentFeatures,
 };
 pub use metrics::{kendall_tau, ordering_accuracy, OrderingScore};
 pub use ordering::{gap_metric, order_metric, OrderingEngine, TagVZoneSummary};
@@ -61,6 +62,7 @@ pub use reference::{
     ReferenceProfileParams,
 };
 pub use segment::{Segment, SegmentedProfile};
+pub use streaming::{ProvisionalEstimate, StreamingTagTracker};
 pub use vzone::{
     DetectError, DetectScratch, NaiveUnwrapDetector, QuadraticFit, VZone, VZoneDetection,
     VZoneDetector,

@@ -146,7 +146,7 @@ impl ReferenceProfile {
             .enumerate()
             .min_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite times"))
             .map(|(i, _)| i)
-            .unwrap_or(0);
+            .expect("profile has >= 5 samples, checked above");
         let safe_wrap = (delta_wrap - 1e-6).max(1e-6);
         let x_vzone = ((d_perp + safe_wrap).powi(2) - d_perp * d_perp).sqrt();
         let t_vzone = x_vzone / params.speed_mps;

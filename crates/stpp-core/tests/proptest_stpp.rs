@@ -103,6 +103,40 @@ proptest! {
     }
 
     #[test]
+    fn incremental_dtw_is_bit_identical_to_batch_at_every_prefix(
+        ref_segs in proptest::collection::vec(
+            (0.0f64..6.0, 0.0f64..1.5, 0.0f64..0.4), 1..12),
+        mea_segs in proptest::collection::vec(
+            (0.0f64..6.0, 0.0f64..1.5, 0.0f64..0.4), 1..40),
+        penalty in 0.0f64..2.0,
+    ) {
+        // The streaming tracker trusts the append-only column-major
+        // kernel to reproduce the batch cost-only kernel exactly (band =
+        // None) after every single append; the two recurrences are
+        // maintained by hand, so pin them together bit for bit over raw
+        // segment triples (lo, span, duration — including sub-floor
+        // durations, exercising the shared 1e-3 floor).
+        let features = |segs: &[(f64, f64, f64)]| {
+            let mut f = stpp_core::SegmentFeatures::default();
+            for &(lo, span, dur) in segs {
+                f.push(lo, lo + span, dur);
+            }
+            f
+        };
+        let reference = features(&ref_segs);
+        let mut scratch = stpp_core::DtwScratch::new();
+        let mut incremental = stpp_core::IncrementalDtwCost::new();
+        for j in 1..=mea_segs.len() {
+            let &(lo, span, dur) = &mea_segs[j - 1];
+            let got = incremental.append(&reference, penalty, lo, lo + span, dur);
+            let batch = stpp_core::dtw_segmented_cost_only(
+                &reference, &features(&mea_segs[..j]), penalty, None, None, &mut scratch,
+            );
+            prop_assert_eq!(batch.map(f64::to_bits), got.map(f64::to_bits), "prefix {}", j);
+        }
+    }
+
+    #[test]
     fn narrow_banded_dtw_cost_never_beats_exact(
         a in arb_sequence(25),
         b in arb_sequence(25),

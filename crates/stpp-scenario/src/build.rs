@@ -12,6 +12,7 @@ use rfid_geometry::{Point3, RowLayout, TagLayout};
 use rfid_phys::MultipathEnvironment;
 use rfid_reader::{
     AntennaSweepParams, ConveyorParams, ManualMotionModel, ReaderSimulation, ScenarioBuilder,
+    TagReadReport,
 };
 use stpp_core::StppInput;
 
@@ -29,6 +30,11 @@ pub struct BuiltScenario {
     pub truth_x: Vec<u64>,
     /// Ground-truth tag order along Y.
     pub truth_y: Vec<u64>,
+    /// The recorded reader reports in time order — the stream a
+    /// `streaming` block replays into a session. `input` above is the
+    /// same recording batched per tag, so a session fed from here and
+    /// finished localizes bit-identically to a batch request.
+    pub reports: Vec<TagReadReport>,
 }
 
 fn layout_of(spec: &LayoutSpec) -> TagLayout {
@@ -134,8 +140,9 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<BuiltScenario, ScenarioErro
     let recording = ReaderSimulation::new(scenario, spec.seed).run();
     let input = StppInput::from_recording(&recording)
         .map_err(|e| ScenarioError::Simulation { reason: e.to_string() })?;
+    let reports = recording.stream.reports().to_vec();
 
-    Ok(BuiltScenario { input: Arc::new(input), truth_x, truth_y })
+    Ok(BuiltScenario { input: Arc::new(input), truth_x, truth_y, reports })
 }
 
 #[cfg(test)]
@@ -160,6 +167,7 @@ mod tests {
             server: ServerSpec::default(),
             fleet: None,
             storm: None,
+            streaming: None,
             client: None,
             impairments: None,
             expectations: Default::default(),

@@ -47,10 +47,11 @@ pub use chaos::ChaosProxy;
 pub use error::ScenarioError;
 pub use report::{
     CheckResult, LatencySummary, RunMode, RunOutcome, RunReport, ServiceObservations,
+    StreamingObservations,
 };
 pub use runner::{run_scenario, RunError, RunOptions};
 pub use spec::{
     ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, FleetSpec, ImpairmentSpec,
     LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerCoreSpec,
-    ServerSpec, StormSpec, TagPosition,
+    ServerSpec, StormSpec, StreamingSpec, TagPosition,
 };

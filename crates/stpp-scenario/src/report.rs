@@ -108,6 +108,24 @@ pub struct ServiceObservations {
     pub warm_builds: u64,
 }
 
+/// What the streaming feed observed (service and wire runs of a
+/// scenario with a `streaming` block; `None` everywhere else). Timing
+/// is measured on the report stream's own clock — the timestamp of the
+/// last report ingested before the poll — so every field is
+/// deterministic across runs, modes, and machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingObservations {
+    /// Reports replayed into the session.
+    pub reports_ingested: u64,
+    /// Provisional polls performed.
+    pub polls: u64,
+    /// Polls that returned at least one estimated tag.
+    pub provisional_results: u64,
+    /// Stream time between the first ingested report and the first poll
+    /// that returned an estimate (`None` = no poll ever did).
+    pub time_to_first_result_s: Option<f64>,
+}
+
 /// One evaluated expectation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckResult {
@@ -144,6 +162,9 @@ pub struct RunReport {
     pub latency: LatencySummary,
     /// Cache observations (`None` in pipeline mode).
     pub service: Option<ServiceObservations>,
+    /// Streaming-feed observations (`None` without a `streaming` block,
+    /// and in pipeline mode, which has no session layer).
+    pub streaming: Option<StreamingObservations>,
     /// Every evaluated expectation.
     pub checks: Vec<CheckResult>,
 }
@@ -201,6 +222,17 @@ impl RunReport {
                 out,
                 "  cache geometry_hits={} cold_builds={} warm_builds={}",
                 s.geometry_hits, s.cold_builds, s.warm_builds
+            );
+        }
+        if let Some(s) = &self.streaming {
+            let ttfr = match s.time_to_first_result_s {
+                Some(t) => format!("{t:.3}s"),
+                None => "never".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  streaming reports={} polls={} provisional_results={} first_result={ttfr}",
+                s.reports_ingested, s.polls, s.provisional_results
             );
         }
         if self.checks.is_empty() {

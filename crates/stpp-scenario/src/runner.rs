@@ -15,9 +15,9 @@ use std::time::Instant;
 use stpp_core::{metrics, BatchLocalizer, StppConfig, StppInput, StppResult};
 use stpp_serve::proto::{encode_localize_request_into, read_frame, write_frame};
 use stpp_serve::{
-    FleetClient, LocalizationRequest, LocalizationService, Request, ResilienceCounters,
+    FleetClient, FlushReply, LocalizationRequest, LocalizationService, Request, ResilienceCounters,
     ResilientClient, ResilientError, Response, RetryPolicy, ServerConfig, ServerCore,
-    ServiceConfig, ShardIdentity, StppClient, StppServer,
+    ServiceConfig, SessionGeometry, ShardIdentity, StppClient, StppServer, WireReport,
 };
 
 use crate::build::{build_scenario, BuiltScenario};
@@ -25,9 +25,11 @@ use crate::chaos::ChaosProxy;
 use crate::error::ScenarioError;
 use crate::report::{
     CheckResult, LatencySummary, RunMode, RunOutcome, RunReport, ServiceObservations,
+    StreamingObservations,
 };
 use crate::spec::{
     ClientSpec, Expectations, FleetSpec, ImpairmentSpec, ScenarioSpec, ServerCoreSpec, StormSpec,
+    StreamingSpec,
 };
 
 /// Circuit-open waits per request before the runner gives up: the
@@ -134,6 +136,7 @@ struct Tally {
     shards_used: u64,
     redirects: u64,
     cross_shard_builds: u64,
+    streaming: Option<StreamingObservations>,
 }
 
 impl Tally {
@@ -216,6 +219,142 @@ fn run_service(
             variant: 0,
         });
     }
+    if let Some(streaming) = &spec.streaming {
+        let reference = tally.samples.first().expect("schedule ran").result.clone();
+        tally.streaming = Some(stream_in_process(streaming, &service, built, &reference)?);
+    }
+    Ok(tally)
+}
+
+/// The session geometry a streamed scenario opens its session with —
+/// the same deployment facts the batched input carries, so the session
+/// and the batch requests share one geometry key (and therefore warm
+/// reference banks).
+fn session_geometry(built: &BuiltScenario) -> SessionGeometry {
+    SessionGeometry {
+        nominal_speed_mps: built.input.nominal_speed_mps,
+        wavelength_m: built.input.wavelength_m,
+        perpendicular_distance_m: built.input.perpendicular_distance_m,
+    }
+}
+
+/// Accounts one provisional poll: `now_s` is the timestamp of the last
+/// report ingested before the poll, so the time-to-first-result is
+/// measured on the deterministic report clock.
+fn observe_poll(tally: &mut StreamingObservations, tags_estimated: u64, now_s: f64, first_s: f64) {
+    tally.polls += 1;
+    if tags_estimated > 0 {
+        tally.provisional_results += 1;
+        if tally.time_to_first_result_s.is_none() {
+            tally.time_to_first_result_s = Some(now_s - first_s);
+        }
+    }
+}
+
+fn empty_streaming_tally() -> StreamingObservations {
+    StreamingObservations {
+        reports_ingested: 0,
+        polls: 0,
+        provisional_results: 0,
+        time_to_first_result_s: None,
+    }
+}
+
+/// The in-process streaming feed: replays the recorded reports in time
+/// order into a [`ServiceSession`](stpp_serve::ServiceSession), polling
+/// a provisional ordering every `poll_every_reports` reports (and once
+/// at end of stream), then finishes the session. The finished result
+/// must be bit-identical to the batch reference — streaming changes
+/// *when* answers appear, never what the final answer is.
+fn stream_in_process(
+    spec: &StreamingSpec,
+    service: &Arc<LocalizationService>,
+    built: &BuiltScenario,
+    reference: &StppResult,
+) -> Result<StreamingObservations, RunError> {
+    let mut session = session_open_checked(service, built)?;
+    let mut tally = empty_streaming_tally();
+    let first_s = built.reports.first().map(|r| r.time_s).unwrap_or(0.0);
+    let every = spec.poll_every_reports as usize;
+    let total = built.reports.len();
+    for (i, report) in built.reports.iter().enumerate() {
+        session.ingest(report).map_err(|e| RunError::Localization(e.to_string()))?;
+        tally.reports_ingested += 1;
+        if (i + 1) % every == 0 || i + 1 == total {
+            let ordering = session.provisional();
+            observe_poll(&mut tally, ordering.tags_estimated, report.time_s, first_s);
+        }
+    }
+    let response = session
+        .finish()
+        .map_err(|e| RunError::Localization(e.to_string()))?
+        .ok_or_else(|| RunError::Localization("streaming session saw no reports".to_string()))?;
+    if &response.result != reference {
+        return Err(RunError::NonDeterministic { request: 0 });
+    }
+    Ok(tally)
+}
+
+fn session_open_checked(
+    service: &Arc<LocalizationService>,
+    built: &BuiltScenario,
+) -> Result<stpp_serve::ServiceSession, RunError> {
+    service.open_session(session_geometry(built)).map_err(|e| RunError::Client(e.to_string()))
+}
+
+/// The wire streaming feed: the same replay as [`stream_in_process`],
+/// driven through `OpenSession`/`IngestReports`/`Provisional`/
+/// `FlushSession` frames on a direct connection to the server (any
+/// chaos proxy is bypassed — the feed probes the streaming path, not
+/// the wire impairments). Reports travel in `poll_every_reports`-sized
+/// chunks with a provisional poll after each, so the poll positions —
+/// and therefore every provisional ordering and the time-to-first-
+/// result — are identical to the in-process feed's.
+fn stream_over_wire(
+    spec: &StreamingSpec,
+    server_addr: std::net::SocketAddr,
+    built: &BuiltScenario,
+    reference: &StppResult,
+) -> Result<StreamingObservations, RunError> {
+    let mut client = StppClient::connect(server_addr).map_err(|e| RunError::Io(e.to_string()))?;
+    let session = client
+        .open_session(session_geometry(built), None)
+        .map_err(|e| RunError::Client(e.to_string()))?;
+    let mut tally = empty_streaming_tally();
+    let first_s = built.reports.first().map(|r| r.time_s).unwrap_or(0.0);
+    for batch in built.reports.chunks(spec.poll_every_reports as usize) {
+        let reports: Vec<WireReport> = batch
+            .iter()
+            .map(|r| WireReport {
+                epc_serial: r.epc.serial(),
+                time_s: r.time_s,
+                phase_rad: r.phase_rad,
+            })
+            .collect();
+        client.ingest(session, &reports).map_err(|e| RunError::Client(e.to_string()))?;
+        tally.reports_ingested += reports.len() as u64;
+        let ordering = client.provisional(session).map_err(|e| RunError::Client(e.to_string()))?;
+        let now_s = batch.last().expect("chunks are non-empty").time_s;
+        observe_poll(&mut tally, ordering.tags_estimated, now_s, first_s);
+    }
+    // The finishing flush takes an admission slot, so it can bounce
+    // `Busy` under load; ride that out like the storm does.
+    let response = 'flush: {
+        for _ in 0..MAX_STORM_ATTEMPTS_PER_REQUEST {
+            match client.flush_session(session, true) {
+                Ok(FlushReply::Flushed(outcome)) => break 'flush outcome,
+                Ok(FlushReply::Busy { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(2))
+                }
+                Err(e) => return Err(RunError::Client(e.to_string())),
+            }
+        }
+        return Err(RunError::RetriesExhausted { attempts: MAX_STORM_ATTEMPTS_PER_REQUEST });
+    }
+    .ok_or_else(|| RunError::Client("streaming session saw no reports".to_string()))?;
+    if &response.result != reference {
+        return Err(RunError::NonDeterministic { request: 0 });
+    }
     Ok(tally)
 }
 
@@ -244,7 +383,9 @@ fn run_wire(
 
     let client_spec = spec.client.unwrap_or_default();
     let mut client = resilient_client(client_addr, &client_spec);
-    let kill_after = spec.impairments.as_ref().map(|imp| imp.kill_after_requests).unwrap_or(0);
+    // `0` is the spec's own "crash drill disabled" value, not an error
+    // fallback: scenarios without impairments simply never kill.
+    let kill_after = spec.impairments.as_ref().map_or(0, |imp| imp.kill_after_requests);
 
     // The run proper, kept fallible-but-contained so the server and
     // proxy are always torn down before returning.
@@ -284,6 +425,10 @@ fn run_wire(
         tally.absorb(client.counters());
         if let Some(storm) = &spec.storm {
             run_storm(storm, server_addr, built, opts, &mut tally)?;
+        }
+        if let Some(streaming) = &spec.streaming {
+            let reference = tally.samples.first().expect("schedule ran").result.clone();
+            tally.streaming = Some(stream_over_wire(streaming, server_addr, built, &reference)?);
         }
         Ok(tally)
     })();
@@ -814,9 +959,25 @@ fn finish(
         }
     };
 
-    let checks = evaluate(&spec.expectations, &outcome, &latency, service.as_ref(), mode);
+    let streaming = tally.streaming;
+    let checks = evaluate(
+        &spec.expectations,
+        &outcome,
+        &latency,
+        service.as_ref(),
+        streaming.as_ref(),
+        mode,
+    );
 
-    Ok(RunReport { scenario: spec.name.clone(), mode, outcome, latency, service, checks })
+    Ok(RunReport {
+        scenario: spec.name.clone(),
+        mode,
+        outcome,
+        latency,
+        service,
+        streaming,
+        checks,
+    })
 }
 
 fn evaluate(
@@ -824,6 +985,7 @@ fn evaluate(
     outcome: &RunOutcome,
     latency: &LatencySummary,
     service: Option<&ServiceObservations>,
+    streaming: Option<&StreamingObservations>,
     mode: RunMode,
 ) -> Vec<CheckResult> {
     let mut checks = Vec::new();
@@ -1003,6 +1165,42 @@ fn evaluate(
         outcome.cross_shard_builds,
         exp.max_cross_shard_builds,
     ));
+
+    // Streaming expectations only observe the streaming feed, which the
+    // pipeline mode (no session layer) never runs — skipped there, like
+    // the wire-only floors above.
+    if let Some(min) = exp.min_provisional_results {
+        checks.push(match streaming {
+            None => skipped("min_provisional_results"),
+            Some(s) if s.provisional_results >= min => CheckResult::pass(
+                "min_provisional_results",
+                format!("{} ≥ floor {min}", s.provisional_results),
+            ),
+            Some(s) => CheckResult::fail(
+                "min_provisional_results",
+                format!("{} < floor {min}", s.provisional_results),
+            ),
+        });
+    }
+    if let Some(ceiling) = exp.max_time_to_first_result {
+        checks.push(match streaming {
+            None => skipped("max_time_to_first_result"),
+            Some(s) => match s.time_to_first_result_s {
+                Some(t) if t <= ceiling.seconds => CheckResult::pass(
+                    "max_time_to_first_result",
+                    format!("first provisional at {t:.3}s ≤ ceiling {:.3}s", ceiling.seconds),
+                ),
+                Some(t) => CheckResult::fail(
+                    "max_time_to_first_result",
+                    format!("first provisional at {t:.3}s > ceiling {:.3}s", ceiling.seconds),
+                ),
+                None => CheckResult::fail(
+                    "max_time_to_first_result",
+                    "no provisional poll ever returned an estimate".to_string(),
+                ),
+            },
+        });
+    }
 
     checks
 }

@@ -294,6 +294,31 @@ impl Default for StormSpec {
     }
 }
 
+/// The streaming feed: besides the scheduled whole-recording batch
+/// requests, the runner replays the recorded reports in time order into
+/// a streaming session, polling a provisional (mid-stream) X ordering
+/// as it goes and finishing the session at end of stream. The finished
+/// session's result must be bit-identical to the batch result — the
+/// runner hard-fails the run otherwise. Service mode drives a
+/// [`ServiceSession`](stpp_serve::ServiceSession) in process; wire mode
+/// drives `OpenSession`/`IngestReports`/`Provisional`/`FlushSession`
+/// frames on a direct connection (the chaos proxy, if any, is bypassed
+/// — the feed probes the streaming path, not the wire impairments).
+/// Pipeline mode has no session layer and skips the feed, so streaming
+/// expectations are skipped there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSpec {
+    /// Poll the provisional ordering after every Nth ingested report
+    /// (and once more at end of stream), `[1, 100000]`.
+    pub poll_every_reports: u64,
+}
+
+impl Default for StreamingSpec {
+    fn default() -> Self {
+        StreamingSpec { poll_every_reports: 50 }
+    }
+}
+
 /// Wire-level impairments, applied by the chaos proxy between the
 /// client and the spawned server. Only the wire runner exercises these;
 /// the server itself stays untouched.
@@ -460,6 +485,15 @@ pub struct Expectations {
     /// the variant's banks (fleet runs only; a shard kill legitimately
     /// rebuilds).
     pub max_cross_shard_builds: Option<u64>,
+    /// Floor on provisional polls that returned at least one estimated
+    /// tag (streaming feed only; requires a `streaming` block).
+    pub min_provisional_results: Option<u64>,
+    /// Ceiling on the time-to-first-result: the stream time between the
+    /// first ingested report and the first provisional poll that
+    /// returned an estimate, measured on the deterministic report clock
+    /// — not wall time, so the bound is stable in CI (streaming feed
+    /// only).
+    pub max_time_to_first_result: Option<DurationSpec>,
 }
 
 /// One complete declarative scenario.
@@ -484,6 +518,9 @@ pub struct ScenarioSpec {
     pub fleet: Option<FleetSpec>,
     /// Connection storm (`None` = no storm; wire runner only).
     pub storm: Option<StormSpec>,
+    /// Streaming feed (`None` = batch requests only; service and wire
+    /// runners).
+    pub streaming: Option<StreamingSpec>,
     /// Wire-client resilience policy (`None` = defaults).
     pub client: Option<ClientSpec>,
     /// Wire impairments (`None` = clean wire).
@@ -1000,6 +1037,28 @@ fn parse_storm(value: &Value, path: &str) -> Result<StormSpec, ScenarioError> {
     Ok(spec)
 }
 
+fn parse_streaming(value: &Value, path: &str) -> Result<StreamingSpec, ScenarioError> {
+    let mut fields = Fields::new(value, path)?;
+    let defaults = StreamingSpec::default();
+    let spec = StreamingSpec {
+        poll_every_reports: match fields.optional("poll_every_reports") {
+            Some((v, p)) => {
+                let n = u64_at(v, &p)?;
+                if n == 0 || n > 100_000 {
+                    return Err(ScenarioError::InvalidValue {
+                        path: p,
+                        reason: format!("{n} is outside [1, 100000]"),
+                    });
+                }
+                n
+            }
+            None => defaults.poll_every_reports,
+        },
+    };
+    fields.finish()?;
+    Ok(spec)
+}
+
 fn parse_impairments(value: &Value, path: &str) -> Result<ImpairmentSpec, ScenarioError> {
     let mut fields = Fields::new(value, path)?;
     let defaults = ImpairmentSpec::default();
@@ -1277,6 +1336,14 @@ fn parse_expectations(value: &Value, path: &str) -> Result<Expectations, Scenari
             Some((v, p)) => Some(u64_at(v, &p)?),
             None => None,
         },
+        min_provisional_results: match fields.optional("min_provisional_results") {
+            Some((v, p)) => Some(u64_at(v, &p)?),
+            None => None,
+        },
+        max_time_to_first_result: match fields.optional("max_time_to_first_result") {
+            Some((v, p)) => Some(duration_at(v, &p)?),
+            None => None,
+        },
     };
     fields.finish()?;
     Ok(expectations)
@@ -1330,6 +1397,10 @@ impl ScenarioSpec {
                 Some((v, p)) => Some(parse_storm(v, &p)?),
                 None => None,
             },
+            streaming: match fields.optional("streaming") {
+                Some((v, p)) => Some(parse_streaming(v, &p)?),
+                None => None,
+            },
             client: match fields.optional("client") {
                 Some((v, p)) => Some(parse_client(v, &p)?),
                 None => None,
@@ -1348,6 +1419,14 @@ impl ScenarioSpec {
             return Err(ScenarioError::InvalidValue {
                 path: "fleet".to_string(),
                 reason: "a fleet scenario cannot also declare `storm` or `impairments`".to_string(),
+            });
+        }
+        if spec.fleet.is_some() && spec.streaming.is_some() {
+            return Err(ScenarioError::InvalidValue {
+                path: "streaming".to_string(),
+                reason: "a streaming feed cannot ride a sharded fleet — a session lives on one \
+                         shard"
+                    .to_string(),
             });
         }
         Ok(spec)
@@ -1428,6 +1507,15 @@ impl ScenarioSpec {
                     ("chunk_bytes".to_string(), Value::U64(storm.chunk_bytes)),
                     ("chunk_gap".to_string(), Value::Str(storm.chunk_gap.render())),
                 ]),
+            ));
+        }
+        if let Some(streaming) = &self.streaming {
+            root.push((
+                "streaming".to_string(),
+                Value::Map(vec![(
+                    "poll_every_reports".to_string(),
+                    Value::U64(streaming.poll_every_reports),
+                )]),
             ));
         }
         if let Some(client) = &self.client {
@@ -1638,6 +1726,12 @@ fn expectations_value(expectations: &Expectations) -> Value {
     if let Some(n) = expectations.max_cross_shard_builds {
         entries.push(("max_cross_shard_builds".to_string(), Value::U64(n)));
     }
+    if let Some(n) = expectations.min_provisional_results {
+        entries.push(("min_provisional_results".to_string(), Value::U64(n)));
+    }
+    if let Some(d) = expectations.max_time_to_first_result {
+        entries.push(("max_time_to_first_result".to_string(), Value::Str(d.render())));
+    }
     Value::Map(entries)
 }
 
@@ -1788,6 +1882,38 @@ mod tests {
             ScenarioSpec::from_json(&bad),
             Err(ScenarioError::MissingField { path: "storm.connections".to_string() })
         );
+    }
+
+    #[test]
+    fn streaming_block_parses_validates_and_round_trips() {
+        let text = minimal().replace(
+            "\"seed\": 7",
+            r#""seed": 7,
+            "streaming": { "poll_every_reports": 25 },
+            "expectations": { "min_provisional_results": 2, "max_time_to_first_result": "1.5s" }"#,
+        );
+        let spec = ScenarioSpec::from_json(&text).expect("parses");
+        let streaming = spec.streaming.expect("streaming block");
+        assert_eq!(streaming.poll_every_reports, 25);
+        assert_eq!(spec.expectations.min_provisional_results, Some(2));
+        assert_eq!(spec.expectations.max_time_to_first_result.map(|d| d.seconds), Some(1.5));
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("canonical form parses");
+        assert_eq!(spec, back);
+
+        // Defaults apply to an empty block.
+        let text = minimal().replace("\"seed\": 7", r#""seed": 7, "streaming": {}"#);
+        let spec = ScenarioSpec::from_json(&text).expect("parses");
+        assert_eq!(spec.streaming, Some(StreamingSpec::default()));
+
+        // A zero poll cadence would never poll; it is a typed rejection.
+        let bad = minimal()
+            .replace("\"seed\": 7", r#""seed": 7, "streaming": { "poll_every_reports": 0 }"#);
+        assert!(matches!(ScenarioSpec::from_json(&bad), Err(ScenarioError::InvalidValue { .. })));
+
+        // Streaming cannot ride a fleet: a session lives on one shard.
+        let bad = minimal()
+            .replace("\"seed\": 7", r#""seed": 7, "streaming": {}, "fleet": { "shards": 2 }"#);
+        assert!(matches!(ScenarioSpec::from_json(&bad), Err(ScenarioError::InvalidValue { .. })));
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn small_spec() -> ScenarioSpec {
         server: ServerSpec::default(),
         fleet: None,
         storm: None,
+        streaming: None,
         client: None,
         impairments: None,
         expectations: Expectations::default(),

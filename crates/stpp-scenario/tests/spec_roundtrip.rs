@@ -15,7 +15,7 @@ use proptest::ProptestConfig;
 use stpp_scenario::{
     ChannelSpec, ClientSpec, DeploymentSpec, DurationSpec, Expectations, FleetSpec, ImpairmentSpec,
     LayoutSpec, MultipathSpec, PopulationSpec, ScenarioSpec, ScheduleSpec, ServerCoreSpec,
-    ServerSpec, StormSpec, TagPosition,
+    ServerSpec, StormSpec, StreamingSpec, TagPosition,
 };
 
 /// Proptest configuration honouring the `PROPTEST_CASES` environment
@@ -237,6 +237,10 @@ fn arb_storm() -> impl Strategy<Value = StormSpec> {
     )
 }
 
+fn arb_streaming() -> impl Strategy<Value = StreamingSpec> {
+    (1u64..100_001).prop_map(|poll_every_reports| StreamingSpec { poll_every_reports })
+}
+
 fn arb_ids() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(any::<u64>(), 0..8)
 }
@@ -273,6 +277,7 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
             prop::option::of(any::<u64>()),
             prop::option::of(any::<u64>()),
             prop::option::of(any::<u64>()),
+            (prop::option::of(any::<u64>()), prop::option::of(arb_duration(10.0))),
         ),
     )
         .prop_map(
@@ -288,7 +293,13 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
                 ),
                 (min_retries, max_retries, min_timeouts),
                 (max_timeouts, min_circuit_opens, max_circuit_opens, min_storm_connections),
-                (min_shards_used, min_redirects, max_redirects, max_cross_shard_builds),
+                (
+                    min_shards_used,
+                    min_redirects,
+                    max_redirects,
+                    max_cross_shard_builds,
+                    (min_provisional_results, max_time_to_first_result),
+                ),
             )| Expectations {
                 order_x,
                 order_y,
@@ -313,6 +324,8 @@ fn arb_expectations() -> impl Strategy<Value = Expectations> {
                 min_redirects,
                 max_redirects,
                 max_cross_shard_builds,
+                min_provisional_results,
+                max_time_to_first_result,
             },
         )
 }
@@ -328,7 +341,11 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         (
             (1u64..10_001, arb_duration(5.0)),
             arb_server(),
-            (prop::option::of(arb_fleet()), prop::option::of(arb_storm())),
+            (
+                prop::option::of(arb_fleet()),
+                prop::option::of(arb_storm()),
+                prop::option::of(arb_streaming()),
+            ),
             prop::option::of(arb_client()),
             prop::option::of(arb_impairments()),
             arb_expectations(),
@@ -337,11 +354,22 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         .prop_map(
             |(
                 ((name, seed), (layout, phase_offset_jitter_rad), deployment, channel),
-                ((requests, gap), server, (fleet, storm), client, impairments, expectations),
+                (
+                    (requests, gap),
+                    server,
+                    (fleet, storm, streaming),
+                    client,
+                    impairments,
+                    expectations,
+                ),
             )| {
-                // The parser rejects fleet + storm/impairments combos.
-                let (storm, impairments) =
-                    if fleet.is_some() { (None, None) } else { (storm, impairments) };
+                // The parser rejects fleet + storm/impairments/streaming
+                // combos.
+                let (storm, impairments, streaming) = if fleet.is_some() {
+                    (None, None, None)
+                } else {
+                    (storm, impairments, streaming)
+                };
                 ScenarioSpec {
                     name,
                     seed,
@@ -352,6 +380,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     server,
                     fleet,
                     storm,
+                    streaming,
                     client,
                     impairments,
                     expectations,

@@ -19,7 +19,7 @@ use crate::proto::{
 };
 use crate::retry::{FailureKind, ResilientError, RetryPolicy};
 use crate::service::{LocalizationResponse, ServiceStats};
-use crate::session::{IngestError, SessionGeometry};
+use crate::session::{IngestError, ProvisionalOrdering, SessionGeometry};
 
 /// Default socket read/write timeout for a plain [`StppClient::connect`].
 /// Generous — it exists so that *no* call path can block forever on a
@@ -226,7 +226,20 @@ impl StppClient {
     ) -> Result<u64, ClientError> {
         match self.request(&Request::OpenSession { geometry, quiescence_s })? {
             Response::SessionOpened { session } => Ok(session),
+            Response::IngestRejected { error, .. } => Err(ClientError::Ingest(error)),
             Response::Redirect { shard } => Err(ClientError::Redirected { shard }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Polls a session's provisional (mid-stream) X ordering. Control
+    /// plane: non-consuming, never rejected `Busy`, and advisory — the
+    /// authoritative ordering still comes from
+    /// [`flush_session`](Self::flush_session).
+    pub fn provisional(&mut self, session: u64) -> Result<ProvisionalOrdering, ClientError> {
+        match self.request(&Request::Provisional { session })? {
+            Response::Provisional { ordering, .. } => Ok(ordering),
+            Response::UnknownSession { session } => Err(ClientError::UnknownSession { session }),
             other => Err(unexpected(other)),
         }
     }

@@ -80,4 +80,6 @@ pub use service::{
     GeometryKey, LocalizationRequest, LocalizationResponse, LocalizationService, RequestMetrics,
     ServiceConfig, ServiceStats,
 };
-pub use session::{IngestError, ServiceSession, SessionGeometry};
+pub use session::{
+    IngestError, ProvisionalOrdering, ProvisionalTag, ServiceSession, SessionGeometry,
+};

@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize, Value};
 use stpp_core::{LocalizationError, StppInput};
 
 use crate::service::{LocalizationResponse, ServiceStats};
-use crate::session::{IngestError, SessionGeometry};
+use crate::session::{IngestError, ProvisionalOrdering, SessionGeometry};
 
 /// The 4-byte frame magic.
 pub const MAGIC: [u8; 4] = *b"STPP";
@@ -153,6 +153,16 @@ pub enum Request {
         session: u64,
         /// `true` ends the session, localizing every remaining tag.
         finish: bool,
+    },
+    /// Poll a session's provisional (mid-stream) X ordering. Control
+    /// plane: an incremental per-tag update over the samples that arrived
+    /// since the last poll, non-consuming, never rejected `Busy`. A
+    /// compatible protocol extension (name-tagged variant, like
+    /// [`Response::Redirect`]): decoders that predate it only fail if
+    /// they actually receive one.
+    Provisional {
+        /// The session id.
+        session: u64,
     },
     /// Fetch the service + server counters (control plane).
     Stats,
@@ -293,6 +303,17 @@ pub enum Response {
     UnknownSession {
         /// The offending session id.
         session: u64,
+    },
+    /// A provisional ordering, answered to [`Request::Provisional`].
+    /// Advisory: the authoritative result still arrives via
+    /// [`Response::Flushed`], bit-identical to offline batch
+    /// localization. A compatible protocol extension (see
+    /// [`Response::Redirect`]).
+    Provisional {
+        /// The session id.
+        session: u64,
+        /// The provisional mid-stream ordering.
+        ordering: ProvisionalOrdering,
     },
     /// The service and server counters.
     Stats {
@@ -877,6 +898,54 @@ mod tests {
             let Request::Pause { seconds } = back else { panic!("wrong variant") };
             assert_eq!(seconds.to_bits(), bits);
         }
+    }
+
+    #[test]
+    fn provisional_frames_round_trip_bit_exactly() {
+        let request = Request::Provisional { session: 42 };
+        let (back, _): (Request, usize) =
+            decode_frame(&encode_frame(&request).expect("encode")).expect("decode");
+        assert_eq!(back, request);
+
+        let ordering = crate::session::ProvisionalOrdering {
+            order_x: vec![
+                crate::session::ProvisionalTag {
+                    epc: rfid_gen2::Epc::from_serial(7),
+                    nadir_time_s: f64::from_bits(0x3ff0_0000_0000_0001),
+                    confidence: 0.625,
+                    samples: 311,
+                    match_cost: Some(f64::from_bits(0x0000_0000_0000_0001)),
+                },
+                crate::session::ProvisionalTag {
+                    epc: rfid_gen2::Epc::from_serial(3),
+                    nadir_time_s: 12.5,
+                    confidence: 0.0,
+                    samples: 12,
+                    match_cost: None,
+                },
+            ],
+            tags_estimated: 2,
+            tags_pending: 1,
+        };
+        let response = Response::Provisional { session: 42, ordering };
+        let (back, _): (Response, usize) =
+            decode_frame(&encode_frame(&response).expect("encode")).expect("decode");
+        // PartialEq on f64 fields would accept -0.0 == 0.0; the frames
+        // must preserve the exact bit patterns (subnormals included).
+        let Response::Provisional { session, ordering: decoded } = back else {
+            panic!("wrong variant");
+        };
+        let Response::Provisional { ordering: sent, .. } = response else { unreachable!() };
+        assert_eq!(session, 42);
+        assert_eq!(decoded, sent);
+        assert_eq!(
+            decoded.order_x[0].nadir_time_s.to_bits(),
+            sent.order_x[0].nadir_time_s.to_bits()
+        );
+        assert_eq!(
+            decoded.order_x[0].match_cost.map(f64::to_bits),
+            sent.order_x[0].match_cost.map(f64::to_bits)
+        );
     }
 
     #[test]

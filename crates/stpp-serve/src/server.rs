@@ -635,9 +635,16 @@ pub(crate) fn handle_request(state: &ServerState, request: Request) -> Response 
             if let Some(owner) = state.misdirected(key) {
                 return Response::Redirect { shard: owner };
             }
-            let session_handle = match quiescence_s {
+            let opened = match quiescence_s {
                 Some(q) => state.service.open_session_with_quiescence(geometry, q),
                 None => state.service.open_session(geometry),
+            };
+            let session_handle = match opened {
+                Ok(session) => session,
+                // No session was created, so there is no id to carry;
+                // the caller correlates the rejection with its
+                // `OpenSession` request, not with the placeholder id.
+                Err(error) => return Response::IngestRejected { session: 0, error },
             };
             // A seeded splitmix64 of a private counter: unique (the mix
             // is a bijection) but non-sequential, so one session id
@@ -695,6 +702,20 @@ pub(crate) fn handle_request(state: &ServerState, request: Request) -> Response 
                 Ok(outcome) => Response::Flushed { session, outcome },
                 Err(error) => Response::Rejected { error },
             }
+        }
+        Request::Provisional { session } => {
+            // Control plane, like ingestion: the incremental update is
+            // cheap (only samples since the last poll are folded in) and
+            // a saturated admission queue must not block an operator's
+            // mid-stream view.
+            let Some(entry) = lookup_session(state, session) else {
+                return Response::UnknownSession { session };
+            };
+            let mut guard = entry.inner.lock().expect("session poisoned");
+            let Some(active) = guard.as_mut() else {
+                return Response::UnknownSession { session };
+            };
+            Response::Provisional { session, ordering: active.provisional() }
         }
         Request::Stats => {
             Response::Stats { service: state.service.stats(), server: state.server_stats() }

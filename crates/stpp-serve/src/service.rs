@@ -27,7 +27,7 @@ use stpp_core::{
 
 use crate::pool::WorkerPool;
 use crate::retry::splitmix64;
-use crate::session::{ServiceSession, SessionGeometry};
+use crate::session::{IngestError, ServiceSession, SessionGeometry};
 
 /// Configuration of a [`LocalizationService`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -365,22 +365,35 @@ impl LocalizationService {
     }
 
     /// Opens a streaming ingestion session against this service with the
-    /// default quiescence window.
-    pub fn open_session(self: &Arc<Self>, geometry: SessionGeometry) -> ServiceSession {
+    /// default quiescence window. Fails with
+    /// [`IngestError::InvalidQuiescence`] when the *configured* default is
+    /// not a positive, finite number of seconds.
+    pub fn open_session(
+        self: &Arc<Self>,
+        geometry: SessionGeometry,
+    ) -> Result<ServiceSession, IngestError> {
         let quiescence = self.config.session_quiescence_s;
         self.open_session_with_quiescence(geometry, quiescence)
     }
 
     /// Opens a streaming ingestion session with an explicit quiescence
     /// window (seconds of read silence after which a tag is considered to
-    /// have left the reading zone).
+    /// have left the reading zone). The window must be a positive, finite
+    /// number of seconds: a NaN window compares every tag as
+    /// never-quiescent, a zero or negative one flushes every tag on every
+    /// poll — both are rejected here with
+    /// [`IngestError::InvalidQuiescence`] instead of silently producing a
+    /// session that never (or always) flushes.
     pub fn open_session_with_quiescence(
         self: &Arc<Self>,
         geometry: SessionGeometry,
         quiescence_s: f64,
-    ) -> ServiceSession {
+    ) -> Result<ServiceSession, IngestError> {
+        if !quiescence_s.is_finite() || quiescence_s <= 0.0 {
+            return Err(IngestError::InvalidQuiescence);
+        }
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
-        ServiceSession::new(self.clone(), geometry, quiescence_s)
+        Ok(ServiceSession::new(self.clone(), geometry, quiescence_s))
     }
 
     /// The bank cache registered for this request's geometry, creating it
@@ -392,7 +405,21 @@ impl LocalizationService {
         config: &StppConfig,
         input: &StppInput,
     ) -> (Arc<ReferenceBankCache>, bool) {
-        let key = GeometryKey::for_request(config, input);
+        self.registry_cache(GeometryKey::for_request(config, input))
+    }
+
+    /// The bank cache a streaming session's provisional estimation shares
+    /// with the batches the session will flush:
+    /// [`GeometryKey::for_session`] agrees with
+    /// [`GeometryKey::for_request`] on every batch the session ever
+    /// builds, so provisional polls warm the very banks the final
+    /// detection uses (and vice versa).
+    pub(crate) fn session_bank_cache(&self, geometry: &SessionGeometry) -> Arc<ReferenceBankCache> {
+        self.registry_cache(GeometryKey::for_session(&self.config.stpp, geometry)).0
+    }
+
+    /// Registry lookup shared by the request and session paths.
+    fn registry_cache(&self, key: GeometryKey) -> (Arc<ReferenceBankCache>, bool) {
         let mut registry = self.banks.lock().expect("geometry registry poisoned");
         registry.tick += 1;
         let tick = registry.tick;

@@ -19,7 +19,10 @@ use std::sync::Arc;
 use rfid_gen2::Epc;
 use rfid_reader::TagReadReport;
 use serde::{Deserialize, Serialize};
-use stpp_core::{LocalizationError, PhaseProfile, StppInput, TagObservations};
+use stpp_core::{
+    LocalizationError, PhaseProfile, ReferenceBankCache, ReferenceProfileParams, StppInput,
+    StreamingTagTracker, TagObservations, VZoneDetector,
+};
 
 use crate::service::{LocalizationResponse, LocalizationService};
 
@@ -51,6 +54,13 @@ pub enum IngestError {
         /// The session's sample capacity.
         limit: u64,
     },
+    /// The requested quiescence window is not a positive, finite number
+    /// of seconds. A NaN window would silently compare every tag as
+    /// never-quiescent (`NaN - x >= q` is false) while a zero or negative
+    /// one flushes every tag on every poll — both are configuration bugs,
+    /// rejected when the session is opened rather than discovered as a
+    /// stream that never (or always) flushes.
+    InvalidQuiescence,
 }
 
 impl std::fmt::Display for IngestError {
@@ -68,6 +78,9 @@ impl std::fmt::Display for IngestError {
                     "report for tag {epc:?} rejected: session already buffers {limit} samples \
                      (flush or finish first)"
                 )
+            }
+            IngestError::InvalidQuiescence => {
+                write!(f, "session quiescence window must be a positive, finite number of seconds")
             }
         }
     }
@@ -95,6 +108,84 @@ pub struct SessionGeometry {
 struct TagBuffer {
     pairs: Vec<(f64, f64)>,
     last_seen_s: f64,
+}
+
+/// One tag's entry in a [`ProvisionalOrdering`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionalTag {
+    /// The tag's EPC.
+    pub epc: Epc,
+    /// Provisional nadir (perpendicular-point) time, seconds — see
+    /// [`ProvisionalEstimate::nadir_time_s`](stpp_core::ProvisionalEstimate).
+    pub nadir_time_s: f64,
+    /// Confidence in `[0, 1]` — see
+    /// [`ProvisionalEstimate::confidence`](stpp_core::ProvisionalEstimate).
+    pub confidence: f64,
+    /// Samples in the tag's provisional view.
+    pub samples: u64,
+    /// Best normalised incremental candidate cost, once the reference
+    /// bank has resolved and a first complete segment has been aligned.
+    pub match_cost: Option<f64>,
+}
+
+/// A provisional X ordering over the tags still pending in a session —
+/// produced mid-stream by [`ServiceSession::provisional`], advisory until
+/// the tags quiesce and the unchanged batch path pins the final (and
+/// bit-identical-to-offline) result.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProvisionalOrdering {
+    /// Tags with an estimate, ordered by provisional nadir time (the
+    /// streaming analogue of the batch X ordering), EPC as tie-breaker.
+    pub order_x: Vec<ProvisionalTag>,
+    /// Number of tags contributing to `order_x`.
+    pub tags_estimated: u64,
+    /// Active tags still below the estimation threshold.
+    pub tags_pending: u64,
+}
+
+/// Lazily created per-session streaming-estimation state: the detector
+/// configuration mirroring the batch path's, the geometry's shared bank
+/// cache, and one side-car tracker per active tag.
+#[derive(Debug)]
+struct StreamingState {
+    detector: VZoneDetector,
+    cache: Arc<ReferenceBankCache>,
+    trackers: BTreeMap<Epc, TrackerEntry>,
+}
+
+#[derive(Debug)]
+struct TrackerEntry {
+    tracker: StreamingTagTracker,
+    /// Prefix of the tag's buffered pairs already fed to the tracker.
+    fed_pairs: usize,
+}
+
+impl StreamingState {
+    fn new(service: &LocalizationService, geometry: SessionGeometry) -> Self {
+        let stpp = &service.config().stpp;
+        // Mirrors the batch `DetectionEngine` construction (and
+        // `GeometryKey::for_session`): the provisional lanes align
+        // against the very banks the final detection will use.
+        let perpendicular = geometry
+            .perpendicular_distance_m
+            .filter(|d| d.is_finite() && *d > 0.0)
+            .unwrap_or(stpp.perpendicular_distance_m);
+        let params = ReferenceProfileParams::new(
+            geometry.nominal_speed_mps,
+            perpendicular,
+            geometry.wavelength_m,
+        )
+        .with_periods(stpp.reference_periods);
+        let detector = VZoneDetector::new(params)
+            .with_window(stpp.window)
+            .with_offset_candidates(stpp.offset_candidates)
+            .with_dtw_band(stpp.dtw_band);
+        StreamingState {
+            detector,
+            cache: service.session_bank_cache(&geometry),
+            trackers: BTreeMap::new(),
+        }
+    }
 }
 
 /// One entry of the last-seen min-heap: the tag's last-seen timestamp
@@ -145,6 +236,10 @@ pub struct ServiceSession {
     /// [`flush_quiescent`](Self::flush_quiescent) — the instrumentation
     /// the flush-cost regression test asserts on.
     flush_examined: u64,
+    /// Provisional-estimation side-car, created on the first
+    /// [`provisional`](Self::provisional) poll. Sessions that never poll
+    /// pay nothing for it.
+    streaming: Option<StreamingState>,
 }
 
 impl ServiceSession {
@@ -153,17 +248,21 @@ impl ServiceSession {
         geometry: SessionGeometry,
         quiescence_s: f64,
     ) -> Self {
+        // The opening boundary (`open_session_with_quiescence`) already
+        // rejected non-finite and non-positive windows.
+        debug_assert!(quiescence_s.is_finite() && quiescence_s > 0.0);
         let max_samples = service.config().session_max_samples.max(1);
         ServiceSession {
             service,
             geometry,
-            quiescence_s: quiescence_s.max(0.0),
+            quiescence_s,
             max_samples,
             buffered: 0,
             clock_s: f64::NEG_INFINITY,
             active: BTreeMap::new(),
             by_last_seen: BinaryHeap::new(),
             flush_examined: 0,
+            streaming: None,
         }
     }
 
@@ -305,6 +404,50 @@ impl ServiceSession {
         self.flush_examined
     }
 
+    /// A provisional X ordering over the tags still pending in the
+    /// session, computed incrementally: each poll feeds only the samples
+    /// that arrived since the last poll into per-tag side-car trackers
+    /// (running unwrapped-phase nadir plus incremental candidate-DTW
+    /// lanes — see [`StreamingTagTracker`]) and re-sorts the estimates.
+    /// Non-consuming: the buffered samples are untouched, and the
+    /// authoritative ordering still comes from
+    /// [`flush_quiescent`](Self::flush_quiescent) / [`finish`](Self::finish),
+    /// whose batch path this never perturbs.
+    pub fn provisional(&mut self) -> ProvisionalOrdering {
+        if self.streaming.is_none() {
+            self.streaming = Some(StreamingState::new(&self.service, self.geometry));
+        }
+        let state = self.streaming.as_mut().expect("initialised above");
+        let StreamingState { detector, cache, trackers } = state;
+        let mut order_x: Vec<ProvisionalTag> = Vec::new();
+        let mut pending = 0u64;
+        for (epc, buffer) in &self.active {
+            let entry = trackers.entry(*epc).or_insert_with(|| TrackerEntry {
+                tracker: StreamingTagTracker::new(detector.clone()),
+                fed_pairs: 0,
+            });
+            for &(t, p) in &buffer.pairs[entry.fed_pairs..] {
+                entry.tracker.push_sample(t, p);
+            }
+            entry.fed_pairs = buffer.pairs.len();
+            entry.tracker.update(cache);
+            match entry.tracker.estimate() {
+                Some(est) => order_x.push(ProvisionalTag {
+                    epc: *epc,
+                    nadir_time_s: est.nadir_time_s,
+                    confidence: est.confidence,
+                    samples: est.samples,
+                    match_cost: est.match_cost,
+                }),
+                None => pending += 1,
+            }
+        }
+        order_x.sort_by(|a, b| {
+            a.nadir_time_s.total_cmp(&b.nadir_time_s).then_with(|| a.epc.cmp(&b.epc))
+        });
+        ProvisionalOrdering { tags_estimated: order_x.len() as u64, tags_pending: pending, order_x }
+    }
+
     /// Ends the session, localizing every remaining tag (quiescent or
     /// not) as a final batch. Returns `Ok(None)` for a session that never
     /// accumulated a tag.
@@ -328,6 +471,12 @@ impl ServiceSession {
             .filter_map(|epc| {
                 let buffer = self.active.remove(&epc)?;
                 self.buffered -= buffer.pairs.len();
+                // The tag's profile is complete: its provisional tracker
+                // has served its purpose (the batch below is the
+                // authoritative result).
+                if let Some(state) = self.streaming.as_mut() {
+                    state.trackers.remove(&epc);
+                }
                 Some(TagObservations {
                     id: epc.serial(),
                     epc,

@@ -111,7 +111,7 @@ fn streaming_session_matches_the_offline_batch_pipeline() {
         wavelength_m: offline_input.wavelength_m,
         perpendicular_distance_m: offline_input.perpendicular_distance_m,
     };
-    let mut session = service.open_session(geometry);
+    let mut session = service.open_session(geometry).expect("default quiescence is valid");
     for report in recording.stream.reports() {
         session.ingest(report).expect("finite report");
     }
@@ -134,14 +134,16 @@ fn session_flushes_quiescent_tags_in_waves() {
     let wavelength = 0.326f64;
     let d_perp = 0.3f64;
     let service = LocalizationService::with_defaults();
-    let mut session = service.open_session_with_quiescence(
-        SessionGeometry {
-            nominal_speed_mps: speed,
-            wavelength_m: wavelength,
-            perpendicular_distance_m: Some(d_perp),
-        },
-        2.0,
-    );
+    let mut session = service
+        .open_session_with_quiescence(
+            SessionGeometry {
+                nominal_speed_mps: speed,
+                wavelength_m: wavelength,
+                perpendicular_distance_m: Some(d_perp),
+            },
+            2.0,
+        )
+        .expect("valid quiescence window");
 
     let phase = |t: f64, tag_x: f64| {
         let d = ((speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
@@ -187,39 +189,84 @@ fn session_sample_cap_bounds_ingestion_memory() {
         session_max_samples: 10,
         ..stpp_serve::ServiceConfig::default()
     });
-    let mut session = service.open_session_with_quiescence(
-        SessionGeometry {
-            nominal_speed_mps: 0.1,
-            wavelength_m: 0.326,
-            perpendicular_distance_m: Some(0.3),
-        },
-        0.0,
-    );
-    let epc = rfid_gen2::Epc::from_serial(1);
-    for i in 0..10 {
-        session.ingest_sample(epc, i as f64 * 0.05, 1.0).expect("within cap");
+    let mut session = service
+        .open_session_with_quiescence(
+            SessionGeometry {
+                nominal_speed_mps: 0.1,
+                wavelength_m: 0.326,
+                perpendicular_distance_m: Some(0.3),
+            },
+            2.0,
+        )
+        .expect("valid quiescence window");
+    // Tag A's reads end early; tag B's reads fill the rest of the cap
+    // much later, so A is already quiescent when the cap is hit.
+    let a = rfid_gen2::Epc::from_serial(1);
+    let b = rfid_gen2::Epc::from_serial(2);
+    for i in 0..5 {
+        session.ingest_sample(a, i as f64 * 0.05, 1.0).expect("within cap");
+    }
+    for i in 0..5 {
+        session.ingest_sample(b, 50.0 + i as f64 * 0.05, 1.0).expect("within cap");
     }
     assert_eq!(session.pending_samples(), 10);
     assert_eq!(
-        session.ingest_sample(epc, 0.6, 1.0),
-        Err(stpp_serve::IngestError::SessionFull { epc, limit: 10 })
+        session.ingest_sample(b, 50.3, 1.0),
+        Err(stpp_serve::IngestError::SessionFull { epc: b, limit: 10 })
     );
-    // Flushing releases the budget: the tags leave the session (this
-    // tiny constant-phase batch cannot localize — the error is expected
-    // and the tags are consumed regardless) and new samples fit again.
+    // Flushing releases the budget: the quiescent tag leaves the session
+    // (this tiny constant-phase batch cannot localize — the error is
+    // expected and the tag is consumed regardless) and new samples fit
+    // again.
     assert!(session.flush_quiescent().is_err());
-    session.ingest_sample(rfid_gen2::Epc::from_serial(2), 100.0, 1.0).expect("freed capacity");
-    assert_eq!(session.pending_samples(), 1);
+    session.ingest_sample(rfid_gen2::Epc::from_serial(3), 100.0, 1.0).expect("freed capacity");
+    assert_eq!(session.pending_samples(), 6);
+}
+
+#[test]
+fn session_rejects_invalid_quiescence_windows_at_open() {
+    // Regression: a NaN window used to be silently clamped into an
+    // always-flushing session (`NaN.max(0.0) == 0.0`), and zero/negative
+    // windows flushed every tag on every poll. All three are now typed
+    // rejections at the opening boundary.
+    let service = LocalizationService::with_defaults();
+    let geometry = SessionGeometry {
+        nominal_speed_mps: 0.1,
+        wavelength_m: 0.326,
+        perpendicular_distance_m: Some(0.3),
+    };
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0, -0.0] {
+        assert_eq!(
+            service.open_session_with_quiescence(geometry, bad).err(),
+            Some(stpp_serve::IngestError::InvalidQuiescence),
+            "window {bad} must be rejected"
+        );
+    }
+    // Rejected opens never count as opened sessions…
+    assert_eq!(service.stats().sessions_opened, 0);
+    // …and a misconfigured *default* is rejected through `open_session`
+    // too, while the stock default stays valid.
+    let bad_default = stpp_serve::LocalizationService::new(stpp_serve::ServiceConfig {
+        session_quiescence_s: f64::NAN,
+        ..stpp_serve::ServiceConfig::default()
+    });
+    assert_eq!(
+        bad_default.open_session(geometry).err(),
+        Some(stpp_serve::IngestError::InvalidQuiescence)
+    );
+    assert!(service.open_session(geometry).is_ok());
 }
 
 #[test]
 fn session_rejects_non_finite_samples_at_ingestion() {
     let service = LocalizationService::with_defaults();
-    let mut session = service.open_session(SessionGeometry {
-        nominal_speed_mps: 0.1,
-        wavelength_m: 0.326,
-        perpendicular_distance_m: Some(0.3),
-    });
+    let mut session = service
+        .open_session(SessionGeometry {
+            nominal_speed_mps: 0.1,
+            wavelength_m: 0.326,
+            perpendicular_distance_m: Some(0.3),
+        })
+        .expect("default quiescence is valid");
     let epc = rfid_gen2::Epc::from_serial(7);
     assert_eq!(
         session.ingest_sample(epc, f64::NAN, 1.0),
@@ -237,6 +284,62 @@ fn session_rejects_non_finite_samples_at_ingestion() {
 }
 
 #[test]
+fn provisional_ordering_converges_and_never_perturbs_the_final_result() {
+    // Two sessions fed the identical conveyor stream; one is polled for
+    // provisional orderings throughout, the other never. The polled
+    // session's provisional X order must converge to the batch order
+    // mid-stream, and the two final results must be exactly equal — the
+    // provisional side-car may not perturb the authoritative path.
+    let speed = 0.1f64;
+    let wavelength = 0.326f64;
+    let d_perp = 0.3f64;
+    let service = LocalizationService::with_defaults();
+    let geometry = SessionGeometry {
+        nominal_speed_mps: speed,
+        wavelength_m: wavelength,
+        perpendicular_distance_m: Some(d_perp),
+    };
+    // Serials deliberately disagree with belt positions: X order is 1, 2, 0.
+    let tags = [(0u64, 1.4), (1, 0.6), (2, 1.0)];
+    let mut polled = service.open_session(geometry).expect("open polled");
+    let mut plain = service.open_session(geometry).expect("open plain");
+    let mut last = stpp_serve::ProvisionalOrdering::default();
+    for i in 0..600 {
+        let t = i as f64 * 0.05;
+        for (id, tag_x) in tags {
+            let d = ((speed * t - tag_x).powi(2) + d_perp * d_perp).sqrt();
+            let phase = std::f64::consts::TAU * 2.0 * d / wavelength;
+            let epc = rfid_gen2::Epc::from_serial(id);
+            polled.ingest_sample(epc, t, phase).expect("finite");
+            plain.ingest_sample(epc, t, phase).expect("finite");
+        }
+        if i % 50 == 49 {
+            last = polled.provisional();
+        }
+    }
+    // Mid-stream, every tag had an estimate, in belt order.
+    assert_eq!(last.tags_estimated, 3);
+    assert_eq!(last.tags_pending, 0);
+    let serials: Vec<u64> = last.order_x.iter().map(|t| t.epc.serial()).collect();
+    assert_eq!(serials, vec![1, 2, 0], "provisional X order must match the belt positions");
+    assert!(last.order_x.iter().all(|t| (0.0..=1.0).contains(&t.confidence)));
+    // All three tags are past their nadirs by the end of the stream, so
+    // the shape evidence has accumulated.
+    assert!(
+        last.order_x.iter().all(|t| t.confidence > 0.4),
+        "confidences {:?}",
+        last.order_x.iter().map(|t| t.confidence).collect::<Vec<_>>()
+    );
+    let final_polled = polled.finish().expect("finish polled").expect("tags");
+    let final_plain = plain.finish().expect("finish plain").expect("tags");
+    assert_eq!(
+        final_polled.result, final_plain.result,
+        "provisional polling must not change the final batch result"
+    );
+    assert_eq!(final_polled.result.order_x, vec![1, 2, 0]);
+}
+
+#[test]
 fn flush_cost_tracks_quiescent_tags_not_population() {
     // Regression (ROADMAP PR 3 follow-up): `flush_quiescent` used to
     // scan every active tag on every call. With the last-seen min-heap a
@@ -245,14 +348,16 @@ fn flush_cost_tracks_quiescent_tags_not_population() {
     // entries) — so a portal with hundreds of live tags pays nothing for
     // them while they keep being read.
     let service = LocalizationService::with_defaults();
-    let mut session = service.open_session_with_quiescence(
-        SessionGeometry {
-            nominal_speed_mps: 0.1,
-            wavelength_m: 0.326,
-            perpendicular_distance_m: Some(0.3),
-        },
-        2.0,
-    );
+    let mut session = service
+        .open_session_with_quiescence(
+            SessionGeometry {
+                nominal_speed_mps: 0.1,
+                wavelength_m: 0.326,
+                perpendicular_distance_m: Some(0.3),
+            },
+            2.0,
+        )
+        .expect("valid quiescence window");
     // Three tags whose reads stop early (they will be the quiescent set)…
     for id in 0..3u64 {
         for i in 0..20 {

@@ -73,14 +73,22 @@ fn main() {
     assert!(accuracy >= 0.75, "demo ordering accuracy {accuracy} too low");
 
     println!("\n== streaming session ==");
-    let mut session = service.open_session(SessionGeometry {
-        nominal_speed_mps: input.nominal_speed_mps,
-        wavelength_m: input.wavelength_m,
-        perpendicular_distance_m: input.perpendicular_distance_m,
-    });
+    let mut session = service
+        .open_session(SessionGeometry {
+            nominal_speed_mps: input.nominal_speed_mps,
+            wavelength_m: input.wavelength_m,
+            perpendicular_distance_m: input.perpendicular_distance_m,
+        })
+        .expect("valid quiescence window");
     for report in recording.stream.reports() {
         session.ingest(report).expect("finite report");
     }
+    let provisional = session.provisional();
+    println!(
+        "provisional (mid-stream): {} tags estimated, order_x = {:?}",
+        provisional.tags_estimated,
+        provisional.order_x.iter().map(|t| t.epc.serial()).collect::<Vec<_>>(),
+    );
     println!(
         "ingested {} reports for {} tags (clock {:.1} s)",
         recording.stream.len(),
